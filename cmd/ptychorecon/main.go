@@ -1,0 +1,214 @@
+// Command ptychorecon is the end-to-end reconstruction CLI: it loads a
+// PTYCHOv1 dataset (see cmd/datagen), reconstructs it with the selected
+// algorithm, reports convergence and per-worker statistics, and can
+// write phase/magnitude PNGs of the result.
+//
+// Usage:
+//
+//	ptychorecon -i dataset.ptycho [-alg gd|hve|serial] [-mesh 2x2]
+//	            [-iters 20] [-step 0.01] [-rounds 1] [-faithful]
+//	            [-no-appp] [-png out_prefix]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/gradsync"
+	"ptychopath/internal/grid"
+	"ptychopath/internal/halo"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/solver"
+	"ptychopath/internal/tiling"
+	"ptychopath/internal/trace"
+
+	"ptychopath"
+)
+
+func main() {
+	in := flag.String("i", "", "input dataset (PTYCHOv1 file, required)")
+	alg := flag.String("alg", "gd", "algorithm: gd (gradient decomposition), hve (halo voxel exchange), serial")
+	meshStr := flag.String("mesh", "2x2", "tile mesh ROWSxCOLS for parallel algorithms")
+	iters := flag.Int("iters", 20, "iterations")
+	step := flag.Float64("step", 0.01, "gradient step size")
+	rounds := flag.Int("rounds", 1, "communication rounds per iteration (Alg 1's T)")
+	faithful := flag.Bool("faithful", false, "use the paper's literal Alg 1 (local + accumulated updates)")
+	noAPPP := flag.Bool("no-appp", false, "disable asynchronous pipelining (barrier-separated passes)")
+	workers := flag.Int("workers", 1, "goroutines per gd worker for gradient computation (batch mode)")
+	pngPrefix := flag.String("png", "", "write <prefix>_phase.png and <prefix>_mag.png of slice 0")
+	save := flag.String("save", "", "write the reconstructed object to this checkpoint file (OBJCKv1)")
+	resume := flag.String("resume", "", "start from an object checkpoint instead of vacuum")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "ptychorecon: -i dataset required (generate one with datagen)")
+		os.Exit(2)
+	}
+	if err := run(*in, *alg, *meshStr, *iters, *step, *rounds, *workers, *faithful, *noAPPP, *pngPrefix, *save, *resume); err != nil {
+		fmt.Fprintln(os.Stderr, "ptychorecon:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMesh(s string) (rows, cols int, err error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("mesh %q: want ROWSxCOLS", s)
+	}
+	if rows, err = strconv.Atoi(parts[0]); err != nil {
+		return 0, 0, fmt.Errorf("mesh %q: %w", s, err)
+	}
+	if cols, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, fmt.Errorf("mesh %q: %w", s, err)
+	}
+	return rows, cols, nil
+}
+
+func run(in, alg, meshStr string, iters int, step float64, rounds, workers int,
+	faithful, noAPPP bool, pngPrefix, savePath, resumePath string) error {
+	rec := trace.NewRecorder()
+	var prob *solver.Problem
+	var err error
+	rec.Time("load", func() { prob, err = dataio.ReadFile(in) })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loaded %s: %d locations, %dx%d px, %d slices\n",
+		in, prob.Pattern.N(), prob.Pattern.ImageW, prob.Pattern.ImageH, prob.Slices)
+
+	init := phantom.Vacuum(prob.ImageBounds(), prob.Slices)
+	if resumePath != "" {
+		ck, err := dataio.ReadObjectFile(resumePath)
+		if err != nil {
+			return err
+		}
+		if len(ck) != prob.Slices || !ck[0].Bounds.Eq(prob.ImageBounds()) {
+			return fmt.Errorf("checkpoint %s does not match dataset geometry", resumePath)
+		}
+		init.Slices = ck
+		fmt.Printf("resumed from %s\n", resumePath)
+	}
+	onIter := func(it int, cost float64) {
+		fmt.Printf("  iter %3d  cost %.6g\n", it+1, cost)
+	}
+
+	var slices []*grid.Complex2D
+	switch alg {
+	case "serial":
+		var r *solver.Result
+		rec.Time("reconstruct", func() {
+			r, err = solver.Reconstruct(prob, init.Slices, solver.Options{
+				StepSize: step, Iterations: iters, Mode: solver.Batch, OnIteration: onIter,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		slices = r.Slices
+
+	case "gd":
+		rows, cols, merr := parseMesh(meshStr)
+		if merr != nil {
+			return merr
+		}
+		mesh, merr2 := tiling.NewMesh(prob.ImageBounds(), rows, cols, tiling.HaloForWindow(prob.WindowN))
+		if merr2 != nil {
+			return merr2
+		}
+		mode := gradsync.ModeBatch
+		if faithful {
+			mode = gradsync.ModeFaithful
+		}
+		var r *gradsync.Result
+		rec.Time("reconstruct", func() {
+			r, err = gradsync.Reconstruct(prob, init.Slices, gradsync.Options{
+				Mesh: mesh, Mode: mode, StepSize: step, Iterations: iters,
+				RoundsPerIteration: rounds, DisableAPPP: noAPPP,
+				IntraWorkers: workers,
+				Timeout:      5 * time.Minute, OnIteration: onIter,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		slices = r.Slices
+		fmt.Printf("workers %d, exchanged %.2f MB in %d messages\n",
+			mesh.NumTiles(), float64(r.BytesSent)/1e6, r.MessagesSent)
+		printMem(r.PerRankMemBytes)
+
+	case "hve":
+		rows, cols, merr := parseMesh(meshStr)
+		if merr != nil {
+			return merr
+		}
+		mesh, merr2 := tiling.NewMesh(prob.ImageBounds(), rows, cols, tiling.HaloForWindow(prob.WindowN))
+		if merr2 != nil {
+			return merr2
+		}
+		var r *halo.Result
+		rec.Time("reconstruct", func() {
+			r, err = halo.Reconstruct(prob, init.Slices, halo.Options{
+				Mesh: mesh, HaloWidth: mesh.Halo, ExtraRows: 1,
+				StepSize: step, Iterations: iters,
+				ExchangesPerIteration: rounds,
+				Timeout:               5 * time.Minute, OnIteration: onIter,
+			})
+		})
+		if err != nil {
+			return err
+		}
+		slices = r.Slices
+		fmt.Printf("workers %d, exchanged %.2f MB in %d messages (redundant locations: %d of %d owned)\n",
+			mesh.NumTiles(), float64(r.BytesSent)/1e6, r.MessagesSent,
+			sum(r.PerRankLocations)-sum(r.PerRankOwned), sum(r.PerRankOwned))
+		printMem(r.PerRankMemBytes)
+
+	default:
+		return fmt.Errorf("unknown algorithm %q (want gd, hve, serial)", alg)
+	}
+
+	if savePath != "" {
+		if err := dataio.WriteObjectFile(savePath, slices); err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint written to %s\n", savePath)
+	}
+	if pngPrefix != "" {
+		rec.Time("png", func() {
+			f := ptycho.Field{W: slices[0].W(), H: slices[0].H(), Data: slices[0].Data}
+			if err = ptycho.SavePNG(pngPrefix+"_phase.png", ptycho.PhaseImage(f)); err != nil {
+				return
+			}
+			err = ptycho.SavePNG(pngPrefix+"_mag.png", ptycho.MagnitudeImage(f))
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s_phase.png and %s_mag.png\n", pngPrefix, pngPrefix)
+	}
+	rec.Report(os.Stdout, "wall-clock phases")
+	return nil
+}
+
+func printMem(perRank []int64) {
+	var peak int64
+	for _, m := range perRank {
+		if m > peak {
+			peak = m
+		}
+	}
+	fmt.Printf("peak worker footprint %.2f MB\n", float64(peak)/1e6)
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,79 @@
+package ptycho_test
+
+import (
+	"fmt"
+
+	"ptychopath"
+)
+
+// ExampleSimulateDataset shows the minimal simulate step: a 4x4 scan
+// over a random object.
+func ExampleSimulateDataset() {
+	ds, err := ptycho.SimulateDataset(ptycho.SimulateOptions{
+		ScanCols: 4, ScanRows: 4,
+		Phantom: ptycho.PhantomRandom,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("locations:", ds.NumLocations())
+	fmt.Println("window:", ds.WindowN())
+	// Output:
+	// locations: 16
+	// window: 16
+}
+
+// ExampleDataset_Reconstruct runs the paper's Gradient Decomposition on
+// four workers and checks it converged.
+func ExampleDataset_Reconstruct() {
+	ds, err := ptycho.SimulateDataset(ptycho.SimulateOptions{
+		ScanCols: 4, ScanRows: 4, Phantom: ptycho.PhantomRandom,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.GradientDecomposition,
+		MeshRows:  2, MeshCols: 2,
+		StepSize: 0.02, Iterations: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("workers:", res.Workers)
+	fmt.Println("converged:", res.CostHistory[9] < res.CostHistory[0])
+	// Output:
+	// workers: 4
+	// converged: true
+}
+
+// ExampleAlgorithm_String lists the available engines.
+func ExampleAlgorithm_String() {
+	fmt.Println(ptycho.Serial)
+	fmt.Println(ptycho.GradientDecomposition)
+	fmt.Println(ptycho.HaloVoxelExchange)
+	// Output:
+	// serial
+	// gradient-decomposition
+	// halo-voxel-exchange
+}
+
+// ExampleResult_RelativeErrorTo evaluates reconstruction quality against
+// the simulation's ground truth.
+func ExampleResult_RelativeErrorTo() {
+	ds, err := ptycho.SimulateDataset(ptycho.SimulateOptions{
+		ScanCols: 4, ScanRows: 4, Phantom: ptycho.PhantomRandom,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, StepSize: 0.02, Iterations: 15,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("error below 10%:", res.RelativeErrorTo(ds, 0) < 0.1)
+	// Output:
+	// error below 10%: true
+}

@@ -1,0 +1,67 @@
+package ptycho
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"math/cmplx"
+	"os"
+)
+
+// PhaseImage renders the phase of a field as an 8-bit grayscale image,
+// linearly mapped from the field's own phase range.
+func PhaseImage(f Field) *image.Gray {
+	vals := make([]float64, len(f.Data))
+	for i, v := range f.Data {
+		vals[i] = cmplx.Phase(v)
+	}
+	return grayFrom(vals, f.W, f.H)
+}
+
+// MagnitudeImage renders |field| as an 8-bit grayscale image.
+func MagnitudeImage(f Field) *image.Gray {
+	vals := make([]float64, len(f.Data))
+	for i, v := range f.Data {
+		vals[i] = cmplx.Abs(v)
+	}
+	return grayFrom(vals, f.W, f.H)
+}
+
+func grayFrom(vals []float64, w, h int) *image.Gray {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	img := image.NewGray(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			t := (vals[y*w+x] - lo) / span
+			img.SetGray(x, y, color.Gray{Y: uint8(math.Round(255 * t))})
+		}
+	}
+	return img
+}
+
+// SavePNG writes an image to path as PNG.
+func SavePNG(path string, img image.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ptycho: %w", err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, img); err != nil {
+		return fmt.Errorf("ptycho: encoding %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+// Integration tests crossing module boundaries: dataset serialization
+// feeding parallel reconstruction, all three algorithms agreeing on the
+// same data, and the public API matching the internal engines.
+package ptycho_test
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"testing"
+	"time"
+
+	"ptychopath"
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/gradsync"
+	"ptychopath/internal/grid"
+	"ptychopath/internal/halo"
+	"ptychopath/internal/metrics"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+	"ptychopath/internal/tiling"
+)
+
+const itTimeout = 30 * time.Second
+
+// TestPipelineSerializeReconstructAllAlgorithms is the full-system
+// round trip: phantom -> simulate -> serialize -> deserialize -> three
+// reconstruction algorithms -> quality metrics.
+func TestPipelineSerializeReconstructAllAlgorithms(t *testing.T) {
+	pat, err := scan.Raster(scan.RasterConfig{
+		Cols: 5, Rows: 5, StepPix: 5, RadiusPix: 8, MarginPix: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := phantom.RandomObject(pat.ImageW, pat.ImageH, 2, 77)
+	prob, err := solver.Simulate(solver.SimulateConfig{
+		Optics: physics.PaperOptics(), Pattern: pat, Object: truth,
+		WindowN: 16, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialize and reload — the reconstruction must see identical data.
+	var buf bytes.Buffer
+	if err := dataio.Write(&buf, prob); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataio.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	init := phantom.Vacuum(prob.ImageBounds(), prob.Slices)
+	mesh, err := tiling.NewMesh(loaded.ImageBounds(), 2, 2, tiling.HaloForWindow(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial, err := solver.Reconstruct(loaded, init.Slices, solver.Options{
+		StepSize: 0.02, Iterations: 6, Mode: solver.Batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := gradsync.Reconstruct(loaded, init.Slices, gradsync.Options{
+		Mesh: mesh, Mode: gradsync.ModeBatch, StepSize: 0.02, Iterations: 6,
+		Timeout: itTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hve, err := halo.Reconstruct(loaded, init.Slices, halo.Options{
+		Mesh: mesh, HaloWidth: mesh.Halo, ExtraRows: 1,
+		StepSize: 0.02, Iterations: 6, Timeout: itTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// GD batch == serial exactly, even through serialization.
+	for s := range serial.Slices {
+		scale := serial.Slices[s].MaxAbs()
+		if d := gd.Slices[s].MaxDiff(serial.Slices[s]); d > 1e-8*scale {
+			t.Fatalf("slice %d: GD differs from serial by %g after round trip", s, d)
+		}
+	}
+	// All three must actually reconstruct the object.
+	for name, slices := range map[string][]*grid.Complex2D{
+		"serial": serial.Slices, "gd": gd.Slices, "hve": hve.Slices,
+	} {
+		e := metrics.RelativeError(slices[0], truth.Slices[0])
+		if e > 0.2 {
+			t.Fatalf("%s failed to reconstruct: relative error %g", name, e)
+		}
+	}
+}
+
+// TestPublicAPIMatchesInternalSolver: the ptycho facade must produce
+// exactly what the internal solver produces for the same configuration.
+func TestPublicAPIMatchesInternalSolver(t *testing.T) {
+	ds, err := ptycho.SimulateDataset(ptycho.SimulateOptions{
+		ScanCols: 4, ScanRows: 4, OverlapRatio: 0.7,
+		WindowN: 16, Slices: 1, Phantom: ptycho.PhantomRandom, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apiRes, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, StepSize: 0.02, Iterations: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The API's cost history must be reproducible and strictly positive.
+	apiRes2, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, StepSize: 0.02, Iterations: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range apiRes.CostHistory {
+		if apiRes.CostHistory[i] != apiRes2.CostHistory[i] {
+			t.Fatal("public API reconstruction not deterministic")
+		}
+	}
+}
+
+// TestProbeRefinementThroughPublicAPI exercises the aberrated-probe
+// workflow end to end.
+func TestProbeRefinementThroughPublicAPI(t *testing.T) {
+	ds, err := ptycho.SimulateDataset(ptycho.SimulateOptions{
+		ScanCols: 4, ScanRows: 4, Phantom: ptycho.PhantomRandom, Seed: 9,
+		ProbeDefocusErrorPct: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, StepSize: 0.02, Iterations: 45,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, StepSize: 0.02, Iterations: 45,
+		ProbeRefineStep: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(fixed.CostHistory) - 1
+	if math.IsNaN(refined.CostHistory[last]) {
+		t.Fatal("refinement diverged")
+	}
+	if refined.CostHistory[last] >= fixed.CostHistory[last] {
+		t.Fatalf("refinement did not improve fit: %g vs %g",
+			refined.CostHistory[last], fixed.CostHistory[last])
+	}
+	if refined.RefinedProbe.W == 0 {
+		t.Fatal("refined probe missing")
+	}
+	if fixed.RefinedProbe.W != 0 {
+		t.Fatal("fixed run should not carry a refined probe")
+	}
+	// The refined probe differs from the (wrong) initial probe.
+	initial := ds.Probe()
+	var moved bool
+	for i := range initial.Data {
+		if cmplx.Abs(initial.Data[i]-refined.RefinedProbe.Data[i]) > 1e-9 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("probe did not move")
+	}
+}
+
+// TestAllAlgorithmsConvergeOnNoisyPbTiO3: the paper's workload with
+// shot noise, every algorithm, one assertion each — a cheap smoke net
+// over the whole stack.
+func TestAllAlgorithmsConvergeOnNoisyPbTiO3(t *testing.T) {
+	ds, err := ptycho.SimulateDataset(ptycho.SimulateOptions{
+		ScanCols: 5, ScanRows: 5, Slices: 2,
+		Phantom: ptycho.PhantomLeadTitanate, DoseElectrons: 1e6, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []ptycho.Algorithm{
+		ptycho.Serial, ptycho.GradientDecomposition, ptycho.HaloVoxelExchange,
+	} {
+		res, err := ds.Reconstruct(ptycho.ReconstructOptions{
+			Algorithm: alg, StepSize: 0.01, Iterations: 8,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		first, last := res.CostHistory[0], res.CostHistory[len(res.CostHistory)-1]
+		if last >= first {
+			t.Fatalf("%v did not converge on noisy data: %g -> %g", alg, first, last)
+		}
+		for s := 0; s < ds.NumSlices(); s++ {
+			if e := res.RelativeErrorTo(ds, s); e > 0.5 || math.IsNaN(e) {
+				t.Fatalf("%v slice %d error %g", alg, s, e)
+			}
+		}
+	}
+}
+
+// TestGradSyncRandomGeometryProperty fuzzes mesh shapes and overlap
+// ratios, asserting the decomposition's core equality on each draw.
+func TestGradSyncRandomGeometryProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzzy geometry sweep")
+	}
+	cases := []struct {
+		scanC, scanR int
+		overlap      float64
+		meshR, meshC int
+		slices       int
+	}{
+		{4, 5, 0.55, 2, 1, 1},
+		{5, 4, 0.65, 1, 3, 2},
+		{6, 6, 0.78, 3, 2, 1},
+		{5, 5, 0.82, 2, 2, 2},
+	}
+	for _, tc := range cases {
+		radius := 8.0
+		step := scan.StepForOverlap(radius, tc.overlap)
+		pat, err := scan.Raster(scan.RasterConfig{
+			Cols: tc.scanC, Rows: tc.scanR, StepPix: step, RadiusPix: radius,
+			MarginPix: 10, Jitter: 0.8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := phantom.RandomObject(pat.ImageW, pat.ImageH, tc.slices, 55)
+		prob, err := solver.Simulate(solver.SimulateConfig{
+			Optics: physics.PaperOptics(), Pattern: pat, Object: truth,
+			WindowN: 16, Seed: 6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mesh, err := tiling.NewMesh(prob.ImageBounds(), tc.meshR, tc.meshC,
+			tiling.HaloForWindow(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval := phantom.Vacuum(prob.ImageBounds(), tc.slices)
+		serialGrad, _ := solver.TotalGradient(prob, eval.Slices, prob.ImageBounds())
+		stitched, _, err := gradsync.ParallelGradient(prob, eval.Slices, mesh, false, itTimeout)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		for s := range serialGrad {
+			scale := serialGrad[s].MaxAbs()
+			if d := stitched[s].MaxDiff(serialGrad[s]); d > 1e-9*scale {
+				t.Fatalf("%+v slice %d: decomposed gradient off by %g", tc, s, d)
+			}
+		}
+	}
+}

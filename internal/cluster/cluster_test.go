@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummitSpec(t *testing.T) {
+	m := Summit()
+	if m.GPUsPerNode != 6 || m.MemPerGPUGB != 16 {
+		t.Fatal("Summit node spec drifted from the paper's Sec. VI-A")
+	}
+	if m.NVLinkBW != 50e9 {
+		t.Fatal("NVLink bandwidth should be 50 GB/s one-way")
+	}
+}
+
+func TestTransferSelectsLink(t *testing.T) {
+	m := Summit()
+	// Ranks 0 and 5 share node 0; ranks 5 and 6 are on different nodes.
+	intra := m.Transfer(0, 5, 1e9)
+	inter := m.Transfer(5, 6, 1e9)
+	if intra >= inter {
+		t.Fatalf("intra-node transfer %g not faster than inter-node %g", intra, inter)
+	}
+	wantIntra := m.LatIntra + 1e9/m.NVLinkBW
+	if math.Abs(intra-wantIntra) > 1e-12 {
+		t.Fatalf("intra = %g, want %g", intra, wantIntra)
+	}
+	wantInter := m.LatInter + 1e9/m.IBBW
+	if math.Abs(inter-wantInter) > 1e-12 {
+		t.Fatalf("inter = %g, want %g", inter, wantInter)
+	}
+}
+
+func TestCacheFactorAnchorsAndClamps(t *testing.T) {
+	cal := DefaultCalibration()
+	// At each anchor the factor must be exact.
+	for _, p := range cal.CacheCurve {
+		if got := cal.CacheFactor(p.WorkingSetGB); math.Abs(got-p.Factor) > 1e-12 {
+			t.Errorf("cf(%g) = %g, want anchor %g", p.WorkingSetGB, got, p.Factor)
+		}
+	}
+	if cal.CacheFactor(100) != cal.CacheCurve[0].Factor {
+		t.Error("clamp above")
+	}
+	last := cal.CacheCurve[len(cal.CacheCurve)-1]
+	if cal.CacheFactor(0.001) != last.Factor {
+		t.Error("clamp below")
+	}
+	// Empty curve degrades to 1.
+	if (Calibration{}).CacheFactor(1) != 1 {
+		t.Error("empty curve must give 1")
+	}
+}
+
+func TestCacheFactorMonotoneProperty(t *testing.T) {
+	cal := DefaultCalibration()
+	f := func(a, b float64) bool {
+		wsA := 0.05 + math.Abs(a)
+		wsB := 0.05 + math.Abs(b)
+		if wsA > wsB {
+			wsA, wsB = wsB, wsA
+		}
+		// Smaller working set -> same or larger speedup.
+		return cal.CacheFactor(wsA) >= cal.CacheFactor(wsB)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitFracShape(t *testing.T) {
+	cal := DefaultCalibration()
+	if cal.WaitFrac(0) != 0 || cal.WaitFrac(-5) != 0 {
+		t.Fatal("non-positive locations must not wait")
+	}
+	// Monotone increasing in n.
+	prev := 0.0
+	for _, n := range []int{4, 36, 84, 308, 693, 2772} {
+		g := cal.WaitFrac(n)
+		if g <= prev {
+			t.Fatalf("WaitFrac(%d) = %g not increasing", n, g)
+		}
+		prev = g
+	}
+	// Tiny at the paper's 4158-GPU operating point (4 locations/GPU).
+	if cal.WaitFrac(4) > 0.01 {
+		t.Fatalf("WaitFrac(4) = %g, want < 1%%", cal.WaitFrac(4))
+	}
+}
+
+func TestScaleLookup(t *testing.T) {
+	cal := DefaultCalibration()
+	if cal.Scale("Lead Titanate large") != 1.0 {
+		t.Fatal("large dataset scale must be 1")
+	}
+	if cal.Scale("Lead Titanate small") <= 1.0 {
+		t.Fatal("small dataset should have a >1 locality scale")
+	}
+	if cal.Scale("unknown") != 1.0 {
+		t.Fatal("unknown dataset must default to 1")
+	}
+}
+
+func TestDatasetSpecsMatchTableI(t *testing.T) {
+	s := SmallLeadTitanate()
+	l := LargeLeadTitanate()
+	if s.Locations != 4158 || l.Locations != 16632 {
+		t.Fatal("location counts drifted from Table I")
+	}
+	if s.ImageW != 1536 || l.ImageW != 3072 || s.Slices != 100 || l.Slices != 100 {
+		t.Fatal("reconstruction sizes drifted from Table I")
+	}
+	if s.DetectorN != 1024 || l.DetectorN != 1024 {
+		t.Fatal("detector size drifted")
+	}
+	if s.ScanCols*s.ScanRows != s.Locations {
+		t.Fatal("small scan grid inconsistent with location count")
+	}
+	if l.ScanCols*l.ScanRows != l.Locations {
+		t.Fatal("large scan grid inconsistent with location count")
+	}
+}
+
+func TestStepPixConsistent(t *testing.T) {
+	l := LargeLeadTitanate()
+	step := l.StepPix()
+	if step < 20 || step > 30 {
+		t.Fatalf("large dataset scan step %g px implausible", step)
+	}
+	// Derived overlap ratio vs the ~75 px probe radius (25 nm defocus x
+	// 30 mrad) should exceed the paper's 70% threshold.
+	probeRadius := 25e3 * 0.030 / l.PixelSizePM
+	overlap := 1 - step/(2*probeRadius)
+	if overlap < 0.7 {
+		t.Fatalf("implied overlap %g below the paper's regime", overlap)
+	}
+}
+
+func TestFlopsPerLocationMagnitude(t *testing.T) {
+	l := LargeLeadTitanate()
+	f := l.FlopsPerLocation()
+	// ~4e10 flops per location (100 slices of 1024^2 FFT pairs).
+	if f < 1e10 || f > 1e12 {
+		t.Fatalf("flops per location %g implausible", f)
+	}
+}
+
+func TestMostSquareGrid(t *testing.T) {
+	cases := map[int][2]int{
+		1: {1, 1}, 2: {1, 2}, 4: {2, 2}, 6: {2, 3}, 7: {1, 7},
+		12: {3, 4}, 36: {6, 6}, 4158: {63, 66},
+	}
+	for k, want := range cases {
+		r, c := MostSquareGrid(k)
+		if r != want[0] || c != want[1] {
+			t.Errorf("grid(%d) = %dx%d, want %dx%d", k, r, c, want[0], want[1])
+		}
+		if r*c != k {
+			t.Errorf("grid(%d) does not factor k", k)
+		}
+	}
+}
+
+func TestMostSquareGridProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		n := int(k%200) + 1
+		r, c := MostSquareGrid(n)
+		return r*c == n && r <= c && r >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMostSquareGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic for k <= 0")
+		}
+	}()
+	MostSquareGrid(0)
+}
+
+func TestMeasBytesPerLocation(t *testing.T) {
+	cal := DefaultCalibration()
+	l := LargeLeadTitanate()
+	got := l.MeasBytesPerLocation(cal)
+	want := 1024 * 1024 * 2.0
+	if got != want {
+		t.Fatalf("meas bytes = %g, want %g", got, want)
+	}
+}

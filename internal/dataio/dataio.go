@@ -1,0 +1,193 @@
+// Package dataio defines the binary on-disk dataset format used by the
+// command-line tools: a self-describing container holding the scan
+// pattern, probe wavefunction, propagator, and per-location diffraction
+// amplitudes. The format is little-endian, versioned, and written with
+// nothing but encoding/binary.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte  "PTYCHOv1"
+//	header  9 x int64: windowN, slices, imageW, imageH, numLocations,
+//	                   hasProp (0/1), stepPix*1e6, radiusPix*1e6, reserved
+//	probe   2*windowN^2 float64 (re, im interleaved)
+//	prop    2*windowN^2 float64 (present when hasProp == 1)
+//	locs    numLocations x (int64 index, float64 x, y, radius)
+//	meas    numLocations x windowN^2 float64 amplitudes
+package dataio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+)
+
+var magic = [8]byte{'P', 'T', 'Y', 'C', 'H', 'O', 'v', '1'}
+
+// Write serializes a problem to w.
+func Write(w io.Writer, prob *solver.Problem) error {
+	if err := prob.Validate(); err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hasProp := int64(0)
+	if prob.Prop != nil {
+		hasProp = 1
+	}
+	header := []int64{
+		int64(prob.WindowN), int64(prob.Slices),
+		int64(prob.Pattern.ImageW), int64(prob.Pattern.ImageH),
+		int64(prob.Pattern.N()), hasProp,
+		int64(math.Round(prob.Pattern.StepPix * 1e6)),
+		int64(math.Round(prob.Pattern.RadiusPix * 1e6)),
+		0,
+	}
+	if err := binary.Write(bw, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	if err := writeComplex(bw, prob.Probe); err != nil {
+		return err
+	}
+	if prob.Prop != nil {
+		if err := writeComplex(bw, prob.Prop); err != nil {
+			return err
+		}
+	}
+	for _, l := range prob.Pattern.Locations {
+		if err := binary.Write(bw, binary.LittleEndian, int64(l.Index)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, []float64{l.X, l.Y, l.Radius}); err != nil {
+			return err
+		}
+	}
+	for _, m := range prob.Meas {
+		if err := binary.Write(bw, binary.LittleEndian, m.Data); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeComplex(w io.Writer, a *grid.Complex2D) error {
+	buf := make([]float64, 2*len(a.Data))
+	for i, v := range a.Data {
+		buf[2*i] = real(v)
+		buf[2*i+1] = imag(v)
+	}
+	return binary.Write(w, binary.LittleEndian, buf)
+}
+
+func readComplex(r io.Reader, n int) (*grid.Complex2D, error) {
+	buf := make([]float64, 2*n*n)
+	if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+		return nil, err
+	}
+	a := grid.NewComplex2DSize(n, n)
+	for i := range a.Data {
+		a.Data[i] = complex(buf[2*i], buf[2*i+1])
+	}
+	return a, nil
+}
+
+// Read deserializes a problem from r.
+func Read(r io.Reader) (*solver.Problem, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("dataio: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("dataio: bad magic %q (not a PTYCHOv1 file)", m)
+	}
+	header := make([]int64, 9)
+	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
+		return nil, fmt.Errorf("dataio: reading header: %w", err)
+	}
+	windowN := int(header[0])
+	slices := int(header[1])
+	imageW, imageH := int(header[2]), int(header[3])
+	numLoc := int(header[4])
+	hasProp := header[5] == 1
+	// Resource caps: reject headers that would commit the decoder to
+	// multi-gigabyte allocations before any payload is verified.
+	if windowN <= 0 || windowN > 4096 || numLoc < 0 || numLoc > 1<<20 ||
+		slices <= 0 || slices > 1<<14 {
+		return nil, fmt.Errorf("dataio: implausible header: window %d, %d locations, %d slices",
+			windowN, numLoc, slices)
+	}
+	probe, err := readComplex(br, windowN)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: reading probe: %w", err)
+	}
+	var prop *grid.Complex2D
+	if hasProp {
+		if prop, err = readComplex(br, windowN); err != nil {
+			return nil, fmt.Errorf("dataio: reading propagator: %w", err)
+		}
+	}
+	pat := &scan.Pattern{
+		ImageW: imageW, ImageH: imageH,
+		StepPix:   float64(header[6]) / 1e6,
+		RadiusPix: float64(header[7]) / 1e6,
+	}
+	pat.Locations = make([]scan.Location, numLoc)
+	for i := range pat.Locations {
+		var idx int64
+		if err := binary.Read(br, binary.LittleEndian, &idx); err != nil {
+			return nil, fmt.Errorf("dataio: reading location %d: %w", i, err)
+		}
+		coords := make([]float64, 3)
+		if err := binary.Read(br, binary.LittleEndian, coords); err != nil {
+			return nil, fmt.Errorf("dataio: reading location %d: %w", i, err)
+		}
+		pat.Locations[i] = scan.Location{
+			Index: int(idx), X: coords[0], Y: coords[1], Radius: coords[2],
+		}
+	}
+	meas := make([]*grid.Float2D, numLoc)
+	for i := range meas {
+		a := grid.NewFloat2DSize(windowN, windowN)
+		if err := binary.Read(br, binary.LittleEndian, a.Data); err != nil {
+			return nil, fmt.Errorf("dataio: reading measurement %d: %w", i, err)
+		}
+		meas[i] = a
+	}
+	prob := &solver.Problem{
+		Pattern: pat, Meas: meas, Probe: probe, Prop: prop,
+		WindowN: windowN, Slices: slices,
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, fmt.Errorf("dataio: loaded problem invalid: %w", err)
+	}
+	return prob, nil
+}
+
+// WriteFile serializes a problem to the named file.
+func WriteFile(path string, prob *solver.Problem) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	return Write(f, prob)
+}
+
+// ReadFile deserializes a problem from the named file.
+func ReadFile(path string) (*solver.Problem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

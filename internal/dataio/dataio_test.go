@@ -1,0 +1,158 @@
+package dataio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+)
+
+func sampleProblem(t testing.TB, slices int) *solver.Problem {
+	t.Helper()
+	pat, err := scan.Raster(scan.RasterConfig{
+		Cols: 3, Rows: 3, StepPix: 5, RadiusPix: 6, MarginPix: 10, Jitter: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := phantom.RandomObject(pat.ImageW, pat.ImageH, slices, 9)
+	prob, err := solver.Simulate(solver.SimulateConfig{
+		Optics: physics.PaperOptics(), Pattern: pat, Object: obj, WindowN: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+func TestRoundTripMultiSlice(t *testing.T) {
+	prob := sampleProblem(t, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, prob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WindowN != prob.WindowN || got.Slices != prob.Slices {
+		t.Fatalf("header mismatch: %d/%d", got.WindowN, got.Slices)
+	}
+	if got.Pattern.N() != prob.Pattern.N() {
+		t.Fatal("location count mismatch")
+	}
+	for i, l := range prob.Pattern.Locations {
+		if got.Pattern.Locations[i] != l {
+			t.Fatalf("location %d mismatch: %+v vs %+v", i, got.Pattern.Locations[i], l)
+		}
+	}
+	if got.Probe.MaxDiff(prob.Probe) > 0 {
+		t.Fatal("probe mismatch")
+	}
+	if got.Prop == nil || got.Prop.MaxDiff(prob.Prop) > 0 {
+		t.Fatal("propagator mismatch")
+	}
+	for i := range prob.Meas {
+		if got.Meas[i].MaxDiff(prob.Meas[i]) > 0 {
+			t.Fatalf("measurement %d mismatch", i)
+		}
+	}
+	// The loaded problem must reconstruct identically.
+	init := phantom.Vacuum(prob.ImageBounds(), prob.Slices)
+	a, err := solver.Reconstruct(prob, init.Slices, solver.Options{StepSize: 0.02, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := solver.Reconstruct(got, init.Slices, solver.Options{StepSize: 0.02, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slices[0].MaxDiff(b.Slices[0]) > 0 {
+		t.Fatal("reconstruction from loaded data differs")
+	}
+}
+
+func TestRoundTripSingleSliceNoProp(t *testing.T) {
+	prob := sampleProblem(t, 1)
+	if prob.Prop != nil {
+		t.Fatal("test premise: single slice has no propagator")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, prob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Prop != nil {
+		t.Fatal("propagator should be absent")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	prob := sampleProblem(t, 2)
+	path := filepath.Join(t.TempDir(), "ds.ptycho")
+	if err := WriteFile(path, prob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pattern.N() != prob.Pattern.N() {
+		t.Fatal("mismatch after file round trip")
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	_, err := Read(strings.NewReader("NOTPTYCHOxxxxxxxxxxxxxxxxxxx"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	prob := sampleProblem(t, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, prob); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{4, 10, 100, len(data) / 2, len(data) - 8} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsImplausibleHeader(t *testing.T) {
+	prob := sampleProblem(t, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, prob); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Corrupt windowN (first header int64, little-endian at offset 8).
+	data[8] = 0xFF
+	data[9] = 0xFF
+	data[10] = 0xFF
+	data[11] = 0x7F
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("implausible header accepted")
+	}
+}
+
+func TestWriteRejectsInvalidProblem(t *testing.T) {
+	prob := sampleProblem(t, 1)
+	prob.Meas = prob.Meas[:2] // break invariant
+	var buf bytes.Buffer
+	if err := Write(&buf, prob); err == nil {
+		t.Fatal("invalid problem accepted")
+	}
+}

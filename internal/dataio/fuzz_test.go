@@ -1,0 +1,77 @@
+package dataio
+
+import (
+	"bytes"
+	"testing"
+
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+)
+
+// FuzzRead hammers the dataset decoder with arbitrary bytes: it must
+// never panic and never return a problem that fails validation. Seeds
+// include a valid file, its prefix truncations, and bit flips.
+func FuzzRead(f *testing.F) {
+	pat, err := scan.Raster(scan.RasterConfig{Cols: 2, Rows: 2, StepPix: 5, RadiusPix: 6, MarginPix: 6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	obj := phantom.RandomObject(pat.ImageW, pat.ImageH, 1, 1)
+	prob, err := solver.Simulate(solver.SimulateConfig{
+		Optics: physics.PaperOptics(), Pattern: pat, Object: obj, WindowN: 8, Seed: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, prob); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:16])
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0xFF
+	f.Add(flipped)
+	f.Add([]byte("PTYCHOv1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prob, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if verr := prob.Validate(); verr != nil {
+			t.Fatalf("Read accepted a problem that fails validation: %v", verr)
+		}
+	})
+}
+
+// FuzzReadObject does the same for the checkpoint decoder.
+func FuzzReadObject(f *testing.F) {
+	obj := phantom.RandomObject(8, 8, 2, 2)
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, obj.Slices); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:20])
+	f.Add([]byte("OBJCKv1\x00"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		slices, err := ReadObject(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, s := range slices {
+			if s == nil || len(s.Data) != s.Bounds.Area() {
+				t.Fatal("decoder returned inconsistent slice")
+			}
+		}
+	})
+}

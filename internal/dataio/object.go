@@ -1,0 +1,111 @@
+package dataio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"ptychopath/internal/grid"
+)
+
+// Object checkpoints (OBJCKv1) persist a multi-slice complex object —
+// a reconstruction in progress or a final result — so long runs can be
+// resumed and results archived without recomputation.
+//
+// Layout: magic "OBJCKv1\x00", then 5 int64 (slices, x0, y0, w, h),
+// then slices * w * h * 2 float64 (re, im interleaved, row-major).
+
+var objMagic = [8]byte{'O', 'B', 'J', 'C', 'K', 'v', '1', 0}
+
+// WriteObject serializes object slices (all sharing bounds) to w.
+func WriteObject(w io.Writer, slices []*grid.Complex2D) error {
+	if len(slices) == 0 {
+		return fmt.Errorf("dataio: no slices to write")
+	}
+	bounds := slices[0].Bounds
+	for i, s := range slices {
+		if s.Bounds != bounds {
+			return fmt.Errorf("dataio: slice %d bounds %v != %v", i, s.Bounds, bounds)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(objMagic[:]); err != nil {
+		return err
+	}
+	header := []int64{
+		int64(len(slices)),
+		int64(bounds.X0), int64(bounds.Y0),
+		int64(bounds.W()), int64(bounds.H()),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	buf := make([]float64, 2*bounds.Area())
+	for _, s := range slices {
+		for i, v := range s.Data {
+			buf[2*i] = real(v)
+			buf[2*i+1] = imag(v)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadObject deserializes object slices from r.
+func ReadObject(r io.Reader) ([]*grid.Complex2D, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("dataio: reading object magic: %w", err)
+	}
+	if m != objMagic {
+		return nil, fmt.Errorf("dataio: bad object magic %q", m)
+	}
+	header := make([]int64, 5)
+	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
+		return nil, fmt.Errorf("dataio: reading object header: %w", err)
+	}
+	n := int(header[0])
+	w, h := int(header[3]), int(header[4])
+	if n <= 0 || n > 1<<16 || w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
+		return nil, fmt.Errorf("dataio: implausible object header: %d slices, %dx%d", n, w, h)
+	}
+	bounds := grid.RectWH(int(header[1]), int(header[2]), w, h)
+	out := make([]*grid.Complex2D, n)
+	buf := make([]float64, 2*w*h)
+	for s := 0; s < n; s++ {
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("dataio: reading object slice %d: %w", s, err)
+		}
+		a := grid.NewComplex2D(bounds)
+		for i := range a.Data {
+			a.Data[i] = complex(buf[2*i], buf[2*i+1])
+		}
+		out[s] = a
+	}
+	return out, nil
+}
+
+// WriteObjectFile serializes object slices to the named file.
+func WriteObjectFile(path string, slices []*grid.Complex2D) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	return WriteObject(f, slices)
+}
+
+// ReadObjectFile deserializes object slices from the named file.
+func ReadObjectFile(path string) ([]*grid.Complex2D, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	return ReadObject(f)
+}

@@ -1,0 +1,108 @@
+package dataio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ptychopath/internal/grid"
+)
+
+func randObject(rng *rand.Rand, bounds grid.Rect, n int) []*grid.Complex2D {
+	out := make([]*grid.Complex2D, n)
+	for s := range out {
+		a := grid.NewComplex2D(bounds)
+		for i := range a.Data {
+			a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		out[s] = a
+	}
+	return out
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Non-origin bounds exercise the offset fields (tile checkpoints).
+	bounds := grid.NewRect(10, -5, 42, 19)
+	obj := randObject(rng, bounds, 3)
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, obj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadObject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("slice count %d", len(got))
+	}
+	for s := range obj {
+		if got[s].Bounds != bounds {
+			t.Fatalf("slice %d bounds %v, want %v", s, got[s].Bounds, bounds)
+		}
+		if got[s].MaxDiff(obj[s]) > 0 {
+			t.Fatalf("slice %d content mismatch", s)
+		}
+	}
+}
+
+func TestObjectFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	obj := randObject(rng, grid.RectWH(0, 0, 16, 12), 2)
+	path := filepath.Join(t.TempDir(), "ck.obj")
+	if err := WriteObjectFile(path, obj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadObjectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1].MaxDiff(obj[1]) > 0 {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestWriteObjectRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, nil); err == nil {
+		t.Fatal("empty object accepted")
+	}
+}
+
+func TestWriteObjectRejectsMismatchedBounds(t *testing.T) {
+	obj := []*grid.Complex2D{
+		grid.NewComplex2DSize(4, 4),
+		grid.NewComplex2DSize(5, 4),
+	}
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, obj); err == nil {
+		t.Fatal("mismatched bounds accepted")
+	}
+}
+
+func TestReadObjectRejectsGarbage(t *testing.T) {
+	if _, err := ReadObject(strings.NewReader("not an object checkpoint at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Dataset magic is not object magic.
+	if _, err := ReadObject(strings.NewReader("PTYCHOv1xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")); err == nil {
+		t.Fatal("dataset file accepted as object")
+	}
+}
+
+func TestReadObjectRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	obj := randObject(rng, grid.RectWH(0, 0, 8, 8), 2)
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, obj); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{4, 20, len(data) / 2, len(data) - 1} {
+		if _, err := ReadObject(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func noCost(int, int, int64) float64 { return 0 }
+
+func TestComputeAccounting(t *testing.T) {
+	stats, makespan, err := Simulate(3, noCost, func(e *Env) error {
+		e.Compute(float64(e.Rank()+1) * 2.0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range stats {
+		want := float64(r+1) * 2
+		if s.Compute != want || s.Wait != 0 || s.Comm != 0 {
+			t.Fatalf("rank %d stats %+v, want compute %g", r, s, want)
+		}
+	}
+	if makespan != 6 {
+		t.Fatalf("makespan %g, want 6", makespan)
+	}
+}
+
+func TestSendRecvTimingAndWaitAccounting(t *testing.T) {
+	// Rank 0 computes 5s then sends; rank 1 recvs immediately.
+	// Transfer takes 2s. Rank 1 must wait 5s (producer) + 2s (comm).
+	transfer := func(src, dst int, bytes int64) float64 { return 2 }
+	stats, makespan, err := Simulate(2, transfer, func(e *Env) error {
+		if e.Rank() == 0 {
+			e.Compute(5)
+			e.Send(1, 0, 100)
+		} else {
+			e.Recv(0, 0)
+			if e.Now() != 7 {
+				t.Errorf("receiver clock %g, want 7", e.Now())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[1].Wait != 5 || stats[1].Comm != 2 {
+		t.Fatalf("receiver stats %+v, want wait 5 comm 2", stats[1])
+	}
+	if makespan != 7 {
+		t.Fatalf("makespan %g", makespan)
+	}
+}
+
+func TestLateReceiverPaysNothing(t *testing.T) {
+	// The receiver shows up long after arrival: no wait, no comm.
+	transfer := func(int, int, int64) float64 { return 1 }
+	stats, _, err := Simulate(2, transfer, func(e *Env) error {
+		if e.Rank() == 0 {
+			e.Send(1, 0, 8)
+		} else {
+			e.Compute(10)
+			e.Recv(0, 0)
+			if e.Now() != 10 {
+				t.Errorf("late receiver clock %g, want 10", e.Now())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[1].Wait != 0 || stats[1].Comm != 0 {
+		t.Fatalf("late receiver stats %+v", stats[1])
+	}
+}
+
+func TestPartialOverlapChargesOnlyRemainder(t *testing.T) {
+	// Transfer 4s issued at t=0; receiver arrives at t=3: comm = 1s.
+	transfer := func(int, int, int64) float64 { return 4 }
+	stats, _, err := Simulate(2, transfer, func(e *Env) error {
+		if e.Rank() == 0 {
+			e.Send(1, 0, 8)
+		} else {
+			e.Compute(3)
+			e.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[1].Comm != 1 || stats[1].Wait != 0 {
+		t.Fatalf("stats %+v, want comm 1", stats[1])
+	}
+}
+
+func TestChainPipelining(t *testing.T) {
+	// 4-rank chain: each computes 1s, then forwards. Rank 3 finishes at
+	// 1 (own compute) + 3 hops... with per-hop transfer 0.5 and
+	// sends issued after local compute, the chain is:
+	// r0 sends at 1; r1 recv at max(1, 1)+0.5 -> 1.5... compute done at
+	// 1 so receives at 1.5, sends at 1.5; r2 at 2.0 sends; r3 at 2.5.
+	transfer := func(int, int, int64) float64 { return 0.5 }
+	_, makespan, err := Simulate(4, transfer, func(e *Env) error {
+		e.Compute(1)
+		if e.Rank() > 0 {
+			e.Recv(e.Rank()-1, 7)
+		}
+		if e.Rank() < e.Size()-1 {
+			e.Send(e.Rank()+1, 7, 10)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(makespan-2.5) > 1e-12 {
+		t.Fatalf("chain makespan %g, want 2.5", makespan)
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	stats, makespan, err := Simulate(3, noCost, func(e *Env) error {
+		e.Compute(float64(e.Rank()) * 3) // 0, 3, 6
+		e.Barrier()
+		if e.Now() != 6 {
+			t.Errorf("rank %d clock after barrier %g, want 6", e.Rank(), e.Now())
+		}
+		e.Compute(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan != 7 {
+		t.Fatalf("makespan %g, want 7", makespan)
+	}
+	if stats[0].Wait != 6 || stats[2].Wait != 0 {
+		t.Fatalf("barrier wait accounting: %+v / %+v", stats[0], stats[2])
+	}
+}
+
+func TestRepeatedBarriers(t *testing.T) {
+	_, makespan, err := Simulate(4, noCost, func(e *Env) error {
+		for i := 0; i < 5; i++ {
+			e.Compute(1)
+			e.Barrier()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan != 5 {
+		t.Fatalf("makespan %g, want 5", makespan)
+	}
+}
+
+func TestChargeComm(t *testing.T) {
+	stats, _, err := Simulate(1, noCost, func(e *Env) error {
+		e.Compute(2)
+		e.ChargeComm(3)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Compute != 2 || stats[0].Comm != 3 {
+		t.Fatalf("stats %+v", stats[0])
+	}
+	if stats[0].Total() != 5 {
+		t.Fatalf("total %g", stats[0].Total())
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	_, _, err := Simulate(2, noCost, func(e *Env) error {
+		e.Recv(1-e.Rank(), 0) // both wait, nobody sends
+		return nil
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+}
+
+func TestPartialBarrierDeadlock(t *testing.T) {
+	_, _, err := Simulate(2, noCost, func(e *Env) error {
+		if e.Rank() == 0 {
+			e.Barrier()
+		} else {
+			e.Recv(0, 9)
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+}
+
+func TestProgramErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, err := Simulate(2, noCost, func(e *Env) error {
+		if e.Rank() == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	_, _, err := Simulate(2, noCost, func(e *Env) error {
+		if e.Rank() == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic must surface as error")
+	}
+}
+
+func TestTagSelectivity(t *testing.T) {
+	// Receiver takes tag 2 before tag 1 even though both are queued.
+	order := make([]int, 0, 2)
+	_, _, err := Simulate(2, noCost, func(e *Env) error {
+		if e.Rank() == 0 {
+			e.Send(1, 1, 10)
+			e.Send(1, 2, 10)
+		} else {
+			e.Recv(0, 2)
+			order = append(order, 2)
+			e.Recv(0, 1)
+			order = append(order, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 2 {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestBytesDependentTransfer(t *testing.T) {
+	transfer := func(src, dst int, bytes int64) float64 {
+		return 0.001 + float64(bytes)/1e9 // 1ms latency + 1GB/s
+	}
+	stats, _, err := Simulate(2, transfer, func(e *Env) error {
+		if e.Rank() == 0 {
+			e.Send(1, 0, 1e9)
+		} else {
+			e.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stats[1].Comm-1.001) > 1e-9 {
+		t.Fatalf("comm %g, want 1.001", stats[1].Comm)
+	}
+}
+
+func TestManyRanksMeshExchange(t *testing.T) {
+	// 16 ranks in a ring exchange both directions for several rounds —
+	// a stress test for scheduler determinism and deadlock-freedom.
+	const n = 16
+	transfer := func(int, int, int64) float64 { return 0.01 }
+	stats, makespan, err := Simulate(n, transfer, func(e *Env) error {
+		next := (e.Rank() + 1) % n
+		prev := (e.Rank() + n - 1) % n
+		for round := 0; round < 10; round++ {
+			e.Compute(0.1)
+			e.Send(next, round*2, 1000)
+			e.Send(prev, round*2+1, 1000)
+			e.Recv(prev, round*2)
+			e.Recv(next, round*2+1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if makespan < 1.0 {
+		t.Fatalf("makespan %g too small", makespan)
+	}
+	for r, s := range stats {
+		if math.Abs(s.Compute-1.0) > 1e-12 {
+			t.Fatalf("rank %d compute %g, want 1.0", r, s.Compute)
+		}
+	}
+}
+
+func TestInvalidWorldSize(t *testing.T) {
+	if _, _, err := Simulate(0, noCost, func(e *Env) error { return nil }); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ([]Stats, float64) {
+		transfer := func(src, dst int, bytes int64) float64 { return 0.001 * float64(1+src%3) }
+		stats, mk, err := Simulate(9, transfer, func(e *Env) error {
+			r, c := e.Rank()/3, e.Rank()%3
+			e.Compute(0.5 + 0.1*float64(e.Rank()))
+			if r > 0 {
+				e.Recv((r-1)*3+c, 1)
+			}
+			if r < 2 {
+				e.Send((r+1)*3+c, 1, 5000)
+			}
+			e.Barrier()
+			if c > 0 {
+				e.Recv(r*3+c-1, 2)
+			}
+			if c < 2 {
+				e.Send(r*3+c+1, 2, 5000)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, mk
+	}
+	s1, m1 := run()
+	s2, m2 := run()
+	if m1 != m2 {
+		t.Fatalf("makespan nondeterministic: %g vs %g", m1, m2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("rank %d stats differ across runs", i)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package fft implements complex discrete Fourier transforms in pure Go.
+//
+// The package provides cached 1-D plans (iterative radix-2 for power-of-2
+// lengths, Bluestein's chirp-z algorithm for everything else), 2-D
+// transforms built on row/column passes with optional goroutine
+// parallelism, and the fftshift helpers used by diffraction physics.
+//
+// Conventions: Forward computes X[k] = sum_n x[n] exp(-2*pi*i*n*k/N) with
+// no normalization; Inverse applies the +i kernel and divides by N, so
+// Inverse(Forward(x)) == x. These match the conventions assumed by the
+// multislice forward model and its adjoint.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Direction selects the transform kernel sign.
+type Direction int
+
+const (
+	// Forward uses the exp(-i...) kernel, no scaling.
+	Forward Direction = iota
+	// Inverse uses the exp(+i...) kernel and scales by 1/N.
+	Inverse
+)
+
+// Plan holds precomputed twiddle factors for transforms of a fixed
+// length. Plans are safe for concurrent use once created: all state is
+// read-only during execution except per-call scratch passed by the
+// caller or allocated locally.
+type Plan struct {
+	n       int
+	pow2    bool
+	twiddle []complex128 // radix-2 twiddles for pow2, length n/2
+	rev     []int        // bit-reversal permutation for pow2
+
+	// Bluestein state (non-power-of-2 lengths).
+	m      int          // padded power-of-2 length >= 2n-1
+	chirp  []complex128 // exp(-i*pi*k^2/n), length n
+	bconj  []complex128 // FFT of the conjugate chirp, length m
+	sub    *Plan        // power-of-2 plan of length m
+	invN   float64      // 1/n
+	scratch sync.Pool
+}
+
+var (
+	planCacheMu sync.Mutex
+	planCache   = map[int]*Plan{}
+)
+
+// NewPlan returns a (possibly cached) plan for length n transforms.
+// It panics if n <= 0.
+func NewPlan(n int) *Plan {
+	if n <= 0 {
+		panic(fmt.Sprintf("fft: invalid length %d", n))
+	}
+	planCacheMu.Lock()
+	if p, ok := planCache[n]; ok {
+		planCacheMu.Unlock()
+		return p
+	}
+	planCacheMu.Unlock()
+	// Build outside the lock: Bluestein plans recursively need a
+	// power-of-2 sub-plan, and plan construction is idempotent, so a
+	// rare duplicate build is harmless.
+	p := buildPlan(n)
+	planCacheMu.Lock()
+	defer planCacheMu.Unlock()
+	if existing, ok := planCache[n]; ok {
+		return existing
+	}
+	planCache[n] = p
+	return p
+}
+
+func buildPlan(n int) *Plan {
+	p := &Plan{n: n, invN: 1 / float64(n)}
+	if n&(n-1) == 0 {
+		p.pow2 = true
+		p.twiddle = make([]complex128, n/2)
+		for k := range p.twiddle {
+			s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+			p.twiddle[k] = complex(c, s)
+		}
+		p.rev = bitRevTable(n)
+		return p
+	}
+	// Bluestein: convolve with a chirp via a padded power-of-2 FFT.
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p.m = m
+	p.chirp = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// Use k*k mod 2n to keep the angle argument small for large n.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		s, c := math.Sincos(-math.Pi * float64(kk) / float64(n))
+		p.chirp[k] = complex(c, s)
+	}
+	p.sub = NewPlan(m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		conj := complex(real(p.chirp[k]), -imag(p.chirp[k]))
+		b[k] = conj
+		if k > 0 {
+			b[m-k] = conj
+		}
+	}
+	p.sub.forwardPow2(b)
+	p.bconj = b
+	p.scratch.New = func() any {
+		s := make([]complex128, m)
+		return &s
+	}
+	return p
+}
+
+func bitRevTable(n int) []int {
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	rev := make([]int, n)
+	for i := range rev {
+		rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	return rev
+}
+
+// Len returns the transform length of the plan.
+func (p *Plan) Len() int { return p.n }
+
+// Transform applies the transform in place to x, which must have length
+// Len(). dir selects forward or inverse.
+func (p *Plan) Transform(x []complex128, dir Direction) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: length mismatch: plan %d, data %d", p.n, len(x)))
+	}
+	if p.pow2 {
+		if dir == Forward {
+			p.forwardPow2(x)
+			return
+		}
+		conjAll(x)
+		p.forwardPow2(x)
+		scale := complex(p.invN, 0)
+		for i := range x {
+			x[i] = complex(real(x[i]), -imag(x[i])) * scale
+		}
+		return
+	}
+	p.bluestein(x, dir)
+}
+
+// forwardPow2 runs the iterative radix-2 Cooley-Tukey kernel.
+func (p *Plan) forwardPow2(x []complex128) {
+	n := p.n
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			tw := 0
+			for k := start; k < start+half; k++ {
+				w := p.twiddle[tw]
+				tw += step
+				a := x[k]
+				b := x[k+half] * w
+				x[k] = a + b
+				x[k+half] = a - b
+			}
+		}
+	}
+}
+
+// bluestein evaluates an arbitrary-length DFT as a convolution.
+func (p *Plan) bluestein(x []complex128, dir Direction) {
+	n, m := p.n, p.m
+	bufp := p.scratch.Get().(*[]complex128)
+	a := *bufp
+	for i := range a {
+		a[i] = 0
+	}
+	if dir == Forward {
+		for k := 0; k < n; k++ {
+			a[k] = x[k] * p.chirp[k]
+		}
+	} else {
+		for k := 0; k < n; k++ {
+			// Inverse kernel: conjugate chirps.
+			ch := complex(real(p.chirp[k]), -imag(p.chirp[k]))
+			a[k] = x[k] * ch
+		}
+	}
+	p.sub.forwardPow2(a)
+	if dir == Forward {
+		for i := 0; i < m; i++ {
+			a[i] *= p.bconj[i]
+		}
+	} else {
+		// FFT of the (non-conjugated) chirp is conj(bconj) because the
+		// chirp sequence is conjugate-symmetric; reuse it.
+		for i := 0; i < m; i++ {
+			a[i] *= complex(real(p.bconj[i]), -imag(p.bconj[i]))
+		}
+	}
+	// Inverse FFT of length m via conjugation trick.
+	conjAll(a)
+	p.sub.forwardPow2(a)
+	invM := complex(1/float64(m), 0)
+	if dir == Forward {
+		for k := 0; k < n; k++ {
+			v := complex(real(a[k]), -imag(a[k])) * invM
+			x[k] = v * p.chirp[k]
+		}
+	} else {
+		scale := complex(p.invN, 0)
+		for k := 0; k < n; k++ {
+			v := complex(real(a[k]), -imag(a[k])) * invM
+			ch := complex(real(p.chirp[k]), -imag(p.chirp[k]))
+			x[k] = v * ch * scale
+		}
+	}
+	p.scratch.Put(bufp)
+}
+
+func conjAll(x []complex128) {
+	for i := range x {
+		x[i] = complex(real(x[i]), -imag(x[i]))
+	}
+}

@@ -1,0 +1,578 @@
+// Package gradsync implements the paper's primary contribution: parallel
+// ptychographic reconstruction by Image Gradient Decomposition.
+//
+// The reconstruction is tessellated into a mesh of halo-extended tiles,
+// one per rank ("GPU"). Each rank computes image gradients only for its
+// OWN probe locations (no redundant locations, unlike Halo Voxel
+// Exchange) and accumulates them into a per-rank gradient buffer. The
+// buffers are then synchronized with four directional passes (Sec. IV):
+//
+//	vertical forward   — each tile row ADDS its buffer overlap into the
+//	                     row below, top to bottom;
+//	vertical backward  — each row REPLACES the row above's overlap with
+//	                     its accumulated values, bottom to top;
+//	horizontal forward/backward — the same along tile rows.
+//
+// The chained add-then-replace sweeps propagate contributions between
+// arbitrarily distant tiles (the paper's high-overlap case, Fig 2(f))
+// because consecutive extended tiles always nest their overlaps. After
+// the four passes every rank's buffer equals the GLOBAL image gradient
+// of Eqn. (2) restricted to its extended tile — a property the tests
+// verify against the serial reference to machine precision.
+//
+// Communication uses non-blocking isend/irecv with no global barriers;
+// a rank starts its horizontal pass as soon as its own vertical traffic
+// is done, which is exactly the paper's Asynchronous Pipelining for
+// Parallel Passes (APPP, Fig 5). Setting Options.DisableAPPP inserts
+// world barriers between passes to emulate the "w/o APPP" ablation of
+// Fig 7(b).
+package gradsync
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/multislice"
+	"ptychopath/internal/simmpi"
+	"ptychopath/internal/solver"
+	"ptychopath/internal/tiling"
+)
+
+// Mode selects the update rule.
+type Mode int
+
+const (
+	// ModeBatch applies only the synchronized accumulated gradients
+	// (Alg 1 without line 8). With one communication round per
+	// iteration this is mathematically identical to serial batch
+	// gradient descent — the equivalence tests rely on it.
+	ModeBatch Mode = iota
+	// ModeFaithful follows Alg 1 literally: an immediate local update
+	// after every probe location plus the accumulated-buffer update at
+	// every communication round.
+	ModeFaithful
+)
+
+// Options configures a parallel reconstruction.
+type Options struct {
+	Mesh *tiling.Mesh
+	Mode Mode
+	// StepSize is the gradient-descent step alpha.
+	StepSize float64
+	// Iterations is the number of full cycles through all locations.
+	Iterations int
+	// RoundsPerIteration is how many communication rounds (sets of
+	// four directional passes) run per iteration — the paper's
+	// communication-frequency parameter T expressed as a count.
+	// 1 (default when 0) = once per iteration; Fig 9 compares 1, 2 and
+	// "every location".
+	RoundsPerIteration int
+	// DisableAPPP inserts global barriers between the directional
+	// passes, emulating the non-pipelined baseline of Fig 7(b).
+	DisableAPPP bool
+	// Timeout bounds every blocking communication (0 = default).
+	Timeout time.Duration
+	// IntraWorkers is the number of goroutines each rank uses to
+	// compute its locations' gradients concurrently — the functional
+	// stand-in for a GPU's internal parallelism. Only ModeBatch
+	// supports it (per-location sequential updates are order-dependent
+	// by definition); values <= 1 mean single-threaded. Results match
+	// the single-threaded run up to floating-point summation order.
+	IntraWorkers int
+	// StopBelowCost, when positive, stops the reconstruction early once
+	// the global cost falls below it. The decision uses the all-reduced
+	// cost, so every rank stops at the same iteration (no deadlock).
+	StopBelowCost float64
+	// OnIteration, when non-nil, is invoked on rank 0 with the global
+	// cost after each iteration.
+	OnIteration func(iter int, cost float64)
+}
+
+func (o *Options) validate(prob *solver.Problem) error {
+	if o.Mesh == nil {
+		return fmt.Errorf("gradsync: nil mesh")
+	}
+	if o.StepSize <= 0 {
+		return fmt.Errorf("gradsync: step size must be positive, got %g", o.StepSize)
+	}
+	if o.Iterations <= 0 {
+		return fmt.Errorf("gradsync: iterations must be positive, got %d", o.Iterations)
+	}
+	if o.RoundsPerIteration < 0 {
+		return fmt.Errorf("gradsync: rounds per iteration must be >= 0, got %d", o.RoundsPerIteration)
+	}
+	if o.IntraWorkers > 1 && o.Mode == ModeFaithful {
+		return fmt.Errorf("gradsync: IntraWorkers requires ModeBatch (faithful Alg 1 updates are order-dependent)")
+	}
+	if err := prob.Validate(); err != nil {
+		return err
+	}
+	if !o.Mesh.Image.Eq(prob.ImageBounds()) {
+		return fmt.Errorf("gradsync: mesh image %v != problem image %v",
+			o.Mesh.Image, prob.ImageBounds())
+	}
+	return nil
+}
+
+// Result carries the stitched reconstruction and run statistics.
+type Result struct {
+	// Slices is the stitched reconstruction (halos abandoned, interiors
+	// concatenated — Alg 1 line 20).
+	Slices []*grid.Complex2D
+	// CostHistory holds the global cost F(V) per iteration.
+	CostHistory []float64
+	// BytesSent and MessagesSent aggregate all gradient exchanges.
+	BytesSent    int64
+	MessagesSent int64
+	// PerRankLocations[rank] is the number of probe locations owned.
+	PerRankLocations []int
+	// PerRankMemBytes estimates each rank's resident footprint:
+	// extended-tile object + gradient buffer + scratch + owned
+	// measurements + model workspaces.
+	PerRankMemBytes []int64
+	// PerRankComputeNS / PerRankCommNS are measured wall-clock
+	// nanoseconds each rank spent in gradient computation and in the
+	// directional passes (the functional counterpart of Fig 7b's
+	// compute and wait+comm bars).
+	PerRankComputeNS []int64
+	PerRankCommNS    []int64
+}
+
+// message tags for the four directional passes.
+const (
+	tagVF = 1
+	tagVB = 2
+	tagHF = 3
+	tagHB = 4
+)
+
+// worker is the per-rank state.
+type worker struct {
+	comm    *simmpi.Comm
+	mesh    *tiling.Mesh
+	prob    *solver.Problem
+	opt     *Options
+	r, c    int
+	ext     grid.Rect
+	slices  []*grid.Complex2D // reconstruction on the extended tile
+	acc     []*grid.Complex2D // accumulated gradient buffer (AccBuf_k)
+	scratch []*grid.Complex2D // per-location gradient workspace
+	eng     *multislice.Engine
+	owned   []int
+
+	computeNS int64 // wall-clock spent in gradient computation
+	commNS    int64 // wall-clock spent in the directional passes
+}
+
+func newWorker(comm *simmpi.Comm, prob *solver.Problem, opt *Options,
+	owned [][]int, init []*grid.Complex2D) *worker {
+	m := opt.Mesh
+	r, c := m.RowCol(comm.Rank())
+	ext := m.Extended(r, c)
+	w := &worker{
+		comm: comm, mesh: m, prob: prob, opt: opt,
+		r: r, c: c, ext: ext,
+		eng:   prob.NewEngine(),
+		owned: owned[comm.Rank()],
+	}
+	w.slices = make([]*grid.Complex2D, prob.Slices)
+	w.acc = make([]*grid.Complex2D, prob.Slices)
+	w.scratch = make([]*grid.Complex2D, prob.Slices)
+	for s := 0; s < prob.Slices; s++ {
+		w.slices[s] = grid.NewComplex2D(ext)
+		w.slices[s].CopyRegion(init[s], ext)
+		w.acc[s] = grid.NewComplex2D(ext)
+		w.scratch[s] = grid.NewComplex2D(ext)
+	}
+	return w
+}
+
+// memBytes estimates the rank's resident memory (complex128 = 16 B,
+// float64 = 8 B).
+func (w *worker) memBytes() int64 {
+	ext := int64(w.ext.Area()) * 16
+	tileSide := ext * int64(w.prob.Slices) * 3 // slices + acc + scratch
+	n2 := int64(w.prob.WindowN * w.prob.WindowN)
+	meas := int64(len(w.owned)) * n2 * 8
+	model := n2 * 16 * int64(w.prob.Slices+4) // psi stack + engine workspaces
+	return tileSide + meas + model
+}
+
+// pack flattens region r of each slice buffer into one payload.
+func pack(arrs []*grid.Complex2D, region grid.Rect) []complex128 {
+	out := make([]complex128, 0, region.Area()*len(arrs))
+	for _, a := range arrs {
+		for y := region.Y0; y < region.Y1; y++ {
+			row := a.Row(y)
+			x0 := region.X0 - a.Bounds.X0
+			out = append(out, row[x0:x0+region.W()]...)
+		}
+	}
+	return out
+}
+
+// unpackAdd adds the payload into region r of each buffer.
+func unpackAdd(arrs []*grid.Complex2D, region grid.Rect, data []complex128) error {
+	if len(data) != region.Area()*len(arrs) {
+		return fmt.Errorf("gradsync: payload %d for region %v x %d slices",
+			len(data), region, len(arrs))
+	}
+	k := 0
+	for _, a := range arrs {
+		for y := region.Y0; y < region.Y1; y++ {
+			row := a.Row(y)
+			x0 := region.X0 - a.Bounds.X0
+			for x := 0; x < region.W(); x++ {
+				row[x0+x] += data[k]
+				k++
+			}
+		}
+	}
+	return nil
+}
+
+// unpackReplace overwrites region r of each buffer with the payload.
+func unpackReplace(arrs []*grid.Complex2D, region grid.Rect, data []complex128) error {
+	if len(data) != region.Area()*len(arrs) {
+		return fmt.Errorf("gradsync: payload %d for region %v x %d slices",
+			len(data), region, len(arrs))
+	}
+	k := 0
+	for _, a := range arrs {
+		for y := region.Y0; y < region.Y1; y++ {
+			row := a.Row(y)
+			x0 := region.X0 - a.Bounds.X0
+			copy(row[x0:x0+region.W()], data[k:k+region.W()])
+			k += region.W()
+		}
+	}
+	return nil
+}
+
+// runPasses executes the four directional passes on the accumulation
+// buffers (Sec. IV + Fig 5). After it returns, w.acc holds the global
+// gradient restricted to the extended tile.
+func (w *worker) runPasses() error {
+	m := w.mesh
+	barrier := func() error {
+		if w.opt.DisableAPPP {
+			return w.comm.Barrier()
+		}
+		return nil
+	}
+
+	// Vertical forward: add downward along the tile column.
+	if w.r > 0 {
+		region := m.VerticalOverlap(w.r-1, w.c)
+		if !region.Empty() {
+			data, err := w.comm.Recv(m.Rank(w.r-1, w.c), tagVF)
+			if err != nil {
+				return err
+			}
+			if err := unpackAdd(w.acc, region, data); err != nil {
+				return err
+			}
+		}
+	}
+	if w.r < m.Rows-1 {
+		region := m.VerticalOverlap(w.r, w.c)
+		if !region.Empty() {
+			w.comm.Isend(m.Rank(w.r+1, w.c), tagVF, pack(w.acc, region))
+		}
+	}
+	if err := barrier(); err != nil {
+		return err
+	}
+
+	// Vertical backward: replace upward.
+	if w.r < m.Rows-1 {
+		region := m.VerticalOverlap(w.r, w.c)
+		if !region.Empty() {
+			data, err := w.comm.Recv(m.Rank(w.r+1, w.c), tagVB)
+			if err != nil {
+				return err
+			}
+			if err := unpackReplace(w.acc, region, data); err != nil {
+				return err
+			}
+		}
+	}
+	if w.r > 0 {
+		region := m.VerticalOverlap(w.r-1, w.c)
+		if !region.Empty() {
+			w.comm.Isend(m.Rank(w.r-1, w.c), tagVB, pack(w.acc, region))
+		}
+	}
+	if err := barrier(); err != nil {
+		return err
+	}
+
+	// Horizontal forward: add rightward along the tile row. With APPP a
+	// rank enters this pass as soon as its own vertical traffic is done
+	// (cross-direction pipelining, Fig 5).
+	if w.c > 0 {
+		region := m.HorizontalOverlap(w.r, w.c-1)
+		if !region.Empty() {
+			data, err := w.comm.Recv(m.Rank(w.r, w.c-1), tagHF)
+			if err != nil {
+				return err
+			}
+			if err := unpackAdd(w.acc, region, data); err != nil {
+				return err
+			}
+		}
+	}
+	if w.c < m.Cols-1 {
+		region := m.HorizontalOverlap(w.r, w.c)
+		if !region.Empty() {
+			w.comm.Isend(m.Rank(w.r, w.c+1), tagHF, pack(w.acc, region))
+		}
+	}
+	if err := barrier(); err != nil {
+		return err
+	}
+
+	// Horizontal backward: replace leftward.
+	if w.c < m.Cols-1 {
+		region := m.HorizontalOverlap(w.r, w.c)
+		if !region.Empty() {
+			data, err := w.comm.Recv(m.Rank(w.r, w.c+1), tagHB)
+			if err != nil {
+				return err
+			}
+			if err := unpackReplace(w.acc, region, data); err != nil {
+				return err
+			}
+		}
+	}
+	if w.c > 0 {
+		region := m.HorizontalOverlap(w.r, w.c-1)
+		if !region.Empty() {
+			w.comm.Isend(m.Rank(w.r, w.c-1), tagHB, pack(w.acc, region))
+		}
+	}
+	return barrier()
+}
+
+// applyAcc performs V_k <- V_k - alpha * AccBuf_k and clears the buffer
+// (Alg 1 lines 14-16).
+func (w *worker) applyAcc() {
+	step := complex(w.opt.StepSize, 0)
+	for s := range w.slices {
+		w.slices[s].AddScaled(w.acc[s], -step)
+		w.acc[s].Zero()
+	}
+}
+
+// iteration runs one full cycle through the rank's locations with the
+// configured number of communication rounds, returning the local cost.
+func (w *worker) iteration() (float64, error) {
+	rounds := w.opt.RoundsPerIteration
+	if rounds <= 0 {
+		rounds = 1
+	}
+	var cost float64
+	n := len(w.owned)
+	step := complex(w.opt.StepSize, 0)
+	done := 0
+	for round := 0; round < rounds; round++ {
+		computeStart := time.Now()
+		// This round covers owned locations [done, upto).
+		upto := (round + 1) * n / rounds
+		if w.opt.IntraWorkers > 1 {
+			cost += w.gradientChunkParallel(done, upto)
+			done = upto
+		} else {
+			for ; done < upto; done++ {
+				li := w.owned[done]
+				loc := w.prob.Pattern.Locations[li]
+				for _, g := range w.scratch {
+					g.Zero()
+				}
+				f := w.eng.LossGrad(w.slices, loc.Window(w.prob.WindowN),
+					w.prob.Meas[li], w.scratch)
+				cost += f
+				for s := range w.acc {
+					w.acc[s].AddScaled(w.scratch[s], 1) // AccBuf += grad (line 7)
+				}
+				if w.opt.Mode == ModeFaithful {
+					for s := range w.slices {
+						w.slices[s].AddScaled(w.scratch[s], -step) // line 8
+					}
+				}
+			}
+		}
+		w.computeNS += time.Since(computeStart).Nanoseconds()
+		commStart := time.Now()
+		if err := w.runPasses(); err != nil {
+			return 0, err
+		}
+		w.commNS += time.Since(commStart).Nanoseconds()
+		w.applyAcc()
+	}
+	return cost, nil
+}
+
+// gradientChunkParallel spreads the owned locations [lo, hi) across
+// IntraWorkers goroutines, each with its own engine and accumulation
+// buffers, then merges into w.acc in deterministic sub-worker order.
+func (w *worker) gradientChunkParallel(lo, hi int) float64 {
+	nw := w.opt.IntraWorkers
+	if span := hi - lo; span < nw {
+		nw = span
+	}
+	if nw <= 1 {
+		// Fall back to one local engine pass without mutating state
+		// through the serial path (caller already handles nw <= 1 via
+		// IntraWorkers <= 1, but tiny chunks land here).
+		var cost float64
+		for i := lo; i < hi; i++ {
+			li := w.owned[i]
+			loc := w.prob.Pattern.Locations[li]
+			cost += w.eng.LossGrad(w.slices, loc.Window(w.prob.WindowN),
+				w.prob.Meas[li], w.acc)
+		}
+		return cost
+	}
+	accs := make([][]*grid.Complex2D, nw)
+	costs := make([]float64, nw)
+	var wg sync.WaitGroup
+	for j := 0; j < nw; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			eng := w.prob.NewEngine()
+			local := make([]*grid.Complex2D, w.prob.Slices)
+			for s := range local {
+				local[s] = grid.NewComplex2D(w.ext)
+			}
+			from := lo + (hi-lo)*j/nw
+			to := lo + (hi-lo)*(j+1)/nw
+			for i := from; i < to; i++ {
+				li := w.owned[i]
+				loc := w.prob.Pattern.Locations[li]
+				costs[j] += eng.LossGrad(w.slices, loc.Window(w.prob.WindowN),
+					w.prob.Meas[li], local)
+			}
+			accs[j] = local
+		}(j)
+	}
+	wg.Wait()
+	var cost float64
+	for j := 0; j < nw; j++ {
+		cost += costs[j]
+		for s := range w.acc {
+			w.acc[s].AddScaled(accs[j][s], 1)
+		}
+	}
+	return cost
+}
+
+// Reconstruct runs the parallel Gradient Decomposition reconstruction.
+// init provides the initial object slices on the full image bounds
+// (typically vacuum); it is not mutated.
+func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Result, error) {
+	if err := opt.validate(prob); err != nil {
+		return nil, err
+	}
+	if len(init) != prob.Slices {
+		return nil, fmt.Errorf("gradsync: %d initial slices, want %d", len(init), prob.Slices)
+	}
+	m := opt.Mesh
+	owned := m.AssignLocations(prob.Pattern)
+
+	ranks := m.NumTiles()
+	tileOut := make([][]*grid.Complex2D, ranks)
+	memOut := make([]int64, ranks)
+	computeOut := make([]int64, ranks)
+	commOut := make([]int64, ranks)
+	costPerIter := make([][]float64, ranks)
+
+	world := simmpi.NewWorld(ranks, opt.Timeout)
+	err := world.RunAll(func(comm *simmpi.Comm) error {
+		w := newWorker(comm, prob, &opt, owned, init)
+		memOut[comm.Rank()] = w.memBytes()
+		hist := make([]float64, 0, opt.Iterations)
+		for iter := 0; iter < opt.Iterations; iter++ {
+			local, err := w.iteration()
+			if err != nil {
+				return fmt.Errorf("rank %d iteration %d: %w", comm.Rank(), iter, err)
+			}
+			global, err := comm.AllreduceSum(local)
+			if err != nil {
+				return err
+			}
+			hist = append(hist, global)
+			if comm.Rank() == 0 && opt.OnIteration != nil {
+				opt.OnIteration(iter, global)
+			}
+			// Collective early stop: the all-reduced cost is identical
+			// on every rank, so all ranks break together.
+			if opt.StopBelowCost > 0 && global < opt.StopBelowCost {
+				break
+			}
+		}
+		costPerIter[comm.Rank()] = hist
+		tileOut[comm.Rank()] = w.slices
+		computeOut[comm.Rank()] = w.computeNS
+		commOut[comm.Rank()] = w.commNS
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Slices:           m.StitchSlices(tileOut),
+		CostHistory:      costPerIter[0],
+		BytesSent:        world.BytesSent(),
+		MessagesSent:     world.MessagesSent(),
+		PerRankLocations: make([]int, ranks),
+		PerRankMemBytes:  memOut,
+		PerRankComputeNS: computeOut,
+		PerRankCommNS:    commOut,
+	}
+	for rank, locs := range owned {
+		res.PerRankLocations[rank] = len(locs)
+	}
+	return res, nil
+}
+
+// ParallelGradient computes the total image gradient of Eqn. (2) via the
+// decomposition: each rank computes gradients for its own locations on
+// its extended tile, the four passes synchronize the buffers, and the
+// interiors are stitched. It returns the stitched gradient and every
+// rank's post-pass buffer (on extended bounds) so tests can verify the
+// stronger invariant that each buffer equals the global gradient
+// restricted to its extended tile.
+func ParallelGradient(prob *solver.Problem, full []*grid.Complex2D, mesh *tiling.Mesh,
+	disableAPPP bool, timeout time.Duration) ([]*grid.Complex2D, [][]*grid.Complex2D, error) {
+	opt := Options{
+		Mesh: mesh, Mode: ModeBatch, StepSize: 1, Iterations: 1,
+		RoundsPerIteration: 1, DisableAPPP: disableAPPP, Timeout: timeout,
+	}
+	if err := opt.validate(prob); err != nil {
+		return nil, nil, err
+	}
+	owned := mesh.AssignLocations(prob.Pattern)
+	ranks := mesh.NumTiles()
+	buffers := make([][]*grid.Complex2D, ranks)
+	err := simmpi.Run(ranks, timeout, func(comm *simmpi.Comm) error {
+		w := newWorker(comm, prob, &opt, owned, full)
+		for _, li := range w.owned {
+			loc := prob.Pattern.Locations[li]
+			w.eng.LossGrad(w.slices, loc.Window(prob.WindowN), prob.Meas[li], w.acc)
+		}
+		if err := w.runPasses(); err != nil {
+			return err
+		}
+		buffers[comm.Rank()] = w.acc
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return mesh.StitchSlices(buffers), buffers, nil
+}

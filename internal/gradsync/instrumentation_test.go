@@ -1,0 +1,96 @@
+package gradsync
+
+import (
+	"testing"
+
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/tiling"
+)
+
+func TestPerRankTimingRecorded(t *testing.T) {
+	prob, obj := buildProblem(t, 4, 4, 0.7, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 2, 2, tiling.HaloForWindow(prob.WindowN))
+	res, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, Mode: ModeBatch, StepSize: 0.01, Iterations: 3, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRankComputeNS) != 4 || len(res.PerRankCommNS) != 4 {
+		t.Fatal("timing arrays missing")
+	}
+	for rank := 0; rank < 4; rank++ {
+		if res.PerRankComputeNS[rank] <= 0 {
+			t.Fatalf("rank %d recorded no compute time", rank)
+		}
+		if res.PerRankCommNS[rank] < 0 {
+			t.Fatalf("rank %d negative comm time", rank)
+		}
+	}
+	// Gradient computation must dominate the tiny exchanges at this
+	// scale (sanity on the split, not a performance assertion).
+	total := func(xs []int64) int64 {
+		var s int64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	if total(res.PerRankComputeNS) == 0 {
+		t.Fatal("no compute recorded at all")
+	}
+	_ = total(res.PerRankCommNS)
+}
+
+func TestStopBelowCostStopsEarly(t *testing.T) {
+	prob, obj := buildProblem(t, 4, 4, 0.7, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 2, 2, tiling.HaloForWindow(prob.WindowN))
+
+	full, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, Mode: ModeBatch, StepSize: 0.02, Iterations: 12, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a threshold the run crosses midway.
+	mid := full.CostHistory[len(full.CostHistory)/2]
+
+	stopped, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, Mode: ModeBatch, StepSize: 0.02, Iterations: 12,
+		StopBelowCost: mid, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stopped.CostHistory) >= len(full.CostHistory) {
+		t.Fatalf("early stop did not trigger: %d vs %d iterations",
+			len(stopped.CostHistory), len(full.CostHistory))
+	}
+	last := stopped.CostHistory[len(stopped.CostHistory)-1]
+	if last >= mid {
+		t.Fatalf("stopped at cost %g, threshold %g", last, mid)
+	}
+	// The truncated history must be a prefix of the full one.
+	for i, c := range stopped.CostHistory {
+		if c != full.CostHistory[i] {
+			t.Fatalf("history diverged at %d: %g vs %g", i, c, full.CostHistory[i])
+		}
+	}
+}
+
+func TestStopBelowCostZeroDisabled(t *testing.T) {
+	prob, obj := buildProblem(t, 3, 3, 0.6, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 2, 2, tiling.HaloForWindow(prob.WindowN))
+	res, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, Mode: ModeBatch, StepSize: 0.02, Iterations: 5, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CostHistory) != 5 {
+		t.Fatalf("unexpected early stop: %d iterations", len(res.CostHistory))
+	}
+}

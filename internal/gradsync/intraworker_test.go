@@ -1,0 +1,92 @@
+package gradsync
+
+import (
+	"testing"
+
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/tiling"
+)
+
+func TestIntraWorkersMatchesSingleThreaded(t *testing.T) {
+	prob, obj := buildProblem(t, 6, 6, 0.75, 2)
+	init := phantom.Vacuum(obj.Bounds(), 2)
+	m := mesh(t, prob, 2, 2, tiling.HaloForWindow(prob.WindowN))
+
+	single, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, Mode: ModeBatch, StepSize: 0.02, Iterations: 4,
+		IntraWorkers: 1, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, Mode: ModeBatch, StepSize: 0.02, Iterations: 4,
+		IntraWorkers: 3, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range single.Slices {
+		scale := single.Slices[s].MaxAbs()
+		if d := multi.Slices[s].MaxDiff(single.Slices[s]); d > 1e-9*scale {
+			t.Fatalf("slice %d: intra-parallel result differs by %g (summation-order tolerance exceeded)", s, d)
+		}
+	}
+	for i := range single.CostHistory {
+		rel := (multi.CostHistory[i] - single.CostHistory[i]) / (1 + single.CostHistory[i])
+		if rel > 1e-9 || rel < -1e-9 {
+			t.Fatalf("iteration %d cost differs: %g vs %g", i, multi.CostHistory[i], single.CostHistory[i])
+		}
+	}
+}
+
+func TestIntraWorkersDeterministic(t *testing.T) {
+	prob, obj := buildProblem(t, 4, 4, 0.7, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 2, 2, tiling.HaloForWindow(prob.WindowN))
+	run := func() *Result {
+		res, err := Reconstruct(prob, init.Slices, Options{
+			Mesh: m, Mode: ModeBatch, StepSize: 0.02, Iterations: 3,
+			IntraWorkers: 4, Timeout: testTimeout,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for s := range a.Slices {
+		if a.Slices[s].MaxDiff(b.Slices[s]) != 0 {
+			t.Fatal("intra-parallel runs must be bit-identical (deterministic merge order)")
+		}
+	}
+}
+
+func TestIntraWorkersRejectedInFaithfulMode(t *testing.T) {
+	prob, obj := buildProblem(t, 3, 3, 0.6, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 2, 2, tiling.HaloForWindow(prob.WindowN))
+	if _, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, Mode: ModeFaithful, StepSize: 0.02, Iterations: 1,
+		IntraWorkers: 2, Timeout: testTimeout,
+	}); err == nil {
+		t.Fatal("IntraWorkers with faithful mode must be rejected")
+	}
+}
+
+func TestIntraWorkersMoreThanLocations(t *testing.T) {
+	// More goroutines than locations per tile must still work.
+	prob, obj := buildProblem(t, 3, 3, 0.6, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 3, 3, tiling.HaloForWindow(prob.WindowN))
+	res, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, Mode: ModeBatch, StepSize: 0.02, Iterations: 2,
+		IntraWorkers: 16, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostHistory[1] >= res.CostHistory[0] {
+		t.Fatal("did not converge with oversubscribed intra-workers")
+	}
+}

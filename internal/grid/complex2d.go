@@ -1,0 +1,269 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Complex2D is a dense row-major 2-D array of complex128 values covering
+// the region described by Bounds. The origin of the backing storage is
+// (Bounds.X0, Bounds.Y0), so a Complex2D can directly represent an image
+// tile living at an arbitrary offset inside a larger image; all region
+// operations below take global coordinates and translate internally.
+type Complex2D struct {
+	Bounds Rect
+	Data   []complex128 // len == Bounds.Area()
+}
+
+// NewComplex2D allocates a zeroed array covering bounds.
+func NewComplex2D(bounds Rect) *Complex2D {
+	if bounds.Empty() {
+		return &Complex2D{Bounds: bounds}
+	}
+	return &Complex2D{Bounds: bounds, Data: make([]complex128, bounds.Area())}
+}
+
+// NewComplex2DSize allocates a zeroed w x h array anchored at the origin.
+func NewComplex2DSize(w, h int) *Complex2D { return NewComplex2D(RectWH(0, 0, w, h)) }
+
+// W returns the width of the array.
+func (a *Complex2D) W() int { return a.Bounds.W() }
+
+// H returns the height of the array.
+func (a *Complex2D) H() int { return a.Bounds.H() }
+
+// idx maps global coordinates to the backing slice index. The caller must
+// ensure (x, y) is inside Bounds.
+func (a *Complex2D) idx(x, y int) int {
+	return (y-a.Bounds.Y0)*a.Bounds.W() + (x - a.Bounds.X0)
+}
+
+// At returns the value at global coordinates (x, y).
+func (a *Complex2D) At(x, y int) complex128 { return a.Data[a.idx(x, y)] }
+
+// Set stores v at global coordinates (x, y).
+func (a *Complex2D) Set(x, y int, v complex128) { a.Data[a.idx(x, y)] = v }
+
+// Row returns the backing sub-slice for row y restricted to Bounds'
+// horizontal extent. Mutating the returned slice mutates the array.
+func (a *Complex2D) Row(y int) []complex128 {
+	w := a.Bounds.W()
+	off := (y - a.Bounds.Y0) * w
+	return a.Data[off : off+w]
+}
+
+// Clone returns a deep copy of a.
+func (a *Complex2D) Clone() *Complex2D {
+	out := &Complex2D{Bounds: a.Bounds, Data: make([]complex128, len(a.Data))}
+	copy(out.Data, a.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (a *Complex2D) Zero() {
+	for i := range a.Data {
+		a.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (a *Complex2D) Fill(v complex128) {
+	for i := range a.Data {
+		a.Data[i] = v
+	}
+}
+
+// Scale multiplies every element by s.
+func (a *Complex2D) Scale(s complex128) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// AddScaled performs a += s*b element-wise. The arrays must share bounds.
+func (a *Complex2D) AddScaled(b *Complex2D, s complex128) {
+	mustSameBounds(a.Bounds, b.Bounds)
+	for i, v := range b.Data {
+		a.Data[i] += s * v
+	}
+}
+
+// MulElem performs a *= b element-wise. The arrays must share bounds.
+func (a *Complex2D) MulElem(b *Complex2D) {
+	mustSameBounds(a.Bounds, b.Bounds)
+	for i, v := range b.Data {
+		a.Data[i] *= v
+	}
+}
+
+// MulConjElem performs a *= conj(b) element-wise.
+func (a *Complex2D) MulConjElem(b *Complex2D) {
+	mustSameBounds(a.Bounds, b.Bounds)
+	for i, v := range b.Data {
+		a.Data[i] *= cmplx.Conj(v)
+	}
+}
+
+// Conj conjugates every element in place.
+func (a *Complex2D) Conj() {
+	for i, v := range a.Data {
+		a.Data[i] = cmplx.Conj(v)
+	}
+}
+
+// Norm2 returns the squared Frobenius norm sum |a_ij|^2.
+func (a *Complex2D) Norm2() float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s
+}
+
+// MaxAbs returns the largest magnitude in the array (0 for empty arrays).
+func (a *Complex2D) MaxAbs() float64 {
+	var m float64
+	for _, v := range a.Data {
+		if ab := cmplx.Abs(v); ab > m {
+			m = ab
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of all elements.
+func (a *Complex2D) Sum() complex128 {
+	var s complex128
+	for _, v := range a.Data {
+		s += v
+	}
+	return s
+}
+
+// region iterates rows of the intersection of r with both arrays'
+// bounds, invoking fn with matching row slices.
+func regionRows(dst, src *Complex2D, r Rect, fn func(d, s []complex128)) {
+	rr := r.Intersect(dst.Bounds).Intersect(src.Bounds)
+	if rr.Empty() {
+		return
+	}
+	for y := rr.Y0; y < rr.Y1; y++ {
+		doff := dst.idx(rr.X0, y)
+		soff := src.idx(rr.X0, y)
+		fn(dst.Data[doff:doff+rr.W()], src.Data[soff:soff+rr.W()])
+	}
+}
+
+// CopyRegion copies src into dst over region r (global coordinates),
+// clipped to both arrays' bounds.
+func (a *Complex2D) CopyRegion(src *Complex2D, r Rect) {
+	regionRows(a, src, r, func(d, s []complex128) { copy(d, s) })
+}
+
+// AddRegion performs dst += src over region r, clipped to both bounds.
+func (a *Complex2D) AddRegion(src *Complex2D, r Rect) {
+	regionRows(a, src, r, func(d, s []complex128) {
+		for i := range d {
+			d[i] += s[i]
+		}
+	})
+}
+
+// AddScaledRegion performs dst += scale*src over region r.
+func (a *Complex2D) AddScaledRegion(src *Complex2D, r Rect, scale complex128) {
+	regionRows(a, src, r, func(d, s []complex128) {
+		for i := range d {
+			d[i] += scale * s[i]
+		}
+	})
+}
+
+// ZeroRegion clears region r of a (clipped to bounds).
+func (a *Complex2D) ZeroRegion(r Rect) {
+	rr := r.Intersect(a.Bounds)
+	if rr.Empty() {
+		return
+	}
+	for y := rr.Y0; y < rr.Y1; y++ {
+		off := a.idx(rr.X0, y)
+		row := a.Data[off : off+rr.W()]
+		for i := range row {
+			row[i] = 0
+		}
+	}
+}
+
+// Extract returns a newly allocated copy of region r of a. The region
+// must be inside a's bounds.
+func (a *Complex2D) Extract(r Rect) *Complex2D {
+	if !a.Bounds.ContainsRect(r) {
+		panic(fmt.Sprintf("grid: extract %v outside bounds %v", r, a.Bounds))
+	}
+	out := NewComplex2D(r)
+	out.CopyRegion(a, r)
+	return out
+}
+
+// EqualWithin reports whether a and b share bounds and every element
+// differs by at most tol in absolute value.
+func (a *Complex2D) EqualWithin(b *Complex2D, tol float64) bool {
+	if a.Bounds != b.Bounds {
+		return false
+	}
+	for i := range a.Data {
+		if cmplx.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDiff returns the largest element-wise absolute difference between a
+// and b, which must share bounds.
+func (a *Complex2D) MaxDiff(b *Complex2D) float64 {
+	mustSameBounds(a.Bounds, b.Bounds)
+	var m float64
+	for i := range a.Data {
+		if d := cmplx.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Abs returns a new Float2D holding |a| element-wise.
+func (a *Complex2D) Abs() *Float2D {
+	out := NewFloat2D(a.Bounds)
+	for i, v := range a.Data {
+		out.Data[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// Phase returns a new Float2D holding arg(a) element-wise.
+func (a *Complex2D) Phase() *Float2D {
+	out := NewFloat2D(a.Bounds)
+	for i, v := range a.Data {
+		out.Data[i] = cmplx.Phase(v)
+	}
+	return out
+}
+
+// IsFinite reports whether every element has finite real and imaginary
+// parts (no NaN or Inf anywhere).
+func (a *Complex2D) IsFinite() bool {
+	for _, v := range a.Data {
+		if math.IsNaN(real(v)) || math.IsNaN(imag(v)) ||
+			math.IsInf(real(v), 0) || math.IsInf(imag(v), 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameBounds(a, b Rect) {
+	if a != b {
+		panic(fmt.Sprintf("grid: bounds mismatch %v vs %v", a, b))
+	}
+}

@@ -1,0 +1,318 @@
+package grid
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randComplex2D(rng *rand.Rand, bounds Rect) *Complex2D {
+	a := NewComplex2D(bounds)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return a
+}
+
+func TestComplex2DAtSetGlobalCoords(t *testing.T) {
+	// A tile anchored away from the origin must index by global coords.
+	a := NewComplex2D(NewRect(10, 20, 14, 23))
+	a.Set(10, 20, 1+2i)
+	a.Set(13, 22, 3-4i)
+	if a.At(10, 20) != 1+2i || a.At(13, 22) != 3-4i {
+		t.Fatal("global coordinate round-trip failed")
+	}
+	if a.Data[0] != 1+2i {
+		t.Fatal("(X0,Y0) must map to Data[0]")
+	}
+	if a.Data[len(a.Data)-1] != 3-4i {
+		t.Fatal("(X1-1,Y1-1) must map to the last element")
+	}
+}
+
+func TestComplex2DRow(t *testing.T) {
+	a := NewComplex2D(NewRect(5, 5, 9, 8))
+	a.Set(6, 6, 7i)
+	row := a.Row(6)
+	if len(row) != 4 {
+		t.Fatalf("row length = %d, want 4", len(row))
+	}
+	if row[1] != 7i {
+		t.Fatal("Row must alias backing data")
+	}
+	row[2] = 9
+	if a.At(7, 6) != 9 {
+		t.Fatal("mutating Row slice must mutate the array")
+	}
+}
+
+func TestComplex2DCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randComplex2D(rng, RectWH(0, 0, 6, 5))
+	b := a.Clone()
+	if !a.EqualWithin(b, 0) {
+		t.Fatal("clone differs from original")
+	}
+	b.Data[3] += 1
+	if a.EqualWithin(b, 1e-12) {
+		t.Fatal("clone must not alias original storage")
+	}
+}
+
+func TestComplex2DScaleAddMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bounds := RectWH(0, 0, 8, 8)
+	a := randComplex2D(rng, bounds)
+	b := randComplex2D(rng, bounds)
+	want := NewComplex2D(bounds)
+	for i := range want.Data {
+		want.Data[i] = a.Data[i]*2i + (3+1i)*b.Data[i]
+	}
+	got := a.Clone()
+	got.Scale(2i)
+	got.AddScaled(b, 3+1i)
+	if got.MaxDiff(want) > 1e-12 {
+		t.Fatalf("Scale/AddScaled mismatch: %g", got.MaxDiff(want))
+	}
+
+	m := a.Clone()
+	m.MulElem(b)
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-a.Data[i]*b.Data[i]) > 1e-12 {
+			t.Fatal("MulElem mismatch")
+		}
+	}
+	mc := a.Clone()
+	mc.MulConjElem(b)
+	for i := range mc.Data {
+		if cmplx.Abs(mc.Data[i]-a.Data[i]*cmplx.Conj(b.Data[i])) > 1e-12 {
+			t.Fatal("MulConjElem mismatch")
+		}
+	}
+}
+
+func TestComplex2DNorms(t *testing.T) {
+	a := NewComplex2DSize(2, 2)
+	a.Data[0] = 3 + 4i // |.| = 5
+	a.Data[3] = -2i    // |.| = 2
+	if got := a.Norm2(); math.Abs(got-29) > 1e-12 {
+		t.Fatalf("Norm2 = %g, want 29", got)
+	}
+	if got := a.MaxAbs(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("MaxAbs = %g, want 5", got)
+	}
+	if got := a.Sum(); cmplx.Abs(got-(3+2i)) > 1e-12 {
+		t.Fatalf("Sum = %v, want 3+2i", got)
+	}
+}
+
+func TestCopyRegionBetweenOffsetTiles(t *testing.T) {
+	// Source and destination tiles live at different offsets but share a
+	// global overlap region — the fundamental halo-exchange operation.
+	rng := rand.New(rand.NewSource(3))
+	src := randComplex2D(rng, NewRect(0, 0, 10, 10))
+	dst := NewComplex2D(NewRect(6, 4, 16, 14))
+	region := NewRect(6, 4, 10, 10) // overlap of the two bounds
+	dst.CopyRegion(src, region)
+	for y := 4; y < 14; y++ {
+		for x := 6; x < 16; x++ {
+			want := complex128(0)
+			if region.Contains(x, y) {
+				want = src.At(x, y)
+			}
+			if dst.At(x, y) != want {
+				t.Fatalf("dst(%d,%d) = %v, want %v", x, y, dst.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestCopyRegionClipsToBothBounds(t *testing.T) {
+	src := NewComplex2D(RectWH(0, 0, 4, 4))
+	src.Fill(2)
+	dst := NewComplex2D(RectWH(2, 2, 4, 4))
+	dst.CopyRegion(src, NewRect(-100, -100, 100, 100)) // huge request
+	for y := 2; y < 6; y++ {
+		for x := 2; x < 6; x++ {
+			want := complex128(0)
+			if x < 4 && y < 4 {
+				want = 2
+			}
+			if dst.At(x, y) != want {
+				t.Fatalf("clip failure at (%d,%d): %v", x, y, dst.At(x, y))
+			}
+		}
+	}
+}
+
+func TestAddRegionAccumulates(t *testing.T) {
+	a := NewComplex2DSize(4, 4)
+	b := NewComplex2DSize(4, 4)
+	b.Fill(1 + 1i)
+	r := NewRect(1, 1, 3, 3)
+	a.AddRegion(b, r)
+	a.AddRegion(b, r)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			want := complex128(0)
+			if r.Contains(x, y) {
+				want = 2 + 2i
+			}
+			if a.At(x, y) != want {
+				t.Fatalf("AddRegion at (%d,%d) = %v, want %v", x, y, a.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestAddScaledRegion(t *testing.T) {
+	a := NewComplex2DSize(3, 3)
+	b := NewComplex2DSize(3, 3)
+	b.Fill(2)
+	a.AddScaledRegion(b, NewRect(0, 0, 2, 2), -1i)
+	if a.At(0, 0) != -4i+2i { // -1i*2 = -2i
+		t.Fatalf("AddScaledRegion = %v, want -2i", a.At(0, 0))
+	}
+}
+
+func TestZeroRegion(t *testing.T) {
+	a := NewComplex2DSize(4, 4)
+	a.Fill(5)
+	a.ZeroRegion(NewRect(1, 2, 3, 4))
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			want := complex128(5)
+			if x >= 1 && x < 3 && y >= 2 {
+				want = 0
+			}
+			if a.At(x, y) != want {
+				t.Fatalf("ZeroRegion at (%d,%d) = %v, want %v", x, y, a.At(x, y), want)
+			}
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randComplex2D(rng, RectWH(0, 0, 8, 8))
+	r := NewRect(2, 3, 6, 7)
+	sub := a.Extract(r)
+	if sub.Bounds != r {
+		t.Fatalf("Extract bounds = %v, want %v", sub.Bounds, r)
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			if sub.At(x, y) != a.At(x, y) {
+				t.Fatal("Extract content mismatch")
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Extract outside bounds must panic")
+		}
+	}()
+	a.Extract(NewRect(5, 5, 12, 12))
+}
+
+func TestAbsPhase(t *testing.T) {
+	a := NewComplex2DSize(1, 2)
+	a.Data[0] = 3 + 4i
+	a.Data[1] = -1
+	ab := a.Abs()
+	if math.Abs(ab.Data[0]-5) > 1e-12 || math.Abs(ab.Data[1]-1) > 1e-12 {
+		t.Fatal("Abs mismatch")
+	}
+	ph := a.Phase()
+	if math.Abs(ph.Data[1]-math.Pi) > 1e-12 {
+		t.Fatal("Phase mismatch")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	a := NewComplex2DSize(2, 2)
+	if !a.IsFinite() {
+		t.Fatal("zero array must be finite")
+	}
+	a.Data[2] = complex(math.NaN(), 0)
+	if a.IsFinite() {
+		t.Fatal("NaN must be detected")
+	}
+	a.Data[2] = complex(0, math.Inf(1))
+	if a.IsFinite() {
+		t.Fatal("Inf must be detected")
+	}
+}
+
+func TestConj(t *testing.T) {
+	a := NewComplex2DSize(1, 1)
+	a.Data[0] = 2 + 3i
+	a.Conj()
+	if a.Data[0] != 2-3i {
+		t.Fatalf("Conj = %v", a.Data[0])
+	}
+}
+
+// Property: splitting an array into disjoint regions and re-assembling
+// them with CopyRegion reproduces the original (partition-of-unity for
+// region copies).
+func TestCopyRegionPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		w := 4 + rng.Intn(12)
+		h := 4 + rng.Intn(12)
+		src := randComplex2D(rng, RectWH(0, 0, w, h))
+		cut := 1 + rng.Intn(w-1)
+		dst := NewComplex2D(src.Bounds)
+		dst.CopyRegion(src, NewRect(0, 0, cut, h))
+		dst.CopyRegion(src, NewRect(cut, 0, w, h))
+		return dst.EqualWithin(src, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddRegion over a region r adds exactly the clipped content,
+// i.e. dst2 - dst1 restricted to r equals src restricted to r.
+func TestAddRegionDeltaProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func() bool {
+		bounds := RectWH(0, 0, 10, 10)
+		src := randComplex2D(rng, bounds)
+		dst := randComplex2D(rng, bounds)
+		before := dst.Clone()
+		r := randRect(rng)
+		dst.AddRegion(src, r)
+		rr := r.Intersect(bounds)
+		for y := 0; y < 10; y++ {
+			for x := 0; x < 10; x++ {
+				delta := dst.At(x, y) - before.At(x, y)
+				want := complex128(0)
+				if rr.Contains(x, y) {
+					want = src.At(x, y)
+				}
+				if cmplx.Abs(delta-want) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchedBoundsPanics(t *testing.T) {
+	a := NewComplex2DSize(2, 2)
+	b := NewComplex2DSize(3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddScaled with mismatched bounds must panic")
+		}
+	}()
+	a.AddScaled(b, 1)
+}

@@ -1,0 +1,206 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Float2D is a dense row-major 2-D array of float64 values covering the
+// region described by Bounds, mirroring Complex2D for real-valued data
+// (measurement magnitudes, potentials, quality maps).
+type Float2D struct {
+	Bounds Rect
+	Data   []float64
+}
+
+// NewFloat2D allocates a zeroed array covering bounds.
+func NewFloat2D(bounds Rect) *Float2D {
+	if bounds.Empty() {
+		return &Float2D{Bounds: bounds}
+	}
+	return &Float2D{Bounds: bounds, Data: make([]float64, bounds.Area())}
+}
+
+// NewFloat2DSize allocates a zeroed w x h array anchored at the origin.
+func NewFloat2DSize(w, h int) *Float2D { return NewFloat2D(RectWH(0, 0, w, h)) }
+
+// W returns the width of the array.
+func (a *Float2D) W() int { return a.Bounds.W() }
+
+// H returns the height of the array.
+func (a *Float2D) H() int { return a.Bounds.H() }
+
+func (a *Float2D) idx(x, y int) int {
+	return (y-a.Bounds.Y0)*a.Bounds.W() + (x - a.Bounds.X0)
+}
+
+// At returns the value at global coordinates (x, y).
+func (a *Float2D) At(x, y int) float64 { return a.Data[a.idx(x, y)] }
+
+// Set stores v at global coordinates (x, y).
+func (a *Float2D) Set(x, y int, v float64) { a.Data[a.idx(x, y)] = v }
+
+// Row returns the backing sub-slice for row y.
+func (a *Float2D) Row(y int) []float64 {
+	w := a.Bounds.W()
+	off := (y - a.Bounds.Y0) * w
+	return a.Data[off : off+w]
+}
+
+// Clone returns a deep copy of a.
+func (a *Float2D) Clone() *Float2D {
+	out := &Float2D{Bounds: a.Bounds, Data: make([]float64, len(a.Data))}
+	copy(out.Data, a.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (a *Float2D) Zero() {
+	for i := range a.Data {
+		a.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (a *Float2D) Fill(v float64) {
+	for i := range a.Data {
+		a.Data[i] = v
+	}
+}
+
+// Scale multiplies every element by s.
+func (a *Float2D) Scale(s float64) {
+	for i := range a.Data {
+		a.Data[i] *= s
+	}
+}
+
+// AddScaled performs a += s*b element-wise; bounds must match.
+func (a *Float2D) AddScaled(b *Float2D, s float64) {
+	mustSameBounds(a.Bounds, b.Bounds)
+	for i, v := range b.Data {
+		a.Data[i] += s * v
+	}
+}
+
+// Sum returns the sum of all elements.
+func (a *Float2D) Sum() float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += v
+	}
+	return s
+}
+
+// Norm2 returns the squared L2 norm.
+func (a *Float2D) Norm2() float64 {
+	var s float64
+	for _, v := range a.Data {
+		s += v * v
+	}
+	return s
+}
+
+// MinMax returns the smallest and largest elements. Empty arrays return
+// (0, 0).
+func (a *Float2D) MinMax() (lo, hi float64) {
+	if len(a.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi = a.Data[0], a.Data[0]
+	for _, v := range a.Data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Mean returns the arithmetic mean (0 for empty arrays).
+func (a *Float2D) Mean() float64 {
+	if len(a.Data) == 0 {
+		return 0
+	}
+	return a.Sum() / float64(len(a.Data))
+}
+
+// CopyRegion copies src into a over region r, clipped to both bounds.
+func (a *Float2D) CopyRegion(src *Float2D, r Rect) {
+	rr := r.Intersect(a.Bounds).Intersect(src.Bounds)
+	if rr.Empty() {
+		return
+	}
+	for y := rr.Y0; y < rr.Y1; y++ {
+		doff := a.idx(rr.X0, y)
+		soff := src.idx(rr.X0, y)
+		copy(a.Data[doff:doff+rr.W()], src.Data[soff:soff+rr.W()])
+	}
+}
+
+// AddRegion performs a += src over region r, clipped to both bounds.
+func (a *Float2D) AddRegion(src *Float2D, r Rect) {
+	rr := r.Intersect(a.Bounds).Intersect(src.Bounds)
+	if rr.Empty() {
+		return
+	}
+	for y := rr.Y0; y < rr.Y1; y++ {
+		doff := a.idx(rr.X0, y)
+		soff := src.idx(rr.X0, y)
+		d := a.Data[doff : doff+rr.W()]
+		s := src.Data[soff : soff+rr.W()]
+		for i := range d {
+			d[i] += s[i]
+		}
+	}
+}
+
+// Extract returns a newly allocated copy of region r, which must lie
+// inside a's bounds.
+func (a *Float2D) Extract(r Rect) *Float2D {
+	if !a.Bounds.ContainsRect(r) {
+		panic(fmt.Sprintf("grid: extract %v outside bounds %v", r, a.Bounds))
+	}
+	out := NewFloat2D(r)
+	out.CopyRegion(a, r)
+	return out
+}
+
+// MaxDiff returns the largest absolute element-wise difference; bounds
+// must match.
+func (a *Float2D) MaxDiff(b *Float2D) float64 {
+	mustSameBounds(a.Bounds, b.Bounds)
+	var m float64
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RMSE returns the root-mean-square difference between a and b, which
+// must share bounds.
+func (a *Float2D) RMSE(b *Float2D) float64 {
+	mustSameBounds(a.Bounds, b.Bounds)
+	if len(a.Data) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a.Data {
+		d := a.Data[i] - b.Data[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a.Data)))
+}
+
+// ToComplex returns a Complex2D with a as the real part.
+func (a *Float2D) ToComplex() *Complex2D {
+	out := NewComplex2D(a.Bounds)
+	for i, v := range a.Data {
+		out.Data[i] = complex(v, 0)
+	}
+	return out
+}

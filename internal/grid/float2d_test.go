@@ -1,0 +1,138 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randFloat2D(rng *rand.Rand, bounds Rect) *Float2D {
+	a := NewFloat2D(bounds)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+func TestFloat2DAtSetOffset(t *testing.T) {
+	a := NewFloat2D(NewRect(-3, -2, 1, 2))
+	a.Set(-3, -2, 1.5)
+	a.Set(0, 1, -2.5)
+	if a.At(-3, -2) != 1.5 || a.At(0, 1) != -2.5 {
+		t.Fatal("negative-offset indexing failed")
+	}
+	if a.Data[0] != 1.5 || a.Data[len(a.Data)-1] != -2.5 {
+		t.Fatal("storage layout mismatch")
+	}
+}
+
+func TestFloat2DRowAliases(t *testing.T) {
+	a := NewFloat2DSize(3, 3)
+	a.Row(1)[2] = 9
+	if a.At(2, 1) != 9 {
+		t.Fatal("Row must alias backing data")
+	}
+}
+
+func TestFloat2DCloneZeroFillScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randFloat2D(rng, RectWH(0, 0, 5, 4))
+	b := a.Clone()
+	b.Scale(2)
+	for i := range a.Data {
+		if math.Abs(b.Data[i]-2*a.Data[i]) > 1e-12 {
+			t.Fatal("Scale mismatch")
+		}
+	}
+	b.Fill(7)
+	if lo, hi := b.MinMax(); lo != 7 || hi != 7 {
+		t.Fatal("Fill failed")
+	}
+	b.Zero()
+	if b.Norm2() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestFloat2DSumMeanMinMax(t *testing.T) {
+	a := NewFloat2DSize(2, 2)
+	copy(a.Data, []float64{1, 2, 3, -6})
+	if a.Sum() != 0 {
+		t.Fatalf("Sum = %g", a.Sum())
+	}
+	if a.Mean() != 0 {
+		t.Fatalf("Mean = %g", a.Mean())
+	}
+	lo, hi := a.MinMax()
+	if lo != -6 || hi != 3 {
+		t.Fatalf("MinMax = %g,%g", lo, hi)
+	}
+	var empty Float2D
+	if empty.Mean() != 0 {
+		t.Fatal("empty Mean must be 0")
+	}
+	if l, h := empty.MinMax(); l != 0 || h != 0 {
+		t.Fatal("empty MinMax must be 0,0")
+	}
+}
+
+func TestFloat2DAddScaled(t *testing.T) {
+	a := NewFloat2DSize(2, 2)
+	b := NewFloat2DSize(2, 2)
+	b.Fill(3)
+	a.AddScaled(b, -2)
+	if a.Data[0] != -6 {
+		t.Fatalf("AddScaled = %g", a.Data[0])
+	}
+}
+
+func TestFloat2DCopyAddRegion(t *testing.T) {
+	src := NewFloat2DSize(4, 4)
+	src.Fill(1)
+	dst := NewFloat2D(NewRect(2, 2, 6, 6))
+	dst.CopyRegion(src, NewRect(0, 0, 10, 10))
+	dst.AddRegion(src, NewRect(0, 0, 10, 10))
+	if dst.At(2, 2) != 2 || dst.At(3, 3) != 2 {
+		t.Fatal("overlap region should be 2")
+	}
+	if dst.At(4, 4) != 0 {
+		t.Fatal("outside source bounds should remain 0")
+	}
+}
+
+func TestFloat2DExtractPanics(t *testing.T) {
+	a := NewFloat2DSize(4, 4)
+	sub := a.Extract(NewRect(1, 1, 3, 3))
+	if sub.Bounds != NewRect(1, 1, 3, 3) {
+		t.Fatal("extract bounds wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds Extract must panic")
+		}
+	}()
+	a.Extract(NewRect(0, 0, 5, 5))
+}
+
+func TestFloat2DRMSEAndMaxDiff(t *testing.T) {
+	a := NewFloat2DSize(2, 1)
+	b := NewFloat2DSize(2, 1)
+	a.Data[0], a.Data[1] = 1, 2
+	b.Data[0], b.Data[1] = 1, 5
+	if got := a.MaxDiff(b); got != 3 {
+		t.Fatalf("MaxDiff = %g", got)
+	}
+	want := math.Sqrt(9.0 / 2.0)
+	if got := a.RMSE(b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %g, want %g", got, want)
+	}
+}
+
+func TestFloat2DToComplex(t *testing.T) {
+	a := NewFloat2DSize(1, 1)
+	a.Data[0] = 4
+	c := a.ToComplex()
+	if c.Data[0] != 4 {
+		t.Fatalf("ToComplex = %v", c.Data[0])
+	}
+}

@@ -1,0 +1,118 @@
+// Package grid provides dense 2-D complex and real arrays together with
+// the rectangle arithmetic used throughout the reconstruction pipeline.
+//
+// Arrays are stored row-major. A Rect describes a half-open region
+// [X0,X1) x [Y0,Y1) in image coordinates, where X indexes columns and Y
+// indexes rows. All tile/halo/overlap geometry in the tiling and
+// parallel-algorithm packages is expressed with Rect values, so the
+// operations here (intersection, union bound, clamping, translation) are
+// the backbone of the decomposition math.
+package grid
+
+import "fmt"
+
+// Rect is a half-open axis-aligned rectangle [X0,X1) x [Y0,Y1).
+// X is the column (horizontal) axis and Y is the row (vertical) axis.
+type Rect struct {
+	X0, Y0 int // inclusive
+	X1, Y1 int // exclusive
+}
+
+// NewRect returns the rectangle with the given bounds.
+func NewRect(x0, y0, x1, y1 int) Rect { return Rect{X0: x0, Y0: y0, X1: x1, Y1: y1} }
+
+// RectWH returns a rectangle anchored at (x0, y0) with width w and height h.
+func RectWH(x0, y0, w, h int) Rect { return Rect{X0: x0, Y0: y0, X1: x0 + w, Y1: y0 + h} }
+
+// W returns the width of r (number of columns). Negative extents report 0.
+func (r Rect) W() int {
+	if r.X1 <= r.X0 {
+		return 0
+	}
+	return r.X1 - r.X0
+}
+
+// H returns the height of r (number of rows). Negative extents report 0.
+func (r Rect) H() int {
+	if r.Y1 <= r.Y0 {
+		return 0
+	}
+	return r.Y1 - r.Y0
+}
+
+// Area returns W*H.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Empty reports whether r contains no points.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Contains reports whether the point (x, y) lies inside r.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// ContainsRect reports whether s is entirely inside r. An empty s is
+// contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.X0 >= r.X0 && s.X1 <= r.X1 && s.Y0 >= r.Y0 && s.Y1 <= r.Y1
+}
+
+// Intersect returns the intersection of r and s. The result may be empty.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		X0: max(r.X0, s.X0),
+		Y0: max(r.Y0, s.Y0),
+		X1: min(r.X1, s.X1),
+		Y1: min(r.Y1, s.Y1),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Overlaps reports whether r and s share at least one point.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// Union returns the smallest rectangle containing both r and s.
+// If one is empty the other is returned.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		X0: min(r.X0, s.X0),
+		Y0: min(r.Y0, s.Y0),
+		X1: max(r.X1, s.X1),
+		Y1: max(r.Y1, s.Y1),
+	}
+}
+
+// Inflate grows r by d on every side (shrinks when d < 0). The result may
+// be empty when shrinking past the center.
+func (r Rect) Inflate(d int) Rect {
+	return Rect{X0: r.X0 - d, Y0: r.Y0 - d, X1: r.X1 + d, Y1: r.Y1 + d}
+}
+
+// Translate shifts r by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	return Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy}
+}
+
+// Clamp restricts r to lie inside bounds, returning the intersection.
+func (r Rect) Clamp(bounds Rect) Rect { return r.Intersect(bounds) }
+
+// Eq reports exact equality of bounds. Two empty rectangles with
+// different bounds are not Eq; use Empty for emptiness checks.
+func (r Rect) Eq(s Rect) bool { return r == s }
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)", r.X0, r.X1, r.Y0, r.Y1)
+}

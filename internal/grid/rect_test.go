@@ -1,0 +1,184 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(2, 3, 10, 8)
+	if r.W() != 8 || r.H() != 5 || r.Area() != 40 {
+		t.Fatalf("W/H/Area = %d/%d/%d, want 8/5/40", r.W(), r.H(), r.Area())
+	}
+	if r.Empty() {
+		t.Fatal("non-degenerate rect reported empty")
+	}
+	if !r.Contains(2, 3) || !r.Contains(9, 7) {
+		t.Fatal("corner containment failed")
+	}
+	if r.Contains(10, 7) || r.Contains(9, 8) || r.Contains(1, 4) {
+		t.Fatal("exclusive upper bound violated")
+	}
+}
+
+func TestRectWH(t *testing.T) {
+	r := RectWH(5, -2, 4, 3)
+	want := NewRect(5, -2, 9, 1)
+	if r != want {
+		t.Fatalf("RectWH = %v, want %v", r, want)
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	cases := []Rect{
+		{0, 0, 0, 0},
+		{5, 5, 5, 10},
+		{5, 5, 10, 5},
+		{3, 3, 2, 9},
+	}
+	for _, r := range cases {
+		if !r.Empty() {
+			t.Errorf("%v should be empty", r)
+		}
+		if r.Area() != 0 {
+			t.Errorf("%v area should be 0, got %d", r, r.Area())
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(5, 5, 15, 15)
+	got := a.Intersect(b)
+	want := NewRect(5, 5, 10, 10)
+	if got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	// Disjoint rectangles intersect to the canonical empty rect.
+	c := NewRect(20, 20, 30, 30)
+	if got := a.Intersect(c); !got.Empty() {
+		t.Fatalf("disjoint intersect = %v, want empty", got)
+	}
+	// Touching edges share no points (half-open semantics).
+	d := NewRect(10, 0, 20, 10)
+	if a.Overlaps(d) {
+		t.Fatal("edge-touching rects must not overlap")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(0, 0, 4, 4)
+	b := NewRect(6, 2, 8, 10)
+	got := a.Union(b)
+	want := NewRect(0, 0, 8, 10)
+	if got != want {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	var empty Rect
+	if a.Union(empty) != a || empty.Union(a) != a {
+		t.Fatal("union with empty must be identity")
+	}
+}
+
+func TestRectInflateTranslateClamp(t *testing.T) {
+	r := NewRect(4, 4, 8, 8)
+	if got := r.Inflate(2); got != NewRect(2, 2, 10, 10) {
+		t.Fatalf("Inflate(2) = %v", got)
+	}
+	if got := r.Inflate(-2); !got.Empty() {
+		t.Fatalf("Inflate(-2) should be empty, got %v", got)
+	}
+	if got := r.Translate(-4, 1); got != NewRect(0, 5, 4, 9) {
+		t.Fatalf("Translate = %v", got)
+	}
+	bounds := NewRect(0, 0, 6, 6)
+	if got := r.Clamp(bounds); got != NewRect(4, 4, 6, 6) {
+		t.Fatalf("Clamp = %v", got)
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	outer := NewRect(0, 0, 10, 10)
+	if !outer.ContainsRect(NewRect(0, 0, 10, 10)) {
+		t.Fatal("rect must contain itself")
+	}
+	if !outer.ContainsRect(NewRect(3, 3, 7, 7)) {
+		t.Fatal("inner rect containment failed")
+	}
+	if outer.ContainsRect(NewRect(3, 3, 11, 7)) {
+		t.Fatal("overflowing rect must not be contained")
+	}
+	if !outer.ContainsRect(Rect{}) {
+		t.Fatal("empty rect is contained everywhere")
+	}
+}
+
+// randRect produces small rectangles (possibly empty) for property tests.
+func randRect(rng *rand.Rand) Rect {
+	x0 := rng.Intn(21) - 10
+	y0 := rng.Intn(21) - 10
+	return Rect{X0: x0, Y0: y0, X1: x0 + rng.Intn(15), Y1: y0 + rng.Intn(15)}
+}
+
+func TestRectIntersectionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		// Commutativity.
+		if ab != ba {
+			return false
+		}
+		// The intersection is contained in both operands.
+		if !ab.Empty() && (!a.ContainsRect(ab) || !b.ContainsRect(ab)) {
+			return false
+		}
+		// Idempotence.
+		return a.Intersect(a) == a || a.Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectUnionContainsOperands(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randRect(rng), randRect(rng)
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRectIntersectAreaViaPointCount(t *testing.T) {
+	// Cross-check Intersect against brute-force point membership.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randRect(rng), randRect(rng)
+		in := a.Intersect(b)
+		count := 0
+		for y := -12; y < 18; y++ {
+			for x := -12; x < 18; x++ {
+				if a.Contains(x, y) && b.Contains(x, y) {
+					count++
+					if !in.Contains(x, y) {
+						t.Fatalf("point (%d,%d) in both %v,%v but not in %v", x, y, a, b, in)
+					}
+				}
+			}
+		}
+		if count != in.Area() {
+			t.Fatalf("area mismatch: counted %d, rect %v area %d", count, in, in.Area())
+		}
+	}
+}
+
+func TestRectString(t *testing.T) {
+	if s := NewRect(1, 2, 3, 4).String(); s != "[1,3)x[2,4)" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,348 @@
+// Package halo implements the state-of-the-art baseline the paper
+// compares against: the Halo Voxel Exchange method (Nashed et al. 2014,
+// Yu et al. 2021; paper Sec. II-C).
+//
+// Each tile is assigned its own probe locations PLUS the neighboring
+// locations within ExtraRows scan rows of its boundary (Fig 2(d)), and
+// its halo is widened to cover all of them. Tiles then reconstruct
+// independently — including redundant work for the extra locations —
+// and, every exchange period, paste their interior voxels into all
+// neighbors' halos through synchronous point-to-point communication
+// (Fig 2(g)). The copy-paste overwrite is what produces the seam
+// artifacts of Fig 8, and the widened halos are what limit memory
+// reduction and scalability (Tables II/III).
+//
+// The method carries an inherent tile-size constraint: a tile must be at
+// least as large as its neighbors' halos, or the pasted region cannot be
+// sourced from a single owner. At high GPU counts tiles shrink below the
+// halo width and the method cannot run — reproduced here as
+// ErrTileTooSmall and reported as "NA", matching Table II(b).
+package halo
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/simmpi"
+	"ptychopath/internal/solver"
+	"ptychopath/internal/tiling"
+)
+
+// ErrTileTooSmall reports the baseline's algorithmic scaling limit: the
+// interior tile is smaller than the halo that neighbors need pasted.
+var ErrTileTooSmall = errors.New("halo: tile smaller than neighbor halo width (method cannot scale this far; see Table II(b) 'NA')")
+
+// Options configures a Halo Voxel Exchange reconstruction.
+type Options struct {
+	Mesh *tiling.Mesh
+	// HaloWidth is the voxel-exchange halo in pixels. The paper uses a
+	// wider halo than Gradient Decomposition (890 pm vs 600 pm) because
+	// it must cover the extra probe locations. Must be >= Mesh.Halo.
+	HaloWidth int
+	// ExtraRows is how many rows of neighboring probe locations each
+	// tile additionally reconstructs (paper: 2).
+	ExtraRows int
+	// StepSize is the local gradient-descent step.
+	StepSize float64
+	// Iterations is the number of full cycles.
+	Iterations int
+	// ExchangesPerIteration is how many voxel copy-paste exchanges run
+	// per iteration (>= 1).
+	ExchangesPerIteration int
+	// Timeout bounds blocking communication.
+	Timeout time.Duration
+	// OnIteration, when non-nil, receives the global cost per iteration
+	// (measured over owned locations only, like the GD solver).
+	OnIteration func(iter int, cost float64)
+}
+
+func (o *Options) validate(prob *solver.Problem) error {
+	if o.Mesh == nil {
+		return fmt.Errorf("halo: nil mesh")
+	}
+	if o.HaloWidth < 0 {
+		return fmt.Errorf("halo: negative halo width %d", o.HaloWidth)
+	}
+	if o.ExtraRows < 0 {
+		return fmt.Errorf("halo: negative extra rows %d", o.ExtraRows)
+	}
+	if o.StepSize <= 0 {
+		return fmt.Errorf("halo: step size must be positive, got %g", o.StepSize)
+	}
+	if o.Iterations <= 0 {
+		return fmt.Errorf("halo: iterations must be positive, got %d", o.Iterations)
+	}
+	if o.ExchangesPerIteration < 0 {
+		return fmt.Errorf("halo: negative exchanges per iteration")
+	}
+	if err := prob.Validate(); err != nil {
+		return err
+	}
+	if !o.Mesh.Image.Eq(prob.ImageBounds()) {
+		return fmt.Errorf("halo: mesh image %v != problem image %v", o.Mesh.Image, prob.ImageBounds())
+	}
+	return nil
+}
+
+// CheckTileConstraint returns ErrTileTooSmall when any interior tile is
+// narrower than the exchange halo — the baseline's scalability ceiling.
+func CheckTileConstraint(m *tiling.Mesh, haloWidth int) error {
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			tile := m.Tile(r, c)
+			if tile.W() < haloWidth || tile.H() < haloWidth {
+				return fmt.Errorf("%w: tile (%d,%d) is %dx%d, halo %d",
+					ErrTileTooSmall, r, c, tile.W(), tile.H(), haloWidth)
+			}
+		}
+	}
+	return nil
+}
+
+// Result carries the stitched reconstruction and run statistics.
+type Result struct {
+	Slices      []*grid.Complex2D
+	CostHistory []float64
+	// BytesSent / MessagesSent aggregate the voxel paste traffic.
+	BytesSent    int64
+	MessagesSent int64
+	// PerRankLocations counts owned + extra locations per rank — the
+	// redundant-computation overhead versus Gradient Decomposition.
+	PerRankLocations []int
+	// PerRankOwned counts only the owned locations.
+	PerRankOwned []int
+	// PerRankMemBytes estimates the per-rank footprint including the
+	// extra measurements and the widened halo.
+	PerRankMemBytes []int64
+}
+
+const tagPaste = 10
+
+// neighborOffsets enumerates the 8-connected neighborhood pasted to
+// (Fig 2(g): tile 4 pastes to 1, 2, 5, 7, 8 — all extended-tile
+// neighbors including diagonals).
+var neighborOffsets = [8][2]int{
+	{-1, -1}, {-1, 0}, {-1, 1},
+	{0, -1}, {0, 1},
+	{1, -1}, {1, 0}, {1, 1},
+}
+
+type hworker struct {
+	comm   *simmpi.Comm
+	mesh   *tiling.Mesh
+	prob   *solver.Problem
+	opt    *Options
+	r, c   int
+	ext    grid.Rect // tile + exchange halo
+	slices []*grid.Complex2D
+	grad   []*grid.Complex2D
+	owned  []int // own locations
+	all    []int // own + extra locations (reconstructed redundantly)
+}
+
+// Reconstruct runs the Halo Voxel Exchange baseline.
+func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Result, error) {
+	if err := opt.validate(prob); err != nil {
+		return nil, err
+	}
+	if len(init) != prob.Slices {
+		return nil, fmt.Errorf("halo: %d initial slices, want %d", len(init), prob.Slices)
+	}
+	m := opt.Mesh
+	haloW := opt.HaloWidth
+	if haloW == 0 {
+		haloW = m.Halo
+	}
+	if err := CheckTileConstraint(m, haloW); err != nil {
+		return nil, err
+	}
+	owned := m.AssignLocations(prob.Pattern)
+	ranks := m.NumTiles()
+
+	// Precompute each rank's full (owned + extra) location set.
+	allLocs := make([][]int, ranks)
+	for rank := 0; rank < ranks; rank++ {
+		r, c := m.RowCol(rank)
+		extra := m.ExtraRowLocations(prob.Pattern, owned, r, c, opt.ExtraRows)
+		allLocs[rank] = append(append([]int{}, owned[rank]...), extra...)
+	}
+
+	exchanges := opt.ExchangesPerIteration
+	if exchanges <= 0 {
+		exchanges = 1
+	}
+
+	tileOut := make([][]*grid.Complex2D, ranks)
+	memOut := make([]int64, ranks)
+	costOut := make([][]float64, ranks)
+
+	world := simmpi.NewWorld(ranks, opt.Timeout)
+	err := world.RunAll(func(comm *simmpi.Comm) error {
+		rank := comm.Rank()
+		r, c := m.RowCol(rank)
+		ext := m.ExtendedWithHalo(r, c, haloW)
+		w := &hworker{
+			comm: comm, mesh: m, prob: prob, opt: &opt,
+			r: r, c: c, ext: ext,
+			owned: owned[rank], all: allLocs[rank],
+		}
+		w.slices = make([]*grid.Complex2D, prob.Slices)
+		w.grad = make([]*grid.Complex2D, prob.Slices)
+		for s := 0; s < prob.Slices; s++ {
+			w.slices[s] = grid.NewComplex2D(ext)
+			w.slices[s].CopyRegion(init[s], ext)
+			w.grad[s] = grid.NewComplex2D(ext)
+		}
+		eng := prob.NewEngine()
+
+		n2 := int64(prob.WindowN * prob.WindowN)
+		memOut[rank] = int64(ext.Area())*16*int64(prob.Slices)*2 +
+			int64(len(w.all))*n2*8 + n2*16*int64(prob.Slices+4)
+
+		hist := make([]float64, 0, opt.Iterations)
+		step := complex(opt.StepSize, 0)
+		for iter := 0; iter < opt.Iterations; iter++ {
+			var cost float64
+			nloc := len(w.all)
+			done := 0
+			for ex := 0; ex < exchanges; ex++ {
+				upto := (ex + 1) * nloc / exchanges
+				for ; done < upto; done++ {
+					li := w.all[done]
+					loc := prob.Pattern.Locations[li]
+					for _, g := range w.grad {
+						g.Zero()
+					}
+					f := eng.LossGrad(w.slices, loc.Window(prob.WindowN), prob.Meas[li], w.grad)
+					// Cost is reported over owned locations only, so the
+					// histories are comparable with Gradient Decomposition.
+					if done < len(w.owned) {
+						cost += f
+					}
+					for s := range w.slices {
+						w.slices[s].AddScaled(w.grad[s], -step)
+					}
+				}
+				if err := w.exchangeVoxels(haloW); err != nil {
+					return fmt.Errorf("rank %d: %w", rank, err)
+				}
+			}
+			global, err := comm.AllreduceSum(cost)
+			if err != nil {
+				return err
+			}
+			hist = append(hist, global)
+			if rank == 0 && opt.OnIteration != nil {
+				opt.OnIteration(iter, global)
+			}
+		}
+		costOut[rank] = hist
+		tileOut[rank] = w.slices
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Slices:           m.StitchSlices(tileOut),
+		CostHistory:      costOut[0],
+		BytesSent:        world.BytesSent(),
+		MessagesSent:     world.MessagesSent(),
+		PerRankLocations: make([]int, ranks),
+		PerRankOwned:     make([]int, ranks),
+		PerRankMemBytes:  memOut,
+	}
+	for rank := range allLocs {
+		res.PerRankLocations[rank] = len(allLocs[rank])
+		res.PerRankOwned[rank] = len(owned[rank])
+	}
+	return res, nil
+}
+
+// exchangeVoxels performs the synchronous copy-paste: this tile's
+// interior voxels that fall inside each neighbor's halo are sent and
+// pasted verbatim into the neighbor's slices (overwriting — the seam
+// mechanism), and vice versa.
+func (w *hworker) exchangeVoxels(haloW int) error {
+	m := w.mesh
+	type pending struct {
+		req    *simmpi.Request
+		region grid.Rect
+	}
+	var recvs []pending
+	// Post all receives, then sends (isend/irecv avoids ordering
+	// deadlocks even though the algorithm is logically synchronous).
+	for _, d := range neighborOffsets {
+		nr, nc := w.r+d[0], w.c+d[1]
+		if nr < 0 || nr >= m.Rows || nc < 0 || nc >= m.Cols {
+			continue
+		}
+		// Region we receive: neighbor's interior tile ∩ our extended tile.
+		region := m.Tile(nr, nc).Intersect(w.ext)
+		if region.Empty() {
+			continue
+		}
+		recvs = append(recvs, pending{
+			req:    w.comm.Irecv(m.Rank(nr, nc), tagPaste),
+			region: region,
+		})
+	}
+	for _, d := range neighborOffsets {
+		nr, nc := w.r+d[0], w.c+d[1]
+		if nr < 0 || nr >= m.Rows || nc < 0 || nc >= m.Cols {
+			continue
+		}
+		nbExt := m.ExtendedWithHalo(nr, nc, haloW)
+		region := m.Tile(w.r, w.c).Intersect(nbExt)
+		if region.Empty() {
+			continue
+		}
+		w.comm.Isend(m.Rank(nr, nc), tagPaste, packRegion(w.slices, region))
+	}
+	// Receives from different neighbors arrive in arbitrary order; tags
+	// are identical, but each neighbor sends exactly one message per
+	// exchange and FIFO per (src, tag) keeps rounds aligned. Match by
+	// source via the posted order (Irecv stored the src).
+	for _, p := range recvs {
+		data, err := p.req.Wait()
+		if err != nil {
+			return err
+		}
+		if err := unpackRegion(w.slices, p.region, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func packRegion(arrs []*grid.Complex2D, region grid.Rect) []complex128 {
+	out := make([]complex128, 0, region.Area()*len(arrs))
+	for _, a := range arrs {
+		for y := region.Y0; y < region.Y1; y++ {
+			row := a.Row(y)
+			x0 := region.X0 - a.Bounds.X0
+			out = append(out, row[x0:x0+region.W()]...)
+		}
+	}
+	return out
+}
+
+func unpackRegion(arrs []*grid.Complex2D, region grid.Rect, data []complex128) error {
+	if len(data) != region.Area()*len(arrs) {
+		return fmt.Errorf("halo: payload %d for region %v x %d slices",
+			len(data), region, len(arrs))
+	}
+	k := 0
+	for _, a := range arrs {
+		for y := region.Y0; y < region.Y1; y++ {
+			row := a.Row(y)
+			x0 := region.X0 - a.Bounds.X0
+			copy(row[x0:x0+region.W()], data[k:k+region.W()])
+			k += region.W()
+		}
+	}
+	return nil
+}

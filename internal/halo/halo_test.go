@@ -1,0 +1,223 @@
+package halo
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+	"ptychopath/internal/tiling"
+)
+
+const testTimeout = 10 * time.Second
+
+func buildProblem(t testing.TB, scanCols, scanRows int, overlap float64, slices int) (*solver.Problem, *phantom.Object) {
+	t.Helper()
+	radius := 8.0
+	step := scan.StepForOverlap(radius, overlap)
+	pat, err := scan.Raster(scan.RasterConfig{
+		Cols: scanCols, Rows: scanRows, StepPix: step, RadiusPix: radius, MarginPix: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := phantom.RandomObject(pat.ImageW, pat.ImageH, slices, 5)
+	prob, err := solver.Simulate(solver.SimulateConfig{
+		Optics:  physics.PaperOptics(),
+		Pattern: pat,
+		Object:  obj,
+		WindowN: 16,
+		Seed:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, obj
+}
+
+func mesh(t testing.TB, prob *solver.Problem, rows, cols, halo int) *tiling.Mesh {
+	t.Helper()
+	m, err := tiling.NewMesh(prob.ImageBounds(), rows, cols, halo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestHVEConverges(t *testing.T) {
+	prob, obj := buildProblem(t, 4, 4, 0.7, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 2, 2, tiling.HaloForWindow(prob.WindowN))
+	res, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, HaloWidth: tiling.HaloForWindow(prob.WindowN), ExtraRows: 1,
+		StepSize: 0.01, Iterations: 8, ExchangesPerIteration: 1, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.CostHistory[0], res.CostHistory[len(res.CostHistory)-1]
+	if last >= first*0.8 {
+		t.Fatalf("HVE did not converge: %g -> %g", first, last)
+	}
+	for _, sl := range res.Slices {
+		if !sl.IsFinite() {
+			t.Fatal("non-finite reconstruction")
+		}
+	}
+}
+
+func TestHVERedundantLocations(t *testing.T) {
+	// The defining overhead: with extra rows, every rank reconstructs
+	// strictly more locations than it owns; total computed > total owned.
+	prob, obj := buildProblem(t, 6, 6, 0.75, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 3, 3, tiling.HaloForWindow(prob.WindowN))
+	res, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, HaloWidth: tiling.HaloForWindow(prob.WindowN), ExtraRows: 2,
+		StepSize: 0.01, Iterations: 1, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalOwned, totalAll := 0, 0
+	for rank := range res.PerRankLocations {
+		totalOwned += res.PerRankOwned[rank]
+		totalAll += res.PerRankLocations[rank]
+		if res.PerRankLocations[rank] < res.PerRankOwned[rank] {
+			t.Fatalf("rank %d: all=%d < owned=%d", rank,
+				res.PerRankLocations[rank], res.PerRankOwned[rank])
+		}
+	}
+	if totalOwned != prob.Pattern.N() {
+		t.Fatalf("owned sum %d != %d", totalOwned, prob.Pattern.N())
+	}
+	if totalAll <= totalOwned {
+		t.Fatal("extra rows produced no redundant work — baseline mis-modeled")
+	}
+}
+
+func TestHVEMemoryExceedsOwnedOnlyFootprint(t *testing.T) {
+	// HVE at the same mesh must use more memory per rank than an
+	// owned-only assignment would (the paper's memory argument).
+	prob, obj := buildProblem(t, 6, 6, 0.75, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 3, 3, tiling.HaloForWindow(prob.WindowN))
+	withExtra, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, HaloWidth: tiling.HaloForWindow(prob.WindowN), ExtraRows: 2,
+		StepSize: 0.01, Iterations: 1, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, HaloWidth: tiling.HaloForWindow(prob.WindowN), ExtraRows: 0,
+		StepSize: 0.01, Iterations: 1, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := 4 // rank of center tile in 3x3
+	if withExtra.PerRankMemBytes[center] <= without.PerRankMemBytes[center] {
+		t.Fatalf("extra rows did not increase memory: %d vs %d",
+			withExtra.PerRankMemBytes[center], without.PerRankMemBytes[center])
+	}
+}
+
+func TestTileConstraintNA(t *testing.T) {
+	// Oversubscribing the mesh must fail with ErrTileTooSmall — the
+	// paper's "NA" entries in Table II(b).
+	prob, obj := buildProblem(t, 4, 4, 0.7, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	// Many tiny tiles with a big halo.
+	m := mesh(t, prob, 6, 6, 2)
+	_, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, HaloWidth: 20, ExtraRows: 2,
+		StepSize: 0.01, Iterations: 1, Timeout: testTimeout,
+	})
+	if !errors.Is(err, ErrTileTooSmall) {
+		t.Fatalf("expected ErrTileTooSmall, got %v", err)
+	}
+}
+
+func TestCheckTileConstraintDirect(t *testing.T) {
+	prob, _ := buildProblem(t, 4, 4, 0.7, 1)
+	m := mesh(t, prob, 2, 2, 4)
+	if err := CheckTileConstraint(m, 5); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	if err := CheckTileConstraint(m, 1000); !errors.Is(err, ErrTileTooSmall) {
+		t.Fatalf("expected ErrTileTooSmall, got %v", err)
+	}
+}
+
+func TestHVECommunicatesVoxels(t *testing.T) {
+	prob, obj := buildProblem(t, 4, 4, 0.7, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 2, 2, tiling.HaloForWindow(prob.WindowN))
+	res, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, HaloWidth: tiling.HaloForWindow(prob.WindowN), ExtraRows: 1,
+		StepSize: 0.01, Iterations: 2, ExchangesPerIteration: 2, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesSent == 0 || res.MessagesSent == 0 {
+		t.Fatal("HVE must exchange voxels")
+	}
+	// Doubling exchange frequency should roughly double traffic.
+	res1, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, HaloWidth: tiling.HaloForWindow(prob.WindowN), ExtraRows: 1,
+		StepSize: 0.01, Iterations: 2, ExchangesPerIteration: 1, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesSent <= res1.BytesSent {
+		t.Fatal("more exchanges should send more bytes")
+	}
+}
+
+func TestHVEOptionValidation(t *testing.T) {
+	prob, obj := buildProblem(t, 3, 3, 0.6, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 2, 2, 4)
+	cases := []Options{
+		{Mesh: nil, StepSize: 1, Iterations: 1},
+		{Mesh: m, StepSize: 0, Iterations: 1},
+		{Mesh: m, StepSize: 1, Iterations: 0},
+		{Mesh: m, StepSize: 1, Iterations: 1, HaloWidth: -1},
+		{Mesh: m, StepSize: 1, Iterations: 1, ExtraRows: -1},
+	}
+	for i, o := range cases {
+		o.Timeout = testTimeout
+		if _, err := Reconstruct(prob, init.Slices, o); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestHVESingleTileMatchesSerialSequential(t *testing.T) {
+	// On a 1x1 mesh HVE degenerates to the serial sequential solver.
+	prob, obj := buildProblem(t, 3, 3, 0.6, 1)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	m := mesh(t, prob, 1, 1, 0)
+	hres, err := Reconstruct(prob, init.Slices, Options{
+		Mesh: m, HaloWidth: 0, ExtraRows: 0,
+		StepSize: 0.02, Iterations: 3, Timeout: testTimeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := solver.Reconstruct(prob, init.Slices, solver.Options{
+		StepSize: 0.02, Iterations: 3, Mode: solver.Sequential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.Slices[0].MaxDiff(sres.Slices[0]) > 1e-10 {
+		t.Fatal("1x1 HVE deviates from serial sequential solver")
+	}
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/tiling"
+)
+
+func borderMesh(t *testing.T, w, h, rows, cols int) *tiling.Mesh {
+	t.Helper()
+	m, err := tiling.NewMesh(grid.RectWH(0, 0, w, h), rows, cols, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBorderErrorRatioUniformErrorIsOne(t *testing.T) {
+	err := grid.NewComplex2DSize(32, 32)
+	err.Fill(0.5 + 0.2i)
+	m := borderMesh(t, 32, 32, 2, 2)
+	if got := BorderErrorRatio(err, m, 4); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("uniform error ratio %g, want 1", got)
+	}
+}
+
+func TestBorderErrorRatioDetectsBorderConcentration(t *testing.T) {
+	// Error only inside the boundary band: ratio must blow up.
+	errMap := grid.NewComplex2DSize(32, 32)
+	m := borderMesh(t, 32, 32, 2, 2)
+	bx := m.Tile(0, 0).X1 // 16
+	for y := 0; y < 32; y++ {
+		for x := bx - 2; x < bx+2; x++ {
+			errMap.Set(x, y, 1)
+		}
+	}
+	// A touch of error elsewhere to keep the denominator finite.
+	errMap.Set(2, 2, complex(0.01, 0))
+	got := BorderErrorRatio(errMap, m, 2)
+	if got < 20 {
+		t.Fatalf("border-concentrated error ratio %g, want >> 1", got)
+	}
+}
+
+func TestBorderErrorRatioAntiConcentration(t *testing.T) {
+	// Error only AWAY from borders: ratio < 1.
+	errMap := grid.NewComplex2DSize(32, 32)
+	errMap.Set(2, 2, 1)
+	errMap.Set(29, 29, 1)
+	m := borderMesh(t, 32, 32, 2, 2)
+	if got := BorderErrorRatio(errMap, m, 3); got != 0 {
+		t.Fatalf("interior-only error ratio %g, want 0", got)
+	}
+}
+
+func TestBorderErrorRatioHandlesVerticalAndHorizontal(t *testing.T) {
+	// Error along the horizontal boundary only; 2x1 mesh has no
+	// vertical boundary.
+	errMap := grid.NewComplex2DSize(16, 16)
+	m := borderMesh(t, 16, 16, 2, 1)
+	by := m.Tile(0, 0).Y1
+	for x := 0; x < 16; x++ {
+		errMap.Set(x, by, 1)
+	}
+	errMap.Set(0, 0, complex(0.001, 0))
+	if got := BorderErrorRatio(errMap, m, 1); got < 10 {
+		t.Fatalf("horizontal boundary not detected: %g", got)
+	}
+}
+
+func TestBorderErrorRatioSingleTile(t *testing.T) {
+	// 1x1 mesh has no interior boundaries: ratio defined as 1.
+	errMap := grid.NewComplex2DSize(8, 8)
+	errMap.Fill(1)
+	m := borderMesh(t, 8, 8, 1, 1)
+	if got := BorderErrorRatio(errMap, m, 2); got != 1 {
+		t.Fatalf("1x1 mesh ratio %g, want 1", got)
+	}
+}
+
+func TestBorderErrorRatioZeroOutside(t *testing.T) {
+	// All error on the border band, exactly zero outside -> +Inf.
+	errMap := grid.NewComplex2DSize(16, 16)
+	m := borderMesh(t, 16, 16, 1, 2)
+	bx := m.Tile(0, 0).X1
+	for y := 0; y < 16; y++ {
+		errMap.Set(bx, y, 1)
+	}
+	if got := BorderErrorRatio(errMap, m, 1); !math.IsInf(got, 1) {
+		t.Fatalf("ratio %g, want +Inf", got)
+	}
+}
+
+func TestBorderErrorRatioMismatchPanics(t *testing.T) {
+	m := borderMesh(t, 16, 16, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	BorderErrorRatio(grid.NewComplex2DSize(8, 8), m, 2)
+}

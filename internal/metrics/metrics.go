@@ -1,0 +1,203 @@
+// Package metrics provides the image-quality measures used by the
+// experiments: reconstruction error with global-phase alignment, PSNR,
+// and the seam-artifact score that quantifies the tile-border
+// discontinuities of Fig 8.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/tiling"
+)
+
+// AlignGlobalPhase returns a copy of a rotated by the global phase that
+// best matches b (ptychographic reconstructions are defined up to a
+// global phase factor).
+func AlignGlobalPhase(a, b *grid.Complex2D) *grid.Complex2D {
+	if a.Bounds != b.Bounds {
+		panic(fmt.Sprintf("metrics: bounds mismatch %v vs %v", a.Bounds, b.Bounds))
+	}
+	var corr complex128
+	for i := range a.Data {
+		corr += a.Data[i] * cmplx.Conj(b.Data[i])
+	}
+	out := a.Clone()
+	if m := cmplx.Abs(corr); m > 0 {
+		out.Scale(cmplx.Conj(corr) * complex(1/m, 0))
+	}
+	return out
+}
+
+// ComplexRMSE returns the root-mean-square complex difference between a
+// and b after global-phase alignment.
+func ComplexRMSE(a, b *grid.Complex2D) float64 {
+	al := AlignGlobalPhase(a, b)
+	var s float64
+	for i := range al.Data {
+		d := al.Data[i] - b.Data[i]
+		s += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if len(al.Data) == 0 {
+		return 0
+	}
+	return math.Sqrt(s / float64(len(al.Data)))
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between the phase
+// maps of a and b (after global-phase alignment), using b's phase range
+// as the peak.
+func PSNR(a, b *grid.Complex2D) float64 {
+	al := AlignGlobalPhase(a, b)
+	pa, pb := al.Phase(), b.Phase()
+	lo, hi := pb.MinMax()
+	peak := hi - lo
+	if peak == 0 {
+		peak = 1
+	}
+	mse := 0.0
+	for i := range pa.Data {
+		d := pa.Data[i] - pb.Data[i]
+		mse += d * d
+	}
+	mse /= float64(len(pa.Data))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(peak*peak/mse)
+}
+
+// SeamScore quantifies tile-border artifacts in a stitched
+// reconstruction: the mean absolute first difference ACROSS interior
+// tile boundaries divided by the mean absolute first difference
+// everywhere else. A seam-free image scores ~1; voxel copy-paste seams
+// (Fig 8a) score substantially higher.
+func SeamScore(img *grid.Complex2D, mesh *tiling.Mesh) float64 {
+	if !img.Bounds.Eq(mesh.Image) {
+		panic(fmt.Sprintf("metrics: image %v does not match mesh %v", img.Bounds, mesh.Image))
+	}
+	seamSum, seamN := 0.0, 0
+	restSum, restN := 0.0, 0
+
+	isBoundaryX := map[int]bool{}
+	for c := 0; c < mesh.Cols-1; c++ {
+		isBoundaryX[mesh.Tile(0, c).X1] = true
+	}
+	isBoundaryY := map[int]bool{}
+	for r := 0; r < mesh.Rows-1; r++ {
+		isBoundaryY[mesh.Tile(r, 0).Y1] = true
+	}
+
+	b := img.Bounds
+	// Horizontal differences: |img(x,y) - img(x-1,y)|; x is a column
+	// boundary when a tile starts at x.
+	for y := b.Y0; y < b.Y1; y++ {
+		for x := b.X0 + 1; x < b.X1; x++ {
+			d := cmplx.Abs(img.At(x, y) - img.At(x-1, y))
+			if isBoundaryX[x] {
+				seamSum += d
+				seamN++
+			} else {
+				restSum += d
+				restN++
+			}
+		}
+	}
+	// Vertical differences.
+	for y := b.Y0 + 1; y < b.Y1; y++ {
+		for x := b.X0; x < b.X1; x++ {
+			d := cmplx.Abs(img.At(x, y) - img.At(x, y-1))
+			if isBoundaryY[y] {
+				seamSum += d
+				seamN++
+			} else {
+				restSum += d
+				restN++
+			}
+		}
+	}
+	if seamN == 0 || restN == 0 {
+		return 1
+	}
+	seam := seamSum / float64(seamN)
+	rest := restSum / float64(restN)
+	if rest == 0 {
+		if seam == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return seam / rest
+}
+
+// RelativeError returns ||a-b|| / ||b|| after phase alignment — a scale-
+// free reconstruction fidelity score.
+func RelativeError(a, b *grid.Complex2D) float64 {
+	al := AlignGlobalPhase(a, b)
+	var num, den float64
+	for i := range al.Data {
+		d := al.Data[i] - b.Data[i]
+		num += real(d)*real(d) + imag(d)*imag(d)
+		den += real(b.Data[i])*real(b.Data[i]) + imag(b.Data[i])*imag(b.Data[i])
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+// BorderErrorRatio measures how strongly |err| concentrates within a
+// band of the given half-width around interior tile boundaries: the mean
+// magnitude of err inside the band divided by the mean outside. A
+// spatially uniform error scores ~1; the voxel copy-paste artifacts of
+// the Halo Voxel Exchange baseline concentrate reconstruction error
+// around tile borders and score higher.
+func BorderErrorRatio(err *grid.Complex2D, mesh *tiling.Mesh, band int) float64 {
+	if !err.Bounds.Eq(mesh.Image) {
+		panic(fmt.Sprintf("metrics: error map %v does not match mesh %v", err.Bounds, mesh.Image))
+	}
+	nearBoundary := func(x, y int) bool {
+		for c := 0; c < mesh.Cols-1; c++ {
+			bx := mesh.Tile(0, c).X1
+			if x >= bx-band && x < bx+band {
+				return true
+			}
+		}
+		for r := 0; r < mesh.Rows-1; r++ {
+			by := mesh.Tile(r, 0).Y1
+			if y >= by-band && y < by+band {
+				return true
+			}
+		}
+		return false
+	}
+	var inSum, outSum float64
+	var inN, outN int
+	b := err.Bounds
+	for y := b.Y0; y < b.Y1; y++ {
+		for x := b.X0; x < b.X1; x++ {
+			m := cmplx.Abs(err.At(x, y))
+			if nearBoundary(x, y) {
+				inSum += m
+				inN++
+			} else {
+				outSum += m
+				outN++
+			}
+		}
+	}
+	if inN == 0 || outN == 0 {
+		return 1
+	}
+	in := inSum / float64(inN)
+	out := outSum / float64(outN)
+	if out == 0 {
+		if in == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return in / out
+}

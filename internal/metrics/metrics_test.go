@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/tiling"
+)
+
+func randImg(rng *rand.Rand, w, h int) *grid.Complex2D {
+	a := grid.NewComplex2DSize(w, h)
+	for i := range a.Data {
+		a.Data[i] = cmplx.Exp(complex(0, rng.Float64())) * complex(1+0.1*rng.NormFloat64(), 0)
+	}
+	return a
+}
+
+func TestAlignGlobalPhaseRecoversRotation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := randImg(rng, 16, 16)
+	a := b.Clone()
+	a.Scale(cmplx.Exp(complex(0, 1.234))) // arbitrary global phase
+	if ComplexRMSE(a, b) > 1e-12 {
+		t.Fatalf("phase-rotated copy should align exactly: %g", ComplexRMSE(a, b))
+	}
+}
+
+func TestComplexRMSEDetectsDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randImg(rng, 16, 16)
+	b := randImg(rng, 16, 16)
+	if ComplexRMSE(a, b) <= 0 {
+		t.Fatal("different images must have positive RMSE")
+	}
+	if ComplexRMSE(a, a) > 1e-15 {
+		t.Fatal("identical images must have zero RMSE")
+	}
+}
+
+func TestAlignGlobalPhaseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	AlignGlobalPhase(grid.NewComplex2DSize(4, 4), grid.NewComplex2DSize(5, 4))
+}
+
+func TestPSNRInfiniteForIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randImg(rng, 8, 8)
+	// Alignment introduces last-ulp roundoff, so "identical" means an
+	// extremely high (or infinite) score rather than exactly +Inf.
+	if got := PSNR(a, a); got < 100 {
+		t.Fatalf("identical images PSNR = %g, want >= 100 dB", got)
+	}
+	b := a.Clone()
+	b.Data[10] *= cmplx.Exp(complex(0, 0.5))
+	if got := PSNR(b, a); math.IsInf(got, 1) || got < 10 {
+		t.Fatalf("PSNR = %g, want finite and reasonably high", got)
+	}
+}
+
+func TestSeamScoreNearOneForSmoothImage(t *testing.T) {
+	// A smooth image has no preferred discontinuity at tile borders.
+	img := grid.NewComplex2DSize(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			img.Set(x, y, cmplx.Exp(complex(0, 0.05*float64(x+y))))
+		}
+	}
+	m, err := tiling.NewMesh(img.Bounds, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := SeamScore(img, m)
+	if math.Abs(score-1) > 0.2 {
+		t.Fatalf("smooth image seam score %g, want ~1", score)
+	}
+}
+
+func TestSeamScoreDetectsSeams(t *testing.T) {
+	// Inject a hard intensity step exactly at the tile boundaries —
+	// the copy-paste artifact signature.
+	img := grid.NewComplex2DSize(32, 32)
+	m, err := tiling.NewMesh(img.Bounds, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			r, c := m.TileOf(x, y)
+			v := 1.0 + 0.3*float64(r*2+c) // distinct plateau per tile
+			img.Set(x, y, complex(v, 0))
+		}
+	}
+	score := SeamScore(img, m)
+	if score < 10 {
+		t.Fatalf("plateaued tiles seam score %g, want >> 1", score)
+	}
+}
+
+func TestSeamScoreSingleTile(t *testing.T) {
+	img := grid.NewComplex2DSize(16, 16)
+	m, err := tiling.NewMesh(img.Bounds, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SeamScore(img, m); got != 1 {
+		t.Fatalf("1x1 mesh seam score %g, want 1 (no boundaries)", got)
+	}
+}
+
+func TestSeamScoreBoundsMismatchPanics(t *testing.T) {
+	m, err := tiling.NewMesh(grid.RectWH(0, 0, 16, 16), 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	SeamScore(grid.NewComplex2DSize(8, 8), m)
+}
+
+func TestRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := randImg(rng, 8, 8)
+	if RelativeError(b, b) > 1e-15 {
+		t.Fatal("identical images must have zero relative error")
+	}
+	a := b.Clone()
+	for i := range a.Data {
+		a.Data[i] += complex(0.1, 0)
+	}
+	e := RelativeError(a, b)
+	if e <= 0 || e > 1 {
+		t.Fatalf("relative error %g out of expected range", e)
+	}
+}

@@ -1,0 +1,270 @@
+// Package multislice implements the paper's forward model G and its
+// adjoint. G simulates far-field diffraction at one probe location by
+// transmitting the probe wave through a stack of object slices with
+// Fresnel propagation between them (Maiden/Humphry/Rodenburg 2012), and
+// the adjoint backpropagates the measurement residual into a gradient of
+// the cost F(V) = sum_i (|y_i| - |G(p_i, V)|)^2 with respect to the
+// complex object slices — the "individual image gradient" of the paper's
+// Eqn. (2).
+//
+// Conventions: object slices hold the complex transmission function.
+// Windows outside the object bounds are treated as vacuum (t = 1), and
+// gradient contributions outside the bounds are discarded; this makes
+// edge probe locations well defined for both the serial solver and the
+// tile-decomposed parallel algorithms.
+package multislice
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"ptychopath/internal/fft"
+	"ptychopath/internal/grid"
+)
+
+// Engine evaluates the forward model and gradients for a fixed probe,
+// propagator and window size. An Engine holds scratch state and is NOT
+// safe for concurrent use; parallel workers should each construct their
+// own (construction is cheap — plans are cached globally).
+type Engine struct {
+	n     int
+	probe *grid.Complex2D // anchored at (0,0), n x n, read-only
+	h     *grid.Complex2D // Fresnel kernel, n x n, read-only; nil = no propagation
+	plan  *fft.Plan2D
+
+	// Scratch: per-slice wavefronts psi[0..S] kept from the last forward
+	// evaluation for use by the backward pass.
+	psi   []*grid.Complex2D
+	fwork *grid.Complex2D // far-field / residual workspace
+	bwork *grid.Complex2D // backward wave workspace
+	twin  *grid.Complex2D // window extraction of the current slice
+}
+
+// NewEngine builds an engine for the given probe and propagation kernel.
+// probe must be square; h must match its shape (or be nil to disable
+// inter-slice propagation, which collapses G to single-slice CDI).
+func NewEngine(probe, h *grid.Complex2D) *Engine {
+	n := probe.W()
+	if probe.H() != n {
+		panic(fmt.Sprintf("multislice: probe must be square, got %dx%d", probe.W(), probe.H()))
+	}
+	if h != nil && (h.W() != n || h.H() != n) {
+		panic(fmt.Sprintf("multislice: propagator %dx%d does not match probe %d", h.W(), h.H(), n))
+	}
+	// Always copy: the engine's probe is mutable via SetProbe and must
+	// never alias the caller's array (problems share one probe across
+	// many engines).
+	p := probe.Clone()
+	p.Bounds = grid.RectWH(0, 0, n, n)
+	return &Engine{
+		n:     n,
+		probe: p,
+		h:     h,
+		plan:  fft.NewPlan2D(n, n, false),
+		fwork: grid.NewComplex2DSize(n, n),
+		bwork: grid.NewComplex2DSize(n, n),
+		twin:  grid.NewComplex2DSize(n, n),
+	}
+}
+
+// N returns the window size.
+func (e *Engine) N() int { return e.n }
+
+// Probe returns the engine's (origin-anchored) probe field.
+func (e *Engine) Probe() *grid.Complex2D { return e.probe }
+
+// SetProbe replaces the engine's probe values (shape must match). Used
+// by joint object-probe refinement between iterations.
+func (e *Engine) SetProbe(p *grid.Complex2D) {
+	if p.W() != e.n || p.H() != e.n {
+		panic(fmt.Sprintf("multislice: probe must be %dx%d, got %dx%d", e.n, e.n, p.W(), p.H()))
+	}
+	copy(e.probe.Data, p.Data)
+}
+
+// ensurePsi sizes the wavefront stack for S slices.
+func (e *Engine) ensurePsi(s int) {
+	for len(e.psi) < s+1 {
+		e.psi = append(e.psi, grid.NewComplex2DSize(e.n, e.n))
+	}
+}
+
+// extractWindow copies the window region win of slice into dst (n x n at
+// origin), padding out-of-bounds texels with vacuum (1).
+func extractWindow(dst *grid.Complex2D, slice *grid.Complex2D, win grid.Rect) {
+	dst.Fill(1)
+	inter := win.Intersect(slice.Bounds)
+	if inter.Empty() {
+		return
+	}
+	n := dst.W()
+	for y := inter.Y0; y < inter.Y1; y++ {
+		srcRow := slice.Row(y)
+		dy := y - win.Y0
+		dx0 := inter.X0 - win.X0
+		sx0 := inter.X0 - slice.Bounds.X0
+		copy(dst.Data[dy*n+dx0:dy*n+dx0+inter.W()], srcRow[sx0:sx0+inter.W()])
+	}
+}
+
+// forward runs the multi-slice recursion, leaving psi[s] for s=0..S
+// populated and returning the far-field D (stored in fwork).
+func (e *Engine) forward(slices []*grid.Complex2D, win grid.Rect) *grid.Complex2D {
+	s := len(slices)
+	if s == 0 {
+		panic("multislice: empty slice stack")
+	}
+	e.ensurePsi(s)
+	copy(e.psi[0].Data, e.probe.Data)
+	for i, sl := range slices {
+		if sl.W() < e.n || sl.H() < e.n {
+			// Slices smaller than the window are legal (vacuum pad), but
+			// warn-level situations are caught by callers in tests.
+			_ = sl
+		}
+		extractWindow(e.twin, sl, win)
+		cur, next := e.psi[i], e.psi[i+1]
+		for j := range cur.Data {
+			next.Data[j] = cur.Data[j] * e.twin.Data[j]
+		}
+		if e.h != nil && i < len(slices)-1 {
+			e.plan.Transform(next, fft.Forward)
+			for j := range next.Data {
+				next.Data[j] *= e.h.Data[j]
+			}
+			e.plan.Transform(next, fft.Inverse)
+		}
+	}
+	copy(e.fwork.Data, e.psi[s].Data)
+	e.plan.Transform(e.fwork, fft.Forward)
+	return e.fwork
+}
+
+// Simulate computes the far-field amplitude |G(p, V)| for the window win
+// of the object. The result is a fresh n x n array (origin-anchored).
+func (e *Engine) Simulate(slices []*grid.Complex2D, win grid.Rect) *grid.Float2D {
+	d := e.forward(slices, win)
+	out := grid.NewFloat2DSize(e.n, e.n)
+	for i, v := range d.Data {
+		out.Data[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// Loss computes f_i = sum_q (|y(q)| - |D(q)|)^2 for the window win
+// against the measured amplitude yAmp (n x n).
+func (e *Engine) Loss(slices []*grid.Complex2D, win grid.Rect, yAmp *grid.Float2D) float64 {
+	d := e.forward(slices, win)
+	return amplitudeLoss(d, yAmp)
+}
+
+func amplitudeLoss(d *grid.Complex2D, yAmp *grid.Float2D) float64 {
+	var f float64
+	for i, v := range d.Data {
+		r := yAmp.Data[i] - cmplx.Abs(v)
+		f += r * r
+	}
+	return f
+}
+
+// LossGrad computes the loss at one probe location and ACCUMULATES the
+// Wirtinger gradient dF/d(conj t_s) into grads (one array per slice,
+// same bounds as the object slices), restricted to the window region
+// clipped to the gradient arrays' bounds. It returns the loss value.
+//
+// The gradient convention matches central finite differences:
+// d f / d Re(t) == 2*Re(g), d f / d Im(t) == 2*Im(g).
+func (e *Engine) LossGrad(slices []*grid.Complex2D, win grid.Rect, yAmp *grid.Float2D, grads []*grid.Complex2D) float64 {
+	return e.lossGrad(slices, win, yAmp, grads, nil)
+}
+
+// LossGradProbe is LossGrad extended with the gradient of the loss with
+// respect to the PROBE wavefunction, accumulated into probeGrad (n x n,
+// origin-anchored). This is the quantity joint object-probe refinement
+// (aberration/defect correction, paper Sec. II-B point 3) descends on.
+func (e *Engine) LossGradProbe(slices []*grid.Complex2D, win grid.Rect, yAmp *grid.Float2D,
+	grads []*grid.Complex2D, probeGrad *grid.Complex2D) float64 {
+	if probeGrad.W() != e.n || probeGrad.H() != e.n {
+		panic(fmt.Sprintf("multislice: probe gradient must be %dx%d", e.n, e.n))
+	}
+	return e.lossGrad(slices, win, yAmp, grads, probeGrad)
+}
+
+func (e *Engine) lossGrad(slices []*grid.Complex2D, win grid.Rect, yAmp *grid.Float2D,
+	grads []*grid.Complex2D, probeGrad *grid.Complex2D) float64 {
+	if len(grads) != len(slices) {
+		panic(fmt.Sprintf("multislice: %d gradient arrays for %d slices", len(grads), len(slices)))
+	}
+	s := len(slices)
+	d := e.forward(slices, win)
+	f := amplitudeLoss(d, yAmp)
+
+	// chi = dF/d(conj D) = (|D| - |y|) * D / |D|.
+	chi := e.bwork
+	for i, v := range d.Data {
+		m := cmplx.Abs(v)
+		if m < 1e-300 {
+			chi.Data[i] = 0
+			continue
+		}
+		chi.Data[i] = v * complex((m-yAmp.Data[i])/m, 0)
+	}
+	// psi_bar_S = F^H chi = N * F^-1 chi.
+	e.plan.Transform(chi, fft.Inverse)
+	scale := complex(float64(e.n*e.n), 0)
+	for i := range chi.Data {
+		chi.Data[i] *= scale
+	}
+
+	// Backward slice loop: chi currently holds psi_bar after slice s.
+	for i := s - 1; i >= 0; i-- {
+		if e.h != nil && i < s-1 {
+			// Adjoint of the propagation applied after slice i.
+			e.plan.Transform(chi, fft.Forward)
+			for j := range chi.Data {
+				chi.Data[j] *= cmplx.Conj(e.h.Data[j])
+			}
+			e.plan.Transform(chi, fft.Inverse)
+		}
+		// g_t(i) = conj(psi_i) * psi_bar'  (psi_i = wave entering slice i).
+		extractWindow(e.twin, slices[i], win)
+		g := grads[i]
+		inter := win.Intersect(g.Bounds)
+		for y := inter.Y0; y < inter.Y1; y++ {
+			gRow := g.Row(y)
+			wy := y - win.Y0
+			for x := inter.X0; x < inter.X1; x++ {
+				wx := x - win.X0
+				idx := wy*e.n + wx
+				gRow[x-g.Bounds.X0] += cmplx.Conj(e.psi[i].Data[idx]) * chi.Data[idx]
+			}
+		}
+		// psi_bar_{i-1} = conj(t_i) * psi_bar'.
+		if i > 0 || probeGrad != nil {
+			for j := range chi.Data {
+				chi.Data[j] *= cmplx.Conj(e.twin.Data[j])
+			}
+		}
+	}
+	// After the i == 0 step, chi = conj(t_0) * psi_bar'_0 = dF/d(conj
+	// psi_0) = dF/d(conj p) since psi_0 is the probe itself.
+	if probeGrad != nil {
+		for j := range chi.Data {
+			probeGrad.Data[j] += chi.Data[j]
+		}
+	}
+	return f
+}
+
+// FlopsPerLocation estimates the floating-point operations to evaluate
+// one location's loss and gradient: roughly 2 FFTs per slice on the
+// forward pass and 2 per slice on the backward pass, each costing
+// 5*n^2*log2(n^2), plus element-wise work. Used by the performance
+// model, not by the numerics.
+func FlopsPerLocation(n, slices int) float64 {
+	n2 := float64(n * n)
+	fftCost := 5 * n2 * math.Log2(n2)
+	perSlice := 4*fftCost + 6*n2
+	return float64(slices)*perSlice + 2*fftCost
+}

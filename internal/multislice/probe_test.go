@@ -1,0 +1,169 @@
+package multislice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+)
+
+// TestProbeGradientMatchesFiniteDifferences validates the probe adjoint
+// the same way the object adjoint is validated: against central
+// differences in the real and imaginary directions.
+func TestProbeGradientMatchesFiniteDifferences(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		slices int
+		useH   bool
+	}{
+		{"1slice", 1, false},
+		{"2slice-prop", 2, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 8
+			o := physics.PaperOptics()
+			baseProbe := o.Probe(n)
+			var h *grid.Complex2D
+			if tc.useH {
+				h = physics.FresnelPropagator(n, o.PixelSizePM, o.Wavelength(), o.SliceThickPM)
+			}
+			obj := phantom.RandomObject(n+4, n+4, tc.slices, 21)
+			target := phantom.RandomObject(n+4, n+4, tc.slices, 22)
+			win := grid.RectWH(1, 2, n, n)
+
+			eng := NewEngine(baseProbe, h)
+			y := eng.Simulate(target.Slices, win)
+
+			grads := make([]*grid.Complex2D, tc.slices)
+			for i := range grads {
+				grads[i] = grid.NewComplex2D(obj.Slices[i].Bounds)
+			}
+			pGrad := grid.NewComplex2DSize(n, n)
+			eng.LossGradProbe(obj.Slices, win, y, grads, pGrad)
+
+			lossWithProbe := func(p *grid.Complex2D) float64 {
+				e2 := NewEngine(p, h)
+				return e2.Loss(obj.Slices, win, y)
+			}
+			const eps = 1e-6
+			rng := rand.New(rand.NewSource(5))
+			for trial := 0; trial < 10; trial++ {
+				idx := rng.Intn(n * n)
+				g := pGrad.Data[idx]
+				perturb := func(d complex128) float64 {
+					p := baseProbe.Clone()
+					p.Data[idx] += d
+					return lossWithProbe(p)
+				}
+				fdRe := (perturb(complex(eps, 0)) - perturb(complex(-eps, 0))) / (2 * eps)
+				fdIm := (perturb(complex(0, eps)) - perturb(complex(0, -eps))) / (2 * eps)
+				if math.Abs(fdRe-2*real(g)) > 1e-4*(1+math.Abs(fdRe)) {
+					t.Fatalf("probe idx %d: d/dRe fd=%g adj=%g", idx, fdRe, 2*real(g))
+				}
+				if math.Abs(fdIm-2*imag(g)) > 1e-4*(1+math.Abs(fdIm)) {
+					t.Fatalf("probe idx %d: d/dIm fd=%g adj=%g", idx, fdIm, 2*imag(g))
+				}
+			}
+		})
+	}
+}
+
+func TestProbeGradientAccumulates(t *testing.T) {
+	n := 8
+	o := physics.PaperOptics()
+	probe := o.Probe(n)
+	obj := phantom.RandomObject(n+4, n+4, 1, 23)
+	target := phantom.RandomObject(n+4, n+4, 1, 24)
+	win := grid.RectWH(0, 0, n, n)
+	eng := NewEngine(probe, nil)
+	y := eng.Simulate(target.Slices, win)
+	grads := []*grid.Complex2D{grid.NewComplex2D(obj.Slices[0].Bounds)}
+
+	g1 := grid.NewComplex2DSize(n, n)
+	eng.LossGradProbe(obj.Slices, win, y, grads, g1)
+	g2 := grid.NewComplex2DSize(n, n)
+	eng.LossGradProbe(obj.Slices, win, y, grads, g2)
+	eng.LossGradProbe(obj.Slices, win, y, grads, g2)
+	for i := range g2.Data {
+		if d := g2.Data[i] - 2*g1.Data[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatal("probe gradient must accumulate additively")
+		}
+	}
+}
+
+func TestLossGradProbeSameObjectGradient(t *testing.T) {
+	// Requesting the probe gradient must not change the object gradient
+	// or the loss.
+	n := 8
+	o := physics.PaperOptics()
+	probe := o.Probe(n)
+	obj := phantom.RandomObject(n+4, n+4, 2, 25)
+	target := phantom.RandomObject(n+4, n+4, 2, 26)
+	win := grid.RectWH(2, 2, n, n)
+	h := physics.FresnelPropagator(n, o.PixelSizePM, o.Wavelength(), o.SliceThickPM)
+	eng := NewEngine(probe, h)
+	y := eng.Simulate(target.Slices, win)
+
+	gA := []*grid.Complex2D{grid.NewComplex2D(obj.Slices[0].Bounds), grid.NewComplex2D(obj.Slices[1].Bounds)}
+	fA := eng.LossGrad(obj.Slices, win, y, gA)
+	gB := []*grid.Complex2D{grid.NewComplex2D(obj.Slices[0].Bounds), grid.NewComplex2D(obj.Slices[1].Bounds)}
+	pg := grid.NewComplex2DSize(n, n)
+	fB := eng.LossGradProbe(obj.Slices, win, y, gB, pg)
+	if math.Abs(fA-fB) > 1e-12*(1+fA) {
+		t.Fatalf("loss changed: %g vs %g", fA, fB)
+	}
+	for s := range gA {
+		if gA[s].MaxDiff(gB[s]) > 1e-12 {
+			t.Fatal("object gradient changed when probe gradient requested")
+		}
+	}
+	if pg.Norm2() == 0 {
+		t.Fatal("probe gradient identically zero")
+	}
+}
+
+func TestSetProbeDoesNotAliasCaller(t *testing.T) {
+	n := 8
+	probe := physics.PaperOptics().Probe(n)
+	eng := NewEngine(probe, nil)
+	// Mutating the caller's probe must not affect the engine.
+	orig := eng.Probe().Clone()
+	probe.Data[0] += 99
+	if eng.Probe().MaxDiff(orig) != 0 {
+		t.Fatal("engine probe aliases constructor argument")
+	}
+	// SetProbe copies too.
+	p2 := orig.Clone()
+	eng.SetProbe(p2)
+	p2.Data[1] += 99
+	if eng.Probe().MaxDiff(orig) != 0 {
+		t.Fatal("engine probe aliases SetProbe argument")
+	}
+}
+
+func TestSetProbeShapeMismatchPanics(t *testing.T) {
+	eng := NewEngine(physics.PaperOptics().Probe(8), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	eng.SetProbe(grid.NewComplex2DSize(16, 16))
+}
+
+func TestProbeGradShapeMismatchPanics(t *testing.T) {
+	n := 8
+	eng := NewEngine(physics.PaperOptics().Probe(n), nil)
+	obj := phantom.RandomObject(n, n, 1, 27)
+	y := eng.Simulate(obj.Slices, grid.RectWH(0, 0, n, n))
+	grads := []*grid.Complex2D{grid.NewComplex2D(obj.Slices[0].Bounds)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	eng.LossGradProbe(obj.Slices, grid.RectWH(0, 0, n, n), y, grads, grid.NewComplex2DSize(4, 4))
+}

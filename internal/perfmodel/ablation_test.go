@@ -1,0 +1,65 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"ptychopath/internal/cluster"
+)
+
+func TestHaloSensitivityMonotone(t *testing.T) {
+	cfg := DefaultConfig(cluster.LargeLeadTitanate())
+	cfg.SimIterations = 1
+	pts := cfg.HaloSensitivity(462, []float64{300, 600, 1200, 2400})
+	if len(pts) != 4 {
+		t.Fatal("point count")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].MemoryGB <= pts[i-1].MemoryGB {
+			t.Fatalf("memory not increasing with halo: %+v", pts)
+		}
+		if pts[i].CommBytesPerIter <= pts[i-1].CommBytesPerIter {
+			t.Fatalf("comm volume not increasing with halo: %+v", pts)
+		}
+	}
+	// The paper's 600 pm halo stays close to the minimal-memory end:
+	// quadrupling the halo should cost well over 30% more memory.
+	if pts[3].MemoryGB < 1.3*pts[1].MemoryGB {
+		t.Fatalf("halo ablation too flat: %.3f vs %.3f GB", pts[3].MemoryGB, pts[1].MemoryGB)
+	}
+}
+
+func TestExtraRowsSensitivity(t *testing.T) {
+	cfg := DefaultConfig(cluster.LargeLeadTitanate())
+	cfg.SimIterations = 1
+	pts := cfg.ExtraRowsSensitivity(198, []int{0, 1, 2, 4})
+	if pts[0].RedundantLocs != 0 || pts[0].RedundantPercent != 0 {
+		t.Fatalf("zero rows must mean zero redundancy: %+v", pts[0])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RedundantLocs <= pts[i-1].RedundantLocs {
+			t.Fatal("redundant locations must grow with rows")
+		}
+		if !pts[i].NA && !pts[i-1].NA && pts[i].MemoryGB <= pts[i-1].MemoryGB {
+			t.Fatal("memory must grow with rows")
+		}
+	}
+	// At 198 GPUs the paper's 2 rows already means substantial
+	// redundant work (>= 30% of owned locations).
+	if pts[2].RedundantPercent < 30 {
+		t.Fatalf("redundancy at 2 rows only %.1f%%", pts[2].RedundantPercent)
+	}
+}
+
+func TestExtraRowsCanTriggerNA(t *testing.T) {
+	cfg := DefaultConfig(cluster.LargeLeadTitanate())
+	cfg.SimIterations = 1
+	// At 462 GPUs the tile barely fits 2 rows; many more rows push the
+	// reach past the tile and the method reports NA.
+	pts := cfg.ExtraRowsSensitivity(462, []int{2, 6})
+	if pts[0].NA {
+		t.Fatal("2 rows at 462 GPUs should still run (paper reports it)")
+	}
+	if !pts[1].NA {
+		t.Fatal("6 rows at 462 GPUs should violate the tile constraint")
+	}
+}

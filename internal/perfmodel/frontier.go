@@ -1,0 +1,240 @@
+package perfmodel
+
+import "math"
+
+// The paper's motivation (Sec. I): memory constrains the achievable
+// image resolution, forcing applications to compromise. This file
+// computes the feasibility frontier — the largest reconstruction each
+// method fits into GPU memory at a given scale — which turns the
+// motivation into a quantitative artifact.
+
+// FrontierPoint reports the largest square reconstruction (pixels per
+// edge) that fits the per-GPU memory budget at a GPU count, for both
+// methods, keeping the paper's scan density (locations scale with
+// image area).
+type FrontierPoint struct {
+	GPUs int
+	// MaxImageGD / MaxImageHVE are the largest feasible image edges in
+	// pixels (0 when nothing fits, e.g. HVE past its tile constraint).
+	MaxImageGD  int
+	MaxImageHVE int
+	// ResolutionAdvantage = MaxImageGD / MaxImageHVE (0 when HVE is
+	// infeasible at any size).
+	ResolutionAdvantage float64
+}
+
+// scaledSpec returns the dataset spec rescaled to a new image edge,
+// keeping scan density constant (locations grow with area).
+func scaledSpec(base Config, edge int) Config {
+	cfg := base
+	ratio := float64(edge) / float64(base.Spec.ImageW)
+	cfg.Spec.ImageW = edge
+	cfg.Spec.ImageH = edge
+	cfg.Spec.ScanCols = maxInt(1, int(float64(base.Spec.ScanCols)*ratio))
+	cfg.Spec.ScanRows = maxInt(1, int(float64(base.Spec.ScanRows)*ratio))
+	cfg.Spec.Locations = cfg.Spec.ScanCols * cfg.Spec.ScanRows
+	return cfg
+}
+
+// maxFeasibleEdge binary-searches the largest image edge whose per-GPU
+// footprint fits the budget. feasible must be monotone in the edge.
+func maxFeasibleEdge(lo, hi int, feasible func(edge int) bool) int {
+	if !feasible(lo) {
+		return 0
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// Frontier computes the feasibility frontier across GPU counts for the
+// configured dataset family and the machine's per-GPU memory.
+func (c Config) Frontier(gpuCounts []int) []FrontierPoint {
+	budget := c.Machine.MemPerGPUGB
+	const loEdge, hiEdge = 256, 65536
+	out := make([]FrontierPoint, 0, len(gpuCounts))
+	for _, k := range gpuCounts {
+		gd := maxFeasibleEdge(loEdge, hiEdge, func(edge int) bool {
+			return scaledSpec(c, edge).MemoryGDGB(k) <= budget
+		})
+		// HVE feasibility is an interval: the tile-size constraint rules
+		// out SMALL images (tiles shrink below the fixed-pixel halo
+		// reach) while memory rules out LARGE ones. Find the memory
+		// ceiling, then verify the constraint still holds there.
+		hveMem := maxFeasibleEdge(loEdge, hiEdge, func(edge int) bool {
+			return scaledSpec(c, edge).MemoryHVEGB(k) <= budget
+		})
+		hve := 0
+		if hveMem > 0 {
+			cfg := scaledSpec(c, hveMem)
+			g := cfg.geom(k, cfg.HaloHVEPM)
+			reach := g.haloPx + float64(cfg.HVEExtraRows)*cfg.Spec.StepPix()
+			if reach < minf(g.tileW, g.tileH) {
+				hve = hveMem
+			}
+		}
+		pt := FrontierPoint{GPUs: k, MaxImageGD: gd, MaxImageHVE: hve}
+		if hve > 0 {
+			pt.ResolutionAdvantage = float64(gd) / float64(hve)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// analyticRuntimeMin estimates the reconstruction runtime (minutes, the
+// paper's 100 iterations) without running the DES: compute + wait, plus
+// the HVE contention term. Accurate to a few percent of the DES for the
+// table rows; used by the time-budget frontier where thousands of
+// evaluations are needed.
+func analyticRuntimeMin(c Config, gpus int, hve bool) (float64, bool) {
+	if hve {
+		g := c.geom(gpus, c.HaloHVEPM)
+		reach := g.haloPx + float64(c.HVEExtraRows)*c.Spec.StepPix()
+		minTile := minf(g.tileW, g.tileH)
+		if reach >= minTile {
+			return 0, false
+		}
+		ws := c.MemoryHVEGB(gpus)
+		if ws > c.Machine.MemPerGPUGB {
+			return 0, false
+		}
+		perLoc := c.perLocSeconds(ws)
+		nAll := g.locsPerGPU + c.hveExtraLocs(g)
+		gamma := c.Cal.WaitFrac(int(nAll))
+		s := float64(c.Spec.Slices)
+		pasteBytes := (g.extW*g.extH - g.tileW*g.tileH) * s * c.Cal.VoxelBytes
+		contention := 1.0
+		if reach/minTile < 1 {
+			contention = math.Pow(1/(1-reach/minTile), c.Cal.HVEContentionExp)
+		}
+		syncSec := contention * (pasteBytes/c.Machine.IBBW + 8*c.Machine.LatInter)
+		iter := nAll*perLoc*(1+gamma) + c.Cal.IterOverheadSec + syncSec
+		return iter * float64(c.Iterations) / 60, true
+	}
+	ws := c.MemoryGDGB(gpus)
+	if ws > c.Machine.MemPerGPUGB {
+		return 0, false
+	}
+	g := c.geom(gpus, c.HaloGDPM)
+	perLoc := c.perLocSeconds(ws)
+	gamma := c.Cal.WaitFrac(int(g.locsPerGPU))
+	s := float64(c.Spec.Slices)
+	bytesV := g.extW * minf(2*g.haloPx, g.extH) * s * c.Cal.VoxelBytes
+	bytesH := g.extH * minf(2*g.haloPx, g.extW) * s * c.Cal.VoxelBytes
+	// Unhidden chain communication matters only when compute per
+	// iteration is tiny (the 4158-GPU uptick).
+	chain := 2 * float64(g.rows+g.cols) * (c.Machine.LatInter + (bytesV+bytesH)/2/c.Machine.IBBW)
+	compute := g.locsPerGPU * perLoc * (1 + gamma)
+	iter := compute + c.Cal.IterOverheadSec + minf(chain, maxf(0, chain-compute/4)+chain/4)
+	return iter * float64(c.Iterations) / 60, true
+}
+
+// TimeBudgetPoint reports the largest reconstruction each method can
+// finish within a wall-clock budget, choosing the best GPU count from
+// the available pool (the paper's "near real-time" scenario).
+type TimeBudgetPoint struct {
+	BudgetMin   float64
+	MaxImageGD  int
+	MaxImageHVE int
+	GDGPUs      int // GPU count achieving the GD frontier
+	HVEGPUs     int
+}
+
+// TimeBudget computes the real-time resolution frontier for a set of
+// wall-clock budgets, searching image edges and the given GPU pool.
+func (c Config) TimeBudget(budgetsMin []float64, gpuPool []int) []TimeBudgetPoint {
+	const loEdge, hiEdge = 256, 32768
+	best := func(edge int, hve bool) (float64, int) {
+		cfg := scaledSpec(c, edge)
+		bestT, bestK := -1.0, 0
+		for _, k := range gpuPool {
+			t, ok := analyticRuntimeMin(cfg, k, hve)
+			if !ok {
+				continue
+			}
+			if bestT < 0 || t < bestT {
+				bestT, bestK = t, k
+			}
+		}
+		return bestT, bestK
+	}
+	// The feasible-edge set is NOT an interval for HVE (its tile
+	// constraint excludes small images at every GPU count), so scan a
+	// geometric edge grid instead of binary searching.
+	var edges []int
+	for e := float64(loEdge); e <= hiEdge; e *= 1.09 {
+		edges = append(edges, int(e))
+	}
+	out := make([]TimeBudgetPoint, 0, len(budgetsMin))
+	for _, budget := range budgetsMin {
+		pt := TimeBudgetPoint{BudgetMin: budget}
+		for _, e := range edges {
+			if t, k := best(e, false); t >= 0 && t <= budget && e > pt.MaxImageGD {
+				pt.MaxImageGD, pt.GDGPUs = e, k
+			}
+			if t, k := best(e, true); t >= 0 && t <= budget && e > pt.MaxImageHVE {
+				pt.MaxImageHVE, pt.HVEGPUs = e, k
+			}
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WeakScalingPoint reports runtime when the problem grows with the
+// machine: locations per GPU held constant (the dataset edge scales
+// with sqrt(GPUs)). Flat runtime = perfect weak scaling.
+type WeakScalingPoint struct {
+	GPUs       int
+	ImageEdge  int
+	RuntimeMin float64
+	// EfficiencyPct is T(first)/T(K) * 100 (100% = flat).
+	EfficiencyPct float64
+}
+
+// WeakScaling evaluates Gradient Decomposition weak scaling starting
+// from the configured dataset at the first GPU count.
+func (c Config) WeakScaling(gpuCounts []int) []WeakScalingPoint {
+	if len(gpuCounts) == 0 {
+		return nil
+	}
+	base := float64(c.Spec.ImageW) / math.Sqrt(float64(gpuCounts[0]))
+	out := make([]WeakScalingPoint, 0, len(gpuCounts))
+	for _, k := range gpuCounts {
+		edge := int(base * math.Sqrt(float64(k)))
+		cfg := scaledSpec(c, edge)
+		t, ok := analyticRuntimeMin(cfg, k, false)
+		if !ok {
+			t = math.Inf(1)
+		}
+		out = append(out, WeakScalingPoint{GPUs: k, ImageEdge: edge, RuntimeMin: t})
+	}
+	t0 := out[0].RuntimeMin
+	for i := range out {
+		if out[i].RuntimeMin > 0 && !math.IsInf(out[i].RuntimeMin, 1) {
+			out[i].EfficiencyPct = t0 / out[i].RuntimeMin * 100
+		}
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"ptychopath/internal/cluster"
+)
+
+// paperTol asserts a model value lies within frac of the paper value.
+func paperTol(t *testing.T, name string, got, paper, frac float64) {
+	t.Helper()
+	if math.Abs(got-paper) > frac*paper {
+		t.Errorf("%s: model %.3g vs paper %.3g (tolerance %.0f%%)", name, got, paper, frac*100)
+	}
+}
+
+func TestGDLargeDatasetMatchesTableIII(t *testing.T) {
+	// Runtime anchors (the calibration targets) must land close.
+	cfg := DefaultConfig(cluster.LargeLeadTitanate())
+	paper := map[int]struct{ mem, run float64 }{
+		6:    {9.14, 5543.0},
+		54:   {1.54, 183.0},
+		198:  {0.66, 37.5},
+		462:  {0.42, 14.2},
+		924:  {0.32, 7.0},
+		4158: {0.18, 2.2},
+	}
+	rows := cfg.GDTable(PaperGPUCountsLarge)
+	for _, r := range rows {
+		p := paper[r.GPUs]
+		paperTol(t, fmtGPU("runtime", r.GPUs), r.RuntimeMin, p.run, 0.15)
+		paperTol(t, fmtGPU("memory", r.GPUs), r.MemoryGB, p.mem, 0.25)
+	}
+	// Super-linear strong scaling at 4158 GPUs (paper: 364%).
+	last := rows[len(rows)-1]
+	if last.EfficiencyPct < 250 || last.EfficiencyPct > 500 {
+		t.Errorf("efficiency at 4158 GPUs = %.0f%%, paper reports 364%%", last.EfficiencyPct)
+	}
+	// Memory monotone decreasing.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MemoryGB >= rows[i-1].MemoryGB {
+			t.Errorf("memory not decreasing at %d GPUs", rows[i].GPUs)
+		}
+		if rows[i].RuntimeMin >= rows[i-1].RuntimeMin {
+			t.Errorf("runtime not decreasing at %d GPUs", rows[i].GPUs)
+		}
+	}
+}
+
+func TestGDSmallDatasetPredictsTableII(t *testing.T) {
+	// The small dataset is a PREDICTION (calibrated only on the large
+	// one) — allow wider tolerance but require the paper's shape.
+	cfg := DefaultConfig(cluster.SmallLeadTitanate())
+	paper := map[int]struct{ mem, run float64 }{
+		6:   {2.53, 360.0},
+		24:  {1.20, 73.0},
+		54:  {0.58, 20.6},
+		126: {0.39, 11.5},
+		198: {0.31, 5.5},
+		462: {0.23, 3.0},
+	}
+	rows := cfg.GDTable(PaperGPUCountsSmall)
+	for _, r := range rows {
+		p := paper[r.GPUs]
+		paperTol(t, fmtGPU("runtime", r.GPUs), r.RuntimeMin, p.run, 0.45)
+		paperTol(t, fmtGPU("memory", r.GPUs), r.MemoryGB, p.mem, 0.35)
+	}
+	// Super-linear scaling throughout (paper: 123%-198%).
+	for _, r := range rows[1:] {
+		if r.EfficiencyPct < 100 {
+			t.Errorf("efficiency at %d GPUs = %.0f%%, paper reports super-linear", r.GPUs, r.EfficiencyPct)
+		}
+	}
+}
+
+func TestHVELargeDatasetMatchesTableIIIb(t *testing.T) {
+	cfg := DefaultConfig(cluster.LargeLeadTitanate())
+	paper := map[int]struct{ mem, run float64 }{
+		6:   {9.47, 7213.3},
+		54:  {1.8, 271.7},
+		198: {0.78, 59.2},
+		462: {0.48, 189.5},
+	}
+	rows := cfg.HVETable(PaperHVECountsLarge)
+	for _, r := range rows {
+		if r.NA {
+			t.Fatalf("HVE NA at %d GPUs; paper reports values", r.GPUs)
+		}
+		p := paper[r.GPUs]
+		paperTol(t, fmtGPU("hve runtime", r.GPUs), r.RuntimeMin, p.run, 0.30)
+		paperTol(t, fmtGPU("hve memory", r.GPUs), r.MemoryGB, p.mem, 0.30)
+	}
+	// The defining shape: runtime INCREASES from 198 to 462 GPUs (the
+	// scalability collapse).
+	if rows[3].RuntimeMin <= rows[2].RuntimeMin {
+		t.Errorf("HVE collapse missing: %.1f min at 462 vs %.1f at 198",
+			rows[3].RuntimeMin, rows[2].RuntimeMin)
+	}
+	// Beyond 462 the tile constraint fails (paper stops reporting).
+	if r := cfg.HVERow(924); !r.NA {
+		t.Error("HVE at 924 GPUs should hit the tile-size constraint")
+	}
+}
+
+func TestHVESmallDatasetNABoundary(t *testing.T) {
+	// Table II(b): values through 54 GPUs, NA from 126 on.
+	cfg := DefaultConfig(cluster.SmallLeadTitanate())
+	paper := map[int]struct{ mem, run float64 }{
+		6:  {2.80, 463.3},
+		24: {1.20, 95.3},
+		54: {0.78, 43.7},
+	}
+	for gpus, p := range paper {
+		r := cfg.HVERow(gpus)
+		if r.NA {
+			t.Fatalf("HVE NA at %d GPUs; paper reports values", gpus)
+		}
+		paperTol(t, fmtGPU("hve-small runtime", gpus), r.RuntimeMin, p.run, 0.35)
+		paperTol(t, fmtGPU("hve-small memory", gpus), r.MemoryGB, p.mem, 0.35)
+	}
+	if r := cfg.HVERow(126); !r.NA {
+		t.Error("HVE at 126 GPUs must be NA (paper Table II(b))")
+	}
+}
+
+func TestGDBeatsHVEEverywhere(t *testing.T) {
+	// The headline comparisons: GD is faster and leaner at every
+	// common GPU count, on both datasets.
+	for _, spec := range []cluster.DatasetSpec{cluster.SmallLeadTitanate(), cluster.LargeLeadTitanate()} {
+		cfg := DefaultConfig(spec)
+		for _, gpus := range []int{6, 54, 198} {
+			gd := cfg.GDRow(gpus)
+			hve := cfg.HVERow(gpus)
+			if hve.NA {
+				continue
+			}
+			if gd.RuntimeMin >= hve.RuntimeMin {
+				t.Errorf("%s %d GPUs: GD %.1f min not faster than HVE %.1f",
+					spec.Name, gpus, gd.RuntimeMin, hve.RuntimeMin)
+			}
+			if gd.MemoryGB >= hve.MemoryGB {
+				t.Errorf("%s %d GPUs: GD %.2f GB not leaner than HVE %.2f",
+					spec.Name, gpus, gd.MemoryGB, hve.MemoryGB)
+			}
+		}
+	}
+}
+
+func TestHeadlineFactors(t *testing.T) {
+	// Paper abstract: 86x faster, 2.7x more memory efficient, 51x
+	// memory reduction across the GD scaling range, ~2519x speedup.
+	cfg := DefaultConfig(cluster.LargeLeadTitanate())
+	gdBest := cfg.GDRow(4158)
+	hveBest := cfg.HVERow(198) // HVE's best runtime
+	speedFactor := hveBest.RuntimeMin / gdBest.RuntimeMin
+	if speedFactor < 20 || speedFactor > 250 {
+		t.Errorf("GD vs HVE best-case speed factor %.0fx, paper reports 86x", speedFactor)
+	}
+	memFactor := cfg.HVERow(462).MemoryGB / gdBest.MemoryGB
+	if memFactor < 1.5 || memFactor > 6 {
+		t.Errorf("memory factor %.1fx, paper reports 2.7x", memFactor)
+	}
+	reduction := cfg.GDRow(6).MemoryGB / gdBest.MemoryGB
+	if reduction < 30 || reduction > 80 {
+		t.Errorf("GD memory reduction %.0fx, paper reports 51x", reduction)
+	}
+	speedup := cfg.GDRow(6).RuntimeMin / gdBest.RuntimeMin
+	if speedup < 1500 || speedup > 4000 {
+		t.Errorf("GD 6->4158 speedup %.0fx, paper reports 2519x", speedup)
+	}
+}
+
+func TestAPPPAblationCommBlowup(t *testing.T) {
+	// Fig 7b: without APPP, communication dominates at scale; the
+	// paper reports a 16x communication gap at 462 GPUs. The all-reduce
+	// model should produce a large (>= 10x) gap.
+	cfg := DefaultConfig(cluster.LargeLeadTitanate())
+	cfg.SimIterations = 1
+	with := cfg.GDRow(462)
+	without := cfg.GDRowNoAPPP(462)
+	if without.Breakdown.CommMin < 10*with.Breakdown.CommMin {
+		t.Errorf("comm without APPP %.2f min vs with %.2f min — expected >= 10x gap",
+			without.Breakdown.CommMin, with.Breakdown.CommMin)
+	}
+	if without.RuntimeMin <= with.RuntimeMin {
+		t.Error("disabling APPP must slow the reconstruction")
+	}
+}
+
+func TestWaitTimeDecreasesWithGPUs(t *testing.T) {
+	// Fig 7b: wait time falls as GPUs increase (more GPUs, fewer
+	// locations each, less imbalance).
+	cfg := DefaultConfig(cluster.LargeLeadTitanate())
+	cfg.SimIterations = 1
+	prev := math.Inf(1)
+	for _, gpus := range []int{24, 54, 198, 462} {
+		r := cfg.GDRow(gpus)
+		if r.Breakdown.WaitMin > prev {
+			t.Errorf("wait time increased at %d GPUs: %.2f min", gpus, r.Breakdown.WaitMin)
+		}
+		prev = r.Breakdown.WaitMin
+	}
+}
+
+func TestMostSquareGridPaperCounts(t *testing.T) {
+	cases := map[int][2]int{
+		6: {2, 3}, 24: {4, 6}, 54: {6, 9}, 126: {9, 14},
+		198: {11, 18}, 462: {21, 22}, 924: {28, 33}, 4158: {63, 66},
+	}
+	for k, want := range cases {
+		r, c := cluster.MostSquareGrid(k)
+		if r != want[0] || c != want[1] {
+			t.Errorf("grid(%d) = %dx%d, want %dx%d", k, r, c, want[0], want[1])
+		}
+	}
+}
+
+func TestTableEfficiencyBase(t *testing.T) {
+	rows := []Row{
+		{GPUs: 6, RuntimeMin: 600},
+		{GPUs: 12, RuntimeMin: 300},
+		{GPUs: 24, RuntimeMin: 100},
+	}
+	rows = Table(rows)
+	if math.Abs(rows[0].EfficiencyPct-100) > 1e-9 {
+		t.Fatalf("base efficiency %.1f", rows[0].EfficiencyPct)
+	}
+	if math.Abs(rows[1].EfficiencyPct-100) > 1e-9 {
+		t.Fatalf("linear row efficiency %.1f", rows[1].EfficiencyPct)
+	}
+	if math.Abs(rows[2].EfficiencyPct-150) > 1e-9 {
+		t.Fatalf("superlinear row efficiency %.1f", rows[2].EfficiencyPct)
+	}
+}
+
+func TestCacheFactorInterpolation(t *testing.T) {
+	cal := cluster.DefaultCalibration()
+	if cal.CacheFactor(20) != 1.0 {
+		t.Error("clamp above largest anchor")
+	}
+	if cal.CacheFactor(0.01) != 1.67 {
+		t.Error("clamp below smallest anchor")
+	}
+	mid := cal.CacheFactor(1.0)
+	if mid <= 1.22 || mid >= 1.48 {
+		t.Errorf("cf(1.0) = %g, want within (1.22, 1.48)", mid)
+	}
+	// Monotone decreasing in ws.
+	prev := 0.0
+	for _, ws := range []float64{10, 5, 2, 1, 0.5, 0.3, 0.1} {
+		f := cal.CacheFactor(ws)
+		if f < prev {
+			t.Errorf("cache factor not monotone at ws=%g", ws)
+		}
+		prev = f
+	}
+}
+
+func fmtGPU(what string, gpus int) string {
+	return what + "@" + itoa(gpus)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,293 @@
+// Package phantom synthesizes ground-truth objects for simulated
+// ptychography experiments. The flagship generator builds a Lead
+// Titanate (PbTiO3) perovskite-like crystal: columns of heavy Pb atoms
+// on the unit-cell corners, Ti at the cell center, and O on the faces,
+// projected into a stack of object slices — the same class of simulated
+// material data the paper evaluates on (Fig 6 shows each bright circle
+// as a small group of atoms).
+package phantom
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"ptychopath/internal/grid"
+)
+
+// Atom is a 2-D projected atomic column.
+type Atom struct {
+	X, Y    float64 // center, pixels
+	Slice   int     // which object slice the column contributes to
+	Weight  float64 // projected potential strength (arbitrary units)
+	SigmaPX float64 // Gaussian width, pixels
+}
+
+// Object is a ground-truth multi-slice object. Slices hold the complex
+// transmission function per slice (|t| <= 1, phase from the projected
+// potential), all sharing the same 2-D bounds.
+type Object struct {
+	Slices []*grid.Complex2D
+	// PotentialPerSlice retains the real projected potential used to
+	// build each transmission slice, for inspection and metrics.
+	PotentialPerSlice []*grid.Float2D
+}
+
+// Bounds returns the shared 2-D extent of the object slices.
+func (o *Object) Bounds() grid.Rect {
+	if len(o.Slices) == 0 {
+		return grid.Rect{}
+	}
+	return o.Slices[0].Bounds
+}
+
+// NumSlices returns the slice count.
+func (o *Object) NumSlices() int { return len(o.Slices) }
+
+// Clone deep-copies the object.
+func (o *Object) Clone() *Object {
+	out := &Object{
+		Slices:            make([]*grid.Complex2D, len(o.Slices)),
+		PotentialPerSlice: make([]*grid.Float2D, len(o.PotentialPerSlice)),
+	}
+	for i, s := range o.Slices {
+		out.Slices[i] = s.Clone()
+	}
+	for i, p := range o.PotentialPerSlice {
+		out.PotentialPerSlice[i] = p.Clone()
+	}
+	return out
+}
+
+// LeadTitanateConfig configures the PbTiO3-like phantom.
+type LeadTitanateConfig struct {
+	// W, H: object extent in pixels.
+	W, H int
+	// Slices: number of object slices (paper: 100 at 125 pm each; tests
+	// use far fewer).
+	Slices int
+	// UnitCellPix: perovskite unit-cell edge in pixels. PbTiO3 has
+	// a ~390 pm cell; at 10 pm pixels that is 39 px.
+	UnitCellPix float64
+	// PhaseScale: peak phase shift (radians) contributed by the
+	// heaviest column through all slices; keeps transmissions in a
+	// weakly-scattering regime when small (e.g. 0.3).
+	PhaseScale float64
+	// Absorption: fractional amplitude attenuation at the heaviest
+	// column (0 = pure phase object).
+	Absorption float64
+	// Seed drives the deterministic displacement disorder.
+	Seed int64
+	// Disorder: RMS random displacement of atoms in pixels, emulating
+	// thermal/static disorder. Zero gives a perfect crystal.
+	Disorder float64
+}
+
+// DefaultLeadTitanate returns a laptop-scale configuration used by
+// examples and functional experiments.
+func DefaultLeadTitanate(w, h, slices int) LeadTitanateConfig {
+	return LeadTitanateConfig{
+		W: w, H: h, Slices: slices,
+		UnitCellPix: 39, // 390 pm cell at 10 pm pixels
+		PhaseScale:  0.3,
+		Absorption:  0.05,
+		Seed:        1,
+	}
+}
+
+// Validate reports an error for degenerate configurations.
+func (c LeadTitanateConfig) Validate() error {
+	switch {
+	case c.W <= 0 || c.H <= 0:
+		return fmt.Errorf("phantom: extent must be positive, got %dx%d", c.W, c.H)
+	case c.Slices <= 0:
+		return fmt.Errorf("phantom: slice count must be positive, got %d", c.Slices)
+	case c.UnitCellPix <= 2:
+		return fmt.Errorf("phantom: unit cell too small: %g px", c.UnitCellPix)
+	case c.PhaseScale <= 0:
+		return fmt.Errorf("phantom: phase scale must be positive, got %g", c.PhaseScale)
+	case c.Absorption < 0 || c.Absorption >= 1:
+		return fmt.Errorf("phantom: absorption must be in [0,1), got %g", c.Absorption)
+	}
+	return nil
+}
+
+// Atoms generates the projected atomic columns for the configuration.
+// Weights approximate projected-potential ratios: Pb (Z=82) dominates,
+// Ti (Z=22) at cell centers, O (Z=8) on the faces.
+func (c LeadTitanateConfig) Atoms() []Atom {
+	rng := rand.New(rand.NewSource(c.Seed))
+	disp := func() float64 {
+		if c.Disorder == 0 {
+			return 0
+		}
+		return rng.NormFloat64() * c.Disorder
+	}
+	var atoms []Atom
+	a := c.UnitCellPix
+	sigmaPb := a * 0.08
+	sigmaTi := a * 0.07
+	sigmaO := a * 0.06
+	// Atom columns repeat per unit cell; distribute species across
+	// slices cyclically so every slice carries structure.
+	cellRows := int(float64(c.H)/a) + 2
+	cellCols := int(float64(c.W)/a) + 2
+	slice := 0
+	nextSlice := func() int {
+		s := slice
+		slice = (slice + 1) % c.Slices
+		return s
+	}
+	for cy := 0; cy < cellRows; cy++ {
+		for cx := 0; cx < cellCols; cx++ {
+			ox := float64(cx) * a
+			oy := float64(cy) * a
+			// Pb at cell corner.
+			atoms = append(atoms, Atom{
+				X: ox + disp(), Y: oy + disp(),
+				Slice: nextSlice(), Weight: 1.0, SigmaPX: sigmaPb,
+			})
+			// Ti at cell center.
+			atoms = append(atoms, Atom{
+				X: ox + a/2 + disp(), Y: oy + a/2 + disp(),
+				Slice: nextSlice(), Weight: 22.0 / 82.0, SigmaPX: sigmaTi,
+			})
+			// O on two face centers (projected).
+			atoms = append(atoms, Atom{
+				X: ox + a/2 + disp(), Y: oy + disp(),
+				Slice: nextSlice(), Weight: 8.0 / 82.0, SigmaPX: sigmaO,
+			})
+			atoms = append(atoms, Atom{
+				X: ox + disp(), Y: oy + a/2 + disp(),
+				Slice: nextSlice(), Weight: 8.0 / 82.0, SigmaPX: sigmaO,
+			})
+		}
+	}
+	return atoms
+}
+
+// LeadTitanate builds the multi-slice PbTiO3-like object.
+func LeadTitanate(c LeadTitanateConfig) (*Object, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	bounds := grid.RectWH(0, 0, c.W, c.H)
+	obj := &Object{
+		Slices:            make([]*grid.Complex2D, c.Slices),
+		PotentialPerSlice: make([]*grid.Float2D, c.Slices),
+	}
+	for s := 0; s < c.Slices; s++ {
+		obj.PotentialPerSlice[s] = grid.NewFloat2D(bounds)
+	}
+	for _, at := range c.Atoms() {
+		splatGaussian(obj.PotentialPerSlice[at.Slice], at)
+	}
+	// Normalize the peak projected potential to 1, then convert to
+	// transmission t = (1 - absorption*v) * exp(i * phaseScale * v).
+	var peak float64
+	for _, p := range obj.PotentialPerSlice {
+		if _, hi := p.MinMax(); hi > peak {
+			peak = hi
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	for s := 0; s < c.Slices; s++ {
+		pot := obj.PotentialPerSlice[s]
+		t := grid.NewComplex2D(bounds)
+		for i, v := range pot.Data {
+			vn := v / peak
+			amp := 1 - c.Absorption*vn
+			t.Data[i] = complex(amp, 0) * cmplx.Exp(complex(0, c.PhaseScale*vn))
+		}
+		obj.Slices[s] = t
+	}
+	return obj, nil
+}
+
+// splatGaussian adds a truncated Gaussian bump to the potential map.
+func splatGaussian(p *grid.Float2D, a Atom) {
+	cut := 4 * a.SigmaPX
+	bb := grid.NewRect(
+		int(math.Floor(a.X-cut)), int(math.Floor(a.Y-cut)),
+		int(math.Ceil(a.X+cut))+1, int(math.Ceil(a.Y+cut))+1,
+	).Clamp(p.Bounds)
+	if bb.Empty() {
+		return
+	}
+	inv2s2 := 1 / (2 * a.SigmaPX * a.SigmaPX)
+	for y := bb.Y0; y < bb.Y1; y++ {
+		dy := float64(y) - a.Y
+		for x := bb.X0; x < bb.X1; x++ {
+			dx := float64(x) - a.X
+			p.Set(x, y, p.At(x, y)+a.Weight*math.Exp(-(dx*dx+dy*dy)*inv2s2))
+		}
+	}
+}
+
+// RandomObject builds an unstructured random-texture multi-slice object,
+// useful for solver stress tests where crystal symmetry could mask bugs.
+// Phases are smooth (low-pass filtered noise) to keep the forward model
+// well conditioned.
+func RandomObject(w, h, slices int, seed int64) *Object {
+	rng := rand.New(rand.NewSource(seed))
+	bounds := grid.RectWH(0, 0, w, h)
+	obj := &Object{
+		Slices:            make([]*grid.Complex2D, slices),
+		PotentialPerSlice: make([]*grid.Float2D, slices),
+	}
+	for s := 0; s < slices; s++ {
+		pot := grid.NewFloat2D(bounds)
+		for i := range pot.Data {
+			pot.Data[i] = rng.Float64()
+		}
+		smooth(pot, 3)
+		obj.PotentialPerSlice[s] = pot
+		t := grid.NewComplex2D(bounds)
+		for i, v := range pot.Data {
+			t.Data[i] = cmplx.Exp(complex(0, 0.4*v)) * complex(1-0.03*v, 0)
+		}
+		obj.Slices[s] = t
+	}
+	return obj
+}
+
+// Vacuum returns an all-ones (identity transmission) object — the
+// standard reconstruction starting point.
+func Vacuum(bounds grid.Rect, slices int) *Object {
+	obj := &Object{Slices: make([]*grid.Complex2D, slices)}
+	for s := range obj.Slices {
+		t := grid.NewComplex2D(bounds)
+		t.Fill(1)
+		obj.Slices[s] = t
+	}
+	return obj
+}
+
+// smooth applies `passes` iterations of a 3x3 box blur in place.
+func smooth(p *grid.Float2D, passes int) {
+	w, h := p.W(), p.H()
+	tmp := make([]float64, len(p.Data))
+	for pass := 0; pass < passes; pass++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				var s float64
+				var n float64
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						xx, yy := x+dx, y+dy
+						if xx < 0 || xx >= w || yy < 0 || yy >= h {
+							continue
+						}
+						s += p.Data[yy*w+xx]
+						n++
+					}
+				}
+				tmp[y*w+x] = s / n
+			}
+		}
+		copy(p.Data, tmp)
+	}
+}

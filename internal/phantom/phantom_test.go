@@ -1,0 +1,215 @@
+package phantom
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"ptychopath/internal/grid"
+)
+
+func TestLeadTitanateBasics(t *testing.T) {
+	cfg := DefaultLeadTitanate(128, 128, 4)
+	obj, err := LeadTitanate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.NumSlices() != 4 {
+		t.Fatalf("slices = %d, want 4", obj.NumSlices())
+	}
+	if obj.Bounds() != grid.RectWH(0, 0, 128, 128) {
+		t.Fatalf("bounds = %v", obj.Bounds())
+	}
+	for s, sl := range obj.Slices {
+		if !sl.IsFinite() {
+			t.Fatalf("slice %d has non-finite values", s)
+		}
+	}
+}
+
+func TestLeadTitanateTransmissionPhysical(t *testing.T) {
+	// |t| must be in (0, 1]; phase bounded by PhaseScale.
+	cfg := DefaultLeadTitanate(96, 96, 3)
+	obj, err := LeadTitanate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, sl := range obj.Slices {
+		for i, v := range sl.Data {
+			a := cmplx.Abs(v)
+			if a <= 0 || a > 1+1e-12 {
+				t.Fatalf("slice %d elem %d: |t| = %g outside (0,1]", s, i, a)
+			}
+			ph := math.Abs(cmplx.Phase(v))
+			if ph > cfg.PhaseScale+1e-9 {
+				t.Fatalf("slice %d elem %d: phase %g exceeds scale %g", s, i, ph, cfg.PhaseScale)
+			}
+		}
+	}
+}
+
+func TestLeadTitanateHasAtomicContrast(t *testing.T) {
+	// The potential maps must contain actual structure, and the heavy
+	// Pb columns must dominate (peak normalized to 1).
+	obj, err := LeadTitanate(DefaultLeadTitanate(128, 128, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak float64
+	var sum float64
+	for _, p := range obj.PotentialPerSlice {
+		_, hi := p.MinMax()
+		if hi > peak {
+			peak = hi
+		}
+		sum += p.Sum()
+	}
+	if peak <= 0 {
+		t.Fatal("phantom has no potential")
+	}
+	if sum <= 0 {
+		t.Fatal("phantom total potential must be positive")
+	}
+}
+
+func TestLeadTitanatePeriodicity(t *testing.T) {
+	// A perfect crystal (no disorder) repeats with the unit cell:
+	// potential(x) == potential(x + a) away from boundaries.
+	cfg := LeadTitanateConfig{
+		W: 156, H: 156, Slices: 1, UnitCellPix: 39,
+		PhaseScale: 0.3, Seed: 1,
+	}
+	obj, err := LeadTitanate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obj.PotentialPerSlice[0]
+	a := int(cfg.UnitCellPix)
+	for y := 40; y < 80; y++ {
+		for x := 40; x < 80; x++ {
+			d := math.Abs(p.At(x, y) - p.At(x+a, y))
+			if d > 1e-6 {
+				t.Fatalf("periodicity violated at (%d,%d): delta %g", x, y, d)
+			}
+		}
+	}
+}
+
+func TestLeadTitanateDisorderBreaksPeriodicity(t *testing.T) {
+	cfg := LeadTitanateConfig{
+		W: 156, H: 156, Slices: 1, UnitCellPix: 39,
+		PhaseScale: 0.3, Seed: 7, Disorder: 1.5,
+	}
+	obj, err := LeadTitanate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := obj.PotentialPerSlice[0]
+	a := int(cfg.UnitCellPix)
+	var maxDelta float64
+	for y := 40; y < 80; y++ {
+		for x := 40; x < 80; x++ {
+			if d := math.Abs(p.At(x, y) - p.At(x+a, y)); d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+	if maxDelta < 1e-3 {
+		t.Fatal("disorder should break strict periodicity")
+	}
+}
+
+func TestLeadTitanateDeterministic(t *testing.T) {
+	cfg := DefaultLeadTitanate(64, 64, 2)
+	cfg.Disorder = 1.0
+	a, err := LeadTitanate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := LeadTitanate(cfg)
+	for s := range a.Slices {
+		if a.Slices[s].MaxDiff(b.Slices[s]) > 0 {
+			t.Fatal("same seed must reproduce the same phantom")
+		}
+	}
+}
+
+func TestLeadTitanateValidation(t *testing.T) {
+	bad := []LeadTitanateConfig{
+		{W: 0, H: 10, Slices: 1, UnitCellPix: 39, PhaseScale: 0.3},
+		{W: 10, H: 10, Slices: 0, UnitCellPix: 39, PhaseScale: 0.3},
+		{W: 10, H: 10, Slices: 1, UnitCellPix: 1, PhaseScale: 0.3},
+		{W: 10, H: 10, Slices: 1, UnitCellPix: 39, PhaseScale: 0},
+		{W: 10, H: 10, Slices: 1, UnitCellPix: 39, PhaseScale: 0.3, Absorption: 1},
+	}
+	for i, c := range bad {
+		if _, err := LeadTitanate(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestAtomsCoverAllSlices(t *testing.T) {
+	cfg := DefaultLeadTitanate(128, 128, 5)
+	seen := map[int]bool{}
+	for _, a := range cfg.Atoms() {
+		if a.Slice < 0 || a.Slice >= cfg.Slices {
+			t.Fatalf("atom slice %d out of range", a.Slice)
+		}
+		seen[a.Slice] = true
+	}
+	if len(seen) != cfg.Slices {
+		t.Fatalf("atoms populate %d of %d slices", len(seen), cfg.Slices)
+	}
+}
+
+func TestRandomObjectSmoothAndBounded(t *testing.T) {
+	obj := RandomObject(48, 48, 3, 42)
+	if obj.NumSlices() != 3 {
+		t.Fatal("slice count")
+	}
+	for _, sl := range obj.Slices {
+		for _, v := range sl.Data {
+			if a := cmplx.Abs(v); a <= 0 || a > 1 {
+				t.Fatalf("|t| = %g outside (0,1]", a)
+			}
+		}
+	}
+	// Determinism.
+	obj2 := RandomObject(48, 48, 3, 42)
+	if obj.Slices[0].MaxDiff(obj2.Slices[0]) > 0 {
+		t.Fatal("RandomObject must be deterministic per seed")
+	}
+	// Different seeds differ.
+	obj3 := RandomObject(48, 48, 3, 43)
+	if obj.Slices[0].MaxDiff(obj3.Slices[0]) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestVacuumObject(t *testing.T) {
+	v := Vacuum(grid.RectWH(0, 0, 8, 8), 2)
+	for _, sl := range v.Slices {
+		for _, x := range sl.Data {
+			if x != 1 {
+				t.Fatal("vacuum must be identity transmission")
+			}
+		}
+	}
+}
+
+func TestObjectClone(t *testing.T) {
+	obj, err := LeadTitanate(DefaultLeadTitanate(32, 32, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := obj.Clone()
+	cl.Slices[0].Data[0] += 1
+	if obj.Slices[0].Data[0] == cl.Slices[0].Data[0] {
+		t.Fatal("clone must not alias")
+	}
+	cl.PotentialPerSlice[0].Data[0] += 1
+	if obj.PotentialPerSlice[0].Data[0] == cl.PotentialPerSlice[0].Data[0] {
+		t.Fatal("potential clone must not alias")
+	}
+}

@@ -1,0 +1,155 @@
+// Package report renders experiment results in the paper's layout:
+// transposed performance tables (one column per GPU count, like Tables
+// II/III), aligned ASCII series for figures, and CSV for downstream
+// plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"ptychopath/internal/perfmodel"
+)
+
+// PerfTable renders rows in the paper's Tables II/III format.
+func PerfTable(w io.Writer, title string, rows []perfmodel.Row) {
+	fmt.Fprintf(w, "%s\n", title)
+	cells := func(label string, f func(r perfmodel.Row) string) {
+		fmt.Fprintf(w, "%-28s", label)
+		for _, r := range rows {
+			fmt.Fprintf(w, "%12s", f(r))
+		}
+		fmt.Fprintln(w)
+	}
+	cells("Nodes", func(r perfmodel.Row) string { return fmt.Sprintf("%d", r.Nodes) })
+	cells("GPUs", func(r perfmodel.Row) string { return fmt.Sprintf("%d", r.GPUs) })
+	cells("Memory footprint per GPU (GB)", func(r perfmodel.Row) string {
+		if r.NA {
+			return "NA"
+		}
+		return fmt.Sprintf("%.2f", r.MemoryGB)
+	})
+	cells("Runtime (mins)", func(r perfmodel.Row) string {
+		if r.NA {
+			return "NA"
+		}
+		return fmt.Sprintf("%.1f", r.RuntimeMin)
+	})
+	cells("Strong scaling efficiency", func(r perfmodel.Row) string {
+		if r.NA {
+			return "NA"
+		}
+		return fmt.Sprintf("%.0f%%", r.EfficiencyPct)
+	})
+	fmt.Fprintln(w)
+}
+
+// PerfCSV writes rows as CSV with a header.
+func PerfCSV(w io.Writer, rows []perfmodel.Row) {
+	fmt.Fprintln(w, "nodes,gpus,memory_gb,runtime_min,efficiency_pct,na")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%d,%.4f,%.4f,%.2f,%v\n",
+			r.Nodes, r.GPUs, r.MemoryGB, r.RuntimeMin, r.EfficiencyPct, r.NA)
+	}
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// SeriesTable prints aligned columns: x then one column per series
+// (missing points render as "-").
+func SeriesTable(w io.Writer, title, xLabel string, series []Series) {
+	fmt.Fprintf(w, "%s\n", title)
+	// Collect the union of x values in order of first appearance.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-12s", xLabel)
+	for _, s := range series {
+		fmt.Fprintf(w, "%16s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%-12s", trimFloat(x))
+		for _, s := range series {
+			v, ok := lookup(s, x)
+			if !ok {
+				fmt.Fprintf(w, "%16s", "-")
+			} else {
+				fmt.Fprintf(w, "%16s", trimFloat(v))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if math.Abs(v) >= 100 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Breakdown renders a Fig 7b-style stacked breakdown table.
+func BreakdownTable(w io.Writer, title string, labels []string, rows []perfmodel.Breakdown) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-14s%14s%14s%14s%14s\n", "run", "compute(min)", "wait(min)", "comm(min)", "total(min)")
+	for i, b := range rows {
+		fmt.Fprintf(w, "%-14s%14.2f%14.2f%14.2f%14.2f\n",
+			labels[i], b.ComputeMin, b.WaitMin, b.CommMin, b.Total())
+	}
+	fmt.Fprintln(w)
+}
+
+// KV prints aligned key: value lines for scalar results.
+func KV(w io.Writer, title string, pairs [][2]string) {
+	fmt.Fprintf(w, "%s\n", title)
+	width := 0
+	for _, p := range pairs {
+		if len(p[0]) > width {
+			width = len(p[0])
+		}
+	}
+	for _, p := range pairs {
+		fmt.Fprintf(w, "  %-*s  %s\n", width, p[0], p[1])
+	}
+	fmt.Fprintln(w)
+}
+
+// Rule prints a horizontal divider with a centered label.
+func Rule(w io.Writer, label string) {
+	const width = 72
+	pad := width - len(label) - 2
+	if pad < 2 {
+		pad = 2
+	}
+	left := pad / 2
+	right := pad - left
+	fmt.Fprintf(w, "%s %s %s\n", strings.Repeat("=", left), label, strings.Repeat("=", right))
+}

@@ -1,0 +1,135 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"ptychopath/internal/perfmodel"
+)
+
+func sampleRows() []perfmodel.Row {
+	return []perfmodel.Row{
+		{Nodes: 1, GPUs: 6, MemoryGB: 9.14, RuntimeMin: 5543, EfficiencyPct: 100},
+		{Nodes: 9, GPUs: 54, MemoryGB: 1.54, RuntimeMin: 183, EfficiencyPct: 336},
+		{Nodes: 21, GPUs: 126, NA: true},
+	}
+}
+
+func TestPerfTableLayout(t *testing.T) {
+	var sb strings.Builder
+	PerfTable(&sb, "Table X", sampleRows())
+	out := sb.String()
+	for _, want := range []string{
+		"Table X", "Nodes", "GPUs", "Memory footprint per GPU (GB)",
+		"Runtime (mins)", "Strong scaling efficiency",
+		"9.14", "5543.0", "336%", "NA",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Transposed: one line per metric, so GPU counts share a line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "GPUs") {
+			if !strings.Contains(line, "6") || !strings.Contains(line, "54") || !strings.Contains(line, "126") {
+				t.Fatalf("GPU header line incomplete: %q", line)
+			}
+		}
+	}
+}
+
+func TestPerfCSV(t *testing.T) {
+	var sb strings.Builder
+	PerfCSV(&sb, sampleRows())
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + 3 rows, got %d lines", len(lines))
+	}
+	if lines[0] != "nodes,gpus,memory_gb,runtime_min,efficiency_pct,na" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,6,9.14") {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[3], "true") {
+		t.Fatalf("NA row must end with true: %q", lines[3])
+	}
+}
+
+func TestSeriesTableAlignsAndFillsMissing(t *testing.T) {
+	var sb strings.Builder
+	SeriesTable(&sb, "Fig Y", "GPUs", []Series{
+		{Name: "a", X: []float64{6, 54}, Y: []float64{1, 2}},
+		{Name: "b", X: []float64{54, 198}, Y: []float64{3, 4}},
+	})
+	out := sb.String()
+	for _, want := range []string{"Fig Y", "GPUs", "a", "b", "198"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series table missing %q:\n%s", want, out)
+		}
+	}
+	// x=6 exists only in series a; series b must show "-".
+	var row6 string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "6 ") || strings.HasPrefix(line, "6\t") || strings.HasPrefix(line, "6") && strings.Contains(line, " ") {
+			row6 = line
+			break
+		}
+	}
+	if row6 == "" || !strings.Contains(row6, "-") {
+		t.Fatalf("missing-point marker absent in %q", row6)
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	var sb strings.Builder
+	BreakdownTable(&sb, "Fig 7b", []string{"24", "24 w/o"}, []perfmodel.Breakdown{
+		{ComputeMin: 10, WaitMin: 2, CommMin: 0.5},
+		{ComputeMin: 10, WaitMin: 2, CommMin: 8},
+	})
+	out := sb.String()
+	for _, want := range []string{"Fig 7b", "compute(min)", "wait(min)", "comm(min)", "total(min)", "12.50", "20.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKVAlignment(t *testing.T) {
+	var sb strings.Builder
+	KV(&sb, "title", [][2]string{{"short", "1"}, {"much longer key", "2"}})
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Values must start at the same column.
+	i1 := strings.Index(lines[1], "1")
+	i2 := strings.Index(lines[2], "2")
+	if i1 != i2 {
+		t.Fatalf("values not aligned: %d vs %d\n%s", i1, i2, out)
+	}
+}
+
+func TestRule(t *testing.T) {
+	var sb strings.Builder
+	Rule(&sb, "table3")
+	out := sb.String()
+	if !strings.Contains(out, " table3 ") || !strings.Contains(out, "====") {
+		t.Fatalf("rule format: %q", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		6:      "6",
+		4158:   "4158",
+		2.17:   "2.17",
+		5539.7: "5539.7",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package scan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Serpentine generates a boustrophedon ("snake") scan: odd rows run
+// right-to-left so the stage never makes a long flyback move. Index
+// order still records acquisition time, which is what distinguishes it
+// from Raster for streaming and delayed-accumulation behaviour.
+func Serpentine(c RasterConfig) (*Pattern, error) {
+	p, err := Raster(c)
+	if err != nil {
+		return nil, err
+	}
+	// Reverse the X positions of odd rows while keeping time order.
+	for row := 1; row < c.Rows; row += 2 {
+		lo := row * c.Cols
+		hi := lo + c.Cols - 1
+		for i, j := lo, hi; i < j; i, j = i+1, j-1 {
+			p.Locations[i].X, p.Locations[j].X = p.Locations[j].X, p.Locations[i].X
+		}
+	}
+	return p, nil
+}
+
+// SpiralConfig describes a Fermat-spiral scan, the standard pattern for
+// suppressing raster-grid artifacts ("raster pathology") in
+// ptychography.
+type SpiralConfig struct {
+	// N is the number of probe locations.
+	N int
+	// StepPix controls the average density: the spiral is scaled so
+	// neighboring points sit roughly StepPix apart.
+	StepPix float64
+	// RadiusPix is the probe circle radius.
+	RadiusPix float64
+	// MarginPix pads the image border (defaults to RadiusPix).
+	MarginPix float64
+}
+
+// Validate reports an error for degenerate configurations.
+func (c SpiralConfig) Validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("scan: spiral needs positive N, got %d", c.N)
+	case c.StepPix <= 0:
+		return fmt.Errorf("scan: step must be positive, got %g", c.StepPix)
+	case c.RadiusPix <= 0:
+		return fmt.Errorf("scan: radius must be positive, got %g", c.RadiusPix)
+	}
+	return nil
+}
+
+// Spiral generates a Fermat spiral: point k sits at radius
+// StepPix*sqrt(k)*c and golden-angle azimuth, giving uniform area
+// density without any raster axis.
+func Spiral(c SpiralConfig) (*Pattern, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	margin := c.MarginPix
+	if margin == 0 {
+		margin = c.RadiusPix
+	}
+	const golden = 2.39996322972865332 // radians
+	// Scale so consecutive rings are ~StepPix apart: r_k = s*sqrt(k)
+	// with s chosen so that density matches a grid of pitch StepPix.
+	s := c.StepPix / math.Sqrt(math.Pi) * 1.9
+	maxR := s * math.Sqrt(float64(c.N-1))
+	center := margin + maxR
+	locs := make([]Location, c.N)
+	for k := 0; k < c.N; k++ {
+		r := s * math.Sqrt(float64(k))
+		th := float64(k) * golden
+		locs[k] = Location{
+			Index:  k,
+			X:      center + r*math.Cos(th),
+			Y:      center + r*math.Sin(th),
+			Radius: c.RadiusPix,
+		}
+	}
+	extent := int(math.Ceil(2 * center))
+	return &Pattern{
+		Locations: locs,
+		ImageW:    extent,
+		ImageH:    extent,
+		StepPix:   c.StepPix,
+		RadiusPix: c.RadiusPix,
+	}, nil
+}

@@ -1,0 +1,168 @@
+package scan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSerpentineReversesOddRows(t *testing.T) {
+	c := RasterConfig{Cols: 4, Rows: 3, StepPix: 10, RadiusPix: 8}
+	r, err := Raster(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Serpentine(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 identical.
+	for i := 0; i < 4; i++ {
+		if s.Locations[i] != r.Locations[i] {
+			t.Fatalf("row 0 must match raster at %d", i)
+		}
+	}
+	// Row 1 X-reversed: serpentine location 4 sits where raster 7 sits.
+	if s.Locations[4].X != r.Locations[7].X {
+		t.Fatalf("row 1 not reversed: %g vs %g", s.Locations[4].X, r.Locations[7].X)
+	}
+	if s.Locations[4].Y != r.Locations[4].Y {
+		t.Fatal("Y must be unchanged")
+	}
+	// Row 2 identical again.
+	if s.Locations[8] != r.Locations[8] {
+		t.Fatal("row 2 must match raster")
+	}
+	// Time order preserved.
+	for i, l := range s.Locations {
+		if l.Index != i {
+			t.Fatal("acquisition indices must stay ordered")
+		}
+	}
+}
+
+func TestSerpentineMinimizesJumpDistance(t *testing.T) {
+	// The defining property: the largest move between consecutive
+	// locations is smaller than raster's flyback.
+	c := RasterConfig{Cols: 6, Rows: 4, StepPix: 10, RadiusPix: 8}
+	maxJump := func(p *Pattern) float64 {
+		var m float64
+		for i := 1; i < p.N(); i++ {
+			dx := p.Locations[i].X - p.Locations[i-1].X
+			dy := p.Locations[i].Y - p.Locations[i-1].Y
+			if d := math.Hypot(dx, dy); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	r, _ := Raster(c)
+	s, _ := Serpentine(c)
+	if maxJump(s) >= maxJump(r) {
+		t.Fatalf("serpentine jump %g not below raster flyback %g", maxJump(s), maxJump(r))
+	}
+}
+
+func TestSerpentinePropagatesConfigErrors(t *testing.T) {
+	if _, err := Serpentine(RasterConfig{Cols: 0, Rows: 1, StepPix: 1, RadiusPix: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSpiralBasics(t *testing.T) {
+	p, err := Spiral(SpiralConfig{N: 100, StepPix: 5, RadiusPix: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 100 {
+		t.Fatalf("N = %d", p.N())
+	}
+	// All locations inside the image.
+	for _, l := range p.Locations {
+		if l.X < 0 || l.Y < 0 || l.X >= float64(p.ImageW) || l.Y >= float64(p.ImageH) {
+			t.Fatalf("location %d at (%g,%g) outside %dx%d", l.Index, l.X, l.Y, p.ImageW, p.ImageH)
+		}
+	}
+	// Radii monotonically non-decreasing from the spiral center (the
+	// image center up to integer-extent rounding, hence the tolerance).
+	cx, cy := float64(p.ImageW)/2, float64(p.ImageH)/2
+	prev := -1.0
+	for _, l := range p.Locations {
+		r := math.Hypot(l.X-cx, l.Y-cy)
+		if r < prev-1.0 {
+			t.Fatalf("spiral radius shrank: %g after %g", r, prev)
+		}
+		if r > prev {
+			prev = r
+		}
+	}
+}
+
+func TestSpiralDensityNearStep(t *testing.T) {
+	// Average nearest-neighbor distance should be within 2x of StepPix.
+	p, err := Spiral(SpiralConfig{N: 200, StepPix: 6, RadiusPix: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i, a := range p.Locations {
+		best := math.Inf(1)
+		for j, b := range p.Locations {
+			if i == j {
+				continue
+			}
+			d := math.Hypot(a.X-b.X, a.Y-b.Y)
+			if d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	mean := sum / float64(p.N())
+	if mean < 3 || mean > 12 {
+		t.Fatalf("mean nearest-neighbor distance %g, want near step 6", mean)
+	}
+}
+
+func TestSpiralNoRasterAxis(t *testing.T) {
+	// No two consecutive points share a Y coordinate (unlike raster) —
+	// the anti-raster-pathology property.
+	p, err := Spiral(SpiralConfig{N: 64, StepPix: 5, RadiusPix: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 1; i < p.N(); i++ {
+		if math.Abs(p.Locations[i].Y-p.Locations[i-1].Y) < 1e-9 {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("%d consecutive equal-Y pairs; spiral should have ~0", same)
+	}
+}
+
+func TestSpiralValidation(t *testing.T) {
+	bad := []SpiralConfig{
+		{N: 0, StepPix: 5, RadiusPix: 8},
+		{N: 10, StepPix: 0, RadiusPix: 8},
+		{N: 10, StepPix: 5, RadiusPix: 0},
+	}
+	for i, c := range bad {
+		if _, err := Spiral(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSpiralWorksWithTilingAssignment(t *testing.T) {
+	// Spiral locations must partition across tiles like raster ones do
+	// (the decomposition is pattern-agnostic).
+	p, err := Spiral(SpiralConfig{N: 80, StepPix: 6, RadiusPix: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := p.CoverageCount()
+	if _, hi := cov.MinMax(); hi < 2 {
+		t.Fatal("spiral should produce overlapping coverage")
+	}
+}

@@ -1,0 +1,207 @@
+// Package scan generates and manipulates probe scan patterns: the raster
+// order the paper's Fig 1(b) describes, probe-location circles, overlap
+// ratios, and the bookkeeping needed to assign locations to image tiles.
+//
+// Coordinates are in pixels of the reconstruction grid; the conversion
+// from physical step sizes happens at dataset-construction time.
+package scan
+
+import (
+	"fmt"
+	"math"
+
+	"ptychopath/internal/grid"
+)
+
+// Location is a single probe position: the index records acquisition
+// time order (Fig 1(b)); X, Y are the circle center in image pixels;
+// Radius is the probe circle radius in pixels.
+type Location struct {
+	Index  int
+	X, Y   float64
+	Radius float64
+}
+
+// Circle returns the bounding box of the probe circle, clipped to no
+// particular image (callers clamp as needed).
+func (l Location) Circle() grid.Rect {
+	return grid.NewRect(
+		int(math.Floor(l.X-l.Radius)),
+		int(math.Floor(l.Y-l.Radius)),
+		int(math.Ceil(l.X+l.Radius))+1,
+		int(math.Ceil(l.Y+l.Radius))+1,
+	)
+}
+
+// Window returns the n x n probe-window rectangle centered on the
+// location (the region the multislice model transforms). The window is
+// anchored so the circle center is as close to the window center as
+// integer coordinates allow.
+func (l Location) Window(n int) grid.Rect {
+	x0 := int(math.Round(l.X)) - n/2
+	y0 := int(math.Round(l.Y)) - n/2
+	return grid.RectWH(x0, y0, n, n)
+}
+
+// Pattern is an ordered list of probe locations over an image.
+type Pattern struct {
+	Locations []Location
+	// ImageW, ImageH are the reconstruction extents in pixels.
+	ImageW, ImageH int
+	// StepPix is the raster step between adjacent locations in pixels.
+	StepPix float64
+	// RadiusPix is the probe circle radius in pixels.
+	RadiusPix float64
+}
+
+// RasterConfig describes a raster-scan acquisition.
+type RasterConfig struct {
+	// Cols, Rows: number of probe locations per row and number of rows.
+	Cols, Rows int
+	// StepPix is the distance between adjacent probe centers, pixels.
+	StepPix float64
+	// RadiusPix is the probe circle radius, pixels.
+	RadiusPix float64
+	// MarginPix is the distance from the image border to the first
+	// probe center. Defaults to RadiusPix when zero.
+	MarginPix float64
+	// Jitter adds deterministic pseudo-random positional noise of the
+	// given amplitude (pixels) to emulate stage imprecision. Zero keeps
+	// a perfect grid.
+	Jitter float64
+}
+
+// Validate reports an error for degenerate configurations.
+func (c RasterConfig) Validate() error {
+	switch {
+	case c.Cols <= 0 || c.Rows <= 0:
+		return fmt.Errorf("scan: grid must be positive, got %dx%d", c.Cols, c.Rows)
+	case c.StepPix <= 0:
+		return fmt.Errorf("scan: step must be positive, got %g", c.StepPix)
+	case c.RadiusPix <= 0:
+		return fmt.Errorf("scan: radius must be positive, got %g", c.RadiusPix)
+	case c.Jitter < 0:
+		return fmt.Errorf("scan: jitter must be non-negative, got %g", c.Jitter)
+	}
+	return nil
+}
+
+// OverlapRatio returns the linear overlap ratio between adjacent probe
+// circles: 1 - step/(2*radius). Ptychography needs > 0.7 for artifact-
+// free reconstruction per the paper's Sec. II-A.
+func (c RasterConfig) OverlapRatio() float64 {
+	return 1 - c.StepPix/(2*c.RadiusPix)
+}
+
+// StepForOverlap returns the raster step (pixels) that produces the
+// requested linear overlap ratio for the given probe radius.
+func StepForOverlap(radiusPix, overlap float64) float64 {
+	if overlap < 0 || overlap >= 1 {
+		panic(fmt.Sprintf("scan: overlap ratio must be in [0,1), got %g", overlap))
+	}
+	return 2 * radiusPix * (1 - overlap)
+}
+
+// Raster generates the raster-order pattern of Fig 1(b): left-to-right
+// within a row, rows top-to-bottom, acquisition index increasing in time
+// order. The image extent is derived from the scan footprint plus
+// margins.
+func Raster(c RasterConfig) (*Pattern, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	margin := c.MarginPix
+	if margin == 0 {
+		margin = c.RadiusPix
+	}
+	locs := make([]Location, 0, c.Cols*c.Rows)
+	// Deterministic jitter from a tiny splitmix-style hash so patterns
+	// are reproducible without seeding a global RNG.
+	jit := func(i int) (float64, float64) {
+		if c.Jitter == 0 {
+			return 0, 0
+		}
+		z := uint64(i)*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+		z ^= z >> 30
+		z *= 0x94D049BB133111EB
+		z ^= z >> 27
+		u1 := float64(z&0xFFFFFFFF) / float64(0x100000000) // [0,1)
+		u2 := float64(z>>32) / float64(0x100000000)
+		return (u1*2 - 1) * c.Jitter, (u2*2 - 1) * c.Jitter
+	}
+	idx := 0
+	for row := 0; row < c.Rows; row++ {
+		for col := 0; col < c.Cols; col++ {
+			dx, dy := jit(idx)
+			locs = append(locs, Location{
+				Index:  idx,
+				X:      margin + float64(col)*c.StepPix + dx,
+				Y:      margin + float64(row)*c.StepPix + dy,
+				Radius: c.RadiusPix,
+			})
+			idx++
+		}
+	}
+	w := int(math.Ceil(2*margin + float64(c.Cols-1)*c.StepPix))
+	h := int(math.Ceil(2*margin + float64(c.Rows-1)*c.StepPix))
+	return &Pattern{
+		Locations: locs,
+		ImageW:    w,
+		ImageH:    h,
+		StepPix:   c.StepPix,
+		RadiusPix: c.RadiusPix,
+	}, nil
+}
+
+// Bounds returns the image rectangle [0,ImageW) x [0,ImageH).
+func (p *Pattern) Bounds() grid.Rect { return grid.RectWH(0, 0, p.ImageW, p.ImageH) }
+
+// N returns the number of probe locations.
+func (p *Pattern) N() int { return len(p.Locations) }
+
+// CoverageCount returns, for each image pixel, how many probe circles
+// contain it — a diagnostic for scan density and the basis for overlap
+// assertions in tests.
+func (p *Pattern) CoverageCount() *grid.Float2D {
+	cov := grid.NewFloat2D(p.Bounds())
+	for _, l := range p.Locations {
+		bb := l.Circle().Clamp(cov.Bounds)
+		r2 := l.Radius * l.Radius
+		for y := bb.Y0; y < bb.Y1; y++ {
+			dy := float64(y) - l.Y
+			for x := bb.X0; x < bb.X1; x++ {
+				dx := float64(x) - l.X
+				if dx*dx+dy*dy <= r2 {
+					cov.Set(x, y, cov.At(x, y)+1)
+				}
+			}
+		}
+	}
+	return cov
+}
+
+// LocationsIn returns the indices of locations whose centers fall inside
+// region r, preserving acquisition order. This is the assignment rule
+// both parallel algorithms use ("circle-center containment").
+func (p *Pattern) LocationsIn(r grid.Rect) []int {
+	var out []int
+	for i, l := range p.Locations {
+		if r.Contains(int(math.Round(l.X)), int(math.Round(l.Y))) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MaxCircleSpanPix returns the largest extent any probe circle reaches
+// beyond its center, i.e. the halo width needed for a tile to cover its
+// own circles entirely.
+func (p *Pattern) MaxCircleSpanPix() float64 {
+	var m float64
+	for _, l := range p.Locations {
+		if l.Radius > m {
+			m = l.Radius
+		}
+	}
+	return m
+}

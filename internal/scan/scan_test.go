@@ -1,0 +1,195 @@
+package scan
+
+import (
+	"math"
+	"testing"
+
+	"ptychopath/internal/grid"
+)
+
+func TestRasterOrderMatchesFig1b(t *testing.T) {
+	// 3x3 grid: indices must run left-to-right, top-to-bottom (Fig 1(b)).
+	p, err := Raster(RasterConfig{Cols: 3, Rows: 3, StepPix: 10, RadiusPix: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 9 {
+		t.Fatalf("N = %d, want 9", p.N())
+	}
+	for i, l := range p.Locations {
+		if l.Index != i {
+			t.Fatalf("location %d has index %d", i, l.Index)
+		}
+		wantX := 8.0 + float64(i%3)*10
+		wantY := 8.0 + float64(i/3)*10
+		if l.X != wantX || l.Y != wantY {
+			t.Fatalf("location %d at (%g,%g), want (%g,%g)", i, l.X, l.Y, wantX, wantY)
+		}
+	}
+	// Location 3 (start of second row) must be below location 0.
+	if p.Locations[3].Y <= p.Locations[0].Y {
+		t.Fatal("second raster row must be below the first")
+	}
+}
+
+func TestRasterImageExtent(t *testing.T) {
+	p, err := Raster(RasterConfig{Cols: 4, Rows: 2, StepPix: 5, RadiusPix: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// margin defaults to radius: extent = 2*3 + 3*5 = 21 wide, 2*3+5=11 high.
+	if p.ImageW != 21 || p.ImageH != 11 {
+		t.Fatalf("extent = %dx%d, want 21x11", p.ImageW, p.ImageH)
+	}
+	// Every circle must fit inside the image bounds.
+	for _, l := range p.Locations {
+		if !p.Bounds().ContainsRect(l.Circle().Clamp(p.Bounds())) {
+			t.Fatal("clamped circle escaping bounds")
+		}
+	}
+}
+
+func TestValidateRejectsDegenerate(t *testing.T) {
+	bad := []RasterConfig{
+		{Cols: 0, Rows: 3, StepPix: 1, RadiusPix: 1},
+		{Cols: 3, Rows: -1, StepPix: 1, RadiusPix: 1},
+		{Cols: 3, Rows: 3, StepPix: 0, RadiusPix: 1},
+		{Cols: 3, Rows: 3, StepPix: 1, RadiusPix: 0},
+		{Cols: 3, Rows: 3, StepPix: 1, RadiusPix: 1, Jitter: -1},
+	}
+	for i, c := range bad {
+		if _, err := Raster(c); err == nil {
+			t.Errorf("case %d: Raster accepted invalid config", i)
+		}
+	}
+}
+
+func TestOverlapRatio(t *testing.T) {
+	c := RasterConfig{Cols: 2, Rows: 2, StepPix: 4, RadiusPix: 10}
+	if got := c.OverlapRatio(); math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("overlap = %g, want 0.8", got)
+	}
+	step := StepForOverlap(10, 0.8)
+	if math.Abs(step-4) > 1e-12 {
+		t.Fatalf("StepForOverlap = %g, want 4", step)
+	}
+}
+
+func TestStepForOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlap >= 1 must panic")
+		}
+	}()
+	StepForOverlap(10, 1)
+}
+
+func TestHighOverlapCoverage(t *testing.T) {
+	// With >70% overlap, interior pixels must be covered by several circles.
+	c := RasterConfig{Cols: 5, Rows: 5, StepPix: StepForOverlap(10, 0.75), RadiusPix: 10}
+	p, err := Raster(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := p.CoverageCount()
+	// Center of the scan.
+	cx, cy := p.ImageW/2, p.ImageH/2
+	if cov.At(cx, cy) < 4 {
+		t.Fatalf("center coverage = %g, want >= 4 at 75%% overlap", cov.At(cx, cy))
+	}
+	// No pixel covered by a circle should exceed the total count.
+	_, hi := cov.MinMax()
+	if hi > float64(p.N()) {
+		t.Fatal("coverage exceeds number of locations")
+	}
+}
+
+func TestCircleBoundingBoxContainsCircle(t *testing.T) {
+	l := Location{X: 20.3, Y: 11.7, Radius: 5.2}
+	bb := l.Circle()
+	for yi := bb.Y0; yi < bb.Y1; yi++ {
+		for xi := bb.X0; xi < bb.X1; xi++ {
+			_ = xi
+		}
+	}
+	// All points within the radius must fall inside the box.
+	for ang := 0.0; ang < 2*math.Pi; ang += 0.1 {
+		x := int(math.Floor(l.X + l.Radius*math.Cos(ang)))
+		y := int(math.Floor(l.Y + l.Radius*math.Sin(ang)))
+		if !bb.Contains(x, y) {
+			t.Fatalf("circle point (%d,%d) outside bounding box %v", x, y, bb)
+		}
+	}
+}
+
+func TestWindowCenteredOnLocation(t *testing.T) {
+	l := Location{X: 33, Y: 17, Radius: 5}
+	w := l.Window(16)
+	if w.W() != 16 || w.H() != 16 {
+		t.Fatalf("window size %dx%d", w.W(), w.H())
+	}
+	if w.X0 != 33-8 || w.Y0 != 17-8 {
+		t.Fatalf("window anchor (%d,%d)", w.X0, w.Y0)
+	}
+}
+
+func TestLocationsInPartition(t *testing.T) {
+	// Splitting the image into two half-planes must partition the
+	// locations: every index appears exactly once.
+	p, err := Raster(RasterConfig{Cols: 6, Rows: 4, StepPix: 7, RadiusPix: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := p.ImageW / 2
+	left := p.LocationsIn(grid.NewRect(0, 0, mid, p.ImageH))
+	right := p.LocationsIn(grid.NewRect(mid, 0, p.ImageW, p.ImageH))
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, left...), right...) {
+		if seen[i] {
+			t.Fatalf("location %d assigned twice", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != p.N() {
+		t.Fatalf("partition lost locations: %d of %d", len(seen), p.N())
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	c := RasterConfig{Cols: 4, Rows: 4, StepPix: 10, RadiusPix: 8, Jitter: 1.5}
+	p1, err := Raster(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := Raster(c)
+	for i := range p1.Locations {
+		if p1.Locations[i] != p2.Locations[i] {
+			t.Fatal("jitter must be deterministic")
+		}
+	}
+	base, _ := Raster(RasterConfig{Cols: 4, Rows: 4, StepPix: 10, RadiusPix: 8})
+	var moved bool
+	for i := range p1.Locations {
+		dx := p1.Locations[i].X - base.Locations[i].X
+		dy := p1.Locations[i].Y - base.Locations[i].Y
+		if math.Abs(dx) > 1.5 || math.Abs(dy) > 1.5 {
+			t.Fatalf("jitter exceeded amplitude: (%g,%g)", dx, dy)
+		}
+		if dx != 0 || dy != 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("jitter had no effect")
+	}
+}
+
+func TestMaxCircleSpan(t *testing.T) {
+	p, err := Raster(RasterConfig{Cols: 2, Rows: 2, StepPix: 5, RadiusPix: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxCircleSpanPix() != 7 {
+		t.Fatalf("MaxCircleSpanPix = %g", p.MaxCircleSpanPix())
+	}
+}

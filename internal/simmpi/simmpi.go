@@ -1,0 +1,317 @@
+// Package simmpi provides an MPI-flavored message-passing runtime over
+// goroutines: ranks, point-to-point Send/Recv with tags, non-blocking
+// Isend/Irecv with Wait, barriers and sum-allreduce. The paper's
+// parallel algorithms are written against this interface exactly as they
+// would be against MPI; a rank stands in for one GPU.
+//
+// Semantics follow MPI's eager protocol: Send copies the payload and
+// enqueues it immediately (never blocks), Recv blocks until a matching
+// message arrives. Every blocking operation carries a deadlock timeout
+// so an incorrectly ordered exchange fails a test loudly instead of
+// hanging it. Per-rank byte/message counters feed communication-volume
+// assertions and the experiment reports.
+package simmpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AnySource matches messages from any sender in Recv/Irecv.
+const AnySource = -1
+
+// DefaultTimeout bounds every blocking operation; tests override it to
+// fail fast.
+const DefaultTimeout = 30 * time.Second
+
+// ErrTimeout is returned when a blocking operation exceeds the world's
+// timeout — almost always a deadlocked exchange pattern.
+var ErrTimeout = errors.New("simmpi: blocking operation timed out (deadlock?)")
+
+// Msg is an in-flight message.
+type Msg struct {
+	Src  int
+	Tag  int
+	Data []complex128
+}
+
+// World owns the mailboxes and synchronization state for one parallel
+// run.
+type World struct {
+	size    int
+	timeout time.Duration
+	boxes   []*mailbox
+
+	barrierMu  sync.Mutex
+	barrierGen int
+	barrierCnt int
+	barrierCh  chan struct{}
+
+	reduceMu   sync.Mutex
+	reduceVals []float64
+	reduceGen  int
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+}
+
+type mailbox struct {
+	mu     sync.Mutex
+	queue  []Msg
+	signal chan struct{}
+
+	bytesIn atomic.Int64
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	rank  int
+	world *World
+}
+
+// NewWorld creates a world of the given size. timeout <= 0 selects
+// DefaultTimeout.
+func NewWorld(size int, timeout time.Duration) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("simmpi: invalid world size %d", size))
+	}
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	w := &World{size: size, timeout: timeout, barrierCh: make(chan struct{})}
+	w.boxes = make([]*mailbox, size)
+	for i := range w.boxes {
+		w.boxes[i] = &mailbox{signal: make(chan struct{}, 1)}
+	}
+	return w
+}
+
+// Run executes fn on every rank concurrently and waits for all to
+// finish, collecting the first error (rank panics become errors).
+func Run(size int, timeout time.Duration, fn func(c *Comm) error) error {
+	w := NewWorld(size, timeout)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(&Comm{rank: rank, world: w})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send copies data and enqueues it for dst. It never blocks (eager
+// protocol).
+func (c *Comm) Send(dst, tag int, data []complex128) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("simmpi: send to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	cp := make([]complex128, len(data))
+	copy(cp, data)
+	m := Msg{Src: c.rank, Tag: tag, Data: cp}
+	box := c.world.boxes[dst]
+	box.mu.Lock()
+	box.queue = append(box.queue, m)
+	box.mu.Unlock()
+	select {
+	case box.signal <- struct{}{}:
+	default:
+	}
+	nbytes := int64(16 * len(data))
+	c.world.bytesSent.Add(nbytes)
+	c.world.msgsSent.Add(1)
+	box.bytesIn.Add(nbytes)
+}
+
+// Request represents a pending non-blocking operation.
+type Request struct {
+	comm *Comm
+	src  int
+	tag  int
+	sent bool // true for send requests (already complete)
+	data []complex128
+	err  error
+	done bool
+}
+
+// Isend starts a non-blocking send. With eager semantics the operation
+// completes immediately; the returned request exists for API symmetry
+// with MPI_Isend (the paper's APPP uses isend/irecv pairs).
+func (c *Comm) Isend(dst, tag int, data []complex128) *Request {
+	c.Send(dst, tag, data)
+	return &Request{comm: c, sent: true, done: true}
+}
+
+// Irecv posts a non-blocking receive. The match is performed at Wait.
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{comm: c, src: src, tag: tag}
+}
+
+// Wait completes the request. For receive requests it blocks until a
+// matching message arrives (or the timeout fires) and returns its
+// payload; for send requests it returns immediately.
+func (r *Request) Wait() ([]complex128, error) {
+	if r.done {
+		return r.data, r.err
+	}
+	r.data, r.err = r.comm.Recv(r.src, r.tag)
+	r.done = true
+	return r.data, r.err
+}
+
+// Recv blocks until a message with matching source and tag arrives and
+// returns its payload. src may be AnySource. Matching is FIFO per
+// (src, tag) pair.
+func (c *Comm) Recv(src, tag int) ([]complex128, error) {
+	box := c.world.boxes[c.rank]
+	deadline := time.Now().Add(c.world.timeout)
+	for {
+		box.mu.Lock()
+		for i, m := range box.queue {
+			if (src == AnySource || m.Src == src) && m.Tag == tag {
+				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				box.mu.Unlock()
+				return m.Data, nil
+			}
+		}
+		box.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return nil, fmt.Errorf("%w: rank %d waiting for src=%d tag=%d",
+				ErrTimeout, c.rank, src, tag)
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-box.signal:
+			timer.Stop()
+		case <-timer.C:
+			return nil, fmt.Errorf("%w: rank %d waiting for src=%d tag=%d",
+				ErrTimeout, c.rank, src, tag)
+		}
+	}
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	w := c.world
+	w.barrierMu.Lock()
+	gen := w.barrierGen
+	w.barrierCnt++
+	if w.barrierCnt == w.size {
+		w.barrierCnt = 0
+		w.barrierGen++
+		close(w.barrierCh)
+		w.barrierCh = make(chan struct{})
+		w.barrierMu.Unlock()
+		return nil
+	}
+	ch := w.barrierCh
+	w.barrierMu.Unlock()
+
+	timer := time.NewTimer(w.timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-timer.C:
+		return fmt.Errorf("%w: rank %d in barrier generation %d", ErrTimeout, c.rank, gen)
+	}
+}
+
+// AllreduceSum returns the sum of x across all ranks on every rank. The
+// reduction is performed in rank order so results are bit-for-bit
+// deterministic across runs regardless of goroutine scheduling.
+func (c *Comm) AllreduceSum(x float64) (float64, error) {
+	w := c.world
+	w.reduceMu.Lock()
+	if w.reduceVals == nil {
+		w.reduceVals = make([]float64, w.size)
+	}
+	w.reduceVals[c.rank] = x
+	w.reduceMu.Unlock()
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	w.reduceMu.Lock()
+	var sum float64
+	for _, v := range w.reduceVals {
+		sum += v
+	}
+	gen := w.reduceGen
+	w.reduceMu.Unlock()
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	// The first rank through the second barrier resets the slots for
+	// the next reduction; the generation counter guards double resets.
+	w.reduceMu.Lock()
+	if w.reduceGen == gen {
+		for i := range w.reduceVals {
+			w.reduceVals[i] = 0
+		}
+		w.reduceGen++
+	}
+	w.reduceMu.Unlock()
+	return sum, nil
+}
+
+// BytesSent returns the total payload bytes sent across the world.
+func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
+
+// MessagesSent returns the total message count across the world.
+func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
+
+// BytesReceivedBy returns payload bytes delivered into rank's mailbox.
+func (w *World) BytesReceivedBy(rank int) int64 { return w.boxes[rank].bytesIn.Load() }
+
+// World returns the communicator's world, exposing counters to the
+// harness that launched Run via NewWorld + manual goroutines.
+func (c *Comm) World() *World { return c.world }
+
+// RunWorld executes fn on every rank of an existing world (the caller
+// keeps the world handle for counter inspection).
+func (w *World) RunAll(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("simmpi: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(&Comm{rank: rank, world: w})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

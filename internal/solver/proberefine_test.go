@@ -1,0 +1,143 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+)
+
+// aberratedProblem simulates data with the TRUE probe but hands the
+// solver a problem whose probe carries extra defocus — the
+// aberration-correction scenario of the paper's Sec. II-B.
+func aberratedProblem(t *testing.T) (*Problem, *phantom.Object) {
+	t.Helper()
+	pat, err := scan.Raster(scan.RasterConfig{
+		Cols: 4, Rows: 4, StepPix: 6, RadiusPix: 8, MarginPix: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := phantom.RandomObject(pat.ImageW, pat.ImageH, 1, 31)
+	prob, err := Simulate(SimulateConfig{
+		Optics: physics.PaperOptics(), Pattern: pat, Object: obj, WindowN: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the solver's probe: 40% extra defocus.
+	wrong := physics.PaperOptics()
+	wrong.DefocusPM *= 1.4
+	prob.Probe = wrong.Probe(prob.WindowN)
+	return prob, obj
+}
+
+func TestProbeRefinementImprovesAberratedReconstruction(t *testing.T) {
+	prob, obj := aberratedProblem(t)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+
+	fixed, err := Reconstruct(prob, init.Slices, Options{
+		StepSize: 0.02, Iterations: 40, Mode: Batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Reconstruct(prob, init.Slices, Options{
+		StepSize: 0.02, Iterations: 40, Mode: Batch, ProbeStepSize: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(fixed.CostHistory) - 1
+	if math.IsNaN(refined.CostHistory[last]) {
+		t.Fatal("probe refinement diverged")
+	}
+	// With an aberrated probe, joint refinement must reach a better
+	// data fit than the fixed wrong probe.
+	if refined.CostHistory[last] >= 0.95*fixed.CostHistory[last] {
+		t.Fatalf("probe refinement did not help: refined %g vs fixed %g",
+			refined.CostHistory[last], fixed.CostHistory[last])
+	}
+	if refined.RefinedProbe == nil {
+		t.Fatal("refined probe missing from result")
+	}
+	if fixed.RefinedProbe != nil {
+		t.Fatal("fixed-probe run must not return a refined probe")
+	}
+	// The refined probe moved away from the wrong initial probe.
+	if refined.RefinedProbe.MaxDiff(prob.Probe) == 0 {
+		t.Fatal("probe did not move")
+	}
+}
+
+func TestProbeRefinementSequentialMode(t *testing.T) {
+	prob, obj := aberratedProblem(t)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	res, err := Reconstruct(prob, init.Slices, Options{
+		StepSize: 0.01, Iterations: 8, Mode: Sequential, ProbeStepSize: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostHistory[7] >= res.CostHistory[0] {
+		t.Fatalf("sequential probe refinement diverged: %v", res.CostHistory)
+	}
+	if res.RefinedProbe == nil || !res.RefinedProbe.IsFinite() {
+		t.Fatal("refined probe invalid")
+	}
+}
+
+func TestProbeRefinementDoesNotMutateProblemProbe(t *testing.T) {
+	prob, obj := aberratedProblem(t)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	before := prob.Probe.Clone()
+	if _, err := Reconstruct(prob, init.Slices, Options{
+		StepSize: 0.02, Iterations: 3, Mode: Batch, ProbeStepSize: 0.02,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if prob.Probe.MaxDiff(before) != 0 {
+		t.Fatal("Reconstruct mutated the problem's probe")
+	}
+}
+
+func TestNegativeProbeStepRejected(t *testing.T) {
+	prob, obj := aberratedProblem(t)
+	init := phantom.Vacuum(obj.Bounds(), 1)
+	if _, err := Reconstruct(prob, init.Slices, Options{
+		StepSize: 0.02, Iterations: 1, ProbeStepSize: -1,
+	}); err == nil {
+		t.Fatal("negative probe step accepted")
+	}
+}
+
+func TestExactProbeRefinementStaysNearOptimum(t *testing.T) {
+	// With the CORRECT probe and the true object, enabling refinement
+	// must keep cost ~0 (the gradient at the optimum is ~0).
+	pat, err := scan.Raster(scan.RasterConfig{
+		Cols: 3, Rows: 3, StepPix: 6, RadiusPix: 8, MarginPix: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := phantom.RandomObject(pat.ImageW, pat.ImageH, 1, 33)
+	prob, err := Simulate(SimulateConfig{
+		Optics: physics.PaperOptics(), Pattern: pat, Object: obj, WindowN: 16, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reconstruct(prob, obj.Slices, Options{
+		StepSize: 0.01, Iterations: 3, Mode: Batch, ProbeStepSize: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.CostHistory {
+		if c > 1e-12 {
+			t.Fatalf("cost left the optimum: %v", res.CostHistory)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package solver defines the reconstruction problem container shared by
+// every algorithm in the repository and provides the serial reference
+// solvers (batch gradient descent and sequential PIE-style updates) that
+// the parallel methods are validated against.
+package solver
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/multislice"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+)
+
+// Problem bundles everything the maximum-likelihood reconstruction of
+// Eqn. (1) needs: the scan pattern, measured far-field amplitudes per
+// probe location, the probe wavefunction, the inter-slice propagator and
+// the model geometry.
+type Problem struct {
+	Pattern *scan.Pattern
+	// Meas[i] is the measured far-field amplitude |y_i| for location i,
+	// WindowN x WindowN, origin-anchored.
+	Meas []*grid.Float2D
+	// Probe is the WindowN x WindowN probe wavefunction.
+	Probe *grid.Complex2D
+	// Prop is the Fresnel inter-slice propagator (nil disables
+	// propagation; single-slice mode).
+	Prop *grid.Complex2D
+	// WindowN is the probe-window edge in pixels.
+	WindowN int
+	// Slices is the number of object slices to reconstruct.
+	Slices int
+}
+
+// Validate reports structural inconsistencies.
+func (p *Problem) Validate() error {
+	switch {
+	case p.Pattern == nil:
+		return fmt.Errorf("solver: nil pattern")
+	case len(p.Meas) != p.Pattern.N():
+		return fmt.Errorf("solver: %d measurements for %d locations", len(p.Meas), p.Pattern.N())
+	case p.Probe == nil || p.Probe.W() != p.WindowN || p.Probe.H() != p.WindowN:
+		return fmt.Errorf("solver: probe must be %dx%d", p.WindowN, p.WindowN)
+	case p.Slices <= 0:
+		return fmt.Errorf("solver: slices must be positive, got %d", p.Slices)
+	}
+	for i, m := range p.Meas {
+		if m.W() != p.WindowN || m.H() != p.WindowN {
+			return fmt.Errorf("solver: measurement %d is %dx%d, want %dx%d",
+				i, m.W(), m.H(), p.WindowN, p.WindowN)
+		}
+	}
+	return nil
+}
+
+// NewEngine constructs a fresh multislice engine for this problem.
+// Engines are not concurrency-safe; each worker makes its own.
+func (p *Problem) NewEngine() *multislice.Engine {
+	return multislice.NewEngine(p.Probe, p.Prop)
+}
+
+// ImageBounds returns the reconstruction extent.
+func (p *Problem) ImageBounds() grid.Rect { return p.Pattern.Bounds() }
+
+// SimulateConfig controls synthetic data generation.
+type SimulateConfig struct {
+	Optics  physics.Optics
+	Pattern *scan.Pattern
+	Object  *phantom.Object
+	WindowN int
+	// DoseElectrons, when positive, applies Poisson shot noise with the
+	// given mean total electron count per diffraction pattern.
+	DoseElectrons float64
+	// Seed drives the noise RNG.
+	Seed int64
+}
+
+// Simulate generates a Problem by pushing the ground-truth object
+// through the forward model at every probe location — the synthetic
+// counterpart of the paper's simulated PbTiO3 acquisition.
+func Simulate(cfg SimulateConfig) (*Problem, error) {
+	if cfg.Pattern == nil || cfg.Object == nil {
+		return nil, fmt.Errorf("solver: Simulate requires a pattern and object")
+	}
+	if cfg.WindowN <= 0 {
+		return nil, fmt.Errorf("solver: window size must be positive, got %d", cfg.WindowN)
+	}
+	if err := cfg.Optics.Validate(); err != nil {
+		return nil, err
+	}
+	probe := cfg.Optics.Probe(cfg.WindowN)
+	var prop *grid.Complex2D
+	if cfg.Object.NumSlices() > 1 {
+		prop = physics.FresnelPropagator(cfg.WindowN, cfg.Optics.PixelSizePM,
+			cfg.Optics.Wavelength(), cfg.Optics.SliceThickPM)
+	}
+	eng := multislice.NewEngine(probe, prop)
+	meas := make([]*grid.Float2D, cfg.Pattern.N())
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i, l := range cfg.Pattern.Locations {
+		amp := eng.Simulate(cfg.Object.Slices, l.Window(cfg.WindowN))
+		if cfg.DoseElectrons > 0 {
+			applyShotNoise(amp, cfg.DoseElectrons, rng)
+		}
+		meas[i] = amp
+	}
+	return &Problem{
+		Pattern: cfg.Pattern,
+		Meas:    meas,
+		Probe:   probe,
+		Prop:    prop,
+		WindowN: cfg.WindowN,
+		Slices:  cfg.Object.NumSlices(),
+	}, nil
+}
+
+// applyShotNoise converts amplitudes to intensities, scales to the dose,
+// draws Poisson counts, and converts back — the standard detector model.
+func applyShotNoise(amp *grid.Float2D, dose float64, rng *rand.Rand) {
+	var total float64
+	for _, a := range amp.Data {
+		total += a * a
+	}
+	if total == 0 {
+		return
+	}
+	scale := dose / total
+	for i, a := range amp.Data {
+		lambda := a * a * scale
+		counts := poisson(lambda, rng)
+		amp.Data[i] = math.Sqrt(counts / scale)
+	}
+}
+
+// poisson draws a Poisson variate; Knuth's method for small lambda, a
+// Gaussian approximation for large lambda (adequate for detector noise).
+func poisson(lambda float64, rng *rand.Rand) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return math.Round(v)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return float64(k)
+		}
+		k++
+	}
+}
+
+// Cost evaluates the full cost F(V) over all probe locations of prob for
+// the given object slices.
+func Cost(prob *Problem, slices []*grid.Complex2D) float64 {
+	eng := prob.NewEngine()
+	var f float64
+	for i, l := range prob.Pattern.Locations {
+		f += eng.Loss(slices, l.Window(prob.WindowN), prob.Meas[i])
+	}
+	return f
+}
+
+// TotalGradient accumulates the full image gradient dF/d(conj t) over
+// all locations into freshly allocated arrays with the given bounds —
+// the serial ground truth the Gradient Decomposition must reproduce.
+func TotalGradient(prob *Problem, slices []*grid.Complex2D, bounds grid.Rect) ([]*grid.Complex2D, float64) {
+	eng := prob.NewEngine()
+	grads := make([]*grid.Complex2D, len(slices))
+	for i := range grads {
+		grads[i] = grid.NewComplex2D(bounds)
+	}
+	var f float64
+	for i, l := range prob.Pattern.Locations {
+		f += eng.LossGrad(slices, l.Window(prob.WindowN), prob.Meas[i], grads)
+	}
+	return grads, f
+}

@@ -1,0 +1,275 @@
+// Package tiling implements the tile-mesh geometry both parallel
+// algorithms are built on: the partition of the reconstruction into a
+// Rows x Cols grid of contiguous interior tiles, the halo-extended tiles
+// that cover each tile's probe circles, the overlap rectangles between
+// extended tiles that gradients are exchanged over, probe-location
+// assignment, and final stitching (paper Figs. 2-4).
+package tiling
+
+import (
+	"fmt"
+	"math"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/scan"
+)
+
+// Mesh is a Rows x Cols decomposition of an image with a fixed halo
+// width. Tile (r, c) refers to row r (vertical position) and column c.
+// Ranks are assigned row-major: rank = r*Cols + c, matching the paper's
+// "tile 1..9" numbering for a 3x3 mesh (rank = tile number - 1).
+type Mesh struct {
+	Image grid.Rect
+	Rows  int
+	Cols  int
+	Halo  int
+
+	xCuts []int // len Cols+1, column boundaries
+	yCuts []int // len Rows+1, row boundaries
+}
+
+// NewMesh builds a mesh over image with the given tile grid and halo
+// width (pixels). Every tile must be non-empty.
+func NewMesh(image grid.Rect, rows, cols, halo int) (*Mesh, error) {
+	if image.Empty() {
+		return nil, fmt.Errorf("tiling: empty image %v", image)
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("tiling: invalid mesh %dx%d", rows, cols)
+	}
+	if halo < 0 {
+		return nil, fmt.Errorf("tiling: negative halo %d", halo)
+	}
+	if cols > image.W() || rows > image.H() {
+		return nil, fmt.Errorf("tiling: mesh %dx%d larger than image %dx%d",
+			rows, cols, image.W(), image.H())
+	}
+	m := &Mesh{Image: image, Rows: rows, Cols: cols, Halo: halo}
+	m.xCuts = cuts(image.X0, image.X1, cols)
+	m.yCuts = cuts(image.Y0, image.Y1, rows)
+	return m, nil
+}
+
+// cuts splits [lo, hi) into n near-equal contiguous spans.
+func cuts(lo, hi, n int) []int {
+	out := make([]int, n+1)
+	span := hi - lo
+	for i := 0; i <= n; i++ {
+		out[i] = lo + span*i/n
+	}
+	return out
+}
+
+// NumTiles returns Rows*Cols.
+func (m *Mesh) NumTiles() int { return m.Rows * m.Cols }
+
+// Rank maps (row, col) to the row-major rank.
+func (m *Mesh) Rank(r, c int) int { return r*m.Cols + c }
+
+// RowCol maps a rank back to (row, col).
+func (m *Mesh) RowCol(rank int) (r, c int) { return rank / m.Cols, rank % m.Cols }
+
+// Tile returns the interior tile rectangle for (r, c). Interior tiles
+// partition the image exactly.
+func (m *Mesh) Tile(r, c int) grid.Rect {
+	m.check(r, c)
+	return grid.NewRect(m.xCuts[c], m.yCuts[r], m.xCuts[c+1], m.yCuts[r+1])
+}
+
+// Extended returns the halo-extended tile for (r, c), clamped to the
+// image bounds (paper Fig 3(b): gray halos).
+func (m *Mesh) Extended(r, c int) grid.Rect {
+	return m.Tile(r, c).Inflate(m.Halo).Clamp(m.Image)
+}
+
+// ExtendedWithHalo returns the tile extended by an explicit halo width,
+// clamped to the image. Used by the Halo Voxel Exchange baseline, whose
+// halos are wider than the mesh default.
+func (m *Mesh) ExtendedWithHalo(r, c, halo int) grid.Rect {
+	return m.Tile(r, c).Inflate(halo).Clamp(m.Image)
+}
+
+// TileOf returns the (row, col) of the interior tile containing pixel
+// (x, y). The pixel must be inside the image.
+func (m *Mesh) TileOf(x, y int) (r, c int) {
+	if !m.Image.Contains(x, y) {
+		panic(fmt.Sprintf("tiling: pixel (%d,%d) outside image %v", x, y, m.Image))
+	}
+	c = searchCut(m.xCuts, x)
+	r = searchCut(m.yCuts, y)
+	return r, c
+}
+
+func searchCut(cuts []int, v int) int {
+	lo, hi := 0, len(cuts)-2
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if cuts[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func (m *Mesh) check(r, c int) {
+	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		panic(fmt.Sprintf("tiling: tile (%d,%d) outside %dx%d mesh", r, c, m.Rows, m.Cols))
+	}
+}
+
+// VerticalOverlap returns the overlap rectangle between the extended
+// tiles (r, c) and (r+1, c) — the region the vertical forward/backward
+// passes exchange (paper Fig 4(a), blue/red regions). Empty when r is
+// the last row.
+func (m *Mesh) VerticalOverlap(r, c int) grid.Rect {
+	if r+1 >= m.Rows {
+		return grid.Rect{}
+	}
+	return m.Extended(r, c).Intersect(m.Extended(r+1, c))
+}
+
+// HorizontalOverlap returns the overlap between extended tiles (r, c)
+// and (r, c+1) (Fig 4(c)/(d)). Empty when c is the last column.
+func (m *Mesh) HorizontalOverlap(r, c int) grid.Rect {
+	if c+1 >= m.Cols {
+		return grid.Rect{}
+	}
+	return m.Extended(r, c).Intersect(m.Extended(r, c+1))
+}
+
+// OverlapBetween returns the overlap of any two extended tiles
+// (including diagonal neighbors and, for very wide halos, non-adjacent
+// tiles). Used by tests and by the direct-neighbor accumulation path.
+func (m *Mesh) OverlapBetween(r1, c1, r2, c2 int) grid.Rect {
+	return m.Extended(r1, c1).Intersect(m.Extended(r2, c2))
+}
+
+// MaxNeighborDistance returns how many tiles away (Chebyshev distance)
+// an extended tile can overlap another extended tile. 1 means only
+// direct neighbors overlap; >= 2 is the paper's "high overlap ratio"
+// regime (Fig 2(f)) that requires the chained forward/backward passes.
+func (m *Mesh) MaxNeighborDistance() int {
+	maxD := 0
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			for dr := 0; dr < m.Rows; dr++ {
+				for dc := 0; dc < m.Cols; dc++ {
+					if dr == r && dc == c {
+						continue
+					}
+					if !m.OverlapBetween(r, c, dr, dc).Empty() {
+						d := abs(dr - r)
+						if a := abs(dc - c); a > d {
+							d = a
+						}
+						if d > maxD {
+							maxD = d
+						}
+					}
+				}
+			}
+		}
+	}
+	return maxD
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// AssignLocations distributes the pattern's probe locations to tiles by
+// circle-center containment (the rule both the paper's methods use).
+// The result is indexed by rank; every location appears exactly once.
+func (m *Mesh) AssignLocations(p *scan.Pattern) [][]int {
+	out := make([][]int, m.NumTiles())
+	for i, l := range p.Locations {
+		x := clampInt(int(math.Round(l.X)), m.Image.X0, m.Image.X1-1)
+		y := clampInt(int(math.Round(l.Y)), m.Image.Y0, m.Image.Y1-1)
+		r, c := m.TileOf(x, y)
+		rank := m.Rank(r, c)
+		out[rank] = append(out[rank], i)
+	}
+	return out
+}
+
+// ExtraRowLocations returns, for tile (r, c), the indices of locations
+// owned by OTHER tiles that lie within `rows` probe-rows of the tile
+// boundary — the Halo Voxel Exchange baseline's "additional probe
+// locations" (paper Fig 2(d)). The distance is measured in scan steps.
+func (m *Mesh) ExtraRowLocations(p *scan.Pattern, owned [][]int, r, c, rows int) []int {
+	tile := m.Tile(r, c)
+	reach := float64(rows) * p.StepPix
+	grow := grid.NewRect(
+		tile.X0-int(math.Ceil(reach)), tile.Y0-int(math.Ceil(reach)),
+		tile.X1+int(math.Ceil(reach)), tile.Y1+int(math.Ceil(reach)),
+	)
+	self := m.Rank(r, c)
+	ownedBySelf := map[int]bool{}
+	for _, i := range owned[self] {
+		ownedBySelf[i] = true
+	}
+	var out []int
+	for i, l := range p.Locations {
+		if ownedBySelf[i] {
+			continue
+		}
+		if grow.Contains(int(math.Round(l.X)), int(math.Round(l.Y))) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Stitch assembles per-rank tile arrays into a full image, copying only
+// each tile's interior region (halos are abandoned, paper Alg 1 line
+// 20). tiles[rank] must cover the interior tile of that rank.
+func (m *Mesh) Stitch(tiles []*grid.Complex2D) *grid.Complex2D {
+	if len(tiles) != m.NumTiles() {
+		panic(fmt.Sprintf("tiling: %d tiles for %dx%d mesh", len(tiles), m.Rows, m.Cols))
+	}
+	out := grid.NewComplex2D(m.Image)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.CopyRegion(tiles[m.Rank(r, c)], m.Tile(r, c))
+		}
+	}
+	return out
+}
+
+// StitchSlices stitches a stack of per-rank slice arrays:
+// tiles[rank][slice] -> image per slice.
+func (m *Mesh) StitchSlices(tiles [][]*grid.Complex2D) []*grid.Complex2D {
+	if len(tiles) == 0 {
+		return nil
+	}
+	s := len(tiles[0])
+	out := make([]*grid.Complex2D, s)
+	per := make([]*grid.Complex2D, len(tiles))
+	for i := 0; i < s; i++ {
+		for rank := range tiles {
+			per[rank] = tiles[rank][i]
+		}
+		out[i] = m.Stitch(per)
+	}
+	return out
+}
+
+// HaloForWindow returns the minimum halo width that guarantees every
+// probe window of size n anchored at a location inside a tile stays
+// within the extended tile: ceil(n/2) (+1 for rounding slack).
+func HaloForWindow(n int) int { return n/2 + 1 }

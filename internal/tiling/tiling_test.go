@@ -1,0 +1,361 @@
+package tiling
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/scan"
+)
+
+func mustMesh(t *testing.T, img grid.Rect, rows, cols, halo int) *Mesh {
+	t.Helper()
+	m, err := NewMesh(img, rows, cols, halo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTilesPartitionImage(t *testing.T) {
+	// Every pixel belongs to exactly one interior tile.
+	img := grid.RectWH(0, 0, 37, 29) // awkward sizes on purpose
+	m := mustMesh(t, img, 3, 4, 5)
+	count := grid.NewFloat2D(img)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			tile := m.Tile(r, c)
+			if tile.Empty() {
+				t.Fatalf("tile (%d,%d) empty", r, c)
+			}
+			for y := tile.Y0; y < tile.Y1; y++ {
+				for x := tile.X0; x < tile.X1; x++ {
+					count.Set(x, y, count.At(x, y)+1)
+				}
+			}
+		}
+	}
+	lo, hi := count.MinMax()
+	if lo != 1 || hi != 1 {
+		t.Fatalf("tile coverage min=%g max=%g, want exactly 1", lo, hi)
+	}
+}
+
+func TestTilePartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func() bool {
+		w := 8 + rng.Intn(50)
+		h := 8 + rng.Intn(50)
+		rows := 1 + rng.Intn(4)
+		cols := 1 + rng.Intn(4)
+		if rows > h || cols > w {
+			return true
+		}
+		m, err := NewMesh(grid.RectWH(0, 0, w, h), rows, cols, rng.Intn(6))
+		if err != nil {
+			return false
+		}
+		// Total area equals image area and TileOf agrees with Tile.
+		total := 0
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				tile := m.Tile(r, c)
+				total += tile.Area()
+				rr, cc := m.TileOf(tile.X0, tile.Y0)
+				if rr != r || cc != c {
+					return false
+				}
+				rr, cc = m.TileOf(tile.X1-1, tile.Y1-1)
+				if rr != r || cc != c {
+					return false
+				}
+			}
+		}
+		return total == w*h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeshValidation(t *testing.T) {
+	img := grid.RectWH(0, 0, 10, 10)
+	cases := []struct {
+		rows, cols, halo int
+	}{
+		{0, 1, 0}, {1, 0, 0}, {1, 1, -1}, {11, 1, 0}, {1, 11, 0},
+	}
+	for i, c := range cases {
+		if _, err := NewMesh(img, c.rows, c.cols, c.halo); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewMesh(grid.Rect{}, 1, 1, 0); err == nil {
+		t.Error("empty image accepted")
+	}
+}
+
+func TestExtendedCoversTileAndClamps(t *testing.T) {
+	img := grid.RectWH(0, 0, 30, 30)
+	m := mustMesh(t, img, 3, 3, 4)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			tile := m.Tile(r, c)
+			ext := m.Extended(r, c)
+			if !ext.ContainsRect(tile) {
+				t.Fatalf("extended (%d,%d) does not cover its tile", r, c)
+			}
+			if !img.ContainsRect(ext) {
+				t.Fatalf("extended (%d,%d) escapes image", r, c)
+			}
+		}
+	}
+	// Center tile extends by the full halo in all directions.
+	center := m.Extended(1, 1)
+	tile := m.Tile(1, 1)
+	if center != tile.Inflate(4) {
+		t.Fatalf("center extended %v, want %v", center, tile.Inflate(4))
+	}
+}
+
+func TestRankRowColRoundTrip(t *testing.T) {
+	m := mustMesh(t, grid.RectWH(0, 0, 24, 24), 3, 4, 2)
+	for rank := 0; rank < m.NumTiles(); rank++ {
+		r, c := m.RowCol(rank)
+		if m.Rank(r, c) != rank {
+			t.Fatalf("rank %d -> (%d,%d) -> %d", rank, r, c, m.Rank(r, c))
+		}
+	}
+	// Paper's 3x3 numbering: tile 5 (rank 4) is the center.
+	m9 := mustMesh(t, grid.RectWH(0, 0, 9, 9), 3, 3, 1)
+	if r, c := m9.RowCol(4); r != 1 || c != 1 {
+		t.Fatalf("rank 4 = (%d,%d), want center (1,1)", r, c)
+	}
+}
+
+func TestVerticalHorizontalOverlaps(t *testing.T) {
+	m := mustMesh(t, grid.RectWH(0, 0, 30, 30), 3, 3, 3)
+	// Vertical overlap between (0,c) and (1,c): rows [10-3, 10+3).
+	v := m.VerticalOverlap(0, 1)
+	if v.Empty() {
+		t.Fatal("vertical overlap empty")
+	}
+	if v.Y0 != 10-3 || v.Y1 != 10+3 {
+		t.Fatalf("vertical overlap rows [%d,%d), want [7,13)", v.Y0, v.Y1)
+	}
+	// It must equal the intersection of the two extended tiles.
+	if v != m.OverlapBetween(0, 1, 1, 1) {
+		t.Fatal("vertical overlap != extended intersection")
+	}
+	// Horizontal symmetry.
+	hz := m.HorizontalOverlap(1, 0)
+	if hz != m.OverlapBetween(1, 0, 1, 1) {
+		t.Fatal("horizontal overlap != extended intersection")
+	}
+	// Last row/col overlaps are empty.
+	if !m.VerticalOverlap(2, 0).Empty() || !m.HorizontalOverlap(0, 2).Empty() {
+		t.Fatal("boundary overlaps must be empty")
+	}
+}
+
+func TestOverlapSymmetryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		m, err := NewMesh(grid.RectWH(0, 0, 40, 40), 1+rng.Intn(4), 1+rng.Intn(4), rng.Intn(8))
+		if err != nil {
+			return false
+		}
+		r1, c1 := rng.Intn(m.Rows), rng.Intn(m.Cols)
+		r2, c2 := rng.Intn(m.Rows), rng.Intn(m.Cols)
+		return m.OverlapBetween(r1, c1, r2, c2) == m.OverlapBetween(r2, c2, r1, c1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxNeighborDistance(t *testing.T) {
+	// Small halo: only direct neighbors overlap.
+	m1 := mustMesh(t, grid.RectWH(0, 0, 30, 30), 3, 3, 3)
+	if d := m1.MaxNeighborDistance(); d != 1 {
+		t.Fatalf("halo 3 on 10px tiles: distance = %d, want 1", d)
+	}
+	// Halo wider than a tile: non-adjacent tiles overlap (paper Fig 2(f)
+	// high-overlap regime).
+	m2 := mustMesh(t, grid.RectWH(0, 0, 30, 30), 3, 3, 12)
+	if d := m2.MaxNeighborDistance(); d < 2 {
+		t.Fatalf("halo 12 on 10px tiles: distance = %d, want >= 2", d)
+	}
+}
+
+func TestTileOfOutsidePanics(t *testing.T) {
+	m := mustMesh(t, grid.RectWH(0, 0, 10, 10), 2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TileOf outside image must panic")
+		}
+	}()
+	m.TileOf(10, 0)
+}
+
+func TestAssignLocationsPartition(t *testing.T) {
+	p, err := scan.Raster(scan.RasterConfig{Cols: 6, Rows: 6, StepPix: 8, RadiusPix: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustMesh(t, p.Bounds(), 3, 3, 8)
+	owned := m.AssignLocations(p)
+	seen := map[int]int{}
+	for rank, locs := range owned {
+		for _, i := range locs {
+			if prev, dup := seen[i]; dup {
+				t.Fatalf("location %d assigned to ranks %d and %d", i, prev, rank)
+			}
+			seen[i] = rank
+		}
+	}
+	if len(seen) != p.N() {
+		t.Fatalf("assigned %d of %d locations", len(seen), p.N())
+	}
+	// The 3x3 mesh over a 6x6 scan must give 4 locations per tile.
+	for rank, locs := range owned {
+		if len(locs) != 4 {
+			t.Fatalf("rank %d owns %d locations, want 4", rank, len(locs))
+		}
+	}
+}
+
+func TestExtraRowLocations(t *testing.T) {
+	// HVE's extra locations: tile (0,0) with 1 extra row must pick up
+	// neighbors' locations within one scan step of its boundary.
+	p, err := scan.Raster(scan.RasterConfig{Cols: 6, Rows: 6, StepPix: 8, RadiusPix: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustMesh(t, p.Bounds(), 3, 3, 8)
+	owned := m.AssignLocations(p)
+	extra := m.ExtraRowLocations(p, owned, 0, 0, 1)
+	if len(extra) == 0 {
+		t.Fatal("corner tile must receive extra locations")
+	}
+	// None of the extras are owned by (0,0) itself.
+	own := map[int]bool{}
+	for _, i := range owned[m.Rank(0, 0)] {
+		own[i] = true
+	}
+	for _, i := range extra {
+		if own[i] {
+			t.Fatalf("extra location %d already owned", i)
+		}
+	}
+	// More extra rows can only grow the set.
+	extra2 := m.ExtraRowLocations(p, owned, 0, 0, 2)
+	if len(extra2) < len(extra) {
+		t.Fatal("extra rows must be monotone")
+	}
+}
+
+func TestStitchSplitIdentity(t *testing.T) {
+	// Splitting an image into extended tiles and stitching interiors
+	// back must reproduce the original exactly.
+	rng := rand.New(rand.NewSource(3))
+	img := grid.RectWH(0, 0, 33, 21)
+	full := grid.NewComplex2D(img)
+	for i := range full.Data {
+		full.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	m := mustMesh(t, img, 2, 3, 4)
+	tiles := make([]*grid.Complex2D, m.NumTiles())
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			tiles[m.Rank(r, c)] = full.Extract(m.Extended(r, c))
+		}
+	}
+	got := m.Stitch(tiles)
+	if got.MaxDiff(full) > 0 {
+		t.Fatal("stitch(split(x)) != x")
+	}
+}
+
+func TestStitchSplitProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func() bool {
+		w := 10 + rng.Intn(40)
+		h := 10 + rng.Intn(40)
+		rows := 1 + rng.Intn(3)
+		cols := 1 + rng.Intn(3)
+		if rows > h || cols > w {
+			return true
+		}
+		m, err := NewMesh(grid.RectWH(0, 0, w, h), rows, cols, rng.Intn(5))
+		if err != nil {
+			return false
+		}
+		full := grid.NewComplex2D(m.Image)
+		for i := range full.Data {
+			full.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		tiles := make([]*grid.Complex2D, m.NumTiles())
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				tiles[m.Rank(r, c)] = full.Extract(m.Extended(r, c))
+			}
+		}
+		return m.Stitch(tiles).MaxDiff(full) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStitchSlices(t *testing.T) {
+	img := grid.RectWH(0, 0, 12, 12)
+	m := mustMesh(t, img, 2, 2, 2)
+	tiles := make([][]*grid.Complex2D, m.NumTiles())
+	for rank := range tiles {
+		r, c := m.RowCol(rank)
+		ext := m.Extended(r, c)
+		tiles[rank] = make([]*grid.Complex2D, 2)
+		for s := range tiles[rank] {
+			a := grid.NewComplex2D(ext)
+			a.Fill(complex(float64(rank), float64(s)))
+			tiles[rank][s] = a
+		}
+	}
+	out := m.StitchSlices(tiles)
+	if len(out) != 2 {
+		t.Fatal("slice count")
+	}
+	// Pixel in tile 3's interior must carry rank 3's value.
+	tile3 := m.Tile(1, 1)
+	if out[1].At(tile3.X0, tile3.Y0) != complex(3, 1) {
+		t.Fatalf("stitched value %v", out[1].At(tile3.X0, tile3.Y0))
+	}
+}
+
+func TestStitchWrongCountPanics(t *testing.T) {
+	m := mustMesh(t, grid.RectWH(0, 0, 10, 10), 2, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	m.Stitch(make([]*grid.Complex2D, 3))
+}
+
+func TestHaloForWindow(t *testing.T) {
+	if HaloForWindow(16) != 9 {
+		t.Fatalf("HaloForWindow(16) = %d", HaloForWindow(16))
+	}
+	// The guarantee: a window centered anywhere in a tile fits in the
+	// extended tile (away from image borders, where clamping applies).
+	m := mustMesh(t, grid.RectWH(0, 0, 64, 64), 2, 2, HaloForWindow(16))
+	tile := m.Tile(0, 0)
+	ext := m.Extended(0, 0)
+	l := scan.Location{X: float64(tile.X1 - 1), Y: float64(tile.Y1 - 1), Radius: 8}
+	win := l.Window(16).Clamp(m.Image)
+	if !ext.ContainsRect(win) {
+		t.Fatalf("window %v escapes extended tile %v", win, ext)
+	}
+}

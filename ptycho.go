@@ -1,0 +1,239 @@
+// Package ptycho is the public API of ptychopath-go, a from-scratch Go
+// reproduction of "Image Gradient Decomposition for Parallel and
+// Memory-Efficient Ptychographic Reconstruction" (SC22).
+//
+// The package covers the full workflow the paper describes:
+//
+//   - simulate an electron-ptychography acquisition over a synthetic
+//     Lead Titanate (PbTiO3) sample — scan pattern, defocused probe,
+//     multi-slice diffraction, optional shot noise (SimulateDataset);
+//   - reconstruct the complex object with maximum-likelihood gradient
+//     descent, either serially or in parallel with the paper's Gradient
+//     Decomposition algorithm or the Halo Voxel Exchange baseline
+//     (Dataset.Reconstruct);
+//   - evaluate quality: cost traces, error versus ground truth, and the
+//     seam-artifact score of Fig 8 (Result methods).
+//
+// The paper-scale performance experiments (Tables II/III, Fig 7) live in
+// cmd/ptychobench and the bench suite; this package is the algorithmic
+// core a downstream user embeds.
+package ptycho
+
+import (
+	"fmt"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+)
+
+// Field is a dense row-major complex image of size W x H — the public
+// value type for object slices, probes and gradients.
+type Field struct {
+	W, H int
+	Data []complex128
+}
+
+// NewField allocates a zeroed field.
+func NewField(w, h int) Field {
+	return Field{W: w, H: h, Data: make([]complex128, w*h)}
+}
+
+// At returns the value at (x, y).
+func (f Field) At(x, y int) complex128 { return f.Data[y*f.W+x] }
+
+// Set stores v at (x, y).
+func (f Field) Set(x, y int, v complex128) { f.Data[y*f.W+x] = v }
+
+// Clone returns a deep copy.
+func (f Field) Clone() Field {
+	out := Field{W: f.W, H: f.H, Data: make([]complex128, len(f.Data))}
+	copy(out.Data, f.Data)
+	return out
+}
+
+// fieldFrom converts an internal array (any origin) to a public Field.
+func fieldFrom(a *grid.Complex2D) Field {
+	out := Field{W: a.W(), H: a.H(), Data: make([]complex128, len(a.Data))}
+	copy(out.Data, a.Data)
+	return out
+}
+
+// toGrid converts a Field to an origin-anchored internal array.
+func (f Field) toGrid() *grid.Complex2D {
+	a := grid.NewComplex2DSize(f.W, f.H)
+	copy(a.Data, f.Data)
+	return a
+}
+
+// PhantomKind selects the synthetic ground-truth object.
+type PhantomKind int
+
+const (
+	// PhantomLeadTitanate builds the PbTiO3-like perovskite lattice the
+	// paper images (Fig 6).
+	PhantomLeadTitanate PhantomKind = iota
+	// PhantomRandom builds a smooth random-texture object, useful for
+	// stress tests free of crystal symmetry.
+	PhantomRandom
+)
+
+// SimulateOptions configures a synthetic acquisition.
+type SimulateOptions struct {
+	// ScanCols and ScanRows give the raster scan grid (Fig 1(b)).
+	ScanCols, ScanRows int
+	// OverlapRatio is the linear probe-circle overlap (paper: > 0.7 for
+	// artifact-free imaging). Default 0.75.
+	OverlapRatio float64
+	// ProbeRadiusPix is the probe circle radius in pixels. Default 8.
+	ProbeRadiusPix float64
+	// WindowN is the probe window / detector edge in pixels. Default 16.
+	WindowN int
+	// Slices is the number of object slices. Default 1.
+	Slices int
+	// Phantom selects the ground truth. Default PhantomLeadTitanate.
+	Phantom PhantomKind
+	// DoseElectrons, when positive, applies Poisson shot noise with the
+	// given mean electrons per diffraction pattern.
+	DoseElectrons float64
+	// Seed drives phantom disorder and noise. Default 1.
+	Seed int64
+	// Optics overrides the microscope model; zero value selects the
+	// paper's acquisition (200 keV, 25 nm defocus, 30 mrad).
+	Optics physics.Optics
+	// ProbeDefocusErrorPct, when non-zero, corrupts the probe HANDED TO
+	// THE SOLVER by the given percentage of extra defocus while the
+	// measurements stay simulated with the true probe — the aberrated-
+	// microscope scenario that probe refinement (ReconstructOptions.
+	// ProbeRefineStep) corrects.
+	ProbeDefocusErrorPct float64
+}
+
+func (o *SimulateOptions) setDefaults() {
+	if o.ScanCols == 0 {
+		o.ScanCols = 6
+	}
+	if o.ScanRows == 0 {
+		o.ScanRows = 6
+	}
+	if o.OverlapRatio == 0 {
+		o.OverlapRatio = 0.75
+	}
+	if o.ProbeRadiusPix == 0 {
+		o.ProbeRadiusPix = 8
+	}
+	if o.WindowN == 0 {
+		o.WindowN = 16
+	}
+	if o.Slices == 0 {
+		o.Slices = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Optics == (physics.Optics{}) {
+		o.Optics = physics.PaperOptics()
+	}
+}
+
+// Dataset is a simulated acquisition plus its ground truth.
+type Dataset struct {
+	prob  *solver.Problem
+	truth *phantom.Object
+}
+
+// SimulateDataset generates a synthetic ptychography dataset: it builds
+// the phantom, the raster scan, the probe, and pushes the object through
+// the multi-slice forward model at every probe location.
+func SimulateDataset(opt SimulateOptions) (*Dataset, error) {
+	opt.setDefaults()
+	if opt.OverlapRatio < 0 || opt.OverlapRatio >= 1 {
+		return nil, fmt.Errorf("ptycho: overlap ratio %g outside [0, 1)", opt.OverlapRatio)
+	}
+	step := scan.StepForOverlap(opt.ProbeRadiusPix, opt.OverlapRatio)
+	pat, err := scan.Raster(scan.RasterConfig{
+		Cols:      opt.ScanCols,
+		Rows:      opt.ScanRows,
+		StepPix:   step,
+		RadiusPix: opt.ProbeRadiusPix,
+		MarginPix: float64(opt.WindowN)/2 + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var truth *phantom.Object
+	switch opt.Phantom {
+	case PhantomLeadTitanate:
+		cfg := phantom.DefaultLeadTitanate(pat.ImageW, pat.ImageH, opt.Slices)
+		cfg.Seed = opt.Seed
+		// Scale the unit cell down for small test images so several
+		// cells fit.
+		if pat.ImageW < 160 {
+			cfg.UnitCellPix = float64(pat.ImageW) / 4
+		}
+		truth, err = phantom.LeadTitanate(cfg)
+		if err != nil {
+			return nil, err
+		}
+	case PhantomRandom:
+		truth = phantom.RandomObject(pat.ImageW, pat.ImageH, opt.Slices, opt.Seed)
+	default:
+		return nil, fmt.Errorf("ptycho: unknown phantom kind %d", opt.Phantom)
+	}
+	prob, err := solver.Simulate(solver.SimulateConfig{
+		Optics:        opt.Optics,
+		Pattern:       pat,
+		Object:        truth,
+		WindowN:       opt.WindowN,
+		DoseElectrons: opt.DoseElectrons,
+		Seed:          opt.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opt.ProbeDefocusErrorPct != 0 {
+		wrong := opt.Optics
+		wrong.DefocusPM *= 1 + opt.ProbeDefocusErrorPct/100
+		prob.Probe = wrong.Probe(opt.WindowN)
+	}
+	return &Dataset{prob: prob, truth: truth}, nil
+}
+
+// NumLocations returns the number of probe locations.
+func (d *Dataset) NumLocations() int { return d.prob.Pattern.N() }
+
+// ImageSize returns the reconstruction extent in pixels.
+func (d *Dataset) ImageSize() (w, h int) { return d.prob.Pattern.ImageW, d.prob.Pattern.ImageH }
+
+// NumSlices returns the object slice count.
+func (d *Dataset) NumSlices() int { return d.prob.Slices }
+
+// WindowN returns the probe window edge in pixels.
+func (d *Dataset) WindowN() int { return d.prob.WindowN }
+
+// GroundTruthSlice returns slice s of the phantom used to simulate the
+// data.
+func (d *Dataset) GroundTruthSlice(s int) Field { return fieldFrom(d.truth.Slices[s]) }
+
+// Probe returns the simulated probe wavefunction.
+func (d *Dataset) Probe() Field { return fieldFrom(d.prob.Probe) }
+
+// Measurement returns the recorded far-field amplitude at location i as
+// a flat row-major W x H slice (WindowN square).
+func (d *Dataset) Measurement(i int) []float64 {
+	out := make([]float64, len(d.prob.Meas[i].Data))
+	copy(out, d.prob.Meas[i].Data)
+	return out
+}
+
+// Cost evaluates the maximum-likelihood cost F(V) of Eqn. (1) for the
+// given object slices.
+func (d *Dataset) Cost(slices []Field) float64 {
+	internal := make([]*grid.Complex2D, len(slices))
+	for i, f := range slices {
+		internal[i] = f.toGrid()
+	}
+	return solver.Cost(d.prob, internal)
+}

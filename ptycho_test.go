@@ -1,0 +1,278 @@
+package ptycho
+
+import (
+	"image"
+	"math"
+	"math/cmplx"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func smallDataset(t testing.TB, slices int) *Dataset {
+	t.Helper()
+	ds, err := SimulateDataset(SimulateOptions{
+		ScanCols: 4, ScanRows: 4, OverlapRatio: 0.7,
+		WindowN: 16, Slices: slices, Phantom: PhantomRandom,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSimulateDatasetDefaults(t *testing.T) {
+	ds, err := SimulateDataset(SimulateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumLocations() != 36 {
+		t.Fatalf("locations = %d, want 36 (6x6 default)", ds.NumLocations())
+	}
+	if ds.NumSlices() != 1 || ds.WindowN() != 16 {
+		t.Fatalf("slices=%d window=%d", ds.NumSlices(), ds.WindowN())
+	}
+	w, h := ds.ImageSize()
+	if w <= 0 || h <= 0 {
+		t.Fatal("degenerate image size")
+	}
+	probe := ds.Probe()
+	if probe.W != 16 || probe.H != 16 {
+		t.Fatal("probe size")
+	}
+	m := ds.Measurement(0)
+	if len(m) != 16*16 {
+		t.Fatal("measurement size")
+	}
+}
+
+func TestSimulateDatasetValidation(t *testing.T) {
+	if _, err := SimulateDataset(SimulateOptions{OverlapRatio: 1.5}); err == nil {
+		t.Fatal("overlap 1.5 accepted")
+	}
+	if _, err := SimulateDataset(SimulateOptions{Phantom: PhantomKind(99)}); err == nil {
+		t.Fatal("unknown phantom accepted")
+	}
+}
+
+func TestCostAtGroundTruthIsZero(t *testing.T) {
+	ds := smallDataset(t, 2)
+	truth := []Field{ds.GroundTruthSlice(0), ds.GroundTruthSlice(1)}
+	if f := ds.Cost(truth); f > 1e-12 {
+		t.Fatalf("cost at truth = %g", f)
+	}
+}
+
+func TestSerialReconstruction(t *testing.T) {
+	ds := smallDataset(t, 1)
+	res, err := ds.Reconstruct(ReconstructOptions{
+		Algorithm: Serial, StepSize: 0.02, Iterations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 1 {
+		t.Fatal("serial must report 1 worker")
+	}
+	if res.CostHistory[9] >= res.CostHistory[0]*0.6 {
+		t.Fatalf("serial did not converge: %v", res.CostHistory)
+	}
+	if res.RelativeErrorTo(ds, 0) > 1.0 {
+		t.Fatal("implausible relative error")
+	}
+	if _, err := res.SeamScore(0); err == nil {
+		t.Fatal("seam score must require a parallel run")
+	}
+}
+
+func TestGradientDecompositionMatchesSerial(t *testing.T) {
+	// The headline numerical property, exercised through the public
+	// API: GD batch mode == serial batch mode.
+	ds := smallDataset(t, 1)
+	serial, err := ds.Reconstruct(ReconstructOptions{
+		Algorithm: Serial, StepSize: 0.02, Iterations: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ds.Reconstruct(ReconstructOptions{
+		Algorithm: GradientDecomposition, MeshRows: 2, MeshCols: 2,
+		StepSize: 0.02, Iterations: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Workers != 4 {
+		t.Fatalf("workers = %d", par.Workers)
+	}
+	var maxDiff float64
+	for i := range serial.Slices[0].Data {
+		if d := cmplx.Abs(serial.Slices[0].Data[i] - par.Slices[0].Data[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-8 {
+		t.Fatalf("GD differs from serial by %g", maxDiff)
+	}
+	if par.BytesSent == 0 {
+		t.Fatal("GD must communicate")
+	}
+}
+
+func TestFaithfulAlg1Converges(t *testing.T) {
+	ds := smallDataset(t, 1)
+	res, err := ds.Reconstruct(ReconstructOptions{
+		Algorithm: GradientDecomposition, FaithfulAlg1: true,
+		StepSize: 0.01, Iterations: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostHistory[7] >= res.CostHistory[0]*0.8 {
+		t.Fatalf("faithful Alg 1 did not converge: %v", res.CostHistory)
+	}
+}
+
+func TestHaloVoxelExchangeThroughAPI(t *testing.T) {
+	ds := smallDataset(t, 1)
+	res, err := ds.Reconstruct(ReconstructOptions{
+		Algorithm: HaloVoxelExchange, StepSize: 0.01, Iterations: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostHistory[5] >= res.CostHistory[0] {
+		t.Fatalf("HVE did not converge: %v", res.CostHistory)
+	}
+	if score, err := res.SeamScore(0); err != nil || score <= 0 {
+		t.Fatalf("seam score %g, %v", score, err)
+	}
+}
+
+func TestOnIterationCallbackThroughAPI(t *testing.T) {
+	ds := smallDataset(t, 1)
+	count := 0
+	_, err := ds.Reconstruct(ReconstructOptions{
+		Algorithm: GradientDecomposition, Iterations: 3,
+		OnIteration: func(int, float64) { count++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("callback fired %d times", count)
+	}
+}
+
+func TestFieldBasics(t *testing.T) {
+	f := NewField(3, 2)
+	f.Set(2, 1, 5i)
+	if f.At(2, 1) != 5i {
+		t.Fatal("At/Set")
+	}
+	c := f.Clone()
+	c.Set(0, 0, 1)
+	if f.At(0, 0) == c.At(0, 0) {
+		t.Fatal("clone aliases")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if Serial.String() != "serial" ||
+		GradientDecomposition.String() != "gradient-decomposition" ||
+		HaloVoxelExchange.String() != "halo-voxel-exchange" {
+		t.Fatal("algorithm names drifted")
+	}
+	if Algorithm(42).String() == "" {
+		t.Fatal("unknown algorithm must still render")
+	}
+}
+
+func TestUnknownAlgorithmRejected(t *testing.T) {
+	ds := smallDataset(t, 1)
+	if _, err := ds.Reconstruct(ReconstructOptions{Algorithm: Algorithm(42)}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestPhaseAndMagnitudeImages(t *testing.T) {
+	ds := smallDataset(t, 1)
+	f := ds.GroundTruthSlice(0)
+	ph := PhaseImage(f)
+	mg := MagnitudeImage(f)
+	if ph.Bounds() != image.Rect(0, 0, f.W, f.H) || mg.Bounds() != ph.Bounds() {
+		t.Fatal("image bounds")
+	}
+	// The phantom has contrast; the image must use a real range.
+	lo, hi := 255, 0
+	for _, px := range ph.Pix {
+		if int(px) < lo {
+			lo = int(px)
+		}
+		if int(px) > hi {
+			hi = int(px)
+		}
+	}
+	if hi-lo < 100 {
+		t.Fatalf("phase image has weak contrast: [%d, %d]", lo, hi)
+	}
+}
+
+func TestSavePNG(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "probe.png")
+	ds := smallDataset(t, 1)
+	if err := SavePNG(path, MagnitudeImage(ds.Probe())); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("png not written: %v", err)
+	}
+	if err := SavePNG(filepath.Join(dir, "missing", "x.png"), PhaseImage(ds.Probe())); err == nil {
+		t.Fatal("bad path accepted")
+	}
+}
+
+func TestNoiseAffectsCost(t *testing.T) {
+	clean, err := SimulateDataset(SimulateOptions{
+		ScanCols: 3, ScanRows: 3, Phantom: PhantomRandom, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := SimulateDataset(SimulateOptions{
+		ScanCols: 3, ScanRows: 3, Phantom: PhantomRandom, Seed: 4,
+		DoseElectrons: 1e5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []Field{clean.GroundTruthSlice(0)}
+	if clean.Cost(truth) > 1e-12 {
+		t.Fatal("clean cost nonzero")
+	}
+	if noisy.Cost(truth) <= 0 {
+		t.Fatal("noisy cost must be positive at truth")
+	}
+}
+
+func TestLeadTitanatePhantomThroughAPI(t *testing.T) {
+	ds, err := SimulateDataset(SimulateOptions{
+		ScanCols: 4, ScanRows: 4, Slices: 2, Phantom: PhantomLeadTitanate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ds.GroundTruthSlice(0)
+	var hasPhase bool
+	for _, v := range f.Data {
+		if math.Abs(cmplx.Phase(v)) > 0.01 {
+			hasPhase = true
+			break
+		}
+	}
+	if !hasPhase {
+		t.Fatal("PbTiO3 phantom has no phase structure")
+	}
+}
