@@ -1,0 +1,3 @@
+module ptychopath
+
+go 1.24

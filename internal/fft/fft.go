@@ -133,8 +133,18 @@ func bitRevTable(n int) []int {
 func (p *Plan) Len() int { return p.n }
 
 // Transform applies the transform in place to x, which must have length
-// Len(). dir selects forward or inverse.
+// Len(). dir selects forward or inverse. Non-power-of-2 lengths draw
+// Bluestein workspace from an internal sync.Pool; use TransformScratch
+// with a per-worker Scratch for a guaranteed allocation-free hot path.
 func (p *Plan) Transform(x []complex128, dir Direction) {
+	p.TransformScratch(x, dir, nil)
+}
+
+// TransformScratch is Transform with an explicit workspace arena. When
+// s is non-nil all scratch comes from (and stays in) the arena, so
+// steady-state calls perform zero heap allocations; a nil s falls back
+// to the internal pool. The arena must not be shared across goroutines.
+func (p *Plan) TransformScratch(x []complex128, dir Direction, s *Scratch) {
 	if len(x) != p.n {
 		panic(fmt.Sprintf("fft: length mismatch: plan %d, data %d", p.n, len(x)))
 	}
@@ -151,7 +161,13 @@ func (p *Plan) Transform(x []complex128, dir Direction) {
 		}
 		return
 	}
-	p.bluestein(x, dir)
+	if s != nil {
+		p.bluestein(x, dir, s.convBuf(p.m))
+		return
+	}
+	bufp := p.scratch.Get().(*[]complex128)
+	p.bluestein(x, dir, *bufp)
+	p.scratch.Put(bufp)
 }
 
 // forwardPow2 runs the iterative radix-2 Cooley-Tukey kernel.
@@ -179,11 +195,10 @@ func (p *Plan) forwardPow2(x []complex128) {
 	}
 }
 
-// bluestein evaluates an arbitrary-length DFT as a convolution.
-func (p *Plan) bluestein(x []complex128, dir Direction) {
+// bluestein evaluates an arbitrary-length DFT as a convolution using
+// the caller-provided workspace a, which must have length m.
+func (p *Plan) bluestein(x []complex128, dir Direction, a []complex128) {
 	n, m := p.n, p.m
-	bufp := p.scratch.Get().(*[]complex128)
-	a := *bufp
 	for i := range a {
 		a[i] = 0
 	}
@@ -227,7 +242,6 @@ func (p *Plan) bluestein(x []complex128, dir Direction) {
 			x[k] = v * ch * scale
 		}
 	}
-	p.scratch.Put(bufp)
 }
 
 func conjAll(x []complex128) {

@@ -45,16 +45,65 @@ func (p *Plan2D) H() int { return p.h }
 
 // Transform applies the 2-D transform in place to a, whose dimensions
 // must match the plan. The array's Bounds offset is irrelevant; only the
-// shape matters.
+// shape matters. Scratch comes from an internal pool; hot paths that
+// must not allocate should hold a per-worker Scratch and call
+// TransformScratch instead.
 func (p *Plan2D) Transform(a *grid.Complex2D, dir Direction) {
 	if a.W() != p.w || a.H() != p.h {
 		panic(fmt.Sprintf("fft: plan %dx%d, array %dx%d", p.w, p.h, a.W(), a.H()))
 	}
-	p.rows(a, dir)
-	p.cols(a, dir)
+	if p.parallel {
+		p.rowsParallel(a, dir)
+		p.colsParallel(a, dir)
+		return
+	}
+	p.transformSerial(a, dir, nil)
 }
 
-func (p *Plan2D) rows(a *grid.Complex2D, dir Direction) {
+// TransformScratch applies the 2-D transform in place drawing every
+// workspace buffer from the per-worker arena s, making steady-state
+// calls allocation-free. The transform always runs on the calling
+// goroutine (an arena is inherently single-threaded), regardless of the
+// plan's parallel flag. A nil s falls back to the internal pool.
+func (p *Plan2D) TransformScratch(a *grid.Complex2D, dir Direction, s *Scratch) {
+	if a.W() != p.w || a.H() != p.h {
+		panic(fmt.Sprintf("fft: plan %dx%d, array %dx%d", p.w, p.h, a.W(), a.H()))
+	}
+	p.transformSerial(a, dir, s)
+}
+
+// transformSerial is the closure-free single-goroutine row/column
+// sweep. With a non-nil arena it performs zero steady-state heap
+// allocations — the gradient hot path of every reconstruction engine.
+func (p *Plan2D) transformSerial(a *grid.Complex2D, dir Direction, s *Scratch) {
+	data := a.Data
+	w, h := p.w, p.h
+	for y := 0; y < h; y++ {
+		p.rowPlan.TransformScratch(data[y*w:(y+1)*w], dir, s)
+	}
+	var col []complex128
+	var pooled *[]complex128
+	if s != nil {
+		col = s.colBuf(h)
+	} else {
+		pooled = p.colBuf.Get().(*[]complex128)
+		col = *pooled
+	}
+	for x := 0; x < w; x++ {
+		for y := 0; y < h; y++ {
+			col[y] = data[y*w+x]
+		}
+		p.colPlan.TransformScratch(col, dir, s)
+		for y := 0; y < h; y++ {
+			data[y*w+x] = col[y]
+		}
+	}
+	if pooled != nil {
+		p.colBuf.Put(pooled)
+	}
+}
+
+func (p *Plan2D) rowsParallel(a *grid.Complex2D, dir Direction) {
 	data := a.Data
 	w := p.w
 	apply := func(y0, y1 int) {
@@ -65,7 +114,7 @@ func (p *Plan2D) rows(a *grid.Complex2D, dir Direction) {
 	p.split(p.h, apply)
 }
 
-func (p *Plan2D) cols(a *grid.Complex2D, dir Direction) {
+func (p *Plan2D) colsParallel(a *grid.Complex2D, dir Direction) {
 	data := a.Data
 	w, h := p.w, p.h
 	apply := func(x0, x1 int) {
@@ -85,15 +134,14 @@ func (p *Plan2D) cols(a *grid.Complex2D, dir Direction) {
 	p.split(w, apply)
 }
 
-// split partitions [0, n) across workers when parallel execution is
-// enabled and n is large enough to amortize goroutine overhead.
+// split partitions [0, n) across workers; only reached from the
+// parallel row/column passes (serial plans route through
+// transformSerial), and falls back to one goroutine when n is too small
+// to amortize goroutine overhead.
 func (p *Plan2D) split(n int, apply func(lo, hi int)) {
-	workers := 1
-	if p.parallel {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > n {
-			workers = n
-		}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 || n < 64 {
 		apply(0, n)

@@ -1,0 +1,47 @@
+package fft
+
+// Scratch is a reusable per-worker arena for FFT workspace buffers.
+// Passing one to TransformScratch makes transforms allocation-free in
+// steady state: the arena grows to the largest size requested and is
+// reused verbatim afterwards. This is the foundation of the repo's
+// allocation-free gradient hot path — each reconstruction worker (one
+// per simulated GPU) owns exactly one Scratch and threads it through
+// every transform it performs.
+//
+// A Scratch is NOT safe for concurrent use. Concurrent workers must
+// each own their own arena; sharing one between goroutines corrupts
+// in-flight transforms.
+type Scratch struct {
+	col  []complex128 // column gather buffer for 2-D passes
+	conv []complex128 // Bluestein convolution workspace
+}
+
+// colBuf returns the column buffer grown to at least n elements.
+func (s *Scratch) colBuf(n int) []complex128 {
+	if cap(s.col) < n {
+		s.col = make([]complex128, n)
+	}
+	return s.col[:n]
+}
+
+// convBuf returns the Bluestein workspace grown to at least n elements.
+func (s *Scratch) convBuf(n int) []complex128 {
+	if cap(s.conv) < n {
+		s.conv = make([]complex128, n)
+	}
+	return s.conv[:n]
+}
+
+// Warm pre-grows the arena for transforms of a w x h plan so that even
+// the first TransformScratch call performs no allocation. Safe to call
+// with any plan the arena will later serve; the arena keeps the
+// largest size seen.
+func (s *Scratch) Warm(p *Plan2D) {
+	s.colBuf(p.h)
+	if !p.rowPlan.pow2 {
+		s.convBuf(p.rowPlan.m)
+	}
+	if !p.colPlan.pow2 {
+		s.convBuf(p.colPlan.m)
+	}
+}

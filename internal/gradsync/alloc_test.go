@@ -1,0 +1,82 @@
+package gradsync
+
+import (
+	"testing"
+
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/simmpi"
+	"ptychopath/internal/tiling"
+)
+
+// TestWorkerGradientAllocationFree guards the Gradient Decomposition
+// hot path: the per-location body of worker.iteration — zero the
+// workspace gradients, evaluate the location, accumulate into AccBuf —
+// performs no heap allocations once the worker's arena is warm. Run on
+// a 1x1 mesh so no concurrent rank pollutes the process-global
+// allocation counter AllocsPerRun reads.
+func TestWorkerGradientAllocationFree(t *testing.T) {
+	prob, _ := buildProblem(t, 4, 4, 0.6, 2)
+	m := mesh(t, prob, 1, 1, tiling.HaloForWindow(prob.WindowN))
+	opt := Options{Mesh: m, Mode: ModeBatch, StepSize: 0.01, Iterations: 1}
+	if err := opt.validate(prob); err != nil {
+		t.Fatal(err)
+	}
+	init := phantom.Vacuum(prob.ImageBounds(), prob.Slices)
+	owned := m.AssignLocations(prob.Pattern)
+	var allocs float64
+	err := simmpi.Run(1, testTimeout, func(comm *simmpi.Comm) error {
+		w := newWorker(comm, prob, &opt, owned, init.Slices)
+		defer w.close()
+		li := w.owned[0]
+		win := prob.Pattern.Locations[li].Window(prob.WindowN)
+		w.ws.ZeroGrads()
+		w.ws.LossGrad(w.slices, win, prob.Meas[li])
+		allocs = testing.AllocsPerRun(10, func() {
+			w.ws.ZeroGrads()
+			w.ws.LossGrad(w.slices, win, prob.Meas[li])
+			for s := range w.acc {
+				w.acc[s].AddScaled(w.ws.Grads()[s], 1)
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("gradsync per-location kernel allocates %v, want 0", allocs)
+	}
+}
+
+// TestIntraPoolPersistsAcrossChunks checks the IntraWorkers pool is
+// built once per worker and its sub-workspaces are reused: dispatching
+// two chunks through the pool allocates nothing after the first.
+func TestIntraPoolPersistsAcrossChunks(t *testing.T) {
+	prob, _ := buildProblem(t, 4, 4, 0.6, 1)
+	m := mesh(t, prob, 1, 1, tiling.HaloForWindow(prob.WindowN))
+	opt := Options{Mesh: m, Mode: ModeBatch, StepSize: 0.01, Iterations: 1, IntraWorkers: 2}
+	if err := opt.validate(prob); err != nil {
+		t.Fatal(err)
+	}
+	init := phantom.Vacuum(prob.ImageBounds(), prob.Slices)
+	owned := m.AssignLocations(prob.Pattern)
+	err := simmpi.Run(1, testTimeout, func(comm *simmpi.Comm) error {
+		w := newWorker(comm, prob, &opt, owned, init.Slices)
+		defer w.close()
+		if w.intra == nil || len(w.intra.subs) != 2 {
+			t.Errorf("expected a 2-sub persistent pool, got %+v", w.intra)
+			return nil
+		}
+		n := len(w.owned)
+		before := w.intra.subs[0].ws
+		w.gradientChunkParallel(0, n)
+		w.gradientChunkParallel(0, n)
+		if w.intra.subs[0].ws != before {
+			t.Error("sub-worker workspace was reallocated between chunks")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,11 +30,9 @@ package gradsync
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"ptychopath/internal/grid"
-	"ptychopath/internal/multislice"
 	"ptychopath/internal/simmpi"
 	"ptychopath/internal/solver"
 	"ptychopath/internal/tiling"
@@ -148,19 +146,21 @@ const (
 	tagHB = 4
 )
 
-// worker is the per-rank state.
+// worker is the per-rank state. All gradient scratch lives in ws (and,
+// when IntraWorkers is enabled, in the persistent intra pool), so the
+// per-location hot loop is allocation-free in steady state.
 type worker struct {
-	comm    *simmpi.Comm
-	mesh    *tiling.Mesh
-	prob    *solver.Problem
-	opt     *Options
-	r, c    int
-	ext     grid.Rect
-	slices  []*grid.Complex2D // reconstruction on the extended tile
-	acc     []*grid.Complex2D // accumulated gradient buffer (AccBuf_k)
-	scratch []*grid.Complex2D // per-location gradient workspace
-	eng     *multislice.Engine
-	owned   []int
+	comm   *simmpi.Comm
+	mesh   *tiling.Mesh
+	prob   *solver.Problem
+	opt    *Options
+	r, c   int
+	ext    grid.Rect
+	slices []*grid.Complex2D // reconstruction on the extended tile
+	acc    []*grid.Complex2D // accumulated gradient buffer (AccBuf_k)
+	ws     *solver.Workspace // engine + per-location gradient scratch
+	owned  []int
+	intra  *intraPool // persistent IntraWorkers goroutine pool (nil if <= 1)
 
 	computeNS int64 // wall-clock spent in gradient computation
 	commNS    int64 // wall-clock spent in the directional passes
@@ -174,30 +174,48 @@ func newWorker(comm *simmpi.Comm, prob *solver.Problem, opt *Options,
 	w := &worker{
 		comm: comm, mesh: m, prob: prob, opt: opt,
 		r: r, c: c, ext: ext,
-		eng:   prob.NewEngine(),
+		ws:    prob.NewWorkspace(ext),
 		owned: owned[comm.Rank()],
 	}
 	w.slices = make([]*grid.Complex2D, prob.Slices)
 	w.acc = make([]*grid.Complex2D, prob.Slices)
-	w.scratch = make([]*grid.Complex2D, prob.Slices)
 	for s := 0; s < prob.Slices; s++ {
 		w.slices[s] = grid.NewComplex2D(ext)
 		w.slices[s].CopyRegion(init[s], ext)
 		w.acc[s] = grid.NewComplex2D(ext)
-		w.scratch[s] = grid.NewComplex2D(ext)
+	}
+	if opt.IntraWorkers > 1 {
+		w.intra = newIntraPool(w, opt.IntraWorkers)
 	}
 	return w
+}
+
+// close releases the worker's goroutine pool. Must be called when the
+// rank is done (idempotent via nil check).
+func (w *worker) close() {
+	if w.intra != nil {
+		w.intra.close()
+		w.intra = nil
+	}
 }
 
 // memBytes estimates the rank's resident memory (complex128 = 16 B,
 // float64 = 8 B).
 func (w *worker) memBytes() int64 {
 	ext := int64(w.ext.Area()) * 16
-	tileSide := ext * int64(w.prob.Slices) * 3 // slices + acc + scratch
+	tileSide := ext * int64(w.prob.Slices) * 3 // slices + acc + workspace grads
 	n2 := int64(w.prob.WindowN * w.prob.WindowN)
 	meas := int64(len(w.owned)) * n2 * 8
 	model := n2 * 16 * int64(w.prob.Slices+4) // psi stack + engine workspaces
-	return tileSide + meas + model
+	total := tileSide + meas + model
+	if w.intra != nil {
+		// The rank workspace's gradient arrays never materialize (all
+		// chunks go through the pool); each persistent sub-worker instead
+		// holds its own tile-sized gradient arrays plus a model workspace.
+		total -= ext * int64(w.prob.Slices)
+		total += int64(len(w.intra.subs)) * (ext*int64(w.prob.Slices) + model)
+	}
+	return total
 }
 
 // pack flattens region r of each slice buffer into one payload.
@@ -388,18 +406,15 @@ func (w *worker) iteration() (float64, error) {
 			for ; done < upto; done++ {
 				li := w.owned[done]
 				loc := w.prob.Pattern.Locations[li]
-				for _, g := range w.scratch {
-					g.Zero()
-				}
-				f := w.eng.LossGrad(w.slices, loc.Window(w.prob.WindowN),
-					w.prob.Meas[li], w.scratch)
+				w.ws.ZeroGrads()
+				f := w.ws.LossGrad(w.slices, loc.Window(w.prob.WindowN), w.prob.Meas[li])
 				cost += f
 				for s := range w.acc {
-					w.acc[s].AddScaled(w.scratch[s], 1) // AccBuf += grad (line 7)
+					w.acc[s].AddScaled(w.ws.Grads()[s], 1) // AccBuf += grad (line 7)
 				}
 				if w.opt.Mode == ModeFaithful {
 					for s := range w.slices {
-						w.slices[s].AddScaled(w.scratch[s], -step) // line 8
+						w.slices[s].AddScaled(w.ws.Grads()[s], -step) // line 8
 					}
 				}
 			}
@@ -415,56 +430,94 @@ func (w *worker) iteration() (float64, error) {
 	return cost, nil
 }
 
-// gradientChunkParallel spreads the owned locations [lo, hi) across
-// IntraWorkers goroutines, each with its own engine and accumulation
-// buffers, then merges into w.acc in deterministic sub-worker order.
+// intraSub is one member of the persistent IntraWorkers pool: a
+// long-lived goroutine owning its own Workspace (engine + local
+// accumulation arrays), fed location ranges over an unbuffered channel.
+// Keeping the goroutines and their arenas alive for the whole run is
+// what makes intra-parallel gradient computation allocation-free in
+// steady state — the seed respawned goroutines and reallocated
+// tile-sized buffers on every communication round.
+type intraSub struct {
+	ws   *solver.Workspace
+	work chan [2]int  // owned-location index range [lo, hi)
+	done chan float64 // cost of the completed range
+}
+
+// intraPool is the per-rank pool. Sub-workers are dispatched and
+// drained in index order, so the merge into AccBuf is deterministic and
+// bit-identical to the seed's spawn-per-chunk implementation.
+type intraPool struct {
+	subs []*intraSub
+}
+
+func newIntraPool(w *worker, nw int) *intraPool {
+	pool := &intraPool{subs: make([]*intraSub, nw)}
+	for j := range pool.subs {
+		sub := &intraSub{
+			ws:   w.prob.NewWorkspace(w.ext),
+			work: make(chan [2]int),
+			done: make(chan float64),
+		}
+		pool.subs[j] = sub
+		go func() {
+			for r := range sub.work {
+				// Zero here, not on the dispatcher: nw tile-sized stacks
+				// clear in parallel instead of serially before dispatch.
+				sub.ws.ZeroGrads()
+				var cost float64
+				for i := r[0]; i < r[1]; i++ {
+					li := w.owned[i]
+					loc := w.prob.Pattern.Locations[li]
+					cost += sub.ws.LossGrad(w.slices, loc.Window(w.prob.WindowN), w.prob.Meas[li])
+				}
+				sub.done <- cost
+			}
+		}()
+	}
+	return pool
+}
+
+// close shuts down the pool's goroutines. Safe only when no chunk is in
+// flight.
+func (p *intraPool) close() {
+	for _, s := range p.subs {
+		close(s.work)
+	}
+}
+
+// gradientChunkParallel spreads the owned locations [lo, hi) across the
+// persistent IntraWorkers pool, each sub-worker accumulating into its
+// own workspace, then merges into w.acc in deterministic sub-worker
+// order.
 func (w *worker) gradientChunkParallel(lo, hi int) float64 {
-	nw := w.opt.IntraWorkers
+	nw := len(w.intra.subs)
 	if span := hi - lo; span < nw {
 		nw = span
 	}
 	if nw <= 1 {
-		// Fall back to one local engine pass without mutating state
-		// through the serial path (caller already handles nw <= 1 via
-		// IntraWorkers <= 1, but tiny chunks land here).
+		// Tiny chunks: one pass on the rank's own workspace engine,
+		// accumulating straight into AccBuf.
 		var cost float64
 		for i := lo; i < hi; i++ {
 			li := w.owned[i]
 			loc := w.prob.Pattern.Locations[li]
-			cost += w.eng.LossGrad(w.slices, loc.Window(w.prob.WindowN),
+			cost += w.ws.Eng.LossGrad(w.slices, loc.Window(w.prob.WindowN),
 				w.prob.Meas[li], w.acc)
 		}
 		return cost
 	}
-	accs := make([][]*grid.Complex2D, nw)
-	costs := make([]float64, nw)
-	var wg sync.WaitGroup
 	for j := 0; j < nw; j++ {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			eng := w.prob.NewEngine()
-			local := make([]*grid.Complex2D, w.prob.Slices)
-			for s := range local {
-				local[s] = grid.NewComplex2D(w.ext)
-			}
-			from := lo + (hi-lo)*j/nw
-			to := lo + (hi-lo)*(j+1)/nw
-			for i := from; i < to; i++ {
-				li := w.owned[i]
-				loc := w.prob.Pattern.Locations[li]
-				costs[j] += eng.LossGrad(w.slices, loc.Window(w.prob.WindowN),
-					w.prob.Meas[li], local)
-			}
-			accs[j] = local
-		}(j)
+		sub := w.intra.subs[j]
+		from := lo + (hi-lo)*j/nw
+		to := lo + (hi-lo)*(j+1)/nw
+		sub.work <- [2]int{from, to}
 	}
-	wg.Wait()
 	var cost float64
 	for j := 0; j < nw; j++ {
-		cost += costs[j]
+		sub := w.intra.subs[j]
+		cost += <-sub.done
 		for s := range w.acc {
-			w.acc[s].AddScaled(accs[j][s], 1)
+			w.acc[s].AddScaled(sub.ws.Grads()[s], 1)
 		}
 	}
 	return cost
@@ -493,6 +546,7 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 	world := simmpi.NewWorld(ranks, opt.Timeout)
 	err := world.RunAll(func(comm *simmpi.Comm) error {
 		w := newWorker(comm, prob, &opt, owned, init)
+		defer w.close()
 		memOut[comm.Rank()] = w.memBytes()
 		hist := make([]float64, 0, opt.Iterations)
 		for iter := 0; iter < opt.Iterations; iter++ {
@@ -561,9 +615,10 @@ func ParallelGradient(prob *solver.Problem, full []*grid.Complex2D, mesh *tiling
 	buffers := make([][]*grid.Complex2D, ranks)
 	err := simmpi.Run(ranks, timeout, func(comm *simmpi.Comm) error {
 		w := newWorker(comm, prob, &opt, owned, full)
+		defer w.close()
 		for _, li := range w.owned {
 			loc := prob.Pattern.Locations[li]
-			w.eng.LossGrad(w.slices, loc.Window(prob.WindowN), prob.Meas[li], w.acc)
+			w.ws.Eng.LossGrad(w.slices, loc.Window(prob.WindowN), prob.Meas[li], w.acc)
 		}
 		if err := w.runPasses(); err != nil {
 			return err

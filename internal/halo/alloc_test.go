@@ -1,0 +1,44 @@
+package halo
+
+import (
+	"testing"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/tiling"
+)
+
+// TestHaloGradientAllocationFree guards the Halo Voxel Exchange hot
+// path: the per-location body of the reconstruction loop — zero the
+// workspace gradients, evaluate the location, descend the local tile —
+// performs no heap allocations once the rank's arena is warm.
+func TestHaloGradientAllocationFree(t *testing.T) {
+	prob, _ := buildProblem(t, 4, 4, 0.6, 2)
+	m := mesh(t, prob, 1, 1, tiling.HaloForWindow(prob.WindowN))
+	init := phantom.Vacuum(prob.ImageBounds(), prob.Slices)
+
+	// Mirror the worker setup of Reconstruct: slices on the widened
+	// extended tile plus one Workspace for the whole run.
+	ext := m.ExtendedWithHalo(0, 0, m.Halo)
+	ws := prob.NewWorkspace(ext)
+	tile := make([]*grid.Complex2D, prob.Slices)
+	for s := range tile {
+		tile[s] = grid.NewComplex2D(ext)
+		tile[s].CopyRegion(init.Slices[s], ext)
+	}
+
+	li := 0
+	win := prob.Pattern.Locations[li].Window(prob.WindowN)
+	step := complex(0.01, 0)
+	ws.ZeroGrads()
+	ws.LossGrad(tile, win, prob.Meas[li])
+	if got := testing.AllocsPerRun(20, func() {
+		ws.ZeroGrads()
+		ws.LossGrad(tile, win, prob.Meas[li])
+		for s := range tile {
+			tile[s].AddScaled(ws.Grads()[s], -step)
+		}
+	}); got != 0 {
+		t.Errorf("halo per-location kernel allocates %v, want 0", got)
+	}
+}

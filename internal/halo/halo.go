@@ -137,9 +137,9 @@ type hworker struct {
 	r, c   int
 	ext    grid.Rect // tile + exchange halo
 	slices []*grid.Complex2D
-	grad   []*grid.Complex2D
-	owned  []int // own locations
-	all    []int // own + extra locations (reconstructed redundantly)
+	ws     *solver.Workspace // per-rank gradient scratch arena
+	owned  []int             // own locations
+	all    []int             // own + extra locations (reconstructed redundantly)
 }
 
 // Reconstruct runs the Halo Voxel Exchange baseline.
@@ -189,13 +189,13 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 			owned: owned[rank], all: allLocs[rank],
 		}
 		w.slices = make([]*grid.Complex2D, prob.Slices)
-		w.grad = make([]*grid.Complex2D, prob.Slices)
 		for s := 0; s < prob.Slices; s++ {
 			w.slices[s] = grid.NewComplex2D(ext)
 			w.slices[s].CopyRegion(init[s], ext)
-			w.grad[s] = grid.NewComplex2D(ext)
 		}
-		eng := prob.NewEngine()
+		// One Workspace per rank for the whole run; the per-location
+		// loop below never touches the heap after warm-up.
+		w.ws = prob.NewWorkspace(ext)
 
 		n2 := int64(prob.WindowN * prob.WindowN)
 		memOut[rank] = int64(ext.Area())*16*int64(prob.Slices)*2 +
@@ -212,17 +212,15 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 				for ; done < upto; done++ {
 					li := w.all[done]
 					loc := prob.Pattern.Locations[li]
-					for _, g := range w.grad {
-						g.Zero()
-					}
-					f := eng.LossGrad(w.slices, loc.Window(prob.WindowN), prob.Meas[li], w.grad)
+					w.ws.ZeroGrads()
+					f := w.ws.LossGrad(w.slices, loc.Window(prob.WindowN), prob.Meas[li])
 					// Cost is reported over owned locations only, so the
 					// histories are comparable with Gradient Decomposition.
 					if done < len(w.owned) {
 						cost += f
 					}
 					for s := range w.slices {
-						w.slices[s].AddScaled(w.grad[s], -step)
+						w.slices[s].AddScaled(w.ws.Grads()[s], -step)
 					}
 				}
 				if err := w.exchangeVoxels(haloW); err != nil {

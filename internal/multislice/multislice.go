@@ -24,14 +24,18 @@ import (
 )
 
 // Engine evaluates the forward model and gradients for a fixed probe,
-// propagator and window size. An Engine holds scratch state and is NOT
-// safe for concurrent use; parallel workers should each construct their
-// own (construction is cheap — plans are cached globally).
+// propagator and window size. An Engine is the wavefield half of the
+// per-worker scratch arena: it owns the exit-wave stack, the residual
+// (chi) buffer, the window-extraction buffer and an fft.Scratch, so
+// steady-state Loss/LossGrad calls perform zero heap allocations. It is
+// NOT safe for concurrent use; parallel workers each construct their
+// own (construction is cheap — FFT plans are cached globally).
 type Engine struct {
 	n     int
 	probe *grid.Complex2D // anchored at (0,0), n x n, read-only
 	h     *grid.Complex2D // Fresnel kernel, n x n, read-only; nil = no propagation
 	plan  *fft.Plan2D
+	scr   fft.Scratch // per-engine FFT workspace arena
 
 	// Scratch: per-slice wavefronts psi[0..S] kept from the last forward
 	// evaluation for use by the backward pass.
@@ -57,7 +61,7 @@ func NewEngine(probe, h *grid.Complex2D) *Engine {
 	// many engines).
 	p := probe.Clone()
 	p.Bounds = grid.RectWH(0, 0, n, n)
-	return &Engine{
+	e := &Engine{
 		n:     n,
 		probe: p,
 		h:     h,
@@ -66,6 +70,8 @@ func NewEngine(probe, h *grid.Complex2D) *Engine {
 		bwork: grid.NewComplex2DSize(n, n),
 		twin:  grid.NewComplex2DSize(n, n),
 	}
+	e.scr.Warm(e.plan)
+	return e
 }
 
 // N returns the window size.
@@ -129,15 +135,15 @@ func (e *Engine) forward(slices []*grid.Complex2D, win grid.Rect) *grid.Complex2
 			next.Data[j] = cur.Data[j] * e.twin.Data[j]
 		}
 		if e.h != nil && i < len(slices)-1 {
-			e.plan.Transform(next, fft.Forward)
+			e.plan.TransformScratch(next, fft.Forward, &e.scr)
 			for j := range next.Data {
 				next.Data[j] *= e.h.Data[j]
 			}
-			e.plan.Transform(next, fft.Inverse)
+			e.plan.TransformScratch(next, fft.Inverse, &e.scr)
 		}
 	}
 	copy(e.fwork.Data, e.psi[s].Data)
-	e.plan.Transform(e.fwork, fft.Forward)
+	e.plan.TransformScratch(e.fwork, fft.Forward, &e.scr)
 	return e.fwork
 }
 
@@ -211,7 +217,7 @@ func (e *Engine) lossGrad(slices []*grid.Complex2D, win grid.Rect, yAmp *grid.Fl
 		chi.Data[i] = v * complex((m-yAmp.Data[i])/m, 0)
 	}
 	// psi_bar_S = F^H chi = N * F^-1 chi.
-	e.plan.Transform(chi, fft.Inverse)
+	e.plan.TransformScratch(chi, fft.Inverse, &e.scr)
 	scale := complex(float64(e.n*e.n), 0)
 	for i := range chi.Data {
 		chi.Data[i] *= scale
@@ -221,11 +227,11 @@ func (e *Engine) lossGrad(slices []*grid.Complex2D, win grid.Rect, yAmp *grid.Fl
 	for i := s - 1; i >= 0; i-- {
 		if e.h != nil && i < s-1 {
 			// Adjoint of the propagation applied after slice i.
-			e.plan.Transform(chi, fft.Forward)
+			e.plan.TransformScratch(chi, fft.Forward, &e.scr)
 			for j := range chi.Data {
 				chi.Data[j] *= cmplx.Conj(e.h.Data[j])
 			}
-			e.plan.Transform(chi, fft.Inverse)
+			e.plan.TransformScratch(chi, fft.Inverse, &e.scr)
 		}
 		// g_t(i) = conj(psi_i) * psi_bar'  (psi_i = wave entering slice i).
 		extractWindow(e.twin, slices[i], win)

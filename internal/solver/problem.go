@@ -176,14 +176,10 @@ func Cost(prob *Problem, slices []*grid.Complex2D) float64 {
 // all locations into freshly allocated arrays with the given bounds —
 // the serial ground truth the Gradient Decomposition must reproduce.
 func TotalGradient(prob *Problem, slices []*grid.Complex2D, bounds grid.Rect) ([]*grid.Complex2D, float64) {
-	eng := prob.NewEngine()
-	grads := make([]*grid.Complex2D, len(slices))
-	for i := range grads {
-		grads[i] = grid.NewComplex2D(bounds)
-	}
+	ws := prob.NewWorkspace(bounds)
 	var f float64
 	for i, l := range prob.Pattern.Locations {
-		f += eng.LossGrad(slices, l.Window(prob.WindowN), prob.Meas[i], grads)
+		f += ws.LossGrad(slices, l.Window(prob.WindowN), prob.Meas[i])
 	}
-	return grads, f
+	return ws.Grads(), f
 }

@@ -76,14 +76,14 @@ func Reconstruct(prob *Problem, init []*grid.Complex2D, opt Options) (*Result, e
 	for i, s := range init {
 		slices[i] = s.Clone()
 	}
-	eng := prob.NewEngine()
+	// One Workspace for the whole run: the engine's wavefield buffers,
+	// FFT scratch and the gradient arrays are allocated here once and
+	// reused by every probe location of every iteration.
+	ws := prob.NewWorkspace(slices[0].Bounds)
+	eng := ws.Eng
+	grads := ws.Grads()
 	step := complex(opt.StepSize, 0)
 	hist := make([]float64, 0, opt.Iterations)
-
-	grads := make([]*grid.Complex2D, len(slices))
-	for i := range grads {
-		grads[i] = grid.NewComplex2D(slices[i].Bounds)
-	}
 
 	refineProbe := opt.ProbeStepSize > 0
 	var probe, probeGrad *grid.Complex2D
