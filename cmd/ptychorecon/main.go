@@ -8,6 +8,12 @@
 //	ptychorecon -i dataset.ptycho [-alg gd|hve|serial] [-mesh 2x2]
 //	            [-iters 20] [-step 0.01] [-rounds 1] [-faithful]
 //	            [-no-appp] [-png out_prefix]
+//	            [-checkpoint ck.objck] [-checkpoint-every 5]
+//	            [-resume ck.objck] [-save final.objck]
+//
+// With -checkpoint, the in-progress object is written every
+// -checkpoint-every iterations (atomically: tmp + rename), so an
+// interrupted batch run can restart from where it stopped via -resume.
 package main
 
 import (
@@ -43,16 +49,36 @@ func main() {
 	pngPrefix := flag.String("png", "", "write <prefix>_phase.png and <prefix>_mag.png of slice 0")
 	save := flag.String("save", "", "write the reconstructed object to this checkpoint file (OBJCKv1)")
 	resume := flag.String("resume", "", "start from an object checkpoint instead of vacuum")
+	checkpoint := flag.String("checkpoint", "", "write the in-progress object to this OBJCKv1 file every -checkpoint-every iterations")
+	ckEvery := flag.Int("checkpoint-every", 5, "iterations between -checkpoint writes")
 	flag.Parse()
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "ptychorecon: -i dataset required (generate one with datagen)")
 		os.Exit(2)
 	}
-	if err := run(*in, *alg, *meshStr, *iters, *step, *rounds, *workers, *faithful, *noAPPP, *pngPrefix, *save, *resume); err != nil {
+	cfg := config{
+		in: *in, alg: *alg, mesh: *meshStr, iters: *iters, step: *step,
+		rounds: *rounds, workers: *workers, faithful: *faithful, noAPPP: *noAPPP,
+		pngPrefix: *pngPrefix, savePath: *save, resumePath: *resume,
+		checkpointPath: *checkpoint, checkpointEvery: *ckEvery,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ptychorecon:", err)
 		os.Exit(1)
 	}
+}
+
+// config carries the parsed flags.
+type config struct {
+	in, alg, mesh                   string
+	iters                           int
+	step                            float64
+	rounds, workers                 int
+	faithful, noAPPP                bool
+	pngPrefix, savePath, resumePath string
+	checkpointPath                  string
+	checkpointEvery                 int
 }
 
 func parseMesh(s string) (rows, cols int, err error) {
@@ -69,41 +95,65 @@ func parseMesh(s string) (rows, cols int, err error) {
 	return rows, cols, nil
 }
 
-func run(in, alg, meshStr string, iters int, step float64, rounds, workers int,
-	faithful, noAPPP bool, pngPrefix, savePath, resumePath string) error {
+// checkpointWriter returns an OnSnapshot hook that writes the
+// in-progress object atomically (tmp + rename), or nil when -checkpoint
+// is unset.
+func checkpointWriter(path string) func(iter int, slices []*grid.Complex2D) error {
+	if path == "" {
+		return nil
+	}
+	return func(iter int, slices []*grid.Complex2D) error {
+		if err := dataio.WriteObjectFileAtomic(path, slices); err != nil {
+			return err
+		}
+		fmt.Printf("  checkpoint after iter %d -> %s\n", iter+1, path)
+		return nil
+	}
+}
+
+func run(cfg config) error {
 	rec := trace.NewRecorder()
 	var prob *solver.Problem
 	var err error
-	rec.Time("load", func() { prob, err = dataio.ReadFile(in) })
+	rec.Time("load", func() { prob, err = dataio.ReadFile(cfg.in) })
 	if err != nil {
 		return err
 	}
 	fmt.Printf("loaded %s: %d locations, %dx%d px, %d slices\n",
-		in, prob.Pattern.N(), prob.Pattern.ImageW, prob.Pattern.ImageH, prob.Slices)
+		cfg.in, prob.Pattern.N(), prob.Pattern.ImageW, prob.Pattern.ImageH, prob.Slices)
 
 	init := phantom.Vacuum(prob.ImageBounds(), prob.Slices)
-	if resumePath != "" {
-		ck, err := dataio.ReadObjectFile(resumePath)
+	if cfg.resumePath != "" {
+		ck, err := dataio.ReadObjectFile(cfg.resumePath)
 		if err != nil {
 			return err
 		}
 		if len(ck) != prob.Slices || !ck[0].Bounds.Eq(prob.ImageBounds()) {
-			return fmt.Errorf("checkpoint %s does not match dataset geometry", resumePath)
+			return fmt.Errorf("checkpoint %s does not match dataset geometry", cfg.resumePath)
 		}
 		init.Slices = ck
-		fmt.Printf("resumed from %s\n", resumePath)
+		fmt.Printf("resumed from %s\n", cfg.resumePath)
 	}
 	onIter := func(it int, cost float64) {
 		fmt.Printf("  iter %3d  cost %.6g\n", it+1, cost)
 	}
+	onSnap := checkpointWriter(cfg.checkpointPath)
+	snapEvery := 0
+	if onSnap != nil {
+		snapEvery = cfg.checkpointEvery
+		if snapEvery <= 0 {
+			return fmt.Errorf("-checkpoint-every must be positive with -checkpoint, got %d", snapEvery)
+		}
+	}
 
 	var slices []*grid.Complex2D
-	switch alg {
+	switch cfg.alg {
 	case "serial":
 		var r *solver.Result
 		rec.Time("reconstruct", func() {
 			r, err = solver.Reconstruct(prob, init.Slices, solver.Options{
-				StepSize: step, Iterations: iters, Mode: solver.Batch, OnIteration: onIter,
+				StepSize: cfg.step, Iterations: cfg.iters, Mode: solver.Batch, OnIteration: onIter,
+				SnapshotEvery: snapEvery, OnSnapshot: onSnap,
 			})
 		})
 		if err != nil {
@@ -112,7 +162,7 @@ func run(in, alg, meshStr string, iters int, step float64, rounds, workers int,
 		slices = r.Slices
 
 	case "gd":
-		rows, cols, merr := parseMesh(meshStr)
+		rows, cols, merr := parseMesh(cfg.mesh)
 		if merr != nil {
 			return merr
 		}
@@ -121,16 +171,17 @@ func run(in, alg, meshStr string, iters int, step float64, rounds, workers int,
 			return merr2
 		}
 		mode := gradsync.ModeBatch
-		if faithful {
+		if cfg.faithful {
 			mode = gradsync.ModeFaithful
 		}
 		var r *gradsync.Result
 		rec.Time("reconstruct", func() {
 			r, err = gradsync.Reconstruct(prob, init.Slices, gradsync.Options{
-				Mesh: mesh, Mode: mode, StepSize: step, Iterations: iters,
-				RoundsPerIteration: rounds, DisableAPPP: noAPPP,
-				IntraWorkers: workers,
+				Mesh: mesh, Mode: mode, StepSize: cfg.step, Iterations: cfg.iters,
+				RoundsPerIteration: cfg.rounds, DisableAPPP: cfg.noAPPP,
+				IntraWorkers: cfg.workers,
 				Timeout:      5 * time.Minute, OnIteration: onIter,
+				SnapshotEvery: snapEvery, OnSnapshot: onSnap,
 			})
 		})
 		if err != nil {
@@ -142,7 +193,7 @@ func run(in, alg, meshStr string, iters int, step float64, rounds, workers int,
 		printMem(r.PerRankMemBytes)
 
 	case "hve":
-		rows, cols, merr := parseMesh(meshStr)
+		rows, cols, merr := parseMesh(cfg.mesh)
 		if merr != nil {
 			return merr
 		}
@@ -154,9 +205,10 @@ func run(in, alg, meshStr string, iters int, step float64, rounds, workers int,
 		rec.Time("reconstruct", func() {
 			r, err = halo.Reconstruct(prob, init.Slices, halo.Options{
 				Mesh: mesh, HaloWidth: mesh.Halo, ExtraRows: 1,
-				StepSize: step, Iterations: iters,
-				ExchangesPerIteration: rounds,
+				StepSize: cfg.step, Iterations: cfg.iters,
+				ExchangesPerIteration: cfg.rounds,
 				Timeout:               5 * time.Minute, OnIteration: onIter,
+				SnapshotEvery: snapEvery, OnSnapshot: onSnap,
 			})
 		})
 		if err != nil {
@@ -169,27 +221,27 @@ func run(in, alg, meshStr string, iters int, step float64, rounds, workers int,
 		printMem(r.PerRankMemBytes)
 
 	default:
-		return fmt.Errorf("unknown algorithm %q (want gd, hve, serial)", alg)
+		return fmt.Errorf("unknown algorithm %q (want gd, hve, serial)", cfg.alg)
 	}
 
-	if savePath != "" {
-		if err := dataio.WriteObjectFile(savePath, slices); err != nil {
+	if cfg.savePath != "" {
+		if err := dataio.WriteObjectFile(cfg.savePath, slices); err != nil {
 			return err
 		}
-		fmt.Printf("checkpoint written to %s\n", savePath)
+		fmt.Printf("checkpoint written to %s\n", cfg.savePath)
 	}
-	if pngPrefix != "" {
+	if cfg.pngPrefix != "" {
 		rec.Time("png", func() {
 			f := ptycho.Field{W: slices[0].W(), H: slices[0].H(), Data: slices[0].Data}
-			if err = ptycho.SavePNG(pngPrefix+"_phase.png", ptycho.PhaseImage(f)); err != nil {
+			if err = ptycho.SavePNG(cfg.pngPrefix+"_phase.png", ptycho.PhaseImage(f)); err != nil {
 				return
 			}
-			err = ptycho.SavePNG(pngPrefix+"_mag.png", ptycho.MagnitudeImage(f))
+			err = ptycho.SavePNG(cfg.pngPrefix+"_mag.png", ptycho.MagnitudeImage(f))
 		})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s_phase.png and %s_mag.png\n", pngPrefix, pngPrefix)
+		fmt.Printf("wrote %s_phase.png and %s_mag.png\n", cfg.pngPrefix, cfg.pngPrefix)
 	}
 	rec.Report(os.Stdout, "wall-clock phases")
 	return nil

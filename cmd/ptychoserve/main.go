@@ -1,0 +1,89 @@
+// Command ptychoserve runs the concurrent reconstruction job service: an
+// HTTP server that accepts PTYCHOv1 dataset uploads, schedules
+// reconstructions on a bounded worker pool, writes periodic OBJCKv1
+// checkpoints, serves live phase-image previews, and supports cancel and
+// checkpoint-resume — the operational front end for steering a running
+// microscopy experiment.
+//
+// Usage:
+//
+//	ptychoserve [-addr :8617] [-workers 2] [-queue 16]
+//	            [-spool DIR] [-checkpoint-every 5]
+//
+// See internal/jobs/httpapi for the endpoint reference and README.md for
+// a curl quickstart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ptychopath/internal/jobs"
+	"ptychopath/internal/jobs/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8617", "listen address")
+	workers := flag.Int("workers", max(1, runtime.NumCPU()/2), "concurrent reconstructions (worker pool size)")
+	queue := flag.Int("queue", 16, "bounded FIFO depth for queued jobs")
+	spool := flag.String("spool", "", "checkpoint spool directory (default: fresh temp dir)")
+	ckEvery := flag.Int("checkpoint-every", 5, "default iterations between OBJCKv1 checkpoints / preview snapshots")
+	timeout := flag.Duration("timeout", 5*time.Minute, "parallel-engine communication timeout")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "ptychoserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration) error {
+	svc, err := jobs.NewService(jobs.Config{
+		Workers: workers, QueueDepth: queue, SpoolDir: spool,
+		CheckpointEvery: ckEvery, Timeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ptychoserve: %d workers, queue depth %d, spool %s\n",
+		svc.Config().Workers, svc.Config().QueueDepth, svc.Config().SpoolDir)
+
+	srv := &http.Server{Addr: addr, Handler: httpapi.New(svc).Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("ptychoserve: listening on %s\n", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("ptychoserve: shutting down, cancelling in-flight jobs (checkpoints let them resume)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	// Cancel everything still queued or running: each run stops at its
+	// next iteration boundary with a final checkpoint, so a restarted
+	// server can resume the work.
+	for _, info := range svc.List() {
+		if info.State == "queued" || info.State == "running" {
+			svc.Cancel(info.ID)
+		}
+	}
+	svc.Close()
+	return nil
+}

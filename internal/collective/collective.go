@@ -1,0 +1,89 @@
+// Package collective holds the small collective-operation helpers the
+// parallel reconstruction engines (gradsync, halo) share: the
+// two-barrier rank-0 snapshot handshake and the all-reduced
+// cancellation decision. Keeping them in one place keeps the subtle
+// ordering invariants — who may write what between which barriers, and
+// why every rank must reach the same verdict — from drifting between
+// the two engines.
+package collective
+
+import (
+	"context"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/simmpi"
+	"ptychopath/internal/tiling"
+)
+
+// Snapshots coordinates periodic rank-0 object snapshots across a
+// world: each rank publishes its tile, rank 0 stitches them and runs
+// the callback, and the callback's error (if any) reaches every rank.
+// The err field is ordered by the two barriers in Run: rank 0 writes it
+// between them, every rank reads it after the second — the barrier
+// provides the happens-before edge.
+type Snapshots struct {
+	mesh  *tiling.Mesh
+	every int
+	fn    func(iter int, slices []*grid.Complex2D) error
+	tiles [][]*grid.Complex2D
+	err   error
+}
+
+// NewSnapshots returns the shared per-world snapshot state, or nil
+// (a no-op for Due) when snapshots are not configured.
+func NewSnapshots(mesh *tiling.Mesh, every int,
+	fn func(iter int, slices []*grid.Complex2D) error) *Snapshots {
+	if every <= 0 || fn == nil {
+		return nil
+	}
+	return &Snapshots{
+		mesh: mesh, every: every, fn: fn,
+		tiles: make([][]*grid.Complex2D, mesh.NumTiles()),
+	}
+}
+
+// Due reports whether a snapshot is owed after the given 0-based
+// iteration. The verdict depends only on configuration and iter, so it
+// is identical on every rank — a requirement, since Run barriers.
+func (s *Snapshots) Due(iter int) bool {
+	return s != nil && (iter+1)%s.every == 0
+}
+
+// Run performs one snapshot handshake. Every rank must call it at the
+// same iteration with its own (extended-tile) slices. Rank 0 receives
+// the stitched full-image object, freshly allocated — the callback may
+// retain it. All ranks return the callback's error together.
+func (s *Snapshots) Run(comm *simmpi.Comm, slices []*grid.Complex2D, iter int) error {
+	s.tiles[comm.Rank()] = slices
+	if err := comm.Barrier(); err != nil {
+		return err
+	}
+	if comm.Rank() == 0 {
+		s.err = s.fn(iter, s.mesh.StitchSlices(s.tiles))
+	}
+	if err := comm.Barrier(); err != nil {
+		return err
+	}
+	return s.err
+}
+
+// Cancelled makes the collective cancellation decision at an iteration
+// boundary: a rank may observe ctx done slightly before its peers, so
+// every rank contributes its view to an allreduce and the verdict is
+// identical everywhere — all ranks stop together, no deadlocked
+// exchanges. A nil ctx never cancels (and performs no allreduce, so
+// runs without a context keep their exact communication volume).
+func Cancelled(comm *simmpi.Comm, ctx context.Context) (bool, error) {
+	if ctx == nil {
+		return false, nil
+	}
+	flag := 0.0
+	if ctx.Err() != nil {
+		flag = 1
+	}
+	tot, err := comm.AllreduceSum(flag)
+	if err != nil {
+		return false, err
+	}
+	return tot > 0, nil
+}

@@ -50,7 +50,10 @@ func FuzzRead(f *testing.F) {
 	})
 }
 
-// FuzzReadObject does the same for the checkpoint decoder.
+// FuzzReadObject does the same for the checkpoint decoder. The seed
+// corpus covers the OBJCKv1 magic and truncation taxonomy: bare magic,
+// magic with a corrupted byte, cuts inside the magic, inside each header
+// field, at the header/payload boundary, and mid-slice.
 func FuzzReadObject(f *testing.F) {
 	obj := phantom.RandomObject(8, 8, 2, 2)
 	var buf bytes.Buffer
@@ -62,6 +65,37 @@ func FuzzReadObject(f *testing.F) {
 	f.Add(valid[:20])
 	f.Add([]byte("OBJCKv1\x00"))
 	f.Add([]byte{})
+	// Magic cases: truncated mid-magic, wrong version byte, wrong
+	// terminator, dataset magic in an object file.
+	f.Add(valid[:3])
+	f.Add(valid[:7])
+	wrongVer := append([]byte(nil), valid...)
+	wrongVer[6] = '2' // "OBJCKv2"
+	f.Add(wrongVer)
+	wrongTerm := append([]byte(nil), valid...)
+	wrongTerm[7] = 0xFF
+	f.Add(wrongTerm)
+	f.Add(append([]byte("PTYCHOv1"), valid[8:]...))
+	// Header truncations: cut inside each of the 5 int64 fields.
+	for i := 0; i < 5; i++ {
+		f.Add(valid[: 8+8*i+4 : 8+8*i+4])
+	}
+	// Header lies: slice count far beyond the payload, zero/negative
+	// dimensions.
+	hugeSlices := append([]byte(nil), valid...)
+	hugeSlices[8] = 0xFF // slices int64 LSB
+	f.Add(hugeSlices)
+	zeroW := append([]byte(nil), valid...)
+	for i := 0; i < 8; i++ {
+		zeroW[8+3*8+i] = 0 // w field
+	}
+	f.Add(zeroW)
+	// Payload truncations: exactly at the header end, mid first slice,
+	// between slices, and one byte short of complete.
+	f.Add(valid[:8+5*8])
+	f.Add(valid[:8+5*8+7])
+	f.Add(valid[:8+5*8+2*8*8*8]) // after slice 0 of 2
+	f.Add(valid[:len(valid)-1])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		slices, err := ReadObject(bytes.NewReader(data))

@@ -3,6 +3,7 @@ package dataio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,15 +20,29 @@ import (
 
 var objMagic = [8]byte{'O', 'B', 'J', 'C', 'K', 'v', '1', 0}
 
+// ErrSliceMismatch is returned by WriteObject when the slices do not
+// form a consistent stack: empty input, bounds that differ between
+// slices, or a data buffer whose length disagrees with its bounds.
+// Serializing such a stack would silently produce a checkpoint that
+// cannot resume the run it claims to hold.
+var ErrSliceMismatch = errors.New("dataio: inconsistent object slices")
+
 // WriteObject serializes object slices (all sharing bounds) to w.
 func WriteObject(w io.Writer, slices []*grid.Complex2D) error {
 	if len(slices) == 0 {
-		return fmt.Errorf("dataio: no slices to write")
+		return fmt.Errorf("%w: no slices to write", ErrSliceMismatch)
 	}
 	bounds := slices[0].Bounds
 	for i, s := range slices {
+		if s == nil {
+			return fmt.Errorf("%w: slice %d is nil", ErrSliceMismatch, i)
+		}
 		if s.Bounds != bounds {
-			return fmt.Errorf("dataio: slice %d bounds %v != %v", i, s.Bounds, bounds)
+			return fmt.Errorf("%w: slice %d bounds %v != %v", ErrSliceMismatch, i, s.Bounds, bounds)
+		}
+		if len(s.Data) != bounds.Area() {
+			return fmt.Errorf("%w: slice %d has %d values for bounds %v (want %d)",
+				ErrSliceMismatch, i, len(s.Data), bounds, bounds.Area())
 		}
 	}
 	bw := bufio.NewWriter(w)
@@ -98,6 +113,23 @@ func WriteObjectFile(path string, slices []*grid.Complex2D) error {
 	}
 	defer f.Close()
 	return WriteObject(f, slices)
+}
+
+// WriteObjectFileAtomic serializes object slices to the named file via
+// a temporary sibling and rename, so concurrent readers (and crashes
+// mid-write) never observe a torn checkpoint. The temporary file is
+// removed on error.
+func WriteObjectFileAtomic(path string, slices []*grid.Complex2D) error {
+	tmp := path + ".tmp"
+	if err := WriteObjectFile(tmp, slices); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("dataio: %w", err)
+	}
+	return nil
 }
 
 // ReadObjectFile deserializes object slices from the named file.

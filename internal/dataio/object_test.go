@@ -2,6 +2,7 @@ package dataio
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"strings"
@@ -66,8 +67,8 @@ func TestObjectFileRoundTrip(t *testing.T) {
 
 func TestWriteObjectRejectsEmpty(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteObject(&buf, nil); err == nil {
-		t.Fatal("empty object accepted")
+	if err := WriteObject(&buf, nil); !errors.Is(err, ErrSliceMismatch) {
+		t.Fatalf("empty object: got %v, want ErrSliceMismatch", err)
 	}
 }
 
@@ -77,8 +78,27 @@ func TestWriteObjectRejectsMismatchedBounds(t *testing.T) {
 		grid.NewComplex2DSize(5, 4),
 	}
 	var buf bytes.Buffer
-	if err := WriteObject(&buf, obj); err == nil {
-		t.Fatal("mismatched bounds accepted")
+	if err := WriteObject(&buf, obj); !errors.Is(err, ErrSliceMismatch) {
+		t.Fatalf("mismatched bounds: got %v, want ErrSliceMismatch", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("rejected write still emitted %d bytes", buf.Len())
+	}
+}
+
+func TestWriteObjectRejectsInconsistentData(t *testing.T) {
+	// A slice whose data buffer disagrees with its bounds must not
+	// serialize: the header would promise w*h values per slice and the
+	// payload would deliver something else.
+	good := grid.NewComplex2DSize(4, 4)
+	bad := grid.NewComplex2DSize(4, 4)
+	bad.Data = bad.Data[:10]
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, []*grid.Complex2D{good, bad}); !errors.Is(err, ErrSliceMismatch) {
+		t.Fatalf("short data buffer: got %v, want ErrSliceMismatch", err)
+	}
+	if err := WriteObject(&buf, []*grid.Complex2D{good, nil}); !errors.Is(err, ErrSliceMismatch) {
+		t.Fatalf("nil slice: got %v, want ErrSliceMismatch", err)
 	}
 }
 

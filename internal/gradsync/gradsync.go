@@ -29,9 +29,12 @@
 package gradsync
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"ptychopath/internal/collective"
 	"ptychopath/internal/grid"
 	"ptychopath/internal/simmpi"
 	"ptychopath/internal/solver"
@@ -86,6 +89,19 @@ type Options struct {
 	// OnIteration, when non-nil, is invoked on rank 0 with the global
 	// cost after each iteration.
 	OnIteration func(iter int, cost float64)
+	// Ctx, when non-nil, cancels the run at iteration boundaries. The
+	// decision is collective — every rank contributes its view of
+	// Ctx.Err() to an allreduce so all ranks stop at the same iteration
+	// (no deadlocked exchanges). Reconstruct then returns the PARTIAL
+	// stitched Result together with Ctx's error.
+	Ctx context.Context
+	// SnapshotEvery, together with OnSnapshot, emits periodic object
+	// snapshots: after every SnapshotEvery-th iteration the tiles are
+	// stitched and OnSnapshot runs on rank 0 with the 0-based iteration
+	// index and the stitched slices (freshly allocated — safe to
+	// retain). A non-nil error aborts the run on every rank.
+	SnapshotEvery int
+	OnSnapshot    func(iter int, slices []*grid.Complex2D) error
 }
 
 func (o *Options) validate(prob *solver.Problem) error {
@@ -543,6 +559,11 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 	commOut := make([]int64, ranks)
 	costPerIter := make([][]float64, ranks)
 
+	// Snapshot and cancellation state shared across ranks (see
+	// internal/collective for the ordering invariants).
+	snaps := collective.NewSnapshots(m, opt.SnapshotEvery, opt.OnSnapshot)
+	var cancelled atomic.Bool
+
 	world := simmpi.NewWorld(ranks, opt.Timeout)
 	err := world.RunAll(func(comm *simmpi.Comm) error {
 		w := newWorker(comm, prob, &opt, owned, init)
@@ -562,9 +583,20 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 			if comm.Rank() == 0 && opt.OnIteration != nil {
 				opt.OnIteration(iter, global)
 			}
+			if snaps.Due(iter) {
+				if err := snaps.Run(comm, w.slices, iter); err != nil {
+					return fmt.Errorf("gradsync: snapshot at iteration %d: %w", iter, err)
+				}
+			}
 			// Collective early stop: the all-reduced cost is identical
 			// on every rank, so all ranks break together.
 			if opt.StopBelowCost > 0 && global < opt.StopBelowCost {
+				break
+			}
+			if stop, err := collective.Cancelled(comm, opt.Ctx); err != nil {
+				return err
+			} else if stop {
+				cancelled.Store(true)
 				break
 			}
 		}
@@ -590,6 +622,9 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 	}
 	for rank, locs := range owned {
 		res.PerRankLocations[rank] = len(locs)
+	}
+	if cancelled.Load() {
+		return res, opt.Ctx.Err()
 	}
 	return res, nil
 }

@@ -20,10 +20,13 @@
 package halo
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"ptychopath/internal/collective"
 	"ptychopath/internal/grid"
 	"ptychopath/internal/simmpi"
 	"ptychopath/internal/solver"
@@ -56,6 +59,18 @@ type Options struct {
 	// OnIteration, when non-nil, receives the global cost per iteration
 	// (measured over owned locations only, like the GD solver).
 	OnIteration func(iter int, cost float64)
+	// Ctx, when non-nil, cancels the run at iteration boundaries. The
+	// decision is collective (all-reduced) so every rank stops at the
+	// same iteration; Reconstruct then returns the PARTIAL stitched
+	// Result together with Ctx's error.
+	Ctx context.Context
+	// SnapshotEvery, together with OnSnapshot, emits periodic object
+	// snapshots: after every SnapshotEvery-th iteration the tiles are
+	// stitched and OnSnapshot runs on rank 0 with the 0-based iteration
+	// index and the stitched slices (freshly allocated — safe to
+	// retain). A non-nil error aborts the run on every rank.
+	SnapshotEvery int
+	OnSnapshot    func(iter int, slices []*grid.Complex2D) error
 }
 
 func (o *Options) validate(prob *solver.Problem) error {
@@ -178,6 +193,11 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 	memOut := make([]int64, ranks)
 	costOut := make([][]float64, ranks)
 
+	// Snapshot and cancellation state shared across ranks (see
+	// internal/collective for the ordering invariants).
+	snaps := collective.NewSnapshots(m, opt.SnapshotEvery, opt.OnSnapshot)
+	var cancelled atomic.Bool
+
 	world := simmpi.NewWorld(ranks, opt.Timeout)
 	err := world.RunAll(func(comm *simmpi.Comm) error {
 		rank := comm.Rank()
@@ -235,6 +255,17 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 			if rank == 0 && opt.OnIteration != nil {
 				opt.OnIteration(iter, global)
 			}
+			if snaps.Due(iter) {
+				if err := snaps.Run(comm, w.slices, iter); err != nil {
+					return fmt.Errorf("halo: snapshot at iteration %d: %w", iter, err)
+				}
+			}
+			if stop, err := collective.Cancelled(comm, opt.Ctx); err != nil {
+				return err
+			} else if stop {
+				cancelled.Store(true)
+				break
+			}
 		}
 		costOut[rank] = hist
 		tileOut[rank] = w.slices
@@ -256,6 +287,9 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 	for rank := range allLocs {
 		res.PerRankLocations[rank] = len(allLocs[rank])
 		res.PerRankOwned[rank] = len(owned[rank])
+	}
+	if cancelled.Load() {
+		return res, opt.Ctx.Err()
 	}
 	return res, nil
 }

@@ -1,0 +1,304 @@
+// Package httpapi exposes the reconstruction job service (internal/jobs)
+// over HTTP — the transport layer of cmd/ptychoserve.
+//
+// Endpoints:
+//
+//	POST /jobs?alg=serial|gd|hve&iters=N&step=S&mesh=RxC&rounds=T&workers=W&checkpoint-every=K
+//	     body: a PTYCHOv1 dataset. Returns 202 with the job summary.
+//	GET  /jobs                    list all jobs
+//	GET  /jobs/{id}               one job, with the cost-history tail
+//	                              (?history=N entries, ?history=all)
+//	POST /jobs/{id}/cancel        cancel (queued: immediate; running: next iteration boundary)
+//	POST /jobs/{id}/resume        new job warm-started from the last OBJCKv1 checkpoint
+//	GET  /jobs/{id}/preview.png   live grayscale preview of the latest snapshot
+//	                              (?kind=phase|mag, ?slice=N)
+//	GET  /jobs/{id}/object        latest object snapshot as an OBJCKv1 stream
+//	GET  /metrics                 Prometheus text exposition
+//	GET  /healthz                 liveness
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image/png"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ptychopath"
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/grid"
+	"ptychopath/internal/jobs"
+)
+
+// MaxUploadBytes bounds dataset uploads (PTYCHOv1 bodies).
+const MaxUploadBytes = 1 << 30
+
+// Server adapts a jobs.Service to HTTP.
+type Server struct {
+	svc *jobs.Service
+}
+
+// New wraps a service.
+func New(svc *jobs.Service) *Server { return &Server{svc: svc} }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
+	mux.HandleFunc("GET /jobs/{id}/preview.png", s.handlePreview)
+	mux.HandleFunc("GET /jobs/{id}/object", s.handleObject)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, jobs.ErrInvalidParams):
+		status = http.StatusBadRequest
+	case errors.Is(err, jobs.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, jobs.ErrQueueFull):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, jobs.ErrFinished), errors.Is(err, jobs.ErrNotResumable):
+		status = http.StatusConflict
+	case errors.Is(err, jobs.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter %s: %v", key, err)}
+	}
+	return n, nil
+}
+
+func queryFloat(r *http.Request, key string, def float64) (float64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter %s: %v", key, err)}
+	}
+	return f, nil
+}
+
+func parseParams(r *http.Request) (jobs.Params, error) {
+	var p jobs.Params
+	var err error
+	p.Algorithm = r.URL.Query().Get("alg")
+	if p.Iterations, err = queryInt(r, "iters", 0); err != nil {
+		return p, err
+	}
+	if p.StepSize, err = queryFloat(r, "step", 0); err != nil {
+		return p, err
+	}
+	if p.RoundsPerIteration, err = queryInt(r, "rounds", 0); err != nil {
+		return p, err
+	}
+	if p.IntraWorkers, err = queryInt(r, "workers", 0); err != nil {
+		return p, err
+	}
+	if p.CheckpointEvery, err = queryInt(r, "checkpoint-every", 0); err != nil {
+		return p, err
+	}
+	if mesh := r.URL.Query().Get("mesh"); mesh != "" {
+		rows, cols, ok := strings.Cut(strings.ToLower(mesh), "x")
+		if !ok {
+			return p, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter mesh %q: want ROWSxCOLS", mesh)}
+		}
+		if p.MeshRows, err = strconv.Atoi(rows); err != nil {
+			return p, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter mesh %q: %v", mesh, err)}
+		}
+		if p.MeshCols, err = strconv.Atoi(cols); err != nil {
+			return p, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter mesh %q: %v", mesh, err)}
+		}
+	}
+	return p, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	params, err := parseParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	prob, err := dataio.Read(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
+	if err != nil {
+		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("decoding PTYCHOv1 body: %v", err)})
+		return
+	}
+	j, err := s.svc.Submit(prob, params)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Info(0))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.List())
+}
+
+func (s *Server) job(r *http.Request) (*jobs.Job, error) {
+	id := r.PathValue("id")
+	j, ok := s.svc.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", jobs.ErrNotFound, id)
+	}
+	return j, nil
+}
+
+// defaultHistoryTail bounds the cost history served per status poll;
+// history grows one entry per iteration without limit, so a polling
+// client should not receive megabytes per request. ?history=N widens
+// the tail, ?history=all returns everything.
+const defaultHistoryTail = 256
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	tail := defaultHistoryTail
+	if v := r.URL.Query().Get("history"); v == "all" {
+		tail = -1
+	} else if v != "" {
+		if tail, err = queryInt(r, "history", defaultHistoryTail); err != nil {
+			writeErr(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, j.Info(tail))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.svc.Cancel(j.ID()); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info(0))
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resumed, err := s.svc.Resume(j.ID())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resumed.Info(0))
+}
+
+// handlePreview renders the latest snapshot as a grayscale PNG — the
+// live view an operator (or beamline GUI) polls while a job runs.
+func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	snap, _ := j.Snapshot()
+	if snap == nil {
+		writeErr(w, &httpError{http.StatusNotFound, "no snapshot yet (before first checkpoint)"})
+		return
+	}
+	si, err := queryInt(r, "slice", 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if si < 0 || si >= len(snap) {
+		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("slice %d outside [0,%d)", si, len(snap))})
+		return
+	}
+	f := fieldFrom(snap[si])
+	var img = ptycho.PhaseImage(f)
+	switch kind := r.URL.Query().Get("kind"); kind {
+	case "", "phase":
+	case "mag":
+		img = ptycho.MagnitudeImage(f)
+	default:
+		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("kind %q: want phase or mag", kind)})
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	png.Encode(w, img)
+}
+
+// handleObject streams the latest snapshot as OBJCKv1 — the same bytes
+// a checkpoint file holds, for archival or offline analysis.
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	snap, iter := j.Snapshot()
+	if snap == nil {
+		writeErr(w, &httpError{http.StatusNotFound, "no snapshot yet (before first checkpoint)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Ptycho-Iterations", strconv.Itoa(iter))
+	dataio.WriteObject(w, snap)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.svc.WriteMetrics(w)
+}
+
+func fieldFrom(a *grid.Complex2D) ptycho.Field {
+	f := ptycho.NewField(a.W(), a.H())
+	copy(f.Data, a.Data)
+	return f
+}

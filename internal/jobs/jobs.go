@@ -1,0 +1,363 @@
+// Package jobs is the reconstruction job service: a bounded FIFO queue
+// feeding a worker-pool scheduler that shards concurrent reconstructions
+// across CPUs, with per-job lifecycle tracking
+// (Queued→Running→Done/Failed/Cancelled), periodic OBJCKv1 checkpoints,
+// live object snapshots for previews, context-based cancellation at
+// iteration boundaries, and warm-start resume from the last checkpoint.
+//
+// The service is the operational layer the paper's pitch implies:
+// reconstruction fast enough to steer a running experiment needs jobs
+// that can be queued while the microscope keeps scanning, watched as
+// they converge, cancelled when the operator changes plans, and resumed
+// without recomputing — on a machine shared between samples.
+//
+// cmd/ptychoserve exposes the service over HTTP (internal/jobs/httpapi);
+// the package itself is transport-agnostic and safe for concurrent use.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/solver"
+)
+
+// State is a job's lifecycle phase.
+type State int
+
+const (
+	// Queued means the job is waiting in the FIFO for a worker.
+	Queued State = iota
+	// Running means a worker is reconstructing.
+	Running
+	// Done means the reconstruction completed all iterations.
+	Done
+	// Failed means the reconstruction returned an error.
+	Failed
+	// Cancelled means the job was cancelled (while queued, or mid-run
+	// at an iteration boundary with a final checkpoint written).
+	Cancelled
+)
+
+// String implements fmt.Stringer with the lowercase names the HTTP API
+// serves.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	case Cancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancelled }
+
+// Params configures one reconstruction job.
+type Params struct {
+	// Algorithm is "serial", "gd" (gradient decomposition) or "hve"
+	// (halo voxel exchange). Default "serial".
+	Algorithm string
+	// Iterations is the number of iterations to run. Default 20.
+	Iterations int
+	// StepSize is the gradient step. Default 0.01.
+	StepSize float64
+	// MeshRows and MeshCols shape the tile mesh (parallel algorithms).
+	// Default 2x2.
+	MeshRows, MeshCols int
+	// RoundsPerIteration is the communication frequency of the parallel
+	// algorithms. Default 1.
+	RoundsPerIteration int
+	// IntraWorkers is the per-rank goroutine count for gd batch mode.
+	IntraWorkers int
+	// CheckpointEvery is the iteration period of OBJCKv1 checkpoints and
+	// preview snapshots; 0 selects the service default.
+	CheckpointEvery int
+	// InitialObject warm-starts the run (resume path); nil means vacuum.
+	InitialObject []*grid.Complex2D
+	// StartIter offsets progress reporting for resumed jobs: a job that
+	// resumes a run cancelled after k iterations carries StartIter k, so
+	// Iter counts continue where the original left off.
+	StartIter int
+}
+
+func (p *Params) setDefaults(cfg Config) {
+	if p.Algorithm == "" {
+		p.Algorithm = "serial"
+	}
+	if p.Iterations == 0 {
+		p.Iterations = 20
+	}
+	if p.StepSize == 0 {
+		p.StepSize = 0.01
+	}
+	if p.MeshRows == 0 {
+		p.MeshRows = 2
+	}
+	if p.MeshCols == 0 {
+		p.MeshCols = 2
+	}
+	if p.RoundsPerIteration == 0 {
+		p.RoundsPerIteration = 1
+	}
+	if p.CheckpointEvery == 0 {
+		p.CheckpointEvery = cfg.CheckpointEvery
+	}
+}
+
+func (p *Params) validate(prob *solver.Problem) error {
+	switch p.Algorithm {
+	case "serial", "gd", "hve":
+	default:
+		return fmt.Errorf("%w: unknown algorithm %q (want serial, gd, hve)", ErrInvalidParams, p.Algorithm)
+	}
+	if p.Iterations <= 0 {
+		return fmt.Errorf("%w: iterations must be positive, got %d", ErrInvalidParams, p.Iterations)
+	}
+	if p.StepSize <= 0 {
+		return fmt.Errorf("%w: step size must be positive, got %g", ErrInvalidParams, p.StepSize)
+	}
+	if p.MeshRows <= 0 || p.MeshCols <= 0 {
+		return fmt.Errorf("%w: invalid mesh %dx%d", ErrInvalidParams, p.MeshRows, p.MeshCols)
+	}
+	if p.CheckpointEvery < 0 {
+		return fmt.Errorf("%w: checkpoint period must be non-negative, got %d", ErrInvalidParams, p.CheckpointEvery)
+	}
+	if p.InitialObject != nil {
+		if len(p.InitialObject) != prob.Slices {
+			return fmt.Errorf("%w: initial object has %d slices, dataset has %d",
+				ErrInvalidParams, len(p.InitialObject), prob.Slices)
+		}
+		if !p.InitialObject[0].Bounds.Eq(prob.ImageBounds()) {
+			return fmt.Errorf("%w: initial object bounds %v != dataset image %v",
+				ErrInvalidParams, p.InitialObject[0].Bounds, prob.ImageBounds())
+		}
+	}
+	return nil
+}
+
+// Errors returned by the service.
+var (
+	// ErrInvalidParams is returned by Submit for malformed job
+	// parameters or an inconsistent problem — client error, not service
+	// failure (the HTTP layer maps it to 400).
+	ErrInvalidParams = errors.New("jobs: invalid job")
+	// ErrQueueFull is returned by Submit when the bounded FIFO is full.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrNotFound is returned for unknown job IDs.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrFinished is returned by Cancel on a job already in a terminal
+	// state.
+	ErrFinished = errors.New("jobs: job already finished")
+	// ErrNotResumable is returned by Resume when the job is not in a
+	// terminal non-Done state with a checkpoint and iterations left.
+	ErrNotResumable = errors.New("jobs: job not resumable")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("jobs: service closed")
+)
+
+// Job is one reconstruction tracked by the service. All accessors are
+// safe for concurrent use.
+type Job struct {
+	id     string
+	prob   *solver.Problem
+	params Params
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu             sync.Mutex
+	state          State
+	iter           int // completed iterations, including StartIter
+	cost           float64
+	costHistory    []float64
+	snapshot       []*grid.Complex2D // latest object copy; arrays immutable once published
+	snapshotIter   int
+	checkpointPath string
+	checkpointIter int
+	resumedFrom    string
+	err            error
+	created        time.Time
+	started        time.Time
+	finished       time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Problem returns the dataset the job reconstructs; nil once the job
+// is Done (the dataset is released — see finish).
+func (j *Job) Problem() *solver.Problem {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.prob
+}
+
+// Params returns a copy of the job's parameters with InitialObject
+// excluded (the warm-start object is live engine state, not
+// configuration).
+func (j *Job) Params() Params {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p := j.params
+	p.InitialObject = nil
+	return p
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Snapshot returns the latest object snapshot (nil before the first
+// checkpoint) and the completed-iteration count it corresponds to. The
+// returned slices are never mutated afterwards — safe to read without
+// copying.
+func (j *Job) Snapshot() ([]*grid.Complex2D, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshot, j.snapshotIter
+}
+
+// CheckpointPath returns the latest OBJCKv1 checkpoint file ("" before
+// the first) and the completed-iteration count it holds.
+func (j *Job) CheckpointPath() (string, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpointPath, j.checkpointIter
+}
+
+// Info is a point-in-time summary of a job, JSON-ready for the HTTP
+// API.
+type Info struct {
+	ID             string    `json:"id"`
+	State          string    `json:"state"`
+	Algorithm      string    `json:"algorithm"`
+	Iter           int       `json:"iter"`
+	TotalIters     int       `json:"total_iters"`
+	Cost           float64   `json:"cost"`
+	CostHistory    []float64 `json:"cost_history,omitempty"`
+	CheckpointIter int       `json:"checkpoint_iter,omitempty"`
+	Checkpoint     string    `json:"checkpoint,omitempty"`
+	ResumedFrom    string    `json:"resumed_from,omitempty"`
+	Error          string    `json:"error,omitempty"`
+	Created        time.Time `json:"created"`
+	Started        time.Time `json:"started,omitzero"`
+	Finished       time.Time `json:"finished,omitzero"`
+}
+
+// Info snapshots the job. historyTail bounds the cost history included:
+// 0 omits it (list endpoints), n > 0 includes the last n entries, and a
+// negative value includes everything. The bound matters operationally —
+// history grows by one entry per iteration without limit, and a polling
+// GUI should not copy (under the job lock) and ship megabytes per poll
+// of a long run.
+func (j *Job) Info(historyTail int) Info {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := Info{
+		ID:             j.id,
+		State:          j.state.String(),
+		Algorithm:      j.params.Algorithm,
+		Iter:           j.iter,
+		TotalIters:     j.params.StartIter + j.params.Iterations,
+		Cost:           j.cost,
+		CheckpointIter: j.checkpointIter,
+		Checkpoint:     j.checkpointPath,
+		ResumedFrom:    j.resumedFrom,
+		Created:        j.created,
+		Started:        j.started,
+		Finished:       j.finished,
+	}
+	if j.err != nil {
+		info.Error = j.err.Error()
+	}
+	hist := j.costHistory
+	if historyTail >= 0 && len(hist) > historyTail {
+		hist = hist[len(hist)-historyTail:]
+	}
+	if len(hist) > 0 {
+		info.CostHistory = append([]float64(nil), hist...)
+	}
+	return info
+}
+
+// markRunning transitions Queued→Running; false means the job was
+// cancelled while still queued and must be skipped.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Queued {
+		return false
+	}
+	j.state = Running
+	j.started = time.Now()
+	return true
+}
+
+// recordIteration publishes progress from the engine's OnIteration.
+func (j *Job) recordIteration(completed int, cost float64) {
+	j.mu.Lock()
+	j.iter = completed
+	j.cost = cost
+	j.costHistory = append(j.costHistory, cost)
+	j.mu.Unlock()
+}
+
+// setSnapshot publishes a fresh object copy for previews.
+func (j *Job) setSnapshot(slices []*grid.Complex2D, completed int) {
+	j.mu.Lock()
+	j.snapshot = slices
+	j.snapshotIter = completed
+	j.mu.Unlock()
+}
+
+// setCheckpoint records a durable OBJCKv1 file.
+func (j *Job) setCheckpoint(path string, completed int) {
+	j.mu.Lock()
+	j.checkpointPath = path
+	j.checkpointIter = completed
+	j.mu.Unlock()
+}
+
+// finish transitions to a terminal state and releases memory the
+// terminal job no longer needs: the warm-start object always, and the
+// full dataset once the job can never be resumed (Done, or terminal
+// without a checkpoint). The latest snapshot stays for previews; the
+// OBJCKv1 checkpoint file is the durable artifact. Without this a
+// long-running service would retain every submitted dataset forever.
+func (j *Job) finish(state State, err error) {
+	j.mu.Lock()
+	j.finishLocked(state, err)
+	j.mu.Unlock()
+}
+
+func (j *Job) finishLocked(state State, err error) {
+	j.state = state
+	j.err = err
+	j.finished = time.Now()
+	j.params.InitialObject = nil
+	if state == Done || j.checkpointPath == "" {
+		j.prob = nil
+	}
+}
+
+func cloneSlices(slices []*grid.Complex2D) []*grid.Complex2D {
+	out := make([]*grid.Complex2D, len(slices))
+	for i, s := range slices {
+		out[i] = s.Clone()
+	}
+	return out
+}

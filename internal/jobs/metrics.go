@@ -1,0 +1,47 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// counters aggregates service activity for the /metrics endpoint.
+type counters struct {
+	submitted   atomic.Int64
+	rejected    atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	cancelled   atomic.Int64
+	iterations  atomic.Int64
+	checkpoints atomic.Int64
+	running     atomic.Int64
+}
+
+// WriteMetrics emits the service's counters and gauges in Prometheus
+// text exposition format.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	type metric struct {
+		name, help, typ string
+		value           int64
+	}
+	ms := []metric{
+		{"ptychoserve_jobs_submitted_total", "Jobs accepted into the queue.", "counter", s.met.submitted.Load()},
+		{"ptychoserve_jobs_rejected_total", "Submissions rejected because the queue was full.", "counter", s.met.rejected.Load()},
+		{"ptychoserve_jobs_completed_total", "Jobs that ran all iterations.", "counter", s.met.completed.Load()},
+		{"ptychoserve_jobs_failed_total", "Jobs that ended with an error.", "counter", s.met.failed.Load()},
+		{"ptychoserve_jobs_cancelled_total", "Jobs cancelled while queued or running.", "counter", s.met.cancelled.Load()},
+		{"ptychoserve_iterations_total", "Reconstruction iterations completed across all jobs.", "counter", s.met.iterations.Load()},
+		{"ptychoserve_checkpoints_total", "OBJCKv1 checkpoints written.", "counter", s.met.checkpoints.Load()},
+		{"ptychoserve_jobs_running", "Jobs currently executing on the worker pool.", "gauge", s.met.running.Load()},
+		{"ptychoserve_queue_depth", "Jobs waiting for a worker.", "gauge", int64(s.QueueDepth())},
+		{"ptychoserve_workers", "Size of the worker pool.", "gauge", int64(s.cfg.Workers)},
+	}
+	for _, m := range ms {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

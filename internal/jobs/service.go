@@ -1,0 +1,427 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/gradsync"
+	"ptychopath/internal/grid"
+	"ptychopath/internal/halo"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/solver"
+	"ptychopath/internal/tiling"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the worker-pool size — how many reconstructions run
+	// concurrently. Default 2.
+	Workers int
+	// QueueDepth bounds the FIFO of jobs waiting for a worker; Submit
+	// returns ErrQueueFull beyond it. Default 16.
+	QueueDepth int
+	// SpoolDir receives OBJCKv1 checkpoint files (<jobid>.objck). When
+	// empty a fresh temporary directory is created.
+	SpoolDir string
+	// CheckpointEvery is the default iteration period for checkpoints
+	// and preview snapshots when a job does not set its own. Default 5.
+	CheckpointEvery int
+	// Timeout bounds parallel-engine communication. Default 5 minutes.
+	Timeout time.Duration
+}
+
+func (c *Config) setDefaults() error {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("jobs: workers must be positive, got %d", c.Workers)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("jobs: queue depth must be positive, got %d", c.QueueDepth)
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 5
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("jobs: checkpoint period must be non-negative, got %d", c.CheckpointEvery)
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Minute
+	}
+	if c.SpoolDir == "" {
+		dir, err := os.MkdirTemp("", "ptychojobs-")
+		if err != nil {
+			return fmt.Errorf("jobs: creating spool dir: %w", err)
+		}
+		c.SpoolDir = dir
+	} else if err := os.MkdirAll(c.SpoolDir, 0o755); err != nil {
+		return fmt.Errorf("jobs: creating spool dir: %w", err)
+	}
+	return nil
+}
+
+// Service owns the queue, the worker pool and the job registry.
+type Service struct {
+	cfg Config
+	wg  sync.WaitGroup
+	met counters
+
+	mu     sync.Mutex
+	notify *sync.Cond // signals workers: queue non-empty or closing
+	queue  []*Job     // bounded FIFO; cancelled entries are removed in place
+	jobs   map[string]*Job
+	order  []string // submission order, for List
+	nextID int
+	closed bool
+}
+
+// NewService validates the config, creates the spool directory and
+// starts the worker pool.
+func NewService(cfg Config) (*Service, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:  cfg,
+		jobs: make(map[string]*Job),
+	}
+	s.notify = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				j, ok := s.pop()
+				if !ok {
+					return
+				}
+				s.run(j)
+			}
+		}()
+	}
+	return s, nil
+}
+
+// pop blocks until a job is queued or the service closes with an empty
+// queue.
+func (s *Service) pop() (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.notify.Wait()
+	}
+	if len(s.queue) == 0 {
+		return nil, false
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	return j, true
+}
+
+// Close stops accepting jobs, waits for queued and running jobs to
+// drain, and returns. Cancel running jobs first for a fast shutdown.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.notify.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Submit validates the job and enqueues it, returning ErrQueueFull when
+// the bounded FIFO has no room.
+func (s *Service) Submit(prob *solver.Problem, p Params) (*Job, error) {
+	return s.submit(prob, p, "")
+}
+
+func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom string) (*Job, error) {
+	p.setDefaults(s.cfg)
+	if err := prob.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: invalid problem: %v", ErrInvalidParams, err)
+	}
+	if err := p.validate(prob); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		prob: prob, params: p, ctx: ctx, cancel: cancel,
+		state: Queued, iter: p.StartIter, resumedFrom: resumedFrom,
+		created: time.Now(),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		return nil, ErrClosed
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		cancel()
+		s.met.rejected.Add(1)
+		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("job-%04d", s.nextID)
+	s.queue = append(s.queue, j)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.notify.Signal()
+	s.mu.Unlock()
+	s.met.submitted.Add(1)
+	return j, nil
+}
+
+// Get returns the job with the given ID.
+func (s *Service) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// List returns a summary of every job in submission order.
+func (s *Service) List() []Info {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]Info, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Info(0)
+	}
+	return out
+}
+
+// Cancel cancels a job: a queued job transitions to Cancelled
+// immediately (and frees its queue slot); a running job is interrupted
+// at its next iteration boundary (the worker writes a final checkpoint
+// and completes the transition asynchronously). Cancelling a finished
+// job returns ErrFinished.
+func (s *Service) Cancel(id string) error {
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	// Lock order: s.mu before j.mu (the queue entry and the state must
+	// change together, or a worker could pop a job Cancel believes it
+	// removed).
+	s.mu.Lock()
+	j.mu.Lock()
+	switch j.state {
+	case Queued:
+		// Counter first: once the Cancelled state is observable, the
+		// metric must already reflect it (the CI smoke relies on this).
+		s.met.cancelled.Add(1)
+		j.finishLocked(Cancelled, nil)
+		for i, q := range s.queue {
+			if q == j {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		j.mu.Unlock()
+		s.mu.Unlock()
+		j.cancel()
+		return nil
+	case Running:
+		j.mu.Unlock()
+		s.mu.Unlock()
+		j.cancel()
+		return nil
+	default:
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s is %s", ErrFinished, id, j.State())
+	}
+}
+
+// Resume submits a new job that warm-starts from the latest OBJCKv1
+// checkpoint of a cancelled (or failed) job and runs the remaining
+// iterations. The new job reports progress continuing from the
+// checkpointed iteration count.
+func (s *Service) Resume(id string) (*Job, error) {
+	old, ok := s.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	old.mu.Lock()
+	state := old.state
+	path := old.checkpointPath
+	completed := old.checkpointIter
+	p := old.params
+	prob := old.prob
+	old.mu.Unlock()
+	if state != Cancelled && state != Failed {
+		return nil, fmt.Errorf("%w: %s is %s (want cancelled or failed)", ErrNotResumable, id, state)
+	}
+	if path == "" || prob == nil {
+		return nil, fmt.Errorf("%w: %s has no checkpoint", ErrNotResumable, id)
+	}
+	total := p.StartIter + p.Iterations
+	if completed >= total {
+		return nil, fmt.Errorf("%w: %s already completed %d of %d iterations", ErrNotResumable, id, completed, total)
+	}
+	slices, err := dataio.ReadObjectFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reading checkpoint for %s: %w", id, err)
+	}
+	p.InitialObject = slices
+	p.StartIter = completed
+	p.Iterations = total - completed
+	return s.submit(prob, p, id)
+}
+
+// run executes one job on a pool worker.
+func (s *Service) run(j *Job) {
+	if !j.markRunning() {
+		return // cancelled while queued
+	}
+	s.met.running.Add(1)
+	slices, err := s.execute(j)
+	s.met.running.Add(-1)
+	// Counters increment BEFORE the terminal state is published, so a
+	// /metrics scrape never sees a done/cancelled/failed job that the
+	// counters do not yet account for.
+	switch {
+	case err == nil:
+		// Final checkpoint: the finished object is archived and
+		// previewable like any snapshot.
+		if ckErr := s.snapshot(j, j.completedIters(), slices); ckErr != nil {
+			s.met.failed.Add(1)
+			j.finish(Failed, ckErr)
+			return
+		}
+		s.met.completed.Add(1)
+		j.finish(Done, nil)
+	case errors.Is(err, context.Canceled):
+		// Cancelled at an iteration boundary: persist the partial
+		// object so the job can resume exactly where it stopped.
+		if slices != nil {
+			if ckErr := s.snapshot(j, j.completedIters(), slices); ckErr != nil {
+				s.met.failed.Add(1)
+				j.finish(Failed, ckErr)
+				return
+			}
+		}
+		s.met.cancelled.Add(1)
+		j.finish(Cancelled, nil)
+	default:
+		s.met.failed.Add(1)
+		j.finish(Failed, err)
+	}
+}
+
+func (j *Job) completedIters() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.iter
+}
+
+// execute dispatches to the selected engine. On cancellation it returns
+// the engine's partial slices together with context.Canceled.
+func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
+	p := j.params
+	prob := j.prob
+	init := p.InitialObject
+	if init == nil {
+		init = phantom.Vacuum(prob.ImageBounds(), prob.Slices).Slices
+	}
+	onIter := func(iter int, cost float64) {
+		j.recordIteration(p.StartIter+iter+1, cost)
+		s.met.iterations.Add(1)
+	}
+	onSnap := func(iter int, slices []*grid.Complex2D) error {
+		return s.snapshot(j, p.StartIter+iter+1, slices)
+	}
+	switch p.Algorithm {
+	case "serial":
+		r, err := solver.Reconstruct(prob, init, solver.Options{
+			StepSize: p.StepSize, Iterations: p.Iterations, Mode: solver.Batch,
+			OnIteration: onIter, Ctx: j.ctx,
+			SnapshotEvery: p.CheckpointEvery, OnSnapshot: onSnap,
+		})
+		if r == nil {
+			return nil, err
+		}
+		return r.Slices, err
+	case "gd":
+		mesh, err := tiling.NewMesh(prob.ImageBounds(), p.MeshRows, p.MeshCols,
+			tiling.HaloForWindow(prob.WindowN))
+		if err != nil {
+			return nil, err
+		}
+		r, err := gradsync.Reconstruct(prob, init, gradsync.Options{
+			Mesh: mesh, Mode: gradsync.ModeBatch,
+			StepSize: p.StepSize, Iterations: p.Iterations,
+			RoundsPerIteration: p.RoundsPerIteration,
+			IntraWorkers:       p.IntraWorkers,
+			Timeout:            s.cfg.Timeout,
+			OnIteration:        onIter, Ctx: j.ctx,
+			SnapshotEvery: p.CheckpointEvery, OnSnapshot: onSnap,
+		})
+		if r == nil {
+			return nil, err
+		}
+		return r.Slices, err
+	case "hve":
+		mesh, err := tiling.NewMesh(prob.ImageBounds(), p.MeshRows, p.MeshCols,
+			tiling.HaloForWindow(prob.WindowN))
+		if err != nil {
+			return nil, err
+		}
+		r, err := halo.Reconstruct(prob, init, halo.Options{
+			Mesh: mesh, HaloWidth: mesh.Halo, ExtraRows: 1,
+			StepSize: p.StepSize, Iterations: p.Iterations,
+			ExchangesPerIteration: p.RoundsPerIteration,
+			Timeout:               s.cfg.Timeout,
+			OnIteration:           onIter, Ctx: j.ctx,
+			SnapshotEvery: p.CheckpointEvery, OnSnapshot: onSnap,
+		})
+		if r == nil {
+			return nil, err
+		}
+		return r.Slices, err
+	}
+	return nil, fmt.Errorf("jobs: unknown algorithm %q", p.Algorithm)
+}
+
+// snapshot publishes a preview copy of the object and writes the
+// job's OBJCKv1 checkpoint atomically (tmp + rename).
+func (s *Service) snapshot(j *Job, completed int, slices []*grid.Complex2D) error {
+	cp := cloneSlices(slices)
+	j.setSnapshot(cp, completed)
+	path := filepath.Join(s.cfg.SpoolDir, j.id+".objck")
+	if err := dataio.WriteObjectFileAtomic(path, cp); err != nil {
+		return err
+	}
+	j.setCheckpoint(path, completed)
+	s.met.checkpoints.Add(1)
+	return nil
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Service) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

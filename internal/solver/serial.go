@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 
 	"ptychopath/internal/grid"
@@ -42,6 +43,20 @@ type Options struct {
 	// OnIteration, when non-nil, receives the iteration index and the
 	// cost F(V) measured during that iteration's gradient evaluations.
 	OnIteration func(iter int, cost float64)
+	// Ctx, when non-nil, cancels the run at iteration boundaries: once
+	// Ctx is done, Reconstruct stops after the current iteration and
+	// returns the PARTIAL Result (slices and cost history so far)
+	// together with Ctx's error, so callers can checkpoint the
+	// in-progress object.
+	Ctx context.Context
+	// SnapshotEvery, together with OnSnapshot, emits periodic object
+	// snapshots: after every SnapshotEvery-th iteration OnSnapshot
+	// receives the 0-based iteration index and the current slices. The
+	// slices are the solver's live buffers, valid only for the duration
+	// of the call — copy (or serialize) to retain. A non-nil error
+	// aborts the run.
+	SnapshotEvery int
+	OnSnapshot    func(iter int, slices []*grid.Complex2D) error
 }
 
 // Result carries the reconstruction and its convergence trace.
@@ -152,8 +167,20 @@ func Reconstruct(prob *Problem, init []*grid.Complex2D, opt Options) (*Result, e
 		if opt.OnIteration != nil {
 			opt.OnIteration(iter, cost)
 		}
+		if opt.SnapshotEvery > 0 && opt.OnSnapshot != nil && (iter+1)%opt.SnapshotEvery == 0 {
+			if err := opt.OnSnapshot(iter, slices); err != nil {
+				return nil, fmt.Errorf("solver: snapshot at iteration %d: %w", iter, err)
+			}
+		}
 		if opt.StopBelowCost > 0 && cost < opt.StopBelowCost {
 			break
+		}
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			res := &Result{Slices: slices, CostHistory: hist}
+			if refineProbe {
+				res.RefinedProbe = probe
+			}
+			return res, opt.Ctx.Err()
 		}
 	}
 	res := &Result{Slices: slices, CostHistory: hist}

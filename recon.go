@@ -1,6 +1,7 @@
 package ptycho
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -82,6 +83,22 @@ type ReconstructOptions struct {
 	// Timeout bounds parallel communication; 0 selects a generous
 	// default.
 	Timeout time.Duration
+	// InitialObject warm-starts the reconstruction from the given
+	// slices instead of vacuum — the resume-from-checkpoint path. Must
+	// match the dataset's slice count and image size.
+	InitialObject []Field
+	// Ctx, when non-nil, cancels the run at iteration boundaries. On
+	// cancellation Reconstruct returns the PARTIAL Result (slices and
+	// cost history so far) together with Ctx's error, so the caller can
+	// checkpoint the in-progress object and resume later via
+	// InitialObject.
+	Ctx context.Context
+	// SnapshotEvery, together with OnSnapshot, emits the current object
+	// after every SnapshotEvery-th iteration — live previews and
+	// periodic checkpoints. The fields are copies owned by the callee.
+	// A non-nil error aborts the run.
+	SnapshotEvery int
+	OnSnapshot    func(iter int, slices []Field) error
 }
 
 func (o *ReconstructOptions) setDefaults() {
@@ -129,11 +146,33 @@ type Result struct {
 	imageW, imageH     int
 }
 
-// Reconstruct runs the selected algorithm from a vacuum initial object.
+// Reconstruct runs the selected algorithm, starting from
+// Options.InitialObject when set (resume / warm start) and from a
+// vacuum object otherwise. On cancellation via Options.Ctx it returns
+// the partial Result together with the context's error.
 func (d *Dataset) Reconstruct(opt ReconstructOptions) (*Result, error) {
 	opt.setDefaults()
 	bounds := d.prob.ImageBounds()
 	init := phantom.Vacuum(bounds, d.prob.Slices)
+	if opt.InitialObject != nil {
+		if len(opt.InitialObject) != d.prob.Slices {
+			return nil, fmt.Errorf("ptycho: initial object has %d slices, dataset has %d",
+				len(opt.InitialObject), d.prob.Slices)
+		}
+		for i, f := range opt.InitialObject {
+			if f.W != bounds.W() || f.H != bounds.H() {
+				return nil, fmt.Errorf("ptycho: initial object slice %d is %dx%d, dataset image is %dx%d",
+					i, f.W, f.H, bounds.W(), bounds.H())
+			}
+			init.Slices[i] = f.toGrid()
+		}
+	}
+	var onSnapshot func(iter int, slices []*grid.Complex2D) error
+	if opt.OnSnapshot != nil {
+		onSnapshot = func(iter int, slices []*grid.Complex2D) error {
+			return opt.OnSnapshot(iter, toFields(slices))
+		}
+	}
 
 	res := &Result{imageW: bounds.W(), imageH: bounds.H()}
 	switch opt.Algorithm {
@@ -146,8 +185,10 @@ func (d *Dataset) Reconstruct(opt ReconstructOptions) (*Result, error) {
 			StepSize: opt.StepSize, Iterations: opt.Iterations,
 			Mode: mode, ProbeStepSize: opt.ProbeRefineStep,
 			OnIteration: opt.OnIteration,
+			Ctx:         opt.Ctx,
+			SnapshotEvery: opt.SnapshotEvery, OnSnapshot: onSnapshot,
 		})
-		if err != nil {
+		if r == nil {
 			return nil, err
 		}
 		res.Slices = toFields(r.Slices)
@@ -156,7 +197,7 @@ func (d *Dataset) Reconstruct(opt ReconstructOptions) (*Result, error) {
 		if r.RefinedProbe != nil {
 			res.RefinedProbe = fieldFrom(r.RefinedProbe)
 		}
-		return res, nil
+		return res, err
 
 	case GradientDecomposition:
 		mesh, err := d.mesh(opt.MeshRows, opt.MeshCols)
@@ -175,8 +216,10 @@ func (d *Dataset) Reconstruct(opt ReconstructOptions) (*Result, error) {
 			IntraWorkers:       opt.IntraWorkers,
 			Timeout:            opt.Timeout,
 			OnIteration:        opt.OnIteration,
+			Ctx:                opt.Ctx,
+			SnapshotEvery:      opt.SnapshotEvery, OnSnapshot: onSnapshot,
 		})
-		if err != nil {
+		if r == nil {
 			return nil, err
 		}
 		res.Slices = toFields(r.Slices)
@@ -187,7 +230,7 @@ func (d *Dataset) Reconstruct(opt ReconstructOptions) (*Result, error) {
 		res.PerRankLocations = r.PerRankLocations
 		res.PerRankMemBytes = r.PerRankMemBytes
 		res.meshRows, res.meshCols = opt.MeshRows, opt.MeshCols
-		return res, nil
+		return res, err
 
 	case HaloVoxelExchange:
 		mesh, err := d.mesh(opt.MeshRows, opt.MeshCols)
@@ -200,8 +243,10 @@ func (d *Dataset) Reconstruct(opt ReconstructOptions) (*Result, error) {
 			ExchangesPerIteration: opt.RoundsPerIteration,
 			Timeout:               opt.Timeout,
 			OnIteration:           opt.OnIteration,
+			Ctx:                   opt.Ctx,
+			SnapshotEvery:         opt.SnapshotEvery, OnSnapshot: onSnapshot,
 		})
-		if err != nil {
+		if r == nil {
 			return nil, err
 		}
 		res.Slices = toFields(r.Slices)
@@ -212,7 +257,7 @@ func (d *Dataset) Reconstruct(opt ReconstructOptions) (*Result, error) {
 		res.PerRankLocations = r.PerRankLocations
 		res.PerRankMemBytes = r.PerRankMemBytes
 		res.meshRows, res.meshCols = opt.MeshRows, opt.MeshCols
-		return res, nil
+		return res, err
 	}
 	return nil, fmt.Errorf("ptycho: unknown algorithm %v", opt.Algorithm)
 }

@@ -1,0 +1,220 @@
+// Checkpoint/resume tests: a reconstruction interrupted after N
+// iterations, checkpointed through the OBJCKv1 on-disk format, and
+// warm-started from the file must land exactly where an uninterrupted
+// 2N-iteration run lands. This is the contract cmd/ptychorecon's
+// -checkpoint/-resume flags and the ptychoserve job service build on.
+package ptycho_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"ptychopath"
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/grid"
+)
+
+func resumeDataset(t *testing.T) *ptycho.Dataset {
+	t.Helper()
+	ds, err := ptycho.SimulateDataset(ptycho.SimulateOptions{
+		ScanCols: 5, ScanRows: 5, WindowN: 16, Slices: 2,
+		Phantom: ptycho.PhantomRandom, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func fieldsToGrids(fields []ptycho.Field) []*grid.Complex2D {
+	out := make([]*grid.Complex2D, len(fields))
+	for i, f := range fields {
+		a := grid.NewComplex2DSize(f.W, f.H)
+		copy(a.Data, f.Data)
+		out[i] = a
+	}
+	return out
+}
+
+func gridsToFields(grids []*grid.Complex2D) []ptycho.Field {
+	out := make([]ptycho.Field, len(grids))
+	for i, a := range grids {
+		f := ptycho.NewField(a.W(), a.H())
+		copy(f.Data, a.Data)
+		out[i] = f
+	}
+	return out
+}
+
+// TestSerialResumeThroughCheckpointBitIdentical runs N iterations,
+// round-trips the object through an OBJCKv1 file, warm-starts N more,
+// and demands bit-identical agreement with an uninterrupted 2N run —
+// batch gradient descent is memoryless and the format stores float64
+// exactly, so any difference is a resume bug.
+func TestSerialResumeThroughCheckpointBitIdentical(t *testing.T) {
+	ds := resumeDataset(t)
+	const n = 6
+
+	first, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, Iterations: n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "halfway.objck")
+	if err := dataio.WriteObjectFile(path, fieldsToGrids(first.Slices)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataio.ReadObjectFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, Iterations: n,
+		InitialObject: gridsToFields(loaded),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, Iterations: 2 * n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range full.Slices {
+		for i, v := range full.Slices[s].Data {
+			if resumed.Slices[s].Data[i] != v {
+				t.Fatalf("slice %d pixel %d: resumed %v != uninterrupted %v",
+					s, i, resumed.Slices[s].Data[i], v)
+			}
+		}
+	}
+	// The resumed cost history continues the uninterrupted one.
+	for i, c := range resumed.CostHistory {
+		if full.CostHistory[n+i] != c {
+			t.Fatalf("iteration %d: resumed cost %g != uninterrupted %g", n+i, c, full.CostHistory[n+i])
+		}
+	}
+}
+
+// TestGradientDecompositionResumeMatches does the same through the
+// parallel engine: the stitched checkpoint restarts the tiled run and
+// must match the uninterrupted trajectory to machine precision (tile
+// summation order may differ in the last bits).
+func TestGradientDecompositionResumeMatches(t *testing.T) {
+	ds := resumeDataset(t)
+	const n = 4
+	opts := func(iters int, init []ptycho.Field) ptycho.ReconstructOptions {
+		return ptycho.ReconstructOptions{
+			Algorithm: ptycho.GradientDecomposition, MeshRows: 2, MeshCols: 2,
+			Iterations: iters, InitialObject: init,
+		}
+	}
+	first, err := ds.Reconstruct(opts(n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ds.Reconstruct(opts(n, first.Slices))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ds.Reconstruct(opts(2*n, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range full.Slices {
+		for i, v := range full.Slices[s].Data {
+			got := resumed.Slices[s].Data[i]
+			if d := cabs(got - v); d > 1e-12 {
+				t.Fatalf("slice %d pixel %d: |resumed-uninterrupted| = %g", s, i, d)
+			}
+		}
+	}
+}
+
+func cabs(v complex128) float64 {
+	re, im := real(v), imag(v)
+	if re < 0 {
+		re = -re
+	}
+	if im < 0 {
+		im = -im
+	}
+	if re > im {
+		return re
+	}
+	return im
+}
+
+// TestPublicCancellation: the public API honors Ctx at iteration
+// boundaries and returns the partial result for checkpointing.
+func TestPublicCancellation(t *testing.T) {
+	ds := resumeDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	res, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, Iterations: 50,
+		Ctx: ctx,
+		OnIteration: func(iter int, cost float64) {
+			if iter == 2 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.CostHistory) != 3 {
+		t.Fatalf("partial result missing or wrong length: %+v", res)
+	}
+	if len(res.Slices) != ds.NumSlices() {
+		t.Fatalf("partial result has %d slices, want %d", len(res.Slices), ds.NumSlices())
+	}
+}
+
+// TestPublicSnapshots: OnSnapshot delivers Field copies at the period.
+func TestPublicSnapshots(t *testing.T) {
+	ds := resumeDataset(t)
+	var iters []int
+	_, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, Iterations: 6, SnapshotEvery: 3,
+		OnSnapshot: func(iter int, slices []ptycho.Field) error {
+			iters = append(iters, iter)
+			if len(slices) != ds.NumSlices() {
+				t.Errorf("snapshot has %d slices, want %d", len(slices), ds.NumSlices())
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 2 || iters[0] != 2 || iters[1] != 5 {
+		t.Fatalf("snapshot iterations %v, want [2 5]", iters)
+	}
+}
+
+// TestInitialObjectValidation rejects geometry mismatches.
+func TestInitialObjectValidation(t *testing.T) {
+	ds := resumeDataset(t)
+	if _, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, Iterations: 1,
+		InitialObject: []ptycho.Field{ptycho.NewField(4, 4)},
+	}); err == nil {
+		t.Fatal("wrong slice count accepted")
+	}
+	wrong := make([]ptycho.Field, ds.NumSlices())
+	for i := range wrong {
+		wrong[i] = ptycho.NewField(4, 4)
+	}
+	if _, err := ds.Reconstruct(ptycho.ReconstructOptions{
+		Algorithm: ptycho.Serial, Iterations: 1,
+		InitialObject: wrong,
+	}); err == nil {
+		t.Fatal("wrong image size accepted")
+	}
+}
