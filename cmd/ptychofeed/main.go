@@ -1,0 +1,193 @@
+// Command ptychofeed replays an existing PTYCHOv1 dataset against a
+// running ptychoserve as a LIVE acquisition: it opens a streaming job
+// from the dataset's geometry, then pushes the diffraction frames in
+// rate-limited chunks exactly as a beamline detector would, honoring
+// the server's 429 backpressure, and finally closes the stream. It is
+// the demo driver and the end-to-end test vehicle for the streaming
+// subsystem — point it at any dataset and watch previews sharpen
+// while "acquisition" is still underway.
+//
+// Usage:
+//
+//	ptychofeed -file dataset.ptycho [-server http://127.0.0.1:8617]
+//	           [-chunk 16] [-interval 200ms] [-alg serial] [-step 0.01]
+//	           [-iters 20] [-fold-every 1] [-checkpoint-every 5]
+//	           [-mesh 2x2] [-wait]
+//
+// -iters is the tail: iterations run over the complete dataset after
+// the feed closes the stream. With -wait, ptychofeed polls the job to
+// completion and exits non-zero if it did not finish Done.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/jobs"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8617", "ptychoserve base URL")
+	file := flag.String("file", "", "PTYCHOv1 dataset to replay (required)")
+	chunk := flag.Int("chunk", 16, "frames per chunk")
+	interval := flag.Duration("interval", 200*time.Millisecond, "delay between chunks (acquisition rate)")
+	alg := flag.String("alg", "serial", "reconstruction algorithm: serial or gd")
+	step := flag.Float64("step", 0, "gradient step size (0 = server default)")
+	iters := flag.Int("iters", 20, "tail iterations after the stream closes")
+	foldEvery := flag.Int("fold-every", 0, "iterations between ingest folds (0 = server default)")
+	ckEvery := flag.Int("checkpoint-every", 0, "iterations between checkpoints/previews (0 = server default)")
+	mesh := flag.String("mesh", "", "gd tile mesh, ROWSxCOLS")
+	wait := flag.Bool("wait", false, "poll the job to completion and report the outcome")
+	flag.Parse()
+
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "ptychofeed: -file is required")
+		os.Exit(2)
+	}
+	if err := run(*server, *file, *chunk, *interval, *alg, *step, *iters, *foldEvery, *ckEvery, *mesh, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "ptychofeed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server, file string, chunk int, interval time.Duration, alg string,
+	step float64, iters, foldEvery, ckEvery int, mesh string, wait bool) error {
+	if chunk <= 0 {
+		return fmt.Errorf("chunk must be positive, got %d", chunk)
+	}
+	prob, err := dataio.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	frames := dataio.FramesFromProblem(prob)
+	fmt.Printf("ptychofeed: replaying %s: %d frames in chunks of %d every %v\n",
+		file, len(frames), chunk, interval)
+
+	// Open the streaming job from the dataset's geometry alone.
+	var opening bytes.Buffer
+	if err := dataio.WriteStreamHeader(&opening, dataio.HeaderFromProblem(prob)); err != nil {
+		return err
+	}
+	u := fmt.Sprintf("%s/jobs/stream?alg=%s&iters=%d", server, alg, iters)
+	if step > 0 {
+		u += fmt.Sprintf("&step=%g", step)
+	}
+	if foldEvery > 0 {
+		u += fmt.Sprintf("&fold-every=%d", foldEvery)
+	}
+	if ckEvery > 0 {
+		u += fmt.Sprintf("&checkpoint-every=%d", ckEvery)
+	}
+	if mesh != "" {
+		u += "&mesh=" + mesh
+	}
+	var info jobs.Info
+	if err := postExpect(u, opening.Bytes(), http.StatusAccepted, &info); err != nil {
+		return fmt.Errorf("opening stream job: %w", err)
+	}
+	fmt.Printf("ptychofeed: opened %s (%s)\n", info.ID, info.State)
+	jobURL := server + "/jobs/" + info.ID
+
+	// Feed the frames, backing off on 429 like a well-behaved detector
+	// pipeline.
+	for lo := 0; lo < len(frames); lo += chunk {
+		hi := min(lo+chunk, len(frames))
+		var body bytes.Buffer
+		if err := dataio.WriteFrameChunk(&body, prob.WindowN, frames[lo:hi]); err != nil {
+			return err
+		}
+		for {
+			resp, err := http.Post(jobURL+"/frames", "application/octet-stream", bytes.NewReader(body.Bytes()))
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				backoff := time.Second
+				if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+					backoff = time.Duration(ra) * time.Second
+				}
+				resp.Body.Close()
+				fmt.Printf("ptychofeed: ingest full, backing off %v\n", backoff)
+				time.Sleep(backoff)
+				continue
+			}
+			var ack struct {
+				Accepted int `json:"accepted"`
+				Total    int `json:"total"`
+			}
+			err = decodeOrError(resp, http.StatusOK, &ack)
+			if err != nil {
+				return fmt.Errorf("chunk [%d,%d): %w", lo, hi, err)
+			}
+			fmt.Printf("ptychofeed: fed frames [%d,%d) — %d/%d ingested\n", lo, hi, ack.Total, len(frames))
+			break
+		}
+		if hi < len(frames) {
+			time.Sleep(interval)
+		}
+	}
+
+	if err := postExpect(jobURL+"/eof", nil, http.StatusOK, nil); err != nil {
+		return fmt.Errorf("closing stream: %w", err)
+	}
+	fmt.Println("ptychofeed: stream closed; job finishing its tail iterations")
+	if !wait {
+		fmt.Printf("ptychofeed: follow with  curl -N %s/events\n", jobURL)
+		return nil
+	}
+
+	for {
+		resp, err := http.Get(jobURL)
+		if err != nil {
+			return err
+		}
+		var cur jobs.Info
+		if err := decodeOrError(resp, http.StatusOK, &cur); err != nil {
+			return err
+		}
+		switch cur.State {
+		case "done":
+			fmt.Printf("ptychofeed: %s done — %d iterations, %d folds, %d frames, final cost %.6g\n",
+				cur.ID, cur.Iter, cur.Folds, cur.Frames, cur.Cost)
+			fmt.Printf("ptychofeed: preview at %s/preview.png, object at %s/object\n", jobURL, jobURL)
+			return nil
+		case "failed", "cancelled":
+			return fmt.Errorf("job %s %s: %s", cur.ID, cur.State, cur.Error)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// postExpect POSTs body and decodes the JSON response when the status
+// matches.
+func postExpect(url string, body []byte, want int, v any) error {
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	return decodeOrError(resp, want, v)
+}
+
+// decodeOrError consumes resp: on the wanted status it decodes into v
+// (when non-nil); otherwise it surfaces the server's error message.
+func decodeOrError(resp *http.Response, want int, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	}
+	if v == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

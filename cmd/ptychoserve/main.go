@@ -8,7 +8,7 @@
 // Usage:
 //
 //	ptychoserve [-addr :8617] [-workers 2] [-queue 16]
-//	            [-spool DIR] [-checkpoint-every 5]
+//	            [-spool DIR] [-checkpoint-every 5] [-ingest 4096]
 //
 // See internal/jobs/httpapi for the endpoint reference and README.md for
 // a curl quickstart.
@@ -37,18 +37,19 @@ func main() {
 	spool := flag.String("spool", "", "checkpoint spool directory (default: fresh temp dir)")
 	ckEvery := flag.Int("checkpoint-every", 5, "default iterations between OBJCKv1 checkpoints / preview snapshots")
 	timeout := flag.Duration("timeout", 5*time.Minute, "parallel-engine communication timeout")
+	ingest := flag.Int("ingest", 4096, "default per-job frame buffer for streaming jobs (429 backpressure beyond it)")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout); err != nil {
+	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest); err != nil {
 		fmt.Fprintln(os.Stderr, "ptychoserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration) error {
+func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int) error {
 	svc, err := jobs.NewService(jobs.Config{
 		Workers: workers, QueueDepth: queue, SpoolDir: spool,
-		CheckpointEvery: ckEvery, Timeout: timeout,
+		CheckpointEvery: ckEvery, Timeout: timeout, IngestFrames: ingest,
 	})
 	if err != nil {
 		return err
@@ -76,14 +77,12 @@ func run(addr string, workers, queue int, spool string, ckEvery int, timeout tim
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	// Cancel everything still queued or running: each run stops at its
-	// next iteration boundary with a final checkpoint, so a restarted
-	// server can resume the work.
-	for _, info := range svc.List() {
-		if info.State == "queued" || info.State == "running" {
-			svc.Cancel(info.ID)
-		}
-	}
-	svc.Close()
+	// Graceful stop: reject new submissions, cancel every queued and
+	// running job at its next iteration boundary (final checkpoint
+	// flushed, streaming jobs woken from their ingest wait), drain the
+	// pool, exit 0. A restarted server can resume the work from the
+	// spool.
+	svc.Shutdown()
+	fmt.Println("ptychoserve: all jobs checkpointed, bye")
 	return nil
 }

@@ -18,6 +18,7 @@ package dataio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -29,6 +30,39 @@ import (
 )
 
 var magic = [8]byte{'P', 'T', 'Y', 'C', 'H', 'O', 'v', '1'}
+
+// ErrHeaderBounds is returned by every reader in this package when a
+// header declares dimensions outside the decoder's resource caps —
+// frame (window) size, slice count, location count, image extent. The
+// check runs BEFORE any payload-sized allocation, so a hostile or
+// corrupt header can never commit the process to multi-gigabyte
+// buffers it will immediately throw away.
+var ErrHeaderBounds = errors.New("dataio: header dimensions out of bounds")
+
+// Decoder resource caps. Generous for any real acquisition, small
+// enough that a header passing them cannot demand a problematic
+// allocation up front.
+const (
+	maxWindowN   = 4096
+	maxSlices    = 1 << 14
+	maxLocations = 1 << 20
+	maxImageDim  = 1 << 20
+)
+
+// checkDatasetHeader bounds the PTYCHOv1 / PTYCHSv1 geometry fields.
+func checkDatasetHeader(windowN, slices, imageW, imageH, numLoc int) error {
+	switch {
+	case windowN <= 0 || windowN > maxWindowN:
+		return fmt.Errorf("%w: window %d (want 1..%d)", ErrHeaderBounds, windowN, maxWindowN)
+	case slices <= 0 || slices > maxSlices:
+		return fmt.Errorf("%w: %d slices (want 1..%d)", ErrHeaderBounds, slices, maxSlices)
+	case imageW <= 0 || imageW > maxImageDim || imageH <= 0 || imageH > maxImageDim:
+		return fmt.Errorf("%w: image %dx%d (want 1..%d per edge)", ErrHeaderBounds, imageW, imageH, maxImageDim)
+	case numLoc < 0 || numLoc > maxLocations:
+		return fmt.Errorf("%w: %d locations (want 0..%d)", ErrHeaderBounds, numLoc, maxLocations)
+	}
+	return nil
+}
 
 // Write serializes a problem to w.
 func Write(w io.Writer, prob *solver.Problem) error {
@@ -118,12 +152,8 @@ func Read(r io.Reader) (*solver.Problem, error) {
 	imageW, imageH := int(header[2]), int(header[3])
 	numLoc := int(header[4])
 	hasProp := header[5] == 1
-	// Resource caps: reject headers that would commit the decoder to
-	// multi-gigabyte allocations before any payload is verified.
-	if windowN <= 0 || windowN > 4096 || numLoc < 0 || numLoc > 1<<20 ||
-		slices <= 0 || slices > 1<<14 {
-		return nil, fmt.Errorf("dataio: implausible header: window %d, %d locations, %d slices",
-			windowN, numLoc, slices)
+	if err := checkDatasetHeader(windowN, slices, imageW, imageH, numLoc); err != nil {
+		return nil, err
 	}
 	probe, err := readComplex(br, windowN)
 	if err != nil {

@@ -38,6 +38,15 @@ func FuzzRead(f *testing.F) {
 	f.Add(flipped)
 	f.Add([]byte("PTYCHOv1"))
 	f.Add([]byte{})
+	// Oversized-header seeds: each header field pushed past the
+	// ErrHeaderBounds caps (and negative), with the full valid payload
+	// still attached — the reader must reject on the header alone.
+	f.Add(patchInt64(valid, 8, 1<<40))  // windowN huge
+	f.Add(patchInt64(valid, 8, -1))     // windowN negative
+	f.Add(patchInt64(valid, 16, 1<<40)) // slices huge
+	f.Add(patchInt64(valid, 24, 1<<40)) // imageW huge
+	f.Add(patchInt64(valid, 32, -7))    // imageH negative
+	f.Add(patchInt64(valid, 40, 1<<40)) // numLocations huge
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		prob, err := Read(bytes.NewReader(data))
@@ -81,10 +90,13 @@ func FuzzReadObject(f *testing.F) {
 		f.Add(valid[: 8+8*i+4 : 8+8*i+4])
 	}
 	// Header lies: slice count far beyond the payload, zero/negative
-	// dimensions.
+	// dimensions, and fields past the ErrHeaderBounds caps.
 	hugeSlices := append([]byte(nil), valid...)
 	hugeSlices[8] = 0xFF // slices int64 LSB
 	f.Add(hugeSlices)
+	f.Add(patchInt64(valid, 8, 1<<40))  // slices past the cap
+	f.Add(patchInt64(valid, 32, 1<<40)) // w past the cap
+	f.Add(patchInt64(valid, 40, -2))    // h negative
 	zeroW := append([]byte(nil), valid...)
 	for i := 0; i < 8; i++ {
 		zeroW[8+3*8+i] = 0 // w field
@@ -106,6 +118,58 @@ func FuzzReadObject(f *testing.F) {
 			if s == nil || len(s.Data) != s.Bounds.Area() {
 				t.Fatal("decoder returned inconsistent slice")
 			}
+		}
+	})
+}
+
+// FuzzReadStream hammers the PTYCHSv1 replay path: header decoding,
+// chunk framing, CRC verification, and the append loop must never
+// panic and never return a problem that fails validation. Seeds cover
+// a valid stream, truncations at every structural boundary, CRC and
+// kind corruption, and oversized headers.
+func FuzzReadStream(f *testing.F) {
+	pat, err := scan.Raster(scan.RasterConfig{Cols: 2, Rows: 2, StepPix: 5, RadiusPix: 6, MarginPix: 6})
+	if err != nil {
+		f.Fatal(err)
+	}
+	obj := phantom.RandomObject(pat.ImageW, pat.ImageH, 1, 1)
+	prob, err := solver.Simulate(solver.SimulateConfig{
+		Optics: physics.PaperOptics(), Pattern: pat, Object: obj, WindowN: 8, Seed: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, prob, 2); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	headerEnd := 8 + 8*8 + 2*8*8*8 // magic + header + probe (single slice: no prop)
+
+	f.Add(valid)
+	f.Add([]byte("PTYCHSv1"))
+	f.Add([]byte{})
+	f.Add(valid[:headerEnd])            // header only, no chunks
+	f.Add(valid[:headerEnd+1])          // cut after a chunk kind byte
+	f.Add(valid[:headerEnd+5])          // cut inside a chunk length
+	f.Add(valid[:len(valid)-3])         // cut inside the EOF marker
+	f.Add(patchInt64(valid, 8, 1<<40))  // windowN past the cap
+	f.Add(patchInt64(valid, 16, -1))    // slices negative
+	f.Add(patchInt64(valid, 24, 1<<40)) // imageW past the cap
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[headerEnd+30] ^= 0x01 // payload bit: CRC must catch it
+	f.Add(crcFlip)
+	kindFlip := append([]byte(nil), valid...)
+	kindFlip[headerEnd] = 'Z'
+	f.Add(kindFlip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prob, err := ReadStream(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := prob.Validate(); verr != nil {
+			t.Fatalf("ReadStream accepted a problem that fails validation: %v", verr)
 		}
 	})
 }

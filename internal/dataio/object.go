@@ -20,6 +20,12 @@ import (
 
 var objMagic = [8]byte{'O', 'B', 'J', 'C', 'K', 'v', '1', 0}
 
+// Object-checkpoint resource caps (see ErrHeaderBounds in dataio.go).
+const (
+	maxObjectSlices = 1 << 16
+	maxObjectDim    = 1 << 16
+)
+
 // ErrSliceMismatch is returned by WriteObject when the slices do not
 // form a consistent stack: empty input, bounds that differ between
 // slices, or a data buffer whose length disagrees with its bounds.
@@ -86,8 +92,12 @@ func ReadObject(r io.Reader) ([]*grid.Complex2D, error) {
 	}
 	n := int(header[0])
 	w, h := int(header[3]), int(header[4])
-	if n <= 0 || n > 1<<16 || w <= 0 || h <= 0 || w > 1<<16 || h > 1<<16 {
-		return nil, fmt.Errorf("dataio: implausible object header: %d slices, %dx%d", n, w, h)
+	// Bounds before any payload-sized allocation (see ErrHeaderBounds).
+	if n <= 0 || n > maxObjectSlices {
+		return nil, fmt.Errorf("%w: %d object slices (want 1..%d)", ErrHeaderBounds, n, maxObjectSlices)
+	}
+	if w <= 0 || h <= 0 || w > maxObjectDim || h > maxObjectDim {
+		return nil, fmt.Errorf("%w: object %dx%d (want 1..%d per edge)", ErrHeaderBounds, w, h, maxObjectDim)
 	}
 	bounds := grid.RectWH(int(header[1]), int(header[2]), w, h)
 	out := make([]*grid.Complex2D, n)

@@ -1,0 +1,427 @@
+package dataio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+)
+
+// PTYCHSv1 is the incremental companion of PTYCHOv1: a dataset whose
+// frames arrive while the acquisition is still running. The header
+// carries only geometry and probe metadata — everything the streaming
+// reconstruction engine needs to open a job before a single
+// diffraction pattern exists — and is followed by a sequence of
+// framed, CRC-protected chunks that append probe locations with their
+// measured amplitudes. The format is append-only (a writer never seeks
+// back), so it doubles as a spool/journal, and a complete stream
+// replays losslessly into a canonical PTYCHOv1 problem.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [8]byte  "PTYCHSv1"
+//	header  8 x int64: windowN, slices, imageW, imageH, hasProp (0/1),
+//	                   stepPix*1e6, radiusPix*1e6, reserved
+//	probe   2*windowN^2 float64 (re, im interleaved)
+//	prop    2*windowN^2 float64 (present when hasProp == 1)
+//	chunks  any number of:
+//	        kind    [1]byte: 'F' (frames) or 'E' (end of stream)
+//	        length  int64: payload byte count
+//	        payload length bytes
+//	        crc     uint32: IEEE CRC-32 of the payload
+//
+// An 'F' payload is int64 count followed by count frames, each
+// int64 index, float64 x, y, radius, then windowN^2 float64
+// amplitudes. An 'E' payload is empty; it marks a cleanly closed
+// acquisition. Chunks after 'E' are an error.
+
+var streamMagic = [8]byte{'P', 'T', 'Y', 'C', 'H', 'S', 'v', '1'}
+
+// Chunk kind bytes.
+const (
+	chunkFrames = 'F'
+	chunkEOF    = 'E'
+)
+
+// maxChunkFrames bounds the frame count a single chunk may declare.
+const maxChunkFrames = 1 << 20
+
+// ErrChunkCorrupt is returned when a chunk's CRC does not match its
+// payload, or the payload length disagrees with its declared frame
+// count — the stream was torn or tampered with in transit.
+var ErrChunkCorrupt = errors.New("dataio: stream chunk corrupt")
+
+// StreamHeader is the metadata a PTYCHSv1 stream opens with: the full
+// acquisition geometry, but no frames.
+type StreamHeader struct {
+	WindowN int
+	Slices  int
+	ImageW  int
+	ImageH  int
+	StepPix float64
+	// RadiusPix is the probe circle radius in pixels.
+	RadiusPix float64
+	Probe     *grid.Complex2D
+	// Prop is the inter-slice propagator; nil in single-slice mode.
+	Prop *grid.Complex2D
+}
+
+// Validate reports structural problems with the header.
+func (h *StreamHeader) Validate() error {
+	if err := checkDatasetHeader(h.WindowN, h.Slices, h.ImageW, h.ImageH, 0); err != nil {
+		return err
+	}
+	if h.Probe == nil || h.Probe.W() != h.WindowN || h.Probe.H() != h.WindowN {
+		return fmt.Errorf("dataio: stream probe must be %dx%d", h.WindowN, h.WindowN)
+	}
+	if h.Prop != nil && (h.Prop.W() != h.WindowN || h.Prop.H() != h.WindowN) {
+		return fmt.Errorf("dataio: stream propagator must be %dx%d", h.WindowN, h.WindowN)
+	}
+	return nil
+}
+
+// NewProblem returns an empty (zero-location) solver.Problem with the
+// header's geometry — the seed the streaming engine grows with
+// Problem.AppendLocations as frames arrive.
+func (h *StreamHeader) NewProblem() *solver.Problem {
+	return &solver.Problem{
+		Pattern: &scan.Pattern{
+			ImageW: h.ImageW, ImageH: h.ImageH,
+			StepPix: h.StepPix, RadiusPix: h.RadiusPix,
+		},
+		Probe:   h.Probe,
+		Prop:    h.Prop,
+		WindowN: h.WindowN,
+		Slices:  h.Slices,
+	}
+}
+
+// HeaderFromProblem derives the stream header of an existing dataset —
+// what ptychofeed sends before replaying the frames.
+func HeaderFromProblem(prob *solver.Problem) *StreamHeader {
+	return &StreamHeader{
+		WindowN: prob.WindowN, Slices: prob.Slices,
+		ImageW: prob.Pattern.ImageW, ImageH: prob.Pattern.ImageH,
+		StepPix: prob.Pattern.StepPix, RadiusPix: prob.Pattern.RadiusPix,
+		Probe: prob.Probe, Prop: prob.Prop,
+	}
+}
+
+// Frame is one acquired diffraction pattern: where the probe was and
+// what the detector measured.
+type Frame struct {
+	Loc  scan.Location
+	Meas *grid.Float2D
+}
+
+// WriteStreamHeader serializes the stream opening (magic, header,
+// probe, propagator) to w.
+func WriteStreamHeader(w io.Writer, h *StreamHeader) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(streamMagic[:]); err != nil {
+		return err
+	}
+	hasProp := int64(0)
+	if h.Prop != nil {
+		hasProp = 1
+	}
+	header := []int64{
+		int64(h.WindowN), int64(h.Slices),
+		int64(h.ImageW), int64(h.ImageH), hasProp,
+		int64(math.Round(h.StepPix * 1e6)),
+		int64(math.Round(h.RadiusPix * 1e6)),
+		0,
+	}
+	if err := binary.Write(bw, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	if err := writeComplex(bw, h.Probe); err != nil {
+		return err
+	}
+	if h.Prop != nil {
+		if err := writeComplex(bw, h.Prop); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadStreamHeader deserializes the stream opening from r.
+func ReadStreamHeader(r io.Reader) (*StreamHeader, error) {
+	br := bufio.NewReader(r)
+	return readStreamHeader(br)
+}
+
+func readStreamHeader(br *bufio.Reader) (*StreamHeader, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("dataio: reading stream magic: %w", err)
+	}
+	if m != streamMagic {
+		return nil, fmt.Errorf("dataio: bad magic %q (not a PTYCHSv1 stream)", m)
+	}
+	header := make([]int64, 8)
+	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
+		return nil, fmt.Errorf("dataio: reading stream header: %w", err)
+	}
+	h := &StreamHeader{
+		WindowN: int(header[0]), Slices: int(header[1]),
+		ImageW: int(header[2]), ImageH: int(header[3]),
+		StepPix:   float64(header[5]) / 1e6,
+		RadiusPix: float64(header[6]) / 1e6,
+	}
+	// Bounds before the probe-sized allocations below.
+	if err := checkDatasetHeader(h.WindowN, h.Slices, h.ImageW, h.ImageH, 0); err != nil {
+		return nil, err
+	}
+	var err error
+	if h.Probe, err = readComplex(br, h.WindowN); err != nil {
+		return nil, fmt.Errorf("dataio: reading stream probe: %w", err)
+	}
+	if header[4] == 1 {
+		if h.Prop, err = readComplex(br, h.WindowN); err != nil {
+			return nil, fmt.Errorf("dataio: reading stream propagator: %w", err)
+		}
+	}
+	return h, nil
+}
+
+// frameBytes is the encoded size of one frame for the given window.
+func frameBytes(windowN int) int { return 8 + 3*8 + 8*windowN*windowN }
+
+// WriteFrameChunk appends one CRC-framed chunk of frames to w. Every
+// frame's measurement must be windowN x windowN.
+func WriteFrameChunk(w io.Writer, windowN int, frames []Frame) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("dataio: empty frame chunk")
+	}
+	if len(frames) > maxChunkFrames {
+		return fmt.Errorf("%w: %d frames in one chunk (max %d)", ErrHeaderBounds, len(frames), maxChunkFrames)
+	}
+	payload := bytes.NewBuffer(make([]byte, 0, 8+len(frames)*frameBytes(windowN)))
+	binary.Write(payload, binary.LittleEndian, int64(len(frames)))
+	for i, f := range frames {
+		if f.Meas == nil || f.Meas.W() != windowN || f.Meas.H() != windowN {
+			return fmt.Errorf("dataio: chunk frame %d measurement is not %dx%d", i, windowN, windowN)
+		}
+		binary.Write(payload, binary.LittleEndian, int64(f.Loc.Index))
+		binary.Write(payload, binary.LittleEndian, []float64{f.Loc.X, f.Loc.Y, f.Loc.Radius})
+		binary.Write(payload, binary.LittleEndian, f.Meas.Data)
+	}
+	return writeChunk(w, chunkFrames, payload.Bytes())
+}
+
+// WriteEOFChunk appends the end-of-stream marker to w.
+func WriteEOFChunk(w io.Writer) error {
+	return writeChunk(w, chunkEOF, nil)
+}
+
+func writeChunk(w io.Writer, kind byte, payload []byte) error {
+	bw := bufio.NewWriter(w)
+	if err := bw.WriteByte(kind); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(payload))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(payload); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(payload)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadChunk reads one framed chunk for a stream with the given window
+// size. It returns the decoded frames for an 'F' chunk, eof == true
+// for an 'E' chunk, and io.EOF when r is exhausted before a chunk
+// starts. CRC or length mismatches return ErrChunkCorrupt; implausible
+// frame counts return ErrHeaderBounds — both before the payload is
+// interpreted.
+func ReadChunk(r io.Reader, windowN int) (frames []Frame, eof bool, err error) {
+	if windowN <= 0 || windowN > maxWindowN {
+		return nil, false, fmt.Errorf("%w: window %d", ErrHeaderBounds, windowN)
+	}
+	// No buffering here: every read is exact-size, so ReadChunk never
+	// consumes bytes past its own chunk — callers interleave calls on a
+	// shared reader (ReadStream) or hand over an HTTP body.
+	br := r
+	var kind [1]byte
+	if _, err := io.ReadFull(br, kind[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, false, io.EOF
+		}
+		return nil, false, fmt.Errorf("dataio: reading chunk kind: %w", err)
+	}
+	var length int64
+	if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+		return nil, false, fmt.Errorf("dataio: reading chunk length: %w", err)
+	}
+	switch kind[0] {
+	case chunkEOF:
+		if length != 0 {
+			return nil, false, fmt.Errorf("%w: EOF chunk with %d payload bytes", ErrChunkCorrupt, length)
+		}
+		var sum uint32
+		if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+			return nil, false, fmt.Errorf("dataio: reading chunk crc: %w", err)
+		}
+		if sum != crc32.ChecksumIEEE(nil) {
+			return nil, false, fmt.Errorf("%w: EOF chunk crc %08x", ErrChunkCorrupt, sum)
+		}
+		return nil, true, nil
+	case chunkFrames:
+		fb := int64(frameBytes(windowN))
+		// The declared length must be exactly a count field plus a
+		// whole number of frames, below the frame cap.
+		if length < 8+fb || (length-8)%fb != 0 {
+			return nil, false, fmt.Errorf("%w: frame chunk length %d not 8+k*%d", ErrChunkCorrupt, length, fb)
+		}
+		if n := (length - 8) / fb; n > maxChunkFrames {
+			return nil, false, fmt.Errorf("%w: %d frames in one chunk (max %d)", ErrHeaderBounds, n, maxChunkFrames)
+		}
+		// Never trust the declared length for the allocation: copy
+		// through a growing buffer so memory tracks the bytes that
+		// ACTUALLY arrive — a 17-byte request declaring a terabyte
+		// chunk fails at EOF having allocated almost nothing.
+		var pbuf bytes.Buffer
+		pbuf.Grow(int(min(length, 1<<20)))
+		if _, err := io.CopyN(&pbuf, br, length); err != nil {
+			if errors.Is(err, io.EOF) {
+				// Bare io.EOF is reserved for "no chunk starts here";
+				// running dry MID-payload is a torn chunk.
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, false, fmt.Errorf("dataio: reading chunk payload: %w", err)
+		}
+		payload := pbuf.Bytes()
+		var sum uint32
+		if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+			return nil, false, fmt.Errorf("dataio: reading chunk crc: %w", err)
+		}
+		if sum != crc32.ChecksumIEEE(payload) {
+			return nil, false, fmt.Errorf("%w: crc %08x != %08x", ErrChunkCorrupt, sum, crc32.ChecksumIEEE(payload))
+		}
+		return decodeFramePayload(payload, windowN)
+	default:
+		return nil, false, fmt.Errorf("%w: unknown chunk kind %q", ErrChunkCorrupt, kind[0])
+	}
+}
+
+func decodeFramePayload(payload []byte, windowN int) ([]Frame, bool, error) {
+	pr := bytes.NewReader(payload)
+	var count int64
+	binary.Read(pr, binary.LittleEndian, &count)
+	if want := int64(len(payload)-8) / int64(frameBytes(windowN)); count != want {
+		return nil, false, fmt.Errorf("%w: chunk declares %d frames, payload holds %d", ErrChunkCorrupt, count, want)
+	}
+	frames := make([]Frame, count)
+	coords := make([]float64, 3)
+	for i := range frames {
+		var idx int64
+		binary.Read(pr, binary.LittleEndian, &idx)
+		binary.Read(pr, binary.LittleEndian, coords)
+		m := grid.NewFloat2DSize(windowN, windowN)
+		binary.Read(pr, binary.LittleEndian, m.Data)
+		frames[i] = Frame{
+			Loc:  scan.Location{Index: int(idx), X: coords[0], Y: coords[1], Radius: coords[2]},
+			Meas: m,
+		}
+	}
+	return frames, false, nil
+}
+
+// FramesFromProblem converts a batch dataset's locations and
+// measurements into frames in acquisition order — the replay source
+// for ptychofeed and the streaming tests.
+func FramesFromProblem(prob *solver.Problem) []Frame {
+	frames := make([]Frame, prob.Pattern.N())
+	for i, l := range prob.Pattern.Locations {
+		frames[i] = Frame{Loc: l, Meas: prob.Meas[i]}
+	}
+	return frames
+}
+
+// WriteStream serializes a complete dataset as a PTYCHSv1 stream:
+// header, frames in chunks of chunkSize, then the EOF marker. The
+// output replays into a problem identical to prob.
+func WriteStream(w io.Writer, prob *solver.Problem, chunkSize int) error {
+	if chunkSize <= 0 {
+		chunkSize = 64
+	}
+	if err := prob.Validate(); err != nil {
+		return fmt.Errorf("dataio: %w", err)
+	}
+	if err := WriteStreamHeader(w, HeaderFromProblem(prob)); err != nil {
+		return err
+	}
+	frames := FramesFromProblem(prob)
+	for lo := 0; lo < len(frames); lo += chunkSize {
+		hi := min(lo+chunkSize, len(frames))
+		if err := WriteFrameChunk(w, prob.WindowN, frames[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return WriteEOFChunk(w)
+}
+
+// ReadStream replays a complete PTYCHSv1 stream from r into a
+// canonical problem: header, every frame chunk in order, until the EOF
+// marker (or the end of r, for a stream whose acquisition was cut
+// short). This is the bridge back to the batch world — the returned
+// problem serializes to PTYCHOv1 with Write.
+func ReadStream(r io.Reader) (*solver.Problem, error) {
+	br := bufio.NewReader(r)
+	h, err := readStreamHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	prob := h.NewProblem()
+	for {
+		frames, eof, err := ReadChunk(br, h.WindowN)
+		if errors.Is(err, io.EOF) {
+			break // truncated stream: keep what arrived
+		}
+		if err != nil {
+			return nil, err
+		}
+		if eof {
+			break
+		}
+		locs := make([]scan.Location, len(frames))
+		meas := make([]*grid.Float2D, len(frames))
+		for i, f := range frames {
+			locs[i], meas[i] = f.Loc, f.Meas
+		}
+		if err := prob.AppendLocations(locs, meas); err != nil {
+			return nil, fmt.Errorf("dataio: replaying stream: %w", err)
+		}
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, fmt.Errorf("dataio: replayed problem invalid: %w", err)
+	}
+	return prob, nil
+}
+
+// ReadStreamFile replays a PTYCHSv1 stream from the named file.
+func ReadStreamFile(path string) (*solver.Problem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataio: %w", err)
+	}
+	defer f.Close()
+	return ReadStream(f)
+}

@@ -89,6 +89,13 @@ type Options struct {
 	// OnIteration, when non-nil, is invoked on rank 0 with the global
 	// cost after each iteration.
 	OnIteration func(iter int, cost float64)
+	// IterOffset is added to the iteration index reported to
+	// OnIteration and OnSnapshot. Epoch-based callers — the streaming
+	// engine re-partitions the growing location set and re-runs
+	// Reconstruct once per epoch — use it to keep reported indices
+	// continuous across epochs. It does not change how many iterations
+	// run.
+	IterOffset int
 	// Ctx, when non-nil, cancels the run at iteration boundaries. The
 	// decision is collective — every rank contributes its view of
 	// Ctx.Err() to an allreduce so all ranks stop at the same iteration
@@ -561,7 +568,14 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 
 	// Snapshot and cancellation state shared across ranks (see
 	// internal/collective for the ordering invariants).
-	snaps := collective.NewSnapshots(m, opt.SnapshotEvery, opt.OnSnapshot)
+	snapFn := opt.OnSnapshot
+	if snapFn != nil && opt.IterOffset != 0 {
+		inner := opt.OnSnapshot
+		snapFn = func(iter int, slices []*grid.Complex2D) error {
+			return inner(opt.IterOffset+iter, slices)
+		}
+	}
+	snaps := collective.NewSnapshots(m, opt.SnapshotEvery, snapFn)
 	var cancelled atomic.Bool
 
 	world := simmpi.NewWorld(ranks, opt.Timeout)
@@ -581,7 +595,7 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 			}
 			hist = append(hist, global)
 			if comm.Rank() == 0 && opt.OnIteration != nil {
-				opt.OnIteration(iter, global)
+				opt.OnIteration(opt.IterOffset+iter, global)
 			}
 			if snaps.Due(iter) {
 				if err := snaps.Run(comm, w.slices, iter); err != nil {

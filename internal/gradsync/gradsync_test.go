@@ -56,13 +56,13 @@ func mesh(t testing.TB, prob *solver.Problem, rows, cols, halo int) *tiling.Mesh
 // buffer must equal the global gradient restricted to its extended tile.
 func TestParallelGradientEqualsSerial(t *testing.T) {
 	cases := []struct {
-		name       string
-		meshR      int
-		meshC      int
-		overlap    float64
-		slices     int
-		scanC      int
-		scanR      int
+		name    string
+		meshR   int
+		meshC   int
+		overlap float64
+		slices  int
+		scanC   int
+		scanR   int
 	}{
 		{"1x2-low-overlap", 1, 2, 0.5, 1, 4, 2},
 		{"2x2-mid-overlap", 2, 2, 0.7, 2, 4, 4},

@@ -1,0 +1,89 @@
+package jobs
+
+import "time"
+
+// Event is one entry of a job's live feed — what the SSE endpoint
+// (GET /jobs/{id}/events) streams to a beamline GUI so it can follow a
+// reconstruction without polling.
+//
+// Types:
+//
+//	state      lifecycle transition; State holds the new state
+//	iteration  an iteration completed; Iter (completed count) and Cost
+//	frames     ingest accepted a chunk; Frames is the running total
+//	fold       the engine folded arrivals; Frames is the active set
+//	eof        the producer closed the stream
+//	snapshot   a preview/checkpoint was published; Iter is its
+//	           completed-iteration count
+type Event struct {
+	Type   string    `json:"type"`
+	Job    string    `json:"job"`
+	State  string    `json:"state,omitempty"`
+	Iter   int       `json:"iter,omitempty"`
+	Cost   float64   `json:"cost,omitempty"`
+	Frames int       `json:"frames,omitempty"`
+	Time   time.Time `json:"time"`
+}
+
+// Subscribe registers a listener for the job's events. The returned
+// channel is buffered (buffer entries; 64 when <= 0) and NEVER blocks
+// the reconstruction: when a consumer falls behind, events are dropped
+// — the feed is advisory, the polling API is the source of truth. The
+// channel closes when the job reaches a terminal state (after a final
+// "state" event) or when the cancel function runs. Subscribing to an
+// already-terminal job yields the final state event and an immediately
+// closed channel.
+func (j *Job) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	j.mu.Lock()
+	if j.state.Terminal() {
+		ch <- Event{Type: "state", Job: j.id, State: j.state.String(), Time: time.Now()}
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}
+	}
+	if j.subs == nil {
+		j.subs = make(map[int]chan Event)
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	j.mu.Unlock()
+	cancel := func() {
+		j.mu.Lock()
+		if c, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+			close(c)
+		}
+		j.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// publishLocked fans an event out to every subscriber without
+// blocking. Callers hold j.mu.
+func (j *Job) publishLocked(e Event) {
+	if len(j.subs) == 0 {
+		return
+	}
+	e.Job = j.id
+	e.Time = time.Now()
+	for _, ch := range j.subs {
+		select {
+		case ch <- e:
+		default: // slow consumer: drop, never stall the solver
+		}
+	}
+}
+
+// closeSubsLocked ends every subscription (terminal state reached).
+// Callers hold j.mu and have already published the final state event.
+func (j *Job) closeSubsLocked() {
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}

@@ -5,9 +5,20 @@
 //
 //	POST /jobs?alg=serial|gd|hve&iters=N&step=S&mesh=RxC&rounds=T&workers=W&checkpoint-every=K
 //	     body: a PTYCHOv1 dataset. Returns 202 with the job summary.
+//	POST /jobs/stream?alg=serial|gd&iters=TAIL&fold-every=F&max-iters=M&ingest=FRAMES&...
+//	     body: a PTYCHSv1 opening (header + probe, no frames). Opens a
+//	     STREAMING job: 202 with the job summary; feed frames next.
 //	GET  /jobs                    list all jobs
 //	GET  /jobs/{id}               one job, with the cost-history tail
 //	                              (?history=N entries, ?history=all)
+//	POST /jobs/{id}/frames        body: one PTYCHSv1 chunk ('F' frames, or
+//	                              'E' to close). 200 with {accepted,total};
+//	                              429 + Retry-After when the ingest is full
+//	POST /jobs/{id}/eof           close the stream; the job folds what is
+//	                              buffered and runs its tail iterations
+//	GET  /jobs/{id}/events        Server-Sent-Events live feed: iteration
+//	                              cost, frames ingested, folds, snapshot
+//	                              (preview-ready) and state transitions
 //	POST /jobs/{id}/cancel        cancel (queued: immediate; running: next iteration boundary)
 //	POST /jobs/{id}/resume        new job warm-started from the last OBJCKv1 checkpoint
 //	GET  /jobs/{id}/preview.png   live grayscale preview of the latest snapshot
@@ -15,6 +26,10 @@
 //	GET  /jobs/{id}/object        latest object snapshot as an OBJCKv1 stream
 //	GET  /metrics                 Prometheus text exposition
 //	GET  /healthz                 liveness
+//
+// Backpressure: a full job queue (submit) and a full ingest buffer
+// (frames) both answer 429 Too Many Requests with a Retry-After hint —
+// the feeder backs off instead of the service buffering without bound.
 package httpapi
 
 import (
@@ -30,9 +45,11 @@ import (
 	"ptychopath/internal/dataio"
 	"ptychopath/internal/grid"
 	"ptychopath/internal/jobs"
+	"ptychopath/internal/stream"
 )
 
-// MaxUploadBytes bounds dataset uploads (PTYCHOv1 bodies).
+// MaxUploadBytes bounds dataset uploads (PTYCHOv1 bodies, PTYCHSv1
+// openings and frame chunks).
 const MaxUploadBytes = 1 << 30
 
 // Server adapts a jobs.Service to HTTP.
@@ -47,8 +64,12 @@ func New(svc *jobs.Service) *Server { return &Server{svc: svc} }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("POST /jobs/stream", s.handleSubmitStream)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /jobs/{id}/frames", s.handleFrames)
+	mux.HandleFunc("POST /jobs/{id}/eof", s.handleEOF)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
 	mux.HandleFunc("GET /jobs/{id}/preview.png", s.handlePreview)
@@ -68,6 +89,14 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.msg }
 
+// Retry-After hints (seconds) for the two backpressure paths: a full
+// ingest drains at the next iteration boundary (fast); a full job
+// queue needs a whole job to finish.
+const (
+	retryAfterIngest = "1"
+	retryAfterQueue  = "5"
+)
+
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var he *httpError
@@ -79,8 +108,19 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, jobs.ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, jobs.ErrQueueFull):
-		status = http.StatusServiceUnavailable
-	case errors.Is(err, jobs.ErrFinished), errors.Is(err, jobs.ErrNotResumable):
+		// Backpressure, not failure: the client should retry the same
+		// submission after the hint.
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterQueue)
+	case errors.Is(err, stream.ErrIngestFull):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", retryAfterIngest)
+	case errors.Is(err, stream.ErrChunkTooLarge):
+		// Non-retryable: the chunk can NEVER fit. 400 so a compliant
+		// feeder splits it instead of backing off forever.
+		status = http.StatusBadRequest
+	case errors.Is(err, jobs.ErrFinished), errors.Is(err, jobs.ErrNotResumable),
+		errors.Is(err, jobs.ErrNotStreaming), errors.Is(err, stream.ErrStreamClosed):
 		status = http.StatusConflict
 	case errors.Is(err, jobs.ErrClosed):
 		status = http.StatusServiceUnavailable
@@ -172,6 +212,142 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.Info(0))
+}
+
+// handleSubmitStream opens a streaming job from a PTYCHSv1 opening
+// (header + probe, no frames): the reconstruction engine starts with
+// an empty active set and folds frames in as POST /jobs/{id}/frames
+// delivers them.
+func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
+	params, err := parseParams(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if params.FoldEvery, err = queryInt(r, "fold-every", 0); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if params.MaxIterations, err = queryInt(r, "max-iters", 0); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if params.IngestCapacity, err = queryInt(r, "ingest", 0); err != nil {
+		writeErr(w, err)
+		return
+	}
+	hdr, err := dataio.ReadStreamHeader(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
+	if err != nil {
+		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("decoding PTYCHSv1 opening: %v", err)})
+		return
+	}
+	j, err := s.svc.SubmitStreaming(hdr, params)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Info(0))
+}
+
+// handleFrames ingests one PTYCHSv1 chunk. An 'F' chunk appends
+// frames (429 + Retry-After when the bounded ingest is full — retry
+// the same chunk); an 'E' chunk closes the stream like POST eof.
+func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	windowN := j.WindowN()
+	if windowN == 0 {
+		writeErr(w, fmt.Errorf("%w: %s", jobs.ErrNotStreaming, j.ID()))
+		return
+	}
+	frames, eof, err := dataio.ReadChunk(http.MaxBytesReader(w, r.Body, MaxUploadBytes), windowN)
+	if err != nil {
+		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("decoding chunk: %v", err)})
+		return
+	}
+	if eof {
+		if err := s.svc.CloseStream(j.ID()); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"eof": true, "total": j.Info(0).Frames})
+		return
+	}
+	total, err := s.svc.AppendFrames(j.ID(), frames)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": len(frames), "total": total})
+}
+
+func (s *Server) handleEOF(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.svc.CloseStream(j.ID()); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Info(0))
+}
+
+// handleEvents streams the job's live feed as Server-Sent Events: an
+// initial "info" event with the full job summary, then one event per
+// iteration, ingest acceptance, fold, snapshot (preview ready) and
+// state transition, until the job reaches a terminal state or the
+// client disconnects. Pair with GET preview.png: refetch the preview
+// whenever a "snapshot" event arrives.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &httpError{http.StatusNotImplemented, "response writer does not support streaming"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	ch, cancel := j.Subscribe(256)
+	defer cancel()
+	if !send("info", j.Info(0)) {
+		return
+	}
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				return
+			}
+			if !send(e.Type, e) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -22,8 +22,10 @@ import (
 	"sync"
 	"time"
 
+	"ptychopath/internal/dataio"
 	"ptychopath/internal/grid"
 	"ptychopath/internal/solver"
+	"ptychopath/internal/stream"
 )
 
 // State is a job's lifecycle phase.
@@ -90,6 +92,22 @@ type Params struct {
 	// resumes a run cancelled after k iterations carries StartIter k, so
 	// Iter counts continue where the original left off.
 	StartIter int
+
+	// The fields below apply to Streaming jobs only (SubmitStreaming).
+	// For a streaming job, Iterations is the TAIL: how many iterations
+	// run over the complete set after the stream closes.
+
+	// FoldEvery is the number of iterations between ingest folds while
+	// the stream is open. Default 1.
+	FoldEvery int
+	// MaxIterations, when positive, bounds iterations run before the
+	// stream closes (a stalled feed fails the job instead of spinning
+	// forever). 0 means unlimited.
+	MaxIterations int
+	// IngestCapacity bounds the job's frame buffer; Append beyond it
+	// returns stream.ErrIngestFull (HTTP 429). 0 selects the service
+	// default.
+	IngestCapacity int
 }
 
 func (p *Params) setDefaults(cfg Config) {
@@ -122,6 +140,23 @@ func (p *Params) validate(prob *solver.Problem) error {
 	default:
 		return fmt.Errorf("%w: unknown algorithm %q (want serial, gd, hve)", ErrInvalidParams, p.Algorithm)
 	}
+	if err := p.validateCommon(); err != nil {
+		return err
+	}
+	if p.InitialObject != nil {
+		if len(p.InitialObject) != prob.Slices {
+			return fmt.Errorf("%w: initial object has %d slices, dataset has %d",
+				ErrInvalidParams, len(p.InitialObject), prob.Slices)
+		}
+		if !p.InitialObject[0].Bounds.Eq(prob.ImageBounds()) {
+			return fmt.Errorf("%w: initial object bounds %v != dataset image %v",
+				ErrInvalidParams, p.InitialObject[0].Bounds, prob.ImageBounds())
+		}
+	}
+	return nil
+}
+
+func (p *Params) validateCommon() error {
 	if p.Iterations <= 0 {
 		return fmt.Errorf("%w: iterations must be positive, got %d", ErrInvalidParams, p.Iterations)
 	}
@@ -134,15 +169,35 @@ func (p *Params) validate(prob *solver.Problem) error {
 	if p.CheckpointEvery < 0 {
 		return fmt.Errorf("%w: checkpoint period must be non-negative, got %d", ErrInvalidParams, p.CheckpointEvery)
 	}
+	return nil
+}
+
+// validateStreaming checks the parameters of a Streaming job against
+// its stream header.
+func (p *Params) validateStreaming(hdr *dataio.StreamHeader) error {
+	switch p.Algorithm {
+	case "serial", "gd":
+	default:
+		return fmt.Errorf("%w: unknown streaming algorithm %q (want serial or gd; hve needs a fixed location set)",
+			ErrInvalidParams, p.Algorithm)
+	}
+	if err := p.validateCommon(); err != nil {
+		return err
+	}
+	if p.FoldEvery < 0 {
+		return fmt.Errorf("%w: fold period must be non-negative, got %d", ErrInvalidParams, p.FoldEvery)
+	}
+	if p.MaxIterations < 0 {
+		return fmt.Errorf("%w: max iterations must be non-negative, got %d", ErrInvalidParams, p.MaxIterations)
+	}
+	if p.IngestCapacity < 0 {
+		return fmt.Errorf("%w: ingest capacity must be non-negative, got %d", ErrInvalidParams, p.IngestCapacity)
+	}
 	if p.InitialObject != nil {
-		if len(p.InitialObject) != prob.Slices {
-			return fmt.Errorf("%w: initial object has %d slices, dataset has %d",
-				ErrInvalidParams, len(p.InitialObject), prob.Slices)
-		}
-		if !p.InitialObject[0].Bounds.Eq(prob.ImageBounds()) {
-			return fmt.Errorf("%w: initial object bounds %v != dataset image %v",
-				ErrInvalidParams, p.InitialObject[0].Bounds, prob.ImageBounds())
-		}
+		return fmt.Errorf("%w: streaming jobs cannot warm-start (frames define the dataset)", ErrInvalidParams)
+	}
+	if err := hdr.Validate(); err != nil {
+		return fmt.Errorf("%w: invalid stream header: %v", ErrInvalidParams, err)
 	}
 	return nil
 }
@@ -165,6 +220,9 @@ var (
 	ErrNotResumable = errors.New("jobs: job not resumable")
 	// ErrClosed is returned by Submit after Close.
 	ErrClosed = errors.New("jobs: service closed")
+	// ErrNotStreaming is returned by AppendFrames and CloseStream on a
+	// batch job — only Streaming jobs accept frames.
+	ErrNotStreaming = errors.New("jobs: not a streaming job")
 )
 
 // Job is one reconstruction tracked by the service. All accessors are
@@ -175,6 +233,13 @@ type Job struct {
 	params Params
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// Streaming-job state (nil/false for batch jobs). The ingest is
+	// the bounded frame buffer producers append to; hdr is the
+	// PTYCHSv1 opening the job was created from.
+	streaming bool
+	hdr       *dataio.StreamHeader
+	ingest    *stream.Ingest
 
 	mu             sync.Mutex
 	state          State
@@ -190,6 +255,22 @@ type Job struct {
 	created        time.Time
 	started        time.Time
 	finished       time.Time
+	folds          int // ingest folds performed (streaming)
+	activeFrames   int // frames in the active set (streaming)
+	subs           map[int]chan Event
+	nextSub        int
+}
+
+// Streaming reports whether the job reconstructs a live stream.
+func (j *Job) Streaming() bool { return j.streaming }
+
+// WindowN returns the probe-window edge of a streaming job's frames
+// (0 for batch jobs) — the HTTP layer needs it to decode chunk bodies.
+func (j *Job) WindowN() int {
+	if j.hdr == nil {
+		return 0
+	}
+	return j.hdr.WindowN
 }
 
 // ID returns the job's identifier.
@@ -242,11 +323,14 @@ func (j *Job) CheckpointPath() (string, int) {
 // Info is a point-in-time summary of a job, JSON-ready for the HTTP
 // API.
 type Info struct {
-	ID             string    `json:"id"`
-	State          string    `json:"state"`
-	Algorithm      string    `json:"algorithm"`
-	Iter           int       `json:"iter"`
-	TotalIters     int       `json:"total_iters"`
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Algorithm string `json:"algorithm"`
+	Iter      int    `json:"iter"`
+	// TotalIters is the planned iteration count of a batch job. For a
+	// streaming job it is 0 while the stream is open (the total is
+	// unknowable until EOF).
+	TotalIters     int       `json:"total_iters,omitempty"`
 	Cost           float64   `json:"cost"`
 	CostHistory    []float64 `json:"cost_history,omitempty"`
 	CheckpointIter int       `json:"checkpoint_iter,omitempty"`
@@ -256,6 +340,15 @@ type Info struct {
 	Created        time.Time `json:"created"`
 	Started        time.Time `json:"started,omitzero"`
 	Finished       time.Time `json:"finished,omitzero"`
+
+	// Streaming progress (omitted for batch jobs): frames accepted by
+	// the ingest, frames folded into the active set, fold (epoch)
+	// count, and whether the producer has closed the stream.
+	Streaming    bool `json:"streaming,omitempty"`
+	Frames       int  `json:"frames,omitempty"`
+	ActiveFrames int  `json:"active_frames,omitempty"`
+	Folds        int  `json:"folds,omitempty"`
+	EOF          bool `json:"eof,omitempty"`
 }
 
 // Info snapshots the job. historyTail bounds the cost history included:
@@ -272,7 +365,6 @@ func (j *Job) Info(historyTail int) Info {
 		State:          j.state.String(),
 		Algorithm:      j.params.Algorithm,
 		Iter:           j.iter,
-		TotalIters:     j.params.StartIter + j.params.Iterations,
 		Cost:           j.cost,
 		CheckpointIter: j.checkpointIter,
 		Checkpoint:     j.checkpointPath,
@@ -280,6 +372,15 @@ func (j *Job) Info(historyTail int) Info {
 		Created:        j.created,
 		Started:        j.started,
 		Finished:       j.finished,
+	}
+	if j.streaming {
+		info.Streaming = true
+		info.Frames = j.ingest.Total()
+		info.ActiveFrames = j.activeFrames
+		info.Folds = j.folds
+		info.EOF = j.ingest.EOF()
+	} else {
+		info.TotalIters = j.params.StartIter + j.params.Iterations
 	}
 	if j.err != nil {
 		info.Error = j.err.Error()
@@ -304,6 +405,7 @@ func (j *Job) markRunning() bool {
 	}
 	j.state = Running
 	j.started = time.Now()
+	j.publishLocked(Event{Type: "state", State: Running.String()})
 	return true
 }
 
@@ -313,6 +415,31 @@ func (j *Job) recordIteration(completed int, cost float64) {
 	j.iter = completed
 	j.cost = cost
 	j.costHistory = append(j.costHistory, cost)
+	j.publishLocked(Event{Type: "iteration", Iter: completed, Cost: cost})
+	j.mu.Unlock()
+}
+
+// recordFold publishes streaming-fold progress from the engine's
+// OnFold.
+func (j *Job) recordFold(active int) {
+	j.mu.Lock()
+	j.folds++
+	j.activeFrames = active
+	j.publishLocked(Event{Type: "fold", Frames: active})
+	j.mu.Unlock()
+}
+
+// recordFrames publishes an ingest acceptance.
+func (j *Job) recordFrames(total int) {
+	j.mu.Lock()
+	j.publishLocked(Event{Type: "frames", Frames: total})
+	j.mu.Unlock()
+}
+
+// recordEOF publishes the producer closing the stream.
+func (j *Job) recordEOF() {
+	j.mu.Lock()
+	j.publishLocked(Event{Type: "eof"})
 	j.mu.Unlock()
 }
 
@@ -321,6 +448,7 @@ func (j *Job) setSnapshot(slices []*grid.Complex2D, completed int) {
 	j.mu.Lock()
 	j.snapshot = slices
 	j.snapshotIter = completed
+	j.publishLocked(Event{Type: "snapshot", Iter: completed})
 	j.mu.Unlock()
 }
 
@@ -352,6 +480,8 @@ func (j *Job) finishLocked(state State, err error) {
 	if state == Done || j.checkpointPath == "" {
 		j.prob = nil
 	}
+	j.publishLocked(Event{Type: "state", State: state.String()})
+	j.closeSubsLocked()
 }
 
 func cloneSlices(slices []*grid.Complex2D) []*grid.Complex2D {

@@ -16,6 +16,8 @@ type counters struct {
 	iterations  atomic.Int64
 	checkpoints atomic.Int64
 	running     atomic.Int64
+	frames      atomic.Int64
+	folds       atomic.Int64
 }
 
 // WriteMetrics emits the service's counters and gauges in Prometheus
@@ -33,6 +35,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"ptychoserve_jobs_cancelled_total", "Jobs cancelled while queued or running.", "counter", s.met.cancelled.Load()},
 		{"ptychoserve_iterations_total", "Reconstruction iterations completed across all jobs.", "counter", s.met.iterations.Load()},
 		{"ptychoserve_checkpoints_total", "OBJCKv1 checkpoints written.", "counter", s.met.checkpoints.Load()},
+		{"ptychoserve_frames_ingested_total", "Diffraction frames accepted by streaming-job ingests.", "counter", s.met.frames.Load()},
+		{"ptychoserve_folds_total", "Ingest folds performed by streaming jobs.", "counter", s.met.folds.Load()},
 		{"ptychoserve_jobs_running", "Jobs currently executing on the worker pool.", "gauge", s.met.running.Load()},
 		{"ptychoserve_queue_depth", "Jobs waiting for a worker.", "gauge", int64(s.QueueDepth())},
 		{"ptychoserve_workers", "Size of the worker pool.", "gauge", int64(s.cfg.Workers)},

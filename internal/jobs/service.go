@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"ptychopath/internal/halo"
 	"ptychopath/internal/phantom"
 	"ptychopath/internal/solver"
+	"ptychopath/internal/stream"
 	"ptychopath/internal/tiling"
 )
 
@@ -34,6 +36,10 @@ type Config struct {
 	CheckpointEvery int
 	// Timeout bounds parallel-engine communication. Default 5 minutes.
 	Timeout time.Duration
+	// IngestFrames is the default per-job frame-buffer bound for
+	// Streaming jobs; appends beyond it see stream.ErrIngestFull
+	// (HTTP 429 backpressure). Default 4096.
+	IngestFrames int
 }
 
 func (c *Config) setDefaults() error {
@@ -57,6 +63,12 @@ func (c *Config) setDefaults() error {
 	}
 	if c.Timeout == 0 {
 		c.Timeout = 5 * time.Minute
+	}
+	if c.IngestFrames == 0 {
+		c.IngestFrames = 4096
+	}
+	if c.IngestFrames < 0 {
+		return fmt.Errorf("jobs: ingest capacity must be positive, got %d", c.IngestFrames)
 	}
 	if c.SpoolDir == "" {
 		dir, err := os.MkdirTemp("", "ptychojobs-")
@@ -160,20 +172,48 @@ func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom string) (*J
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &Job{
+	return s.enqueue(&Job{
 		prob: prob, params: p, ctx: ctx, cancel: cancel,
 		state: Queued, iter: p.StartIter, resumedFrom: resumedFrom,
 		created: time.Now(),
+	})
+}
+
+// SubmitStreaming opens a Streaming job from geometry and probe
+// metadata only (the PTYCHSv1 opening): the reconstruction starts with
+// an empty active set and grows as producers push frames through
+// AppendFrames. Params.Iterations is the tail — iterations run over
+// the complete set after CloseStream. Like any job it waits for a pool
+// worker; frames appended while it is still queued are buffered (up to
+// the ingest bound) and folded as soon as it starts.
+func (s *Service) SubmitStreaming(hdr *dataio.StreamHeader, p Params) (*Job, error) {
+	p.setDefaults(s.cfg)
+	if err := p.validateStreaming(hdr); err != nil {
+		return nil, err
 	}
+	capacity := p.IngestCapacity
+	if capacity == 0 {
+		capacity = s.cfg.IngestFrames
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return s.enqueue(&Job{
+		params: p, ctx: ctx, cancel: cancel,
+		streaming: true, hdr: hdr, ingest: stream.NewIngest(capacity),
+		state: Queued, created: time.Now(),
+	})
+}
+
+// enqueue registers a constructed job with the bounded FIFO.
+func (s *Service) enqueue(j *Job) (*Job, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		cancel()
+		j.cancel()
 		return nil, ErrClosed
 	}
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
-		cancel()
+		j.cancel()
 		s.met.rejected.Add(1)
 		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
 	}
@@ -186,6 +226,68 @@ func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom string) (*J
 	s.mu.Unlock()
 	s.met.submitted.Add(1)
 	return j, nil
+}
+
+// AppendFrames pushes a chunk of acquired frames into a streaming
+// job's ingest buffer, returning the total accepted so far. Frames are
+// validated against the job's window size before they enter the
+// buffer. A full buffer returns stream.ErrIngestFull (retry after
+// backoff — the HTTP layer maps it to 429 with Retry-After); a closed
+// stream returns stream.ErrStreamClosed; a finished job ErrFinished.
+func (s *Service) AppendFrames(id string, frames []dataio.Frame) (int, error) {
+	j, ok := s.Get(id)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !j.streaming {
+		return 0, fmt.Errorf("%w: %s", ErrNotStreaming, id)
+	}
+	if len(frames) == 0 {
+		return j.ingest.Total(), nil
+	}
+	// Full validation HERE, before acceptance: a frame that would fail
+	// the fold (Problem.AppendLocations) must 400 the producer that
+	// sent it, not kill the whole non-resumable job minutes later.
+	img := grid.RectWH(0, 0, j.hdr.ImageW, j.hdr.ImageH)
+	for i, f := range frames {
+		if f.Meas == nil || f.Meas.W() != j.hdr.WindowN || f.Meas.H() != j.hdr.WindowN {
+			return j.ingest.Total(), fmt.Errorf("%w: frame %d measurement is not %dx%d",
+				ErrInvalidParams, i, j.hdr.WindowN, j.hdr.WindowN)
+		}
+		if !img.Contains(int(math.Round(f.Loc.X)), int(math.Round(f.Loc.Y))) {
+			return j.ingest.Total(), fmt.Errorf("%w: frame %d center (%g, %g) outside image %dx%d",
+				ErrInvalidParams, i, f.Loc.X, f.Loc.Y, j.hdr.ImageW, j.hdr.ImageH)
+		}
+	}
+	if j.State().Terminal() {
+		return j.ingest.Total(), fmt.Errorf("%w: %s is %s", ErrFinished, id, j.State())
+	}
+	total, err := j.ingest.Append(frames)
+	if err != nil {
+		return total, err
+	}
+	s.met.frames.Add(int64(len(frames)))
+	j.recordFrames(total)
+	return total, nil
+}
+
+// CloseStream marks the end of a streaming job's acquisition: frames
+// already buffered still fold, then the job runs its tail iterations
+// and completes. Idempotent.
+func (s *Service) CloseStream(id string) error {
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !j.streaming {
+		return fmt.Errorf("%w: %s", ErrNotStreaming, id)
+	}
+	if j.State().Terminal() {
+		return fmt.Errorf("%w: %s is %s", ErrFinished, id, j.State())
+	}
+	j.ingest.CloseEOF()
+	j.recordEOF()
+	return nil
 }
 
 // Get returns the job with the given ID.
@@ -264,6 +366,11 @@ func (s *Service) Resume(id string) (*Job, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	if old.streaming {
+		// A streaming job's dataset lives in its (drained) ingest, not
+		// a retained problem; replay the stream to resume instead.
+		return nil, fmt.Errorf("%w: %s is a streaming job", ErrNotResumable, id)
+	}
 	old.mu.Lock()
 	state := old.state
 	path := old.checkpointPath
@@ -326,6 +433,13 @@ func (s *Service) run(j *Job) {
 		s.met.cancelled.Add(1)
 		j.finish(Cancelled, nil)
 	default:
+		// Engines that fail with partial progress (e.g. a streaming
+		// job exhausting stream.ErrIterationBudget on a stalled feed)
+		// still hand back their slices — checkpoint them so the work
+		// is salvageable. Best effort: the job is failing anyway.
+		if slices != nil {
+			s.snapshot(j, j.completedIters(), slices)
+		}
 		s.met.failed.Add(1)
 		j.finish(Failed, err)
 	}
@@ -340,6 +454,9 @@ func (j *Job) completedIters() int {
 // execute dispatches to the selected engine. On cancellation it returns
 // the engine's partial slices together with context.Canceled.
 func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
+	if j.streaming {
+		return s.executeStream(j)
+	}
 	p := j.params
 	prob := j.prob
 	init := p.InitialObject
@@ -403,6 +520,67 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 		return r.Slices, err
 	}
 	return nil, fmt.Errorf("jobs: unknown algorithm %q", p.Algorithm)
+}
+
+// executeStream runs a Streaming job: the engine folds ingest
+// arrivals at iteration boundaries and, once the stream closes, runs
+// the tail over the complete set. Iteration, fold, snapshot and
+// checkpoint plumbing is identical to the batch path, so previews,
+// /metrics and SSE events behave the same for both job kinds.
+func (s *Service) executeStream(j *Job) ([]*grid.Complex2D, error) {
+	p := j.params
+	res, err := stream.Run(j.hdr, j.ingest, stream.Options{
+		Algorithm:          p.Algorithm,
+		StepSize:           p.StepSize,
+		TailIterations:     p.Iterations,
+		FoldEvery:          p.FoldEvery,
+		MaxIterations:      p.MaxIterations,
+		MeshRows:           p.MeshRows,
+		MeshCols:           p.MeshCols,
+		RoundsPerIteration: p.RoundsPerIteration,
+		IntraWorkers:       p.IntraWorkers,
+		Timeout:            s.cfg.Timeout,
+		Ctx:                j.ctx,
+		OnIteration: func(iter int, cost float64) {
+			j.recordIteration(iter+1, cost)
+			s.met.iterations.Add(1)
+		},
+		OnFold: func(_, _, active int) {
+			j.recordFold(active)
+			s.met.folds.Add(1)
+		},
+		SnapshotEvery: p.CheckpointEvery,
+		OnSnapshot: func(iter int, slices []*grid.Complex2D) error {
+			return s.snapshot(j, iter+1, slices)
+		},
+	})
+	if res == nil {
+		return nil, err
+	}
+	return res.Slices, err
+}
+
+// Shutdown is the graceful stop: it closes the intake (Submit returns
+// ErrClosed), cancels every queued and running job — each running job
+// stops at its next iteration boundary and flushes a final OBJCKv1
+// checkpoint, so a restarted server can resume the work — and waits
+// for the workers to drain. Safe to call more than once and
+// concurrently with Close.
+func (s *Service) Shutdown() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.notify.Broadcast()
+	}
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	for _, id := range ids {
+		// Cancel is a no-op beyond ErrFinished for jobs that already
+		// completed; running streaming jobs wake from their ingest
+		// wait through the job context.
+		s.Cancel(id)
+	}
+	s.wg.Wait()
 }
 
 // snapshot publishes a preview copy of the object and writes the

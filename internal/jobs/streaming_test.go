@@ -1,0 +1,320 @@
+package jobs
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/grid"
+	"ptychopath/internal/stream"
+)
+
+// TestStreamingJobLifecycle drives a streaming job end-to-end at the
+// service level: open from metadata, feed three chunks while it runs,
+// close the stream, and verify progress reporting, checkpoints and
+// metrics.
+func TestStreamingJobLifecycle(t *testing.T) {
+	prob := tinyProblem(t)
+	hdr := dataio.HeaderFromProblem(prob)
+	frames := dataio.FramesFromProblem(prob)
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 4, CheckpointEvery: 1})
+
+	j, err := s.SubmitStreaming(hdr, Params{Algorithm: "serial", Iterations: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Streaming() || j.WindowN() != prob.WindowN {
+		t.Fatalf("job streaming=%v windowN=%d", j.Streaming(), j.WindowN())
+	}
+	waitFor(t, "streaming job running", func() bool { return j.State() == Running })
+
+	bounds := []int{0, 6, 11, len(frames)}
+	for i := 0; i < 3; i++ {
+		if _, err := s.AppendFrames(j.ID(), frames[bounds[i]:bounds[i+1]]); err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		want := i + 1
+		waitFor(t, "fold", func() bool { return j.Info(0).Folds >= want })
+	}
+	// Mid-stream status: the job reports frame progress, no total.
+	mid := j.Info(0)
+	if !mid.Streaming || mid.Frames != len(frames) || mid.EOF {
+		t.Fatalf("mid-stream info: %+v", mid)
+	}
+	if mid.TotalIters != 0 {
+		t.Errorf("streaming job reports total_iters %d while the stream is open", mid.TotalIters)
+	}
+
+	if err := s.CloseStream(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "streaming job done", func() bool { return j.State().Terminal() })
+	info := j.Info(-1)
+	if j.State() != Done {
+		t.Fatalf("streaming job %v: %s", j.State(), info.Error)
+	}
+	if info.ActiveFrames != len(frames) || info.Folds < 3 || !info.EOF {
+		t.Errorf("final info: active %d folds %d eof %v", info.ActiveFrames, info.Folds, info.EOF)
+	}
+	if info.Iter <= 6 {
+		t.Errorf("finished after %d iterations; tail alone is 6, so nothing ran mid-stream", info.Iter)
+	}
+	if len(info.CostHistory) != info.Iter {
+		t.Errorf("cost history has %d entries for %d iterations", len(info.CostHistory), info.Iter)
+	}
+	path, ckIter := j.CheckpointPath()
+	if ckIter != info.Iter {
+		t.Errorf("final checkpoint at iter %d, progress at %d", ckIter, info.Iter)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("checkpoint file: %v", err)
+	}
+
+	// Terminal stream rejects further frames and cannot be resumed.
+	if _, err := s.AppendFrames(j.ID(), frames[:1]); !errors.Is(err, ErrFinished) {
+		t.Errorf("append after done: got %v, want ErrFinished", err)
+	}
+	if err := s.CloseStream(j.ID()); !errors.Is(err, ErrFinished) {
+		t.Errorf("close after done: got %v, want ErrFinished", err)
+	}
+	if _, err := s.Resume(j.ID()); !errors.Is(err, ErrNotResumable) {
+		t.Errorf("resume streaming job: got %v, want ErrNotResumable", err)
+	}
+
+	var sb strings.Builder
+	if err := s.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ptychoserve_frames_ingested_total 16",
+		"ptychoserve_jobs_completed_total 1",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestStreamingValidationAndBackpressure covers the error surface:
+// frames to batch jobs, bad frames, unsupported algorithms, and the
+// bounded ingest pushing back while the job is still queued.
+func TestStreamingValidationAndBackpressure(t *testing.T) {
+	prob := tinyProblem(t)
+	hdr := dataio.HeaderFromProblem(prob)
+	frames := dataio.FramesFromProblem(prob)
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 4})
+
+	// Occupy the only worker so streaming jobs stay queued.
+	long, err := s.Submit(prob, Params{Algorithm: "serial", Iterations: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "long job running", func() bool { return long.State() == Running })
+	t.Cleanup(func() {
+		s.Cancel(long.ID())
+		waitFor(t, "long job cancelled", func() bool { return long.State().Terminal() })
+	})
+
+	if _, err := s.AppendFrames(long.ID(), frames[:1]); !errors.Is(err, ErrNotStreaming) {
+		t.Errorf("frames to batch job: got %v, want ErrNotStreaming", err)
+	}
+	if err := s.CloseStream(long.ID()); !errors.Is(err, ErrNotStreaming) {
+		t.Errorf("eof to batch job: got %v, want ErrNotStreaming", err)
+	}
+	if _, err := s.SubmitStreaming(hdr, Params{Algorithm: "hve", Iterations: 4}); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("hve streaming: got %v, want ErrInvalidParams", err)
+	}
+	if _, err := s.SubmitStreaming(hdr, Params{InitialObject: make([]*grid.Complex2D, 1)}); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("warm-start streaming: got %v, want ErrInvalidParams", err)
+	}
+	if _, err := s.AppendFrames("job-9999", frames[:1]); !errors.Is(err, ErrNotFound) {
+		t.Errorf("frames to unknown job: got %v, want ErrNotFound", err)
+	}
+
+	// A queued streaming job buffers frames up to its bound, then
+	// pushes back without losing what it holds.
+	j, err := s.SubmitStreaming(hdr, Params{Algorithm: "serial", Iterations: 4, IngestCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := grid.NewFloat2DSize(prob.WindowN+1, prob.WindowN)
+	if _, err := s.AppendFrames(j.ID(), []dataio.Frame{{Loc: frames[0].Loc, Meas: bad}}); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("wrong-sized frame: got %v, want ErrInvalidParams", err)
+	}
+	// An out-of-image center must 400 the producer at append time, not
+	// fail the whole job at fold time.
+	glitch := frames[0]
+	glitch.Loc.X = float64(prob.Pattern.ImageW) + 40
+	if _, err := s.AppendFrames(j.ID(), []dataio.Frame{glitch}); !errors.Is(err, ErrInvalidParams) {
+		t.Errorf("out-of-image frame: got %v, want ErrInvalidParams", err)
+	}
+	// A chunk larger than the job's ingest capacity is permanently
+	// unacceptable: distinct non-retryable error.
+	if _, err := s.AppendFrames(j.ID(), frames[:6]); !errors.Is(err, stream.ErrChunkTooLarge) {
+		t.Errorf("chunk over capacity: got %v, want stream.ErrChunkTooLarge", err)
+	}
+	if total, err := s.AppendFrames(j.ID(), frames[:3]); err != nil || total != 3 {
+		t.Fatalf("append while queued: total %d, err %v", total, err)
+	}
+	if _, err := s.AppendFrames(j.ID(), frames[3:6]); !errors.Is(err, stream.ErrIngestFull) {
+		t.Errorf("overflow: got %v, want stream.ErrIngestFull", err)
+	}
+	if got := j.Info(0); got.Frames != 3 {
+		t.Errorf("after rejected chunk: %d frames buffered, want 3", got.Frames)
+	}
+	if err := s.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamingIterationBudgetCheckpoints: a streaming job whose feed
+// stalls past MaxIterations fails — but its partial result is still
+// checkpointed, so the work is salvageable.
+func TestStreamingIterationBudgetCheckpoints(t *testing.T) {
+	prob := tinyProblem(t)
+	frames := dataio.FramesFromProblem(prob)
+	// CheckpointEvery 1000: no periodic checkpoint fires, so the file
+	// can only come from the failure-path flush.
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 4, CheckpointEvery: 1000})
+	j, err := s.SubmitStreaming(dataio.HeaderFromProblem(prob),
+		Params{Algorithm: "serial", Iterations: 5, MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendFrames(j.ID(), frames[:4]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "budgeted job terminal", func() bool { return j.State().Terminal() })
+	info := j.Info(0)
+	if j.State() != Failed || !strings.Contains(info.Error, "budget") {
+		t.Fatalf("state %v, error %q; want Failed with the budget error", j.State(), info.Error)
+	}
+	if info.CheckpointIter != 3 {
+		t.Errorf("failure checkpoint at iter %d, want 3", info.CheckpointIter)
+	}
+	if _, err := os.Stat(info.Checkpoint); err != nil {
+		t.Errorf("failure checkpoint file: %v", err)
+	}
+}
+
+// TestShutdownGraceful is the graceful-stop satellite: Shutdown closes
+// the intake, cancels queued and running jobs (flushing a final
+// checkpoint for the running one), unblocks a streaming job waiting
+// for frames, and drains the pool.
+func TestShutdownGraceful(t *testing.T) {
+	prob := tinyProblem(t)
+	s := newTestService(t, Config{Workers: 2, QueueDepth: 8, CheckpointEvery: 2})
+
+	running, err := s.Submit(prob, Params{Algorithm: "serial", Iterations: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A streaming job with no frames: its worker blocks waiting on the
+	// ingest; Shutdown must wake and cancel it.
+	waiting, err := s.SubmitStreaming(dataio.HeaderFromProblem(prob), Params{Algorithm: "serial", Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "both jobs running", func() bool {
+		return running.State() == Running && waiting.State() == Running
+	})
+	waitFor(t, "mid-run progress", func() bool { return running.Info(0).Iter >= 4 })
+	// With both workers busy, this one is still queued at shutdown.
+	queued, err := s.Submit(prob, Params{Algorithm: "serial", Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Shutdown()
+
+	if got := running.State(); got != Cancelled {
+		t.Errorf("running job after shutdown: %v, want cancelled", got)
+	}
+	if got := waiting.State(); got != Cancelled {
+		t.Errorf("frame-starved streaming job after shutdown: %v, want cancelled", got)
+	}
+	if got := queued.State(); got != Cancelled {
+		t.Errorf("queued job after shutdown: %v, want cancelled", got)
+	}
+	// The interrupted run flushed a final checkpoint at its last
+	// completed iteration, so a restarted server can resume it.
+	info := running.Info(0)
+	if info.Iter <= 0 || info.Iter >= 1_000_000 {
+		t.Errorf("running job stopped at iteration %d, want mid-run", info.Iter)
+	}
+	if info.CheckpointIter != info.Iter {
+		t.Errorf("final checkpoint at %d, progress at %d", info.CheckpointIter, info.Iter)
+	}
+	if _, err := os.Stat(info.Checkpoint); err != nil {
+		t.Errorf("checkpoint file: %v", err)
+	}
+
+	// The intake is closed...
+	if _, err := s.Submit(prob, Params{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after shutdown: got %v, want ErrClosed", err)
+	}
+	// ...and a second Shutdown (or the usual Close) is a no-op.
+	s.Shutdown()
+	s.Close()
+}
+
+// TestSubscribeEvents checks the live feed: a subscriber sees
+// iteration progress and the terminal state, then its channel closes;
+// late subscribers get the final state immediately.
+func TestSubscribeEvents(t *testing.T) {
+	prob := tinyProblem(t)
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 4, CheckpointEvery: 2})
+	// Occupy the worker so the subscription is in place before the job
+	// starts; with 8 iterations the feed (8 iteration + 4 snapshot + 2
+	// state events) fits the buffer even if the consumer stalls, so
+	// nothing is dropped and the final state event is guaranteed.
+	blocker, err := s.Submit(prob, Params{Algorithm: "serial", Iterations: 1_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "blocker running", func() bool { return blocker.State() == Running })
+	j, err := s.Submit(prob, Params{Algorithm: "serial", Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := j.Subscribe(256)
+	defer cancel()
+	if err := s.Cancel(blocker.ID()); err != nil {
+		t.Fatal(err)
+	}
+
+	var iterations, snapshots int
+	var final string
+	for e := range ch {
+		switch e.Type {
+		case "iteration":
+			iterations++
+		case "snapshot":
+			snapshots++
+		case "state":
+			final = e.State
+		}
+		if e.Job != j.ID() {
+			t.Fatalf("event for job %q on %q's feed", e.Job, j.ID())
+		}
+	}
+	if final != "done" {
+		t.Errorf("final state event %q, want done", final)
+	}
+	if iterations == 0 || snapshots == 0 {
+		t.Errorf("feed saw %d iteration and %d snapshot events", iterations, snapshots)
+	}
+
+	// Subscribing after the end yields the terminal state, closed.
+	late, lateCancel := j.Subscribe(1)
+	defer lateCancel()
+	e, ok := <-late
+	if !ok || e.Type != "state" || e.State != "done" {
+		t.Fatalf("late subscription: %+v ok=%v", e, ok)
+	}
+	if _, ok := <-late; ok {
+		t.Fatal("late subscription channel not closed")
+	}
+}

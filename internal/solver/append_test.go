@@ -1,0 +1,93 @@
+package solver
+
+import (
+	"testing"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/scan"
+)
+
+// emptyClone returns a zero-location problem with prob's geometry —
+// what a streaming job opens with before frames arrive.
+func emptyClone(prob *Problem) *Problem {
+	return &Problem{
+		Pattern: &scan.Pattern{
+			ImageW: prob.Pattern.ImageW, ImageH: prob.Pattern.ImageH,
+			StepPix: prob.Pattern.StepPix, RadiusPix: prob.Pattern.RadiusPix,
+		},
+		Probe: prob.Probe, Prop: prob.Prop,
+		WindowN: prob.WindowN, Slices: prob.Slices,
+	}
+}
+
+// TestAppendLocationsGrowsToEquivalentProblem: a problem grown
+// incrementally from geometry-only reconstructs bit-identically to the
+// batch problem it was grown from.
+func TestAppendLocationsGrowsToEquivalentProblem(t *testing.T) {
+	prob, _ := smallProblem(t, 2, 0)
+	grown := emptyClone(prob)
+	n := prob.Pattern.N()
+	for lo := 0; lo < n; lo += 5 {
+		hi := min(lo+5, n)
+		if err := grown.AppendLocations(prob.Pattern.Locations[lo:hi], prob.Meas[lo:hi]); err != nil {
+			t.Fatalf("append [%d,%d): %v", lo, hi, err)
+		}
+	}
+	if err := grown.Validate(); err != nil {
+		t.Fatalf("grown problem invalid: %v", err)
+	}
+	init := phantom.Vacuum(prob.ImageBounds(), prob.Slices).Slices
+	opt := Options{StepSize: 0.01, Iterations: 5, Mode: Batch}
+	want, err := Reconstruct(prob, init, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reconstruct(grown, init, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range want.Slices {
+		if md := want.Slices[s].MaxDiff(got.Slices[s]); md != 0 {
+			t.Fatalf("slice %d: grown problem differs from batch by %g", s, md)
+		}
+	}
+}
+
+// TestAppendLocationsValidation: malformed appends are rejected whole —
+// nothing is partially appended.
+func TestAppendLocationsValidation(t *testing.T) {
+	prob, _ := smallProblem(t, 1, 0)
+	grown := emptyClone(prob)
+
+	loc := prob.Pattern.Locations[0]
+	good := prob.Meas[0]
+
+	if err := grown.AppendLocations([]scan.Location{loc}, nil); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if err := grown.AppendLocations([]scan.Location{loc}, []*grid.Float2D{nil}); err == nil {
+		t.Error("nil measurement accepted")
+	}
+	wrong := grid.NewFloat2DSize(prob.WindowN+1, prob.WindowN)
+	if err := grown.AppendLocations([]scan.Location{loc}, []*grid.Float2D{wrong}); err == nil {
+		t.Error("wrong-sized measurement accepted")
+	}
+	outside := loc
+	outside.X = float64(prob.Pattern.ImageW) + 50
+	if err := grown.AppendLocations(
+		[]scan.Location{loc, outside},
+		[]*grid.Float2D{good, good}); err == nil {
+		t.Error("out-of-image center accepted")
+	}
+	if grown.Pattern.N() != 0 || len(grown.Meas) != 0 {
+		t.Fatalf("failed appends left %d locations, %d measurements", grown.Pattern.N(), len(grown.Meas))
+	}
+
+	if err := grown.AppendLocations([]scan.Location{loc}, []*grid.Float2D{good}); err != nil {
+		t.Fatalf("valid append rejected: %v", err)
+	}
+	if grown.Pattern.N() != 1 {
+		t.Fatalf("appended 1 location, have %d", grown.Pattern.N())
+	}
+}

@@ -57,6 +57,40 @@ func (p *Problem) Validate() error {
 	return nil
 }
 
+// AppendLocations grows the problem in place with newly acquired probe
+// locations and their measurements — the growable-dataset API of the
+// streaming subsystem (internal/stream). Measurements must be
+// WindowN x WindowN and location centers must fall inside the image
+// extent (the tile meshes assign locations by circle-center
+// containment, so a center outside the image would silently belong to
+// no rank). On error nothing is appended.
+//
+// The caller owns concurrency: engines iterate Pattern.Locations and
+// Meas by index, so appends are safe exactly at iteration boundaries —
+// which is when the streaming engine folds arrivals in.
+func (p *Problem) AppendLocations(locs []scan.Location, meas []*grid.Float2D) error {
+	if len(locs) != len(meas) {
+		return fmt.Errorf("solver: %d locations with %d measurements", len(locs), len(meas))
+	}
+	if p.Pattern == nil {
+		return fmt.Errorf("solver: nil pattern")
+	}
+	img := p.ImageBounds()
+	for i, m := range meas {
+		if m == nil || m.W() != p.WindowN || m.H() != p.WindowN {
+			return fmt.Errorf("solver: appended measurement %d is not %dx%d", i, p.WindowN, p.WindowN)
+		}
+		x, y := int(math.Round(locs[i].X)), int(math.Round(locs[i].Y))
+		if !img.Contains(x, y) {
+			return fmt.Errorf("solver: appended location %d center (%g, %g) outside image %v",
+				i, locs[i].X, locs[i].Y, img)
+		}
+	}
+	p.Pattern.Locations = append(p.Pattern.Locations, locs...)
+	p.Meas = append(p.Meas, meas...)
+	return nil
+}
+
 // NewEngine constructs a fresh multislice engine for this problem.
 // Engines are not concurrency-safe; each worker makes its own.
 func (p *Problem) NewEngine() *multislice.Engine {

@@ -1,0 +1,411 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/gradsync"
+	"ptychopath/internal/grid"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+	"ptychopath/internal/tiling"
+)
+
+// Options configures a streaming reconstruction.
+type Options struct {
+	// Algorithm is "serial" (default) or "gd" (Gradient Decomposition
+	// with per-epoch tile re-partitioning). Halo Voxel Exchange is not
+	// supported: its redundant boundary locations are assigned once,
+	// which contradicts a growing location set.
+	Algorithm string
+	// StepSize is the gradient step. Default 0.01.
+	StepSize float64
+	// TailIterations is how many iterations run over the complete set
+	// after the stream closes — the "finish its epochs" phase.
+	// Default 20.
+	TailIterations int
+	// FoldEvery is the number of iterations between ingest polls while
+	// the stream is open (and the epoch length of the gd engine).
+	// Default 1: new frames fold in at every iteration boundary.
+	FoldEvery int
+	// MaxIterations, when positive, bounds iterations run BEFORE the
+	// stream closes; exceeding it returns ErrIterationBudget with the
+	// partial (checkpointable) result. Guards against a stalled feed
+	// spinning the solver forever. 0 means unlimited.
+	MaxIterations int
+	// MeshRows and MeshCols shape the gd tile mesh. Default 2x2.
+	MeshRows, MeshCols int
+	// RoundsPerIteration is the gd communication frequency. Default 1.
+	RoundsPerIteration int
+	// IntraWorkers is the gd per-rank goroutine count.
+	IntraWorkers int
+	// Timeout bounds gd communication. 0 uses the gradsync default.
+	Timeout time.Duration
+	// InitialObject warm-starts the run (copied, not mutated); nil
+	// means vacuum.
+	InitialObject []*grid.Complex2D
+	// Ctx, when non-nil, cancels the run at iteration boundaries (and
+	// wakes the engine when it is blocked waiting for the first
+	// frames). Run returns the partial result with Ctx's error.
+	Ctx context.Context
+	// OnIteration receives the 0-based global iteration index and the
+	// cost over the active set measured during that iteration.
+	OnIteration func(iter int, cost float64)
+	// OnFold fires after each fold that grew the active set: the
+	// iteration count completed so far, the number of frames folded,
+	// and the new active-set size.
+	OnFold func(iter, added, active int)
+	// SnapshotEvery, with OnSnapshot, emits periodic object snapshots
+	// exactly like the batch engines (0-based iteration index; live
+	// buffers for the serial engine — copy to retain). The cadence is
+	// exact for the serial engine; the gd engine snapshots at epoch
+	// boundaries, so cadence is exact when FoldEvery is 1.
+	SnapshotEvery int
+	OnSnapshot    func(iter int, slices []*grid.Complex2D) error
+}
+
+func (o *Options) setDefaults() {
+	if o.Algorithm == "" {
+		o.Algorithm = "serial"
+	}
+	if o.StepSize == 0 {
+		o.StepSize = 0.01
+	}
+	if o.TailIterations == 0 {
+		o.TailIterations = 20
+	}
+	if o.FoldEvery <= 0 {
+		o.FoldEvery = 1
+	}
+	if o.MeshRows == 0 {
+		o.MeshRows = 2
+	}
+	if o.MeshCols == 0 {
+		o.MeshCols = 2
+	}
+	if o.RoundsPerIteration == 0 {
+		o.RoundsPerIteration = 1
+	}
+}
+
+func (o *Options) validate(hdr *dataio.StreamHeader) error {
+	if err := hdr.Validate(); err != nil {
+		return err
+	}
+	switch o.Algorithm {
+	case "serial", "gd":
+	default:
+		return fmt.Errorf("stream: unknown algorithm %q (want serial or gd)", o.Algorithm)
+	}
+	if o.StepSize <= 0 {
+		return fmt.Errorf("stream: step size must be positive, got %g", o.StepSize)
+	}
+	if o.TailIterations <= 0 {
+		return fmt.Errorf("stream: tail iterations must be positive, got %d", o.TailIterations)
+	}
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("stream: max iterations must be non-negative, got %d", o.MaxIterations)
+	}
+	if o.MeshRows <= 0 || o.MeshCols <= 0 {
+		return fmt.Errorf("stream: invalid mesh %dx%d", o.MeshRows, o.MeshCols)
+	}
+	if o.InitialObject != nil {
+		if len(o.InitialObject) != hdr.Slices {
+			return fmt.Errorf("stream: initial object has %d slices, stream has %d",
+				len(o.InitialObject), hdr.Slices)
+		}
+		bounds := grid.RectWH(0, 0, hdr.ImageW, hdr.ImageH)
+		if !o.InitialObject[0].Bounds.Eq(bounds) {
+			return fmt.Errorf("stream: initial object bounds %v != image %v",
+				o.InitialObject[0].Bounds, bounds)
+		}
+	}
+	return nil
+}
+
+// Result carries the streaming reconstruction and its run statistics.
+type Result struct {
+	// Slices is the reconstructed object over the full image.
+	Slices []*grid.Complex2D
+	// CostHistory holds the active-set cost per iteration. Entries
+	// from before the final fold are costs over a PARTIAL set — not
+	// comparable with later entries in absolute terms.
+	CostHistory []float64
+	// Iterations is the number of iterations completed.
+	Iterations int
+	// Frames is the number of frames folded into the reconstruction.
+	Frames int
+	// Folds is the number of ingest folds that grew the active set —
+	// the epoch count of the run.
+	Folds int
+}
+
+// recorder is the per-run progress state shared by both engines.
+type recorder struct {
+	opt   *Options
+	hist  []float64
+	done  int // completed iterations
+	folds int
+}
+
+// record publishes one completed iteration (serial engine: the
+// recorder numbers iterations itself).
+func (r *recorder) record(cost float64) {
+	r.recordIndexed(r.done, cost)
+}
+
+// recordIndexed publishes one completed iteration whose 0-based global
+// index the engine reports directly — the gd engine's gradsync epochs
+// carry IterOffset, so the index arriving here is already continuous
+// across epochs and becomes the recorder's progress counter.
+func (r *recorder) recordIndexed(iter int, cost float64) {
+	r.hist = append(r.hist, cost)
+	r.done = iter + 1
+	if r.opt.OnIteration != nil {
+		r.opt.OnIteration(iter, cost)
+	}
+}
+
+// snapshotDue reports whether the global cadence owes a snapshot after
+// r.done completed iterations.
+func (r *recorder) snapshotDue() bool {
+	return r.opt.SnapshotEvery > 0 && r.opt.OnSnapshot != nil &&
+		r.done > 0 && r.done%r.opt.SnapshotEvery == 0
+}
+
+// serialEngine runs the exact batch gradient-descent step of
+// internal/solver over the growing active set: one Workspace for the
+// whole run, so the per-location kernel stays allocation-free no
+// matter how many folds have happened.
+type serialEngine struct {
+	prob   *solver.Problem
+	slices []*grid.Complex2D
+	ws     *solver.Workspace
+	step   complex128
+}
+
+func newSerialEngine(prob *solver.Problem, init []*grid.Complex2D, stepSize float64) *serialEngine {
+	return &serialEngine{
+		prob:   prob,
+		slices: init,
+		ws:     prob.NewWorkspace(init[0].Bounds),
+		step:   complex(stepSize, 0),
+	}
+}
+
+// iterate runs ONE batch iteration — identical operation order to the
+// Batch branch of solver.Reconstruct, which is what makes a streaming
+// run bit-identical to a batch run warm-started from any post-fold
+// checkpoint. No allocations in steady state (guarded by
+// TestStreamingKernelAllocationFree).
+func (e *serialEngine) iterate() float64 {
+	e.ws.ZeroGrads()
+	var cost float64
+	for i, l := range e.prob.Pattern.Locations {
+		cost += e.ws.LossGrad(e.slices, l.Window(e.prob.WindowN), e.prob.Meas[i])
+	}
+	grads := e.ws.Grads()
+	for s := range e.slices {
+		e.slices[s].AddScaled(grads[s], -e.step)
+	}
+	return cost
+}
+
+// run executes up to n iterations, honoring cancellation and the
+// snapshot cadence at every iteration boundary.
+func (e *serialEngine) run(n int, rec *recorder) error {
+	opt := rec.opt
+	for k := 0; k < n; k++ {
+		cost := e.iterate()
+		rec.record(cost)
+		if rec.snapshotDue() {
+			if err := opt.OnSnapshot(rec.done-1, e.slices); err != nil {
+				return fmt.Errorf("stream: snapshot at iteration %d: %w", rec.done-1, err)
+			}
+		}
+		if opt.Ctx != nil && opt.Ctx.Err() != nil {
+			return context.Cause(opt.Ctx)
+		}
+	}
+	return nil
+}
+
+func (e *serialEngine) object() []*grid.Complex2D { return e.slices }
+
+// gdEngine runs Gradient Decomposition in epochs: each call
+// re-partitions the grown location set across the tile mesh
+// (Mesh.AssignLocations inside gradsync.Reconstruct) and advances the
+// object by one epoch of iterations, warm-starting from the previous
+// epoch's stitched result. IterOffset keeps reported iteration indices
+// continuous across epochs.
+type gdEngine struct {
+	prob *solver.Problem
+	cur  []*grid.Complex2D
+	mesh *tiling.Mesh
+	opt  *Options
+}
+
+func newGDEngine(prob *solver.Problem, init []*grid.Complex2D, opt *Options) (*gdEngine, error) {
+	mesh, err := tiling.NewMesh(prob.ImageBounds(), opt.MeshRows, opt.MeshCols,
+		tiling.HaloForWindow(prob.WindowN))
+	if err != nil {
+		return nil, err
+	}
+	return &gdEngine{prob: prob, cur: init, mesh: mesh, opt: opt}, nil
+}
+
+func (e *gdEngine) run(n int, rec *recorder) error {
+	opt := rec.opt
+	r, err := gradsync.Reconstruct(e.prob, e.cur, gradsync.Options{
+		Mesh: e.mesh, Mode: gradsync.ModeBatch,
+		StepSize: opt.StepSize, Iterations: n,
+		RoundsPerIteration: opt.RoundsPerIteration,
+		IntraWorkers:       opt.IntraWorkers,
+		Timeout:            opt.Timeout,
+		IterOffset:         rec.done,
+		OnIteration:        rec.recordIndexed,
+		Ctx:                opt.Ctx,
+	})
+	if r != nil {
+		e.cur = r.Slices
+	}
+	if err != nil {
+		return err
+	}
+	// Epoch-boundary snapshot: the stitched full-image object is only
+	// available between epochs.
+	if rec.snapshotDue() {
+		if serr := opt.OnSnapshot(rec.done-1, e.cur); serr != nil {
+			return fmt.Errorf("stream: snapshot at iteration %d: %w", rec.done-1, serr)
+		}
+	}
+	return nil
+}
+
+func (e *gdEngine) object() []*grid.Complex2D { return e.cur }
+
+// engine is the per-algorithm stepping interface of the streaming loop.
+type engine interface {
+	// run advances the reconstruction by up to n iterations over the
+	// CURRENT active set, reporting progress through rec. A non-nil
+	// error with partial progress (cancellation) leaves object() valid.
+	run(n int, rec *recorder) error
+	// object returns the current full-image slices (live buffers).
+	object() []*grid.Complex2D
+}
+
+// Run reconstructs an acquisition streamed through in, starting from
+// geometry metadata only. Frames are folded into the active set at
+// iteration boundaries; after the stream closes, TailIterations more
+// iterations run over the complete set. On cancellation (or
+// ErrIterationBudget) the partial result is returned alongside the
+// error so the caller can checkpoint it.
+func Run(hdr *dataio.StreamHeader, in *Ingest, opt Options) (*Result, error) {
+	opt.setDefaults()
+	if err := opt.validate(hdr); err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, fmt.Errorf("stream: nil ingest")
+	}
+	prob := hdr.NewProblem()
+	init := opt.InitialObject
+	if init == nil {
+		init = phantom.Vacuum(prob.ImageBounds(), prob.Slices).Slices
+	} else {
+		cp := make([]*grid.Complex2D, len(init))
+		for i, s := range init {
+			cp[i] = s.Clone()
+		}
+		init = cp
+	}
+	var eng engine
+	var err error
+	switch opt.Algorithm {
+	case "serial":
+		eng = newSerialEngine(prob, init, opt.StepSize)
+	case "gd":
+		if eng, err = newGDEngine(prob, init, &opt); err != nil {
+			return nil, err
+		}
+	}
+
+	rec := &recorder{opt: &opt}
+	result := func() *Result {
+		return &Result{
+			Slices:      eng.object(),
+			CostHistory: rec.hist,
+			Iterations:  rec.done,
+			Frames:      prob.Pattern.N(),
+			Folds:       rec.folds,
+		}
+	}
+	fold := func(frames []dataio.Frame) error {
+		if len(frames) == 0 {
+			return nil
+		}
+		locs := make([]scan.Location, len(frames))
+		meas := make([]*grid.Float2D, len(frames))
+		for i, f := range frames {
+			locs[i], meas[i] = f.Loc, f.Meas
+		}
+		if err := prob.AppendLocations(locs, meas); err != nil {
+			return err
+		}
+		rec.folds++
+		if opt.OnFold != nil {
+			opt.OnFold(rec.done, len(frames), prob.Pattern.N())
+		}
+		return nil
+	}
+
+	// Streaming phase: fold arrivals at iteration boundaries, iterate
+	// over the active set between folds.
+	eofFolded := false
+	for !eofFolded {
+		var frames []dataio.Frame
+		var eof bool
+		if prob.Pattern.N() == 0 {
+			// Nothing to iterate on yet: block until the acquisition
+			// produces frames, closes, or the run is cancelled.
+			if frames, eof, err = in.wait(opt.Ctx); err != nil {
+				return result(), err
+			}
+		} else {
+			frames, eof = in.poll()
+		}
+		if err := fold(frames); err != nil {
+			return result(), err
+		}
+		eofFolded = eof
+		if prob.Pattern.N() == 0 {
+			if eofFolded {
+				return nil, ErrNoFrames
+			}
+			continue
+		}
+		if eofFolded {
+			break // tail phase iterates the complete set
+		}
+		if opt.MaxIterations > 0 && rec.done >= opt.MaxIterations {
+			return result(), fmt.Errorf("%w: %d iterations", ErrIterationBudget, rec.done)
+		}
+		if err := eng.run(opt.FoldEvery, rec); err != nil {
+			return result(), err
+		}
+	}
+
+	// Tail phase: the active set is complete; every iteration from
+	// here is an exact batch step, so checkpoints taken now warm-start
+	// bit-identical batch runs.
+	chunk := opt.FoldEvery
+	for left := opt.TailIterations; left > 0; left -= chunk {
+		if err := eng.run(min(chunk, left), rec); err != nil {
+			return result(), err
+		}
+	}
+	return result(), nil
+}

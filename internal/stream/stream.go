@@ -1,0 +1,187 @@
+// Package stream is the online-reconstruction subsystem: it
+// reconstructs a ptychographic dataset WHILE the acquisition is still
+// producing it. A streaming job opens with geometry and probe metadata
+// only (dataio.StreamHeader — the PTYCHSv1 opening), diffraction
+// frames are appended in chunks as the microscope scans, and the
+// engine folds newly arrived probe locations into the active set at
+// iteration boundaries, refining the object continuously instead of
+// waiting for the full dataset to land on disk. This is the paper's
+// real-time-steering motivation made operational: the scientist
+// watches previews sharpen while the scan is still running.
+//
+// The subsystem has two halves:
+//
+//   - Ingest, a bounded frame buffer between the transport (HTTP
+//     chunk uploads) and the engine. When the producer outruns the
+//     reconstruction, Append returns ErrIngestFull and the HTTP layer
+//     surfaces 429 + Retry-After — backpressure instead of unbounded
+//     memory.
+//   - Run, the engine loop. It drains the ingest at every iteration
+//     boundary (Problem.AppendLocations), iterates over the active
+//     set with the same allocation-free solver.Workspace kernel the
+//     batch engines use, and after the stream closes runs
+//     TailIterations more passes over the complete set.
+//
+// Exactness: after the final fold the active set equals the full
+// dataset and every subsequent serial iteration is the exact batch
+// gradient-descent step of internal/solver. A checkpoint taken at any
+// post-fold iteration boundary therefore warm-starts a batch run that
+// reproduces the streaming result bit-for-bit — the streaming
+// extension of the service's exact-resume guarantee, verified by the
+// tests here and in internal/jobs/httpapi.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ptychopath/internal/dataio"
+)
+
+// Errors returned by the subsystem.
+var (
+	// ErrIngestFull is returned by Append when accepting the frames
+	// would overflow the bounded buffer: the reconstruction is not
+	// folding frames as fast as they arrive. Retry after a fold.
+	ErrIngestFull = errors.New("stream: ingest buffer full")
+	// ErrChunkTooLarge is returned by Append for a chunk bigger than
+	// the buffer's TOTAL capacity — retrying can never succeed (the
+	// HTTP layer maps it to 400, not 429). Split the chunk instead.
+	ErrChunkTooLarge = errors.New("stream: chunk exceeds ingest capacity")
+	// ErrStreamClosed is returned by Append after CloseEOF.
+	ErrStreamClosed = errors.New("stream: stream closed")
+	// ErrNoFrames is returned by Run when the stream closes before a
+	// single frame arrived.
+	ErrNoFrames = errors.New("stream: stream closed with no frames")
+	// ErrIterationBudget is returned by Run (with the partial result)
+	// when MaxIterations pass before the stream closes — a stalled
+	// feed, not a solver failure. The result is checkpointable.
+	ErrIterationBudget = errors.New("stream: iteration budget exhausted before end of stream")
+)
+
+// Ingest is the bounded buffer between frame producers and the engine.
+// Producers call Append and CloseEOF from any goroutine; the engine
+// drains it at iteration boundaries. Capacity is in frames.
+type Ingest struct {
+	mu       sync.Mutex
+	buf      []dataio.Frame
+	capacity int
+	eof      bool
+	total    int           // frames ever accepted
+	wake     chan struct{} // 1-buffered: new frames or EOF
+}
+
+// NewIngest returns a buffer holding at most capacity frames
+// (default 4096 when <= 0).
+func NewIngest(capacity int) *Ingest {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Ingest{capacity: capacity, wake: make(chan struct{}, 1)}
+}
+
+// Capacity returns the buffer bound in frames.
+func (in *Ingest) Capacity() int { return in.capacity }
+
+// Append accepts a chunk of frames, all-or-nothing: if the buffer
+// cannot hold every frame it accepts none and returns ErrIngestFull,
+// so a producer can retry the whole chunk after backoff. It returns
+// the total number of frames accepted so far.
+func (in *Ingest) Append(frames []dataio.Frame) (int, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.eof {
+		return in.total, ErrStreamClosed
+	}
+	if len(frames) > in.capacity {
+		// Even an empty buffer could not hold it: a retryable "full"
+		// signal here would livelock a producer that honors it.
+		return in.total, fmt.Errorf("%w: %d frames > capacity %d",
+			ErrChunkTooLarge, len(frames), in.capacity)
+	}
+	if len(frames) > in.capacity-len(in.buf) {
+		return in.total, fmt.Errorf("%w: %d buffered + %d arriving > capacity %d",
+			ErrIngestFull, len(in.buf), len(frames), in.capacity)
+	}
+	in.buf = append(in.buf, frames...)
+	in.total += len(frames)
+	in.signal()
+	return in.total, nil
+}
+
+// CloseEOF marks the end of the acquisition. Idempotent; frames
+// already buffered are still folded.
+func (in *Ingest) CloseEOF() {
+	in.mu.Lock()
+	in.eof = true
+	in.signal()
+	in.mu.Unlock()
+}
+
+// signal wakes a blocked take without blocking the producer.
+// Called with mu held.
+func (in *Ingest) signal() {
+	select {
+	case in.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Total returns the number of frames accepted so far.
+func (in *Ingest) Total() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}
+
+// Pending returns the number of buffered frames not yet folded.
+func (in *Ingest) Pending() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.buf)
+}
+
+// EOF reports whether the stream has been closed.
+func (in *Ingest) EOF() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.eof
+}
+
+// poll drains every buffered frame without blocking. eof reports that
+// the stream is closed AND fully drained — the engine's signal to
+// start its tail iterations.
+func (in *Ingest) poll() (frames []dataio.Frame, eof bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	frames = in.buf
+	in.buf = nil
+	return frames, in.eof
+}
+
+// wait blocks until frames are available, the stream closes, or ctx is
+// cancelled, then drains like poll.
+func (in *Ingest) wait(ctx context.Context) (frames []dataio.Frame, eof bool, err error) {
+	for {
+		in.mu.Lock()
+		if len(in.buf) > 0 || in.eof {
+			frames = in.buf
+			in.buf = nil
+			eof = in.eof
+			in.mu.Unlock()
+			return frames, eof, nil
+		}
+		in.mu.Unlock()
+		if ctx == nil {
+			<-in.wake
+			continue
+		}
+		select {
+		case <-in.wake:
+		case <-ctx.Done():
+			return nil, false, context.Cause(ctx)
+		}
+	}
+}
