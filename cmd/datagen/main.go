@@ -6,10 +6,15 @@
 //
 //	datagen -o dataset.ptycho [-scan 8] [-overlap 0.75] [-slices 2]
 //	        [-window 16] [-radius 8] [-phantom pbtio3|random]
-//	        [-dose 0] [-seed 1] [-info existing.ptycho]
+//	        [-dose 0] [-seed 1] [-stream] [-chunk 64]
+//	        [-info existing.ptycho]
 //
 // With -info, datagen prints a summary of an existing file instead of
-// generating one.
+// generating one. With -stream, the output is a PTYCHSv1 stream
+// (opening + CRC-framed chunks of -chunk frames + EOF marker) instead
+// of a PTYCHOv1 batch container — the input format of the streaming
+// endpoints and a ready-made body for POST /jobs/stream (see
+// docs/FORMATS.md and docs/HTTP_API.md).
 package main
 
 import (
@@ -34,6 +39,8 @@ func main() {
 	kind := flag.String("phantom", "pbtio3", "phantom: pbtio3 or random")
 	dose := flag.Float64("dose", 0, "mean electrons per pattern (0 = noise-free)")
 	seed := flag.Int64("seed", 1, "random seed")
+	stream := flag.Bool("stream", false, "write a PTYCHSv1 stream instead of a PTYCHOv1 batch file")
+	chunk := flag.Int("chunk", 64, "frames per CRC-framed chunk in -stream mode")
 	info := flag.String("info", "", "print a summary of an existing dataset file and exit")
 	flag.Parse()
 
@@ -43,7 +50,7 @@ func main() {
 		}
 		return
 	}
-	if err := generate(*out, *scanN, *overlap, *slices, *window, *radius, *kind, *dose, *seed); err != nil {
+	if err := generate(*out, *scanN, *overlap, *slices, *window, *radius, *kind, *dose, *seed, *stream, *chunk); err != nil {
 		fatal(err)
 	}
 }
@@ -54,7 +61,7 @@ func fatal(err error) {
 }
 
 func generate(out string, scanN int, overlap float64, slices, window int,
-	radius float64, kind string, dose float64, seed int64) error {
+	radius float64, kind string, dose float64, seed int64, stream bool, chunk int) error {
 	step := scan.StepForOverlap(radius, overlap)
 	pat, err := scan.Raster(scan.RasterConfig{
 		Cols: scanN, Rows: scanN, StepPix: step, RadiusPix: radius,
@@ -90,15 +97,31 @@ func generate(out string, scanN int, overlap float64, slices, window int,
 	if err != nil {
 		return err
 	}
-	if err := dataio.WriteFile(out, prob); err != nil {
+	if stream {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := dataio.WriteStream(f, prob, chunk); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := dataio.WriteFile(out, prob); err != nil {
 		return err
 	}
 	fi, err := os.Stat(out)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d locations, %dx%d image, %d slices, window %d (%.1f MB)\n",
-		out, pat.N(), pat.ImageW, pat.ImageH, slices, window,
+	format := "PTYCHOv1"
+	if stream {
+		format = "PTYCHSv1"
+	}
+	fmt.Printf("wrote %s (%s): %d locations, %dx%d image, %d slices, window %d (%.1f MB)\n",
+		out, format, pat.N(), pat.ImageW, pat.ImageH, slices, window,
 		float64(fi.Size())/1e6)
 	return nil
 }

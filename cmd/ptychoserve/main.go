@@ -9,9 +9,16 @@
 //
 //	ptychoserve [-addr :8617] [-workers 2] [-queue 16]
 //	            [-spool DIR] [-checkpoint-every 5] [-ingest 4096]
+//	            [-grid ADDR]
 //
-// See internal/jobs/httpapi for the endpoint reference and README.md for
-// a curl quickstart.
+// With -grid, the server additionally runs the worker-grid coordinator:
+// ptychoworker processes dial ADDR over the CRC-framed TCP transport,
+// and jobs submitted with ?grid=1 run their parallel engine across
+// those processes — one rank per mesh tile — with the same checkpoint,
+// preview, cancel and resume behavior as local jobs.
+//
+// See docs/HTTP_API.md for the complete endpoint reference (CI-verified
+// curl examples) and README.md for the quickstarts.
 package main
 
 import (
@@ -38,24 +45,30 @@ func main() {
 	ckEvery := flag.Int("checkpoint-every", 5, "default iterations between OBJCKv1 checkpoints / preview snapshots")
 	timeout := flag.Duration("timeout", 5*time.Minute, "parallel-engine communication timeout")
 	ingest := flag.Int("ingest", 4096, "default per-job frame buffer for streaming jobs (429 backpressure beyond it)")
+	gridAddr := flag.String("grid", "", "worker-grid coordinator listen address (e.g. :8619); empty disables distributed jobs")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest); err != nil {
+	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest, *gridAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "ptychoserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int) error {
+func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int, gridAddr string) error {
 	svc, err := jobs.NewService(jobs.Config{
 		Workers: workers, QueueDepth: queue, SpoolDir: spool,
 		CheckpointEvery: ckEvery, Timeout: timeout, IngestFrames: ingest,
+		GridAddr: gridAddr,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("ptychoserve: %d workers, queue depth %d, spool %s\n",
 		svc.Config().Workers, svc.Config().QueueDepth, svc.Config().SpoolDir)
+	if svc.GridEnabled() {
+		fmt.Printf("ptychoserve: grid coordinator on %s (connect ptychoworker processes, submit with ?grid=1)\n",
+			svc.GridAddr())
+	}
 
 	srv := &http.Server{Addr: addr, Handler: httpapi.New(svc).Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

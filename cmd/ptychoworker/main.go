@@ -1,0 +1,52 @@
+// Command ptychoworker is a grid worker process: it dials a ptychoserve
+// coordinator's grid address, registers its rank endpoints, and serves
+// distributed reconstruction sessions — each session runs one rank of
+// the unmodified gradsync or halo engine over the CRC-framed TCP
+// transport (internal/transport), so a 4x4-tile job can span four
+// machines running four ranks each.
+//
+// Usage:
+//
+//	ptychoworker -connect HOST:PORT [-ranks 1] [-name NAME]
+//	             [-timeout 30s] [-retry]
+//
+// A worker stays connected between jobs; Ctrl-C closes its connections
+// immediately (a mid-session stop fails the job over to its last
+// checkpoint — resume it once the worker pool is healthy again). See
+// README.md for the coordinator + two workers quickstart and
+// docs/FORMATS.md for the wire protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ptychopath/internal/gridworker"
+)
+
+func main() {
+	connect := flag.String("connect", "127.0.0.1:8619", "coordinator grid address (ptychoserve -grid)")
+	ranks := flag.Int("ranks", 1, "rank endpoints this process contributes")
+	name := flag.String("name", "", "worker name in the coordinator registry (default: hostname-pid)")
+	timeout := flag.Duration("timeout", 30*time.Second, "idle transport timeout (sessions use the coordinator's)")
+	retry := flag.Bool("retry", false, "keep reconnecting when the coordinator is unreachable or restarts")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := gridworker.Run(ctx, *connect, gridworker.Options{
+		Name: *name, Ranks: *ranks, Timeout: *timeout, Reconnect: *retry,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("ptychoworker: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptychoworker:", err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,11 @@
 //	prop    2*windowN^2 float64 (present when hasProp == 1)
 //	locs    numLocations x (int64 index, float64 x, y, radius)
 //	meas    numLocations x windowN^2 float64 amplitudes
+//
+// The complete byte-level specification of every format in this
+// package — PTYCHOv1, the OBJCKv1 object checkpoint and the PTYCHSv1
+// incremental stream — together with the grid transport's PTGW wire
+// frames, lives in docs/FORMATS.md.
 package dataio
 
 import (

@@ -17,6 +17,9 @@ import (
 //
 // Layout: magic "OBJCKv1\x00", then 5 int64 (slices, x0, y0, w, h),
 // then slices * w * h * 2 float64 (re, im interleaved, row-major).
+// Because the bounds travel with the data, the format also carries
+// grid-worker result tiles (transport.RankResult) — exact rectangles
+// reassemble on the coordinator. Full spec: docs/FORMATS.md.
 
 var objMagic = [8]byte{'O', 'B', 'J', 'C', 'K', 'v', '1', 0}
 

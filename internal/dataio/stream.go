@@ -42,7 +42,8 @@ import (
 // An 'F' payload is int64 count followed by count frames, each
 // int64 index, float64 x, y, radius, then windowN^2 float64
 // amplitudes. An 'E' payload is empty; it marks a cleanly closed
-// acquisition. Chunks after 'E' are an error.
+// acquisition. Chunks after 'E' are an error. Full byte-level spec
+// with worked offsets: docs/FORMATS.md.
 
 var streamMagic = [8]byte{'P', 'T', 'Y', 'C', 'H', 'S', 'v', '1'}
 

@@ -31,7 +31,6 @@ package gradsync
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"ptychopath/internal/collective"
@@ -173,7 +172,7 @@ const (
 // when IntraWorkers is enabled, in the persistent intra pool), so the
 // per-location hot loop is allocation-free in steady state.
 type worker struct {
-	comm   *simmpi.Comm
+	comm   simmpi.Transport
 	mesh   *tiling.Mesh
 	prob   *solver.Problem
 	opt    *Options
@@ -189,7 +188,7 @@ type worker struct {
 	commNS    int64 // wall-clock spent in the directional passes
 }
 
-func newWorker(comm *simmpi.Comm, prob *solver.Problem, opt *Options,
+func newWorker(comm simmpi.Transport, prob *solver.Problem, opt *Options,
 	owned [][]int, init []*grid.Complex2D) *worker {
 	m := opt.Mesh
 	r, c := m.RowCol(comm.Rank())
@@ -241,17 +240,10 @@ func (w *worker) memBytes() int64 {
 	return total
 }
 
-// pack flattens region r of each slice buffer into one payload.
+// pack flattens region r of each slice buffer into one payload (the
+// shared slices-major layout of collective.PackRegion).
 func pack(arrs []*grid.Complex2D, region grid.Rect) []complex128 {
-	out := make([]complex128, 0, region.Area()*len(arrs))
-	for _, a := range arrs {
-		for y := region.Y0; y < region.Y1; y++ {
-			row := a.Row(y)
-			x0 := region.X0 - a.Bounds.X0
-			out = append(out, row[x0:x0+region.W()]...)
-		}
-	}
-	return out
+	return collective.PackRegion(arrs, region)
 }
 
 // unpackAdd adds the payload into region r of each buffer.
@@ -546,9 +538,117 @@ func (w *worker) gradientChunkParallel(lo, hi int) float64 {
 	return cost
 }
 
-// Reconstruct runs the parallel Gradient Decomposition reconstruction.
-// init provides the initial object slices on the full image bounds
-// (typically vacuum); it is not mutated.
+// RankOutcome is one rank's view of a finished (or cancelled) run: the
+// final extended-tile object, this rank's statistics, and whether the
+// run stopped at a collective cancellation. It is everything a remote
+// worker must ship back to a coordinator for stitching — the
+// distributed grid (internal/transport, internal/gridworker) serializes
+// exactly this.
+type RankOutcome struct {
+	// Slices is the rank's reconstruction on its extended-tile bounds.
+	Slices []*grid.Complex2D
+	// CostHistory holds the all-reduced global cost per iteration
+	// (identical on every rank).
+	CostHistory []float64
+	// Locations is the number of probe locations this rank owned.
+	Locations int
+	// MemBytes estimates the rank's resident footprint.
+	MemBytes int64
+	// ComputeNS and CommNS are wall-clock nanoseconds spent in gradient
+	// computation and in the directional passes.
+	ComputeNS, CommNS int64
+	// SentBytes and SentMessages count this rank's outgoing payload
+	// traffic.
+	SentBytes, SentMessages int64
+	// Cancelled reports that the run stopped early at a collective
+	// Ctx-cancellation decision; Slices then holds the partial state.
+	Cancelled bool
+}
+
+// RunRank executes one rank of the Gradient Decomposition
+// reconstruction against an arbitrary transport endpoint. Every rank of
+// comm's world must call RunRank with identical prob, init and opt —
+// Reconstruct does so over an in-process world, and the distributed
+// grid runs the same function in worker processes over TCP; the results
+// are bit-identical because this is, literally, the same code.
+//
+// init provides the initial object slices on the full image bounds; it
+// is not mutated. The returned outcome's Slices live on this rank's
+// extended tile.
+func RunRank(comm simmpi.Transport, prob *solver.Problem, init []*grid.Complex2D, opt Options) (*RankOutcome, error) {
+	if err := opt.validate(prob); err != nil {
+		return nil, err
+	}
+	if len(init) != prob.Slices {
+		return nil, fmt.Errorf("gradsync: %d initial slices, want %d", len(init), prob.Slices)
+	}
+	if comm.Size() != opt.Mesh.NumTiles() {
+		return nil, fmt.Errorf("gradsync: world size %d != mesh tiles %d", comm.Size(), opt.Mesh.NumTiles())
+	}
+	// Location assignment is deterministic from pattern + mesh, so every
+	// rank computes the identical partition locally — no distribution
+	// step, no coordinator round-trip.
+	owned := opt.Mesh.AssignLocations(prob.Pattern)
+
+	snapFn := opt.OnSnapshot
+	if snapFn != nil && opt.IterOffset != 0 {
+		inner := opt.OnSnapshot
+		snapFn = func(iter int, slices []*grid.Complex2D) error {
+			return inner(opt.IterOffset+iter, slices)
+		}
+	}
+	snaps := collective.NewSnapshots(opt.Mesh, opt.SnapshotEvery, snapFn)
+
+	w := newWorker(comm, prob, &opt, owned, init)
+	defer w.close()
+	out := &RankOutcome{
+		Locations: len(w.owned),
+		MemBytes:  w.memBytes(),
+	}
+	hist := make([]float64, 0, opt.Iterations)
+	for iter := 0; iter < opt.Iterations; iter++ {
+		local, err := w.iteration()
+		if err != nil {
+			return nil, fmt.Errorf("rank %d iteration %d: %w", comm.Rank(), iter, err)
+		}
+		global, err := comm.AllreduceSum(local)
+		if err != nil {
+			return nil, err
+		}
+		hist = append(hist, global)
+		if comm.Rank() == 0 && opt.OnIteration != nil {
+			opt.OnIteration(opt.IterOffset+iter, global)
+		}
+		if snaps.Due(iter) {
+			if err := snaps.Run(comm, w.slices, iter); err != nil {
+				return nil, fmt.Errorf("gradsync: snapshot at iteration %d: %w", iter, err)
+			}
+		}
+		// Collective early stop: the all-reduced cost is identical
+		// on every rank, so all ranks break together.
+		if opt.StopBelowCost > 0 && global < opt.StopBelowCost {
+			break
+		}
+		if stop, err := collective.Cancelled(comm, opt.Ctx); err != nil {
+			return nil, err
+		} else if stop {
+			out.Cancelled = true
+			break
+		}
+	}
+	out.Slices = w.slices
+	out.CostHistory = hist
+	out.ComputeNS = w.computeNS
+	out.CommNS = w.commNS
+	out.SentBytes = comm.SentBytes()
+	out.SentMessages = comm.SentMessages()
+	return out, nil
+}
+
+// Reconstruct runs the parallel Gradient Decomposition reconstruction
+// over an in-process world (one goroutine per rank). init provides the
+// initial object slices on the full image bounds (typically vacuum); it
+// is not mutated.
 func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Result, error) {
 	if err := opt.validate(prob); err != nil {
 		return nil, err
@@ -557,88 +657,70 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 		return nil, fmt.Errorf("gradsync: %d initial slices, want %d", len(init), prob.Slices)
 	}
 	m := opt.Mesh
-	owned := m.AssignLocations(prob.Pattern)
-
 	ranks := m.NumTiles()
-	tileOut := make([][]*grid.Complex2D, ranks)
-	memOut := make([]int64, ranks)
-	computeOut := make([]int64, ranks)
-	commOut := make([]int64, ranks)
-	costPerIter := make([][]float64, ranks)
-
-	// Snapshot and cancellation state shared across ranks (see
-	// internal/collective for the ordering invariants).
-	snapFn := opt.OnSnapshot
-	if snapFn != nil && opt.IterOffset != 0 {
-		inner := opt.OnSnapshot
-		snapFn = func(iter int, slices []*grid.Complex2D) error {
-			return inner(opt.IterOffset+iter, slices)
-		}
-	}
-	snaps := collective.NewSnapshots(m, opt.SnapshotEvery, snapFn)
-	var cancelled atomic.Bool
+	outs := make([]*RankOutcome, ranks)
 
 	world := simmpi.NewWorld(ranks, opt.Timeout)
 	err := world.RunAll(func(comm *simmpi.Comm) error {
-		w := newWorker(comm, prob, &opt, owned, init)
-		defer w.close()
-		memOut[comm.Rank()] = w.memBytes()
-		hist := make([]float64, 0, opt.Iterations)
-		for iter := 0; iter < opt.Iterations; iter++ {
-			local, err := w.iteration()
-			if err != nil {
-				return fmt.Errorf("rank %d iteration %d: %w", comm.Rank(), iter, err)
-			}
-			global, err := comm.AllreduceSum(local)
-			if err != nil {
-				return err
-			}
-			hist = append(hist, global)
-			if comm.Rank() == 0 && opt.OnIteration != nil {
-				opt.OnIteration(opt.IterOffset+iter, global)
-			}
-			if snaps.Due(iter) {
-				if err := snaps.Run(comm, w.slices, iter); err != nil {
-					return fmt.Errorf("gradsync: snapshot at iteration %d: %w", iter, err)
-				}
-			}
-			// Collective early stop: the all-reduced cost is identical
-			// on every rank, so all ranks break together.
-			if opt.StopBelowCost > 0 && global < opt.StopBelowCost {
-				break
-			}
-			if stop, err := collective.Cancelled(comm, opt.Ctx); err != nil {
-				return err
-			} else if stop {
-				cancelled.Store(true)
-				break
-			}
+		out, err := RunRank(comm, prob, init, opt)
+		if err != nil {
+			return err
 		}
-		costPerIter[comm.Rank()] = hist
-		tileOut[comm.Rank()] = w.slices
-		computeOut[comm.Rank()] = w.computeNS
-		commOut[comm.Rank()] = w.commNS
+		outs[comm.Rank()] = out
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{
-		Slices:           m.StitchSlices(tileOut),
-		CostHistory:      costPerIter[0],
-		BytesSent:        world.BytesSent(),
-		MessagesSent:     world.MessagesSent(),
-		PerRankLocations: make([]int, ranks),
-		PerRankMemBytes:  memOut,
-		PerRankComputeNS: computeOut,
-		PerRankCommNS:    commOut,
-	}
-	for rank, locs := range owned {
-		res.PerRankLocations[rank] = len(locs)
-	}
-	if cancelled.Load() {
+	res := assembleResult(m, outs)
+	res.BytesSent = world.BytesSent()
+	res.MessagesSent = world.MessagesSent()
+	if outs[0].Cancelled {
 		return res, opt.Ctx.Err()
+	}
+	return res, nil
+}
+
+// assembleResult stitches per-rank outcomes into the aggregate Result —
+// shared by the in-process driver above and the grid coordinator
+// (internal/jobs), which receives the outcomes over TCP instead.
+func assembleResult(m *tiling.Mesh, outs []*RankOutcome) *Result {
+	ranks := len(outs)
+	tiles := make([][]*grid.Complex2D, ranks)
+	res := &Result{
+		CostHistory:      outs[0].CostHistory,
+		PerRankLocations: make([]int, ranks),
+		PerRankMemBytes:  make([]int64, ranks),
+		PerRankComputeNS: make([]int64, ranks),
+		PerRankCommNS:    make([]int64, ranks),
+	}
+	for rank, out := range outs {
+		tiles[rank] = out.Slices
+		res.PerRankLocations[rank] = out.Locations
+		res.PerRankMemBytes[rank] = out.MemBytes
+		res.PerRankComputeNS[rank] = out.ComputeNS
+		res.PerRankCommNS[rank] = out.CommNS
+	}
+	res.Slices = m.StitchSlices(tiles)
+	return res
+}
+
+// AssembleResult is the exported form of the outcome stitch for
+// drivers outside this package (the grid coordinator). outs must have
+// exactly mesh.NumTiles() entries in rank order, every entry non-nil.
+func AssembleResult(m *tiling.Mesh, outs []*RankOutcome) (*Result, error) {
+	if len(outs) != m.NumTiles() {
+		return nil, fmt.Errorf("gradsync: %d outcomes for %d tiles", len(outs), m.NumTiles())
+	}
+	for i, o := range outs {
+		if o == nil || len(o.Slices) == 0 {
+			return nil, fmt.Errorf("gradsync: missing outcome for rank %d", i)
+		}
+	}
+	res := assembleResult(m, outs)
+	for _, o := range outs {
+		res.BytesSent += o.SentBytes
+		res.MessagesSent += o.SentMessages
 	}
 	return res, nil
 }

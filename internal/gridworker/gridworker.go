@@ -1,0 +1,239 @@
+// Package gridworker is the worker-process runtime of the distributed
+// grid: it dials the coordinator hub (internal/transport), waits for
+// session setups, runs ONE rank of the selected reconstruction engine
+// per session — the engines are the unmodified gradsync/halo RunRank
+// entry points, driven over the TCP transport instead of the in-process
+// world — and ships the rank's outcome back for stitching.
+//
+// cmd/ptychoworker is a thin flag wrapper around Run; the capstone
+// tests drive Run directly over loopback TCP.
+package gridworker
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/gradsync"
+	"ptychopath/internal/grid"
+	"ptychopath/internal/halo"
+	"ptychopath/internal/tiling"
+	"ptychopath/internal/transport"
+)
+
+// Options configures a worker process.
+type Options struct {
+	// Name identifies the worker in the coordinator's registry.
+	// Default: hostname-pid.
+	Name string
+	// Ranks is how many rank endpoints this process contributes (each
+	// is an independent connection and can serve a different session).
+	// Default 1.
+	Ranks int
+	// Timeout bounds blocking transport operations while idle; sessions
+	// override it. 0 selects the transport default.
+	Timeout time.Duration
+	// Reconnect keeps the worker dialing (1 s backoff) when the
+	// coordinator is unreachable or restarts, instead of exiting.
+	Reconnect bool
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) setDefaults() {
+	if o.Name == "" {
+		host, _ := os.Hostname()
+		o.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if o.Ranks <= 0 {
+		o.Ranks = 1
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Run connects Options.Ranks endpoints to the coordinator at addr and
+// serves sessions until ctx is cancelled (connections close immediately
+// — a mid-session cancel looks like a worker loss to the coordinator,
+// which fails the job over to its last checkpoint). Without Reconnect
+// it returns the first connection error; with it, only ctx ends it.
+func Run(ctx context.Context, addr string, opts Options) error {
+	opts.setDefaults()
+	var wg sync.WaitGroup
+	errs := make([]error, opts.Ranks)
+	for i := 0; i < opts.Ranks; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			name := opts.Name
+			if opts.Ranks > 1 {
+				name = fmt.Sprintf("%s/%d", opts.Name, slot)
+			}
+			errs[slot] = runLoop(ctx, addr, name, opts)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func runLoop(ctx context.Context, addr, name string, opts Options) error {
+	for {
+		c, err := transport.Dial(addr, transport.DialOptions{Name: name, Timeout: opts.Timeout})
+		if err == nil {
+			opts.Logf("%s: connected to %s as worker %d", name, addr, c.ID())
+			err = serve(ctx, c, name, opts)
+			c.Close()
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if !opts.Reconnect {
+			return err
+		}
+		opts.Logf("%s: %v; reconnecting", name, err)
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// serve handles sessions on one connection until it dies or ctx fires.
+func serve(ctx context.Context, c *transport.Client, name string, opts Options) error {
+	stop := context.AfterFunc(ctx, func() { c.Close() })
+	defer stop()
+	for {
+		sctx, sessCancel := context.WithCancel(ctx)
+		setup, err := c.WaitSetup(ctx, sessCancel)
+		if err != nil {
+			sessCancel()
+			return err
+		}
+		opts.Logf("%s: session %s rank %d/%d (%s %dx%d mesh)",
+			name, setup.JobID, setup.Rank, setup.Size, setup.Algorithm, setup.MeshRows, setup.MeshCols)
+		res := runSession(sctx, c, setup)
+		sessCancel()
+		if err := c.SendResult(res); err != nil {
+			return err
+		}
+		if res.Err != "" {
+			opts.Logf("%s: session %s rank %d failed: %s", name, setup.JobID, setup.Rank, res.Err)
+		} else {
+			opts.Logf("%s: session %s rank %d done", name, setup.JobID, setup.Rank)
+		}
+	}
+}
+
+// runSession executes one rank of one session; engine failures are
+// reported in-band through RankResult.Err, never by tearing the
+// connection down.
+func runSession(ctx context.Context, c *transport.Client, setup *transport.Setup) *transport.RankResult {
+	fail := func(err error) *transport.RankResult {
+		return &transport.RankResult{Rank: setup.Rank, Err: err.Error()}
+	}
+	prob, err := dataio.Read(bytes.NewReader(setup.Problem))
+	if err != nil {
+		return fail(fmt.Errorf("decoding problem: %w", err))
+	}
+	init, err := dataio.ReadObject(bytes.NewReader(setup.Init))
+	if err != nil {
+		return fail(fmt.Errorf("decoding initial object: %w", err))
+	}
+	mesh, err := tiling.NewMesh(prob.ImageBounds(), setup.MeshRows, setup.MeshCols, setup.Halo)
+	if err != nil {
+		return fail(err)
+	}
+	timeout := time.Duration(setup.TimeoutMS) * time.Millisecond
+
+	// Progress plumbing: the engines invoke these on rank 0 only, and
+	// the transport relays them to the coordinator's job record. The
+	// snapshot send is synchronous — the checkpoint is durable before
+	// the run proceeds, exactly like the in-process OnSnapshot contract.
+	onIter := func(iter int, cost float64) { c.SendIteration(iter, cost) }
+	onSnap := func(iter int, slices []*grid.Complex2D) error {
+		var buf bytes.Buffer
+		if err := dataio.WriteObject(&buf, slices); err != nil {
+			return err
+		}
+		return c.SendSnapshot(iter, buf.Bytes())
+	}
+
+	switch setup.Algorithm {
+	case "gd":
+		out, err := gradsync.RunRank(c, prob, init, gradsync.Options{
+			Mesh: mesh, Mode: gradsync.ModeBatch,
+			StepSize: setup.StepSize, Iterations: setup.Iterations,
+			RoundsPerIteration: setup.RoundsPerIteration,
+			IntraWorkers:       setup.IntraWorkers,
+			Timeout:            timeout,
+			OnIteration:        onIter, Ctx: ctx,
+			SnapshotEvery: setup.SnapshotEvery, OnSnapshot: onSnap,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return gdResult(setup.Rank, out)
+	case "hve":
+		out, err := halo.RunRank(c, prob, init, halo.Options{
+			Mesh: mesh, HaloWidth: setup.HaloWidth, ExtraRows: setup.ExtraRows,
+			StepSize: setup.StepSize, Iterations: setup.Iterations,
+			ExchangesPerIteration: setup.RoundsPerIteration,
+			Timeout:               timeout,
+			OnIteration:           onIter, Ctx: ctx,
+			SnapshotEvery: setup.SnapshotEvery, OnSnapshot: onSnap,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return hveResult(setup.Rank, out)
+	default:
+		return fail(fmt.Errorf("gridworker: unknown algorithm %q (want gd or hve)", setup.Algorithm))
+	}
+}
+
+func gdResult(rank int, out *gradsync.RankOutcome) *transport.RankResult {
+	tile, err := encodeTile(out.Slices)
+	if err != nil {
+		return &transport.RankResult{Rank: rank, Err: err.Error()}
+	}
+	return &transport.RankResult{
+		Rank: rank, Cancelled: out.Cancelled,
+		CostHistory: out.CostHistory,
+		Locations:   out.Locations, Owned: out.Locations,
+		MemBytes: out.MemBytes, ComputeNS: out.ComputeNS, CommNS: out.CommNS,
+		SentBytes: out.SentBytes, SentMessages: out.SentMessages,
+		Tile: tile,
+	}
+}
+
+func hveResult(rank int, out *halo.RankOutcome) *transport.RankResult {
+	tile, err := encodeTile(out.Slices)
+	if err != nil {
+		return &transport.RankResult{Rank: rank, Err: err.Error()}
+	}
+	return &transport.RankResult{
+		Rank: rank, Cancelled: out.Cancelled,
+		CostHistory: out.CostHistory,
+		Locations:   out.Locations, Owned: out.Owned,
+		MemBytes:  out.MemBytes,
+		SentBytes: out.SentBytes, SentMessages: out.SentMessages,
+		Tile: tile,
+	}
+}
+
+// encodeTile serializes extended-tile slices as OBJCKv1 (bounds travel
+// with the data, so the coordinator reassembles exact rectangles).
+func encodeTile(slices []*grid.Complex2D) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := dataio.WriteObject(&buf, slices); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

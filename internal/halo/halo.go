@@ -23,7 +23,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"ptychopath/internal/collective"
@@ -145,7 +144,7 @@ var neighborOffsets = [8][2]int{
 }
 
 type hworker struct {
-	comm   *simmpi.Comm
+	comm   simmpi.Transport
 	mesh   *tiling.Mesh
 	prob   *solver.Problem
 	opt    *Options
@@ -157,7 +156,141 @@ type hworker struct {
 	all    []int             // own + extra locations (reconstructed redundantly)
 }
 
-// Reconstruct runs the Halo Voxel Exchange baseline.
+// RankOutcome is one rank's view of a finished (or cancelled) Halo
+// Voxel Exchange run — the per-process counterpart of gradsync's
+// RankOutcome, shipped back to the grid coordinator for stitching.
+type RankOutcome struct {
+	// Slices is the rank's reconstruction on its widened extended-tile
+	// bounds.
+	Slices []*grid.Complex2D
+	// CostHistory holds the all-reduced global cost per iteration.
+	CostHistory []float64
+	// Locations counts owned + extra (redundant) locations; Owned only
+	// the owned ones.
+	Locations, Owned int
+	// MemBytes estimates the rank's resident footprint.
+	MemBytes int64
+	// SentBytes and SentMessages count this rank's outgoing paste
+	// traffic.
+	SentBytes, SentMessages int64
+	// Cancelled reports a collective Ctx-cancellation stop.
+	Cancelled bool
+}
+
+// RunRank executes one rank of the Halo Voxel Exchange baseline against
+// an arbitrary transport endpoint. Every rank of comm's world must call
+// RunRank with identical prob, init and opt; Reconstruct does so over
+// an in-process world, the distributed grid over TCP.
+func RunRank(comm simmpi.Transport, prob *solver.Problem, init []*grid.Complex2D, opt Options) (*RankOutcome, error) {
+	if err := opt.validate(prob); err != nil {
+		return nil, err
+	}
+	if len(init) != prob.Slices {
+		return nil, fmt.Errorf("halo: %d initial slices, want %d", len(init), prob.Slices)
+	}
+	m := opt.Mesh
+	if comm.Size() != m.NumTiles() {
+		return nil, fmt.Errorf("halo: world size %d != mesh tiles %d", comm.Size(), m.NumTiles())
+	}
+	haloW := opt.HaloWidth
+	if haloW == 0 {
+		haloW = m.Halo
+	}
+	if err := CheckTileConstraint(m, haloW); err != nil {
+		return nil, err
+	}
+	// Deterministic from pattern + mesh: every rank computes the same
+	// partition locally.
+	owned := m.AssignLocations(prob.Pattern)
+	snaps := collective.NewSnapshots(m, opt.SnapshotEvery, opt.OnSnapshot)
+
+	exchanges := opt.ExchangesPerIteration
+	if exchanges <= 0 {
+		exchanges = 1
+	}
+
+	rank := comm.Rank()
+	r, c := m.RowCol(rank)
+	extra := m.ExtraRowLocations(prob.Pattern, owned, r, c, opt.ExtraRows)
+	ext := m.ExtendedWithHalo(r, c, haloW)
+	w := &hworker{
+		comm: comm, mesh: m, prob: prob, opt: &opt,
+		r: r, c: c, ext: ext,
+		owned: owned[rank],
+		all:   append(append([]int{}, owned[rank]...), extra...),
+	}
+	w.slices = make([]*grid.Complex2D, prob.Slices)
+	for s := 0; s < prob.Slices; s++ {
+		w.slices[s] = grid.NewComplex2D(ext)
+		w.slices[s].CopyRegion(init[s], ext)
+	}
+	// One Workspace per rank for the whole run; the per-location
+	// loop below never touches the heap after warm-up.
+	w.ws = prob.NewWorkspace(ext)
+
+	n2 := int64(prob.WindowN * prob.WindowN)
+	out := &RankOutcome{
+		Locations: len(w.all),
+		Owned:     len(w.owned),
+		MemBytes: int64(ext.Area())*16*int64(prob.Slices)*2 +
+			int64(len(w.all))*n2*8 + n2*16*int64(prob.Slices+4),
+	}
+
+	hist := make([]float64, 0, opt.Iterations)
+	step := complex(opt.StepSize, 0)
+	for iter := 0; iter < opt.Iterations; iter++ {
+		var cost float64
+		nloc := len(w.all)
+		done := 0
+		for ex := 0; ex < exchanges; ex++ {
+			upto := (ex + 1) * nloc / exchanges
+			for ; done < upto; done++ {
+				li := w.all[done]
+				loc := prob.Pattern.Locations[li]
+				w.ws.ZeroGrads()
+				f := w.ws.LossGrad(w.slices, loc.Window(prob.WindowN), prob.Meas[li])
+				// Cost is reported over owned locations only, so the
+				// histories are comparable with Gradient Decomposition.
+				if done < len(w.owned) {
+					cost += f
+				}
+				for s := range w.slices {
+					w.slices[s].AddScaled(w.ws.Grads()[s], -step)
+				}
+			}
+			if err := w.exchangeVoxels(haloW); err != nil {
+				return nil, fmt.Errorf("rank %d: %w", rank, err)
+			}
+		}
+		global, err := comm.AllreduceSum(cost)
+		if err != nil {
+			return nil, err
+		}
+		hist = append(hist, global)
+		if rank == 0 && opt.OnIteration != nil {
+			opt.OnIteration(iter, global)
+		}
+		if snaps.Due(iter) {
+			if err := snaps.Run(comm, w.slices, iter); err != nil {
+				return nil, fmt.Errorf("halo: snapshot at iteration %d: %w", iter, err)
+			}
+		}
+		if stop, err := collective.Cancelled(comm, opt.Ctx); err != nil {
+			return nil, err
+		} else if stop {
+			out.Cancelled = true
+			break
+		}
+	}
+	out.Slices = w.slices
+	out.CostHistory = hist
+	out.SentBytes = comm.SentBytes()
+	out.SentMessages = comm.SentMessages()
+	return out, nil
+}
+
+// Reconstruct runs the Halo Voxel Exchange baseline over an in-process
+// world (one goroutine per rank).
 func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Result, error) {
 	if err := opt.validate(prob); err != nil {
 		return nil, err
@@ -173,123 +306,65 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 	if err := CheckTileConstraint(m, haloW); err != nil {
 		return nil, err
 	}
-	owned := m.AssignLocations(prob.Pattern)
 	ranks := m.NumTiles()
-
-	// Precompute each rank's full (owned + extra) location set.
-	allLocs := make([][]int, ranks)
-	for rank := 0; rank < ranks; rank++ {
-		r, c := m.RowCol(rank)
-		extra := m.ExtraRowLocations(prob.Pattern, owned, r, c, opt.ExtraRows)
-		allLocs[rank] = append(append([]int{}, owned[rank]...), extra...)
-	}
-
-	exchanges := opt.ExchangesPerIteration
-	if exchanges <= 0 {
-		exchanges = 1
-	}
-
-	tileOut := make([][]*grid.Complex2D, ranks)
-	memOut := make([]int64, ranks)
-	costOut := make([][]float64, ranks)
-
-	// Snapshot and cancellation state shared across ranks (see
-	// internal/collective for the ordering invariants).
-	snaps := collective.NewSnapshots(m, opt.SnapshotEvery, opt.OnSnapshot)
-	var cancelled atomic.Bool
-
+	outs := make([]*RankOutcome, ranks)
 	world := simmpi.NewWorld(ranks, opt.Timeout)
 	err := world.RunAll(func(comm *simmpi.Comm) error {
-		rank := comm.Rank()
-		r, c := m.RowCol(rank)
-		ext := m.ExtendedWithHalo(r, c, haloW)
-		w := &hworker{
-			comm: comm, mesh: m, prob: prob, opt: &opt,
-			r: r, c: c, ext: ext,
-			owned: owned[rank], all: allLocs[rank],
+		out, err := RunRank(comm, prob, init, opt)
+		if err != nil {
+			return err
 		}
-		w.slices = make([]*grid.Complex2D, prob.Slices)
-		for s := 0; s < prob.Slices; s++ {
-			w.slices[s] = grid.NewComplex2D(ext)
-			w.slices[s].CopyRegion(init[s], ext)
-		}
-		// One Workspace per rank for the whole run; the per-location
-		// loop below never touches the heap after warm-up.
-		w.ws = prob.NewWorkspace(ext)
-
-		n2 := int64(prob.WindowN * prob.WindowN)
-		memOut[rank] = int64(ext.Area())*16*int64(prob.Slices)*2 +
-			int64(len(w.all))*n2*8 + n2*16*int64(prob.Slices+4)
-
-		hist := make([]float64, 0, opt.Iterations)
-		step := complex(opt.StepSize, 0)
-		for iter := 0; iter < opt.Iterations; iter++ {
-			var cost float64
-			nloc := len(w.all)
-			done := 0
-			for ex := 0; ex < exchanges; ex++ {
-				upto := (ex + 1) * nloc / exchanges
-				for ; done < upto; done++ {
-					li := w.all[done]
-					loc := prob.Pattern.Locations[li]
-					w.ws.ZeroGrads()
-					f := w.ws.LossGrad(w.slices, loc.Window(prob.WindowN), prob.Meas[li])
-					// Cost is reported over owned locations only, so the
-					// histories are comparable with Gradient Decomposition.
-					if done < len(w.owned) {
-						cost += f
-					}
-					for s := range w.slices {
-						w.slices[s].AddScaled(w.ws.Grads()[s], -step)
-					}
-				}
-				if err := w.exchangeVoxels(haloW); err != nil {
-					return fmt.Errorf("rank %d: %w", rank, err)
-				}
-			}
-			global, err := comm.AllreduceSum(cost)
-			if err != nil {
-				return err
-			}
-			hist = append(hist, global)
-			if rank == 0 && opt.OnIteration != nil {
-				opt.OnIteration(iter, global)
-			}
-			if snaps.Due(iter) {
-				if err := snaps.Run(comm, w.slices, iter); err != nil {
-					return fmt.Errorf("halo: snapshot at iteration %d: %w", iter, err)
-				}
-			}
-			if stop, err := collective.Cancelled(comm, opt.Ctx); err != nil {
-				return err
-			} else if stop {
-				cancelled.Store(true)
-				break
-			}
-		}
-		costOut[rank] = hist
-		tileOut[rank] = w.slices
+		outs[comm.Rank()] = out
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	res := assembleResult(m, outs)
+	res.BytesSent = world.BytesSent()
+	res.MessagesSent = world.MessagesSent()
+	if outs[0].Cancelled {
+		return res, opt.Ctx.Err()
+	}
+	return res, nil
+}
 
+// assembleResult stitches per-rank outcomes into the aggregate Result.
+func assembleResult(m *tiling.Mesh, outs []*RankOutcome) *Result {
+	ranks := len(outs)
+	tiles := make([][]*grid.Complex2D, ranks)
 	res := &Result{
-		Slices:           m.StitchSlices(tileOut),
-		CostHistory:      costOut[0],
-		BytesSent:        world.BytesSent(),
-		MessagesSent:     world.MessagesSent(),
+		CostHistory:      outs[0].CostHistory,
 		PerRankLocations: make([]int, ranks),
 		PerRankOwned:     make([]int, ranks),
-		PerRankMemBytes:  memOut,
+		PerRankMemBytes:  make([]int64, ranks),
 	}
-	for rank := range allLocs {
-		res.PerRankLocations[rank] = len(allLocs[rank])
-		res.PerRankOwned[rank] = len(owned[rank])
+	for rank, out := range outs {
+		tiles[rank] = out.Slices
+		res.PerRankLocations[rank] = out.Locations
+		res.PerRankOwned[rank] = out.Owned
+		res.PerRankMemBytes[rank] = out.MemBytes
 	}
-	if cancelled.Load() {
-		return res, opt.Ctx.Err()
+	res.Slices = m.StitchSlices(tiles)
+	return res
+}
+
+// AssembleResult is the exported outcome stitch for drivers outside
+// this package (the grid coordinator). outs must have exactly
+// mesh.NumTiles() entries in rank order, every entry non-nil.
+func AssembleResult(m *tiling.Mesh, outs []*RankOutcome) (*Result, error) {
+	if len(outs) != m.NumTiles() {
+		return nil, fmt.Errorf("halo: %d outcomes for %d tiles", len(outs), m.NumTiles())
+	}
+	for i, o := range outs {
+		if o == nil || len(o.Slices) == 0 {
+			return nil, fmt.Errorf("halo: missing outcome for rank %d", i)
+		}
+	}
+	res := assembleResult(m, outs)
+	for _, o := range outs {
+		res.BytesSent += o.SentBytes
+		res.MessagesSent += o.SentMessages
 	}
 	return res, nil
 }
@@ -301,7 +376,7 @@ func Reconstruct(prob *solver.Problem, init []*grid.Complex2D, opt Options) (*Re
 func (w *hworker) exchangeVoxels(haloW int) error {
 	m := w.mesh
 	type pending struct {
-		req    *simmpi.Request
+		req    simmpi.Pending
 		region grid.Rect
 	}
 	var recvs []pending
@@ -350,16 +425,11 @@ func (w *hworker) exchangeVoxels(haloW int) error {
 	return nil
 }
 
+// packRegion flattens the region of each slice into one payload (the
+// shared slices-major layout of collective.PackRegion — one definition
+// so the engines' wire payloads can never drift apart).
 func packRegion(arrs []*grid.Complex2D, region grid.Rect) []complex128 {
-	out := make([]complex128, 0, region.Area()*len(arrs))
-	for _, a := range arrs {
-		for y := region.Y0; y < region.Y1; y++ {
-			row := a.Row(y)
-			x0 := region.X0 - a.Bounds.X0
-			out = append(out, row[x0:x0+region.W()]...)
-		}
-	}
-	return out
+	return collective.PackRegion(arrs, region)
 }
 
 func unpackRegion(arrs []*grid.Complex2D, region grid.Rect, data []complex128) error {

@@ -1,0 +1,76 @@
+package jobs_test
+
+import (
+	"fmt"
+	"time"
+
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/jobs"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+)
+
+// ExampleService_SubmitStreaming walks the whole streaming-job
+// lifecycle in-process: open a job from a PTYCHSv1-style opening
+// (geometry + probe, no frames), feed the acquisition in chunks while
+// the engine reconstructs, close the stream, and wait for the tail
+// iterations to finish — the same flow POST /jobs/stream, POST
+// /jobs/{id}/frames and POST /jobs/{id}/eof drive over HTTP.
+func ExampleService_SubmitStreaming() {
+	// Simulate an acquisition to replay.
+	pat, err := scan.Raster(scan.RasterConfig{Cols: 4, Rows: 4, StepPix: 5, RadiusPix: 6, MarginPix: 6})
+	if err != nil {
+		panic(err)
+	}
+	prob, err := solver.Simulate(solver.SimulateConfig{
+		Optics:  physics.PaperOptics(),
+		Pattern: pat,
+		Object:  phantom.RandomObject(pat.ImageW, pat.ImageH, 1, 1),
+		WindowN: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	svc, err := jobs.NewService(jobs.Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		panic(err)
+	}
+	defer svc.Close()
+
+	// Open the job from metadata only; Iterations is the tail after the
+	// stream closes.
+	j, err := svc.SubmitStreaming(dataio.HeaderFromProblem(prob), jobs.Params{
+		Algorithm: "serial", Iterations: 5, StepSize: 0.02, CheckpointEvery: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Feed the 16 frames in chunks of 4, then close the stream.
+	frames := dataio.FramesFromProblem(prob)
+	for lo := 0; lo < len(frames); lo += 4 {
+		if _, err := svc.AppendFrames(j.ID(), frames[lo:lo+4]); err != nil {
+			panic(err)
+		}
+	}
+	if err := svc.CloseStream(j.ID()); err != nil {
+		panic(err)
+	}
+
+	for !j.State().Terminal() {
+		time.Sleep(time.Millisecond)
+	}
+	info := j.Info(0)
+	fmt.Println("state:", info.State)
+	fmt.Println("streaming:", info.Streaming, "eof:", info.EOF)
+	fmt.Println("frames folded in:", info.ActiveFrames)
+	fmt.Println("checkpointed:", info.Checkpoint != "")
+	// Output:
+	// state: done
+	// streaming: true eof: true
+	// frames folded in: 16
+	// checkpointed: true
+}

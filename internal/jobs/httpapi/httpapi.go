@@ -3,8 +3,10 @@
 //
 // Endpoints:
 //
-//	POST /jobs?alg=serial|gd|hve&iters=N&step=S&mesh=RxC&rounds=T&workers=W&checkpoint-every=K
+//	POST /jobs?alg=serial|gd|hve&iters=N&step=S&mesh=RxC&rounds=T&workers=W&checkpoint-every=K&grid=0|1
 //	     body: a PTYCHOv1 dataset. Returns 202 with the job summary.
+//	     grid=1 runs the parallel engine across registered ptychoworker
+//	     processes (requires -grid on the server; see GET /grid).
 //	POST /jobs/stream?alg=serial|gd&iters=TAIL&fold-every=F&max-iters=M&ingest=FRAMES&...
 //	     body: a PTYCHSv1 opening (header + probe, no frames). Opens a
 //	     STREAMING job: 202 with the job summary; feed frames next.
@@ -24,8 +26,13 @@
 //	GET  /jobs/{id}/preview.png   live grayscale preview of the latest snapshot
 //	                              (?kind=phase|mag, ?slice=N)
 //	GET  /jobs/{id}/object        latest object snapshot as an OBJCKv1 stream
+//	GET  /grid                    worker-grid status: coordinator address and
+//	                              registered ptychoworker endpoints
 //	GET  /metrics                 Prometheus text exposition
 //	GET  /healthz                 liveness
+//
+// The complete reference with copy-pasteable curl examples (smoke-run
+// by CI) lives in docs/HTTP_API.md.
 //
 // Backpressure: a full job queue (submit) and a full ingest buffer
 // (frames) both answer 429 Too Many Requests with a Retry-After hint —
@@ -74,6 +81,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
 	mux.HandleFunc("GET /jobs/{id}/preview.png", s.handlePreview)
 	mux.HandleFunc("GET /jobs/{id}/object", s.handleObject)
+	mux.HandleFunc("GET /grid", s.handleGrid)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -179,6 +187,13 @@ func parseParams(r *http.Request) (jobs.Params, error) {
 	}
 	if p.CheckpointEvery, err = queryInt(r, "checkpoint-every", 0); err != nil {
 		return p, err
+	}
+	if g := r.URL.Query().Get("grid"); g != "" {
+		on, err := strconv.ParseBool(g)
+		if err != nil {
+			return p, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter grid: %v", err)}
+		}
+		p.Grid = on
 	}
 	if mesh := r.URL.Query().Get("mesh"); mesh != "" {
 		rows, cols, ok := strings.Cut(strings.ToLower(mesh), "x")
@@ -466,6 +481,28 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Ptycho-Iterations", strconv.Itoa(iter))
 	dataio.WriteObject(w, snap)
+}
+
+// handleGrid reports the worker-grid coordinator's state: whether a
+// grid is configured, its listen address, and every registered worker
+// endpoint (submit grid jobs with ?grid=1 when enough are idle).
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	workers := s.svc.GridWorkers()
+	idle := 0
+	for _, wk := range workers {
+		if !wk.Busy {
+			idle++
+		}
+	}
+	if workers == nil {
+		workers = []jobs.GridWorkerInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": s.svc.GridEnabled(),
+		"addr":    s.svc.GridAddr(),
+		"workers": workers,
+		"idle":    idle,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -92,6 +92,11 @@ type Params struct {
 	// resumes a run cancelled after k iterations carries StartIter k, so
 	// Iter counts continue where the original left off.
 	StartIter int
+	// Grid runs the parallel engine across registered grid-worker
+	// processes (one per mesh tile) instead of in-process goroutines.
+	// Requires a gd or hve algorithm and a service started with a grid
+	// coordinator (Config.GridAddr); see grid.go.
+	Grid bool
 
 	// The fields below apply to Streaming jobs only (SubmitStreaming).
 	// For a streaming job, Iterations is the TAIL: how many iterations
@@ -139,6 +144,9 @@ func (p *Params) validate(prob *solver.Problem) error {
 	case "serial", "gd", "hve":
 	default:
 		return fmt.Errorf("%w: unknown algorithm %q (want serial, gd, hve)", ErrInvalidParams, p.Algorithm)
+	}
+	if p.Grid && p.Algorithm == "serial" {
+		return fmt.Errorf("%w: grid execution requires a parallel algorithm (gd or hve)", ErrInvalidParams)
 	}
 	if err := p.validateCommon(); err != nil {
 		return err
@@ -195,6 +203,9 @@ func (p *Params) validateStreaming(hdr *dataio.StreamHeader) error {
 	}
 	if p.InitialObject != nil {
 		return fmt.Errorf("%w: streaming jobs cannot warm-start (frames define the dataset)", ErrInvalidParams)
+	}
+	if p.Grid {
+		return fmt.Errorf("%w: streaming jobs run on the local pool (the grid reconstructs fixed datasets)", ErrInvalidParams)
 	}
 	if err := hdr.Validate(); err != nil {
 		return fmt.Errorf("%w: invalid stream header: %v", ErrInvalidParams, err)
@@ -326,7 +337,9 @@ type Info struct {
 	ID        string `json:"id"`
 	State     string `json:"state"`
 	Algorithm string `json:"algorithm"`
-	Iter      int    `json:"iter"`
+	// Grid marks a job running on the distributed worker grid.
+	Grid bool `json:"grid,omitempty"`
+	Iter int  `json:"iter"`
 	// TotalIters is the planned iteration count of a batch job. For a
 	// streaming job it is 0 while the stream is open (the total is
 	// unknowable until EOF).
@@ -364,6 +377,7 @@ func (j *Job) Info(historyTail int) Info {
 		ID:             j.id,
 		State:          j.state.String(),
 		Algorithm:      j.params.Algorithm,
+		Grid:           j.params.Grid,
 		Iter:           j.iter,
 		Cost:           j.cost,
 		CheckpointIter: j.checkpointIter,

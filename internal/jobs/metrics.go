@@ -41,6 +41,21 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"ptychoserve_queue_depth", "Jobs waiting for a worker.", "gauge", int64(s.QueueDepth())},
 		{"ptychoserve_workers", "Size of the worker pool.", "gauge", int64(s.cfg.Workers)},
 	}
+	if s.grid != nil {
+		workers := s.grid.Workers()
+		busy := 0
+		for _, w := range workers {
+			if w.Busy {
+				busy++
+			}
+		}
+		ms = append(ms,
+			metric{"ptychoserve_grid_workers", "Grid worker endpoints registered with the coordinator.", "gauge", int64(len(workers))},
+			metric{"ptychoserve_grid_workers_busy", "Grid worker endpoints currently in a session.", "gauge", int64(busy)},
+			metric{"ptychoserve_grid_sessions_total", "Distributed sessions started on the grid.", "counter", s.grid.SessionsStarted()},
+			metric{"ptychoserve_grid_bytes_routed_total", "Rank-to-rank payload bytes routed by the coordinator hub.", "counter", s.grid.BytesRouted()},
+		)
+	}
 	for _, m := range ms {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
 			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {

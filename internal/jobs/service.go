@@ -18,6 +18,7 @@ import (
 	"ptychopath/internal/solver"
 	"ptychopath/internal/stream"
 	"ptychopath/internal/tiling"
+	"ptychopath/internal/transport"
 )
 
 // Config sizes the service.
@@ -40,6 +41,12 @@ type Config struct {
 	// Streaming jobs; appends beyond it see stream.ErrIngestFull
 	// (HTTP 429 backpressure). Default 4096.
 	IngestFrames int
+	// GridAddr, when non-empty, starts the worker-grid coordinator: a
+	// TCP hub on this address that ptychoworker processes register
+	// with, enabling Params.Grid jobs to run their parallel engine
+	// across processes (see grid.go and internal/transport). Empty
+	// disables the grid.
+	GridAddr string
 }
 
 func (c *Config) setDefaults() error {
@@ -84,9 +91,10 @@ func (c *Config) setDefaults() error {
 
 // Service owns the queue, the worker pool and the job registry.
 type Service struct {
-	cfg Config
-	wg  sync.WaitGroup
-	met counters
+	cfg  Config
+	wg   sync.WaitGroup
+	met  counters
+	grid *transport.Hub // worker-grid coordinator; nil without GridAddr
 
 	mu     sync.Mutex
 	notify *sync.Cond // signals workers: queue non-empty or closing
@@ -106,6 +114,13 @@ func NewService(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:  cfg,
 		jobs: make(map[string]*Job),
+	}
+	if cfg.GridAddr != "" {
+		hub, err := transport.Listen(cfg.GridAddr)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: starting grid coordinator: %w", err)
+		}
+		s.grid = hub
 	}
 	s.notify = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -152,6 +167,9 @@ func (s *Service) Close() {
 	s.notify.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.grid != nil {
+		s.grid.Close()
+	}
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -170,6 +188,9 @@ func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom string) (*J
 	}
 	if err := p.validate(prob); err != nil {
 		return nil, err
+	}
+	if p.Grid && s.grid == nil {
+		return nil, ErrNoGrid
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return s.enqueue(&Job{
@@ -457,6 +478,9 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 	if j.streaming {
 		return s.executeStream(j)
 	}
+	if j.params.Grid {
+		return s.executeGrid(j)
+	}
 	p := j.params
 	prob := j.prob
 	init := p.InitialObject
@@ -581,6 +605,9 @@ func (s *Service) Shutdown() {
 		s.Cancel(id)
 	}
 	s.wg.Wait()
+	if s.grid != nil {
+		s.grid.Close()
+	}
 }
 
 // snapshot publishes a preview copy of the object and writes the

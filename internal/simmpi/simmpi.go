@@ -10,6 +10,11 @@
 // so an incorrectly ordered exchange fails a test loudly instead of
 // hanging it. Per-rank byte/message counters feed communication-volume
 // assertions and the experiment reports.
+//
+// The Transport interface abstracts the communicator: this package's
+// *Comm is the in-process implementation, and internal/transport
+// provides a TCP implementation with identical semantics, so the same
+// engine code runs single-process or distributed across machines.
 package simmpi
 
 import (
@@ -22,6 +27,53 @@ import (
 
 // AnySource matches messages from any sender in Recv/Irecv.
 const AnySource = -1
+
+// Pending is the handle of a non-blocking operation (Isend/Irecv).
+// Wait blocks until the operation completes; for receives it returns
+// the matched payload.
+type Pending interface {
+	Wait() ([]complex128, error)
+}
+
+// Transport is the abstract communicator every parallel engine in this
+// repository is written against: MPI-flavored tagged point-to-point
+// messaging plus the two collectives the algorithms need. A rank holds
+// exactly one Transport endpoint for the lifetime of a run.
+//
+// Two implementations exist: *Comm (this package), whose world is a set
+// of goroutines sharing mailboxes in one process, and
+// transport.Client (internal/transport), whose world is a set of
+// processes exchanging CRC-framed messages over TCP through a
+// coordinator hub. The engines cannot tell them apart — the capstone
+// tests assert bit-identical reconstructions across the two.
+//
+// Contract, matching MPI's eager protocol:
+//
+//   - Send copies the payload and never blocks. Delivery failures on a
+//     remote transport surface on the next blocking call.
+//   - Recv blocks until a message with matching (src, tag) arrives,
+//     FIFO per pair; src may be AnySource. Every blocking call carries
+//     a deadline and fails with an error wrapping ErrTimeout instead of
+//     hanging on a deadlocked exchange.
+//   - Barrier returns once every rank has entered it.
+//   - AllreduceSum returns the rank-order sum of x across the world on
+//     every rank — rank-order so results are bit-for-bit deterministic
+//     regardless of scheduling.
+//   - SentBytes/SentMessages are this endpoint's cumulative outgoing
+//     payload counters (complex128 = 16 bytes), feeding the
+//     communication-volume instrumentation.
+type Transport interface {
+	Rank() int
+	Size() int
+	Send(dst, tag int, data []complex128)
+	Recv(src, tag int) ([]complex128, error)
+	Isend(dst, tag int, data []complex128) Pending
+	Irecv(src, tag int) Pending
+	Barrier() error
+	AllreduceSum(x float64) (float64, error)
+	SentBytes() int64
+	SentMessages() int64
+}
 
 // DefaultTimeout bounds every blocking operation; tests override it to
 // fail fast.
@@ -64,7 +116,15 @@ type mailbox struct {
 	signal chan struct{}
 
 	bytesIn atomic.Int64
+
+	// Outgoing counters of the rank that OWNS this mailbox (not traffic
+	// into it) — the per-endpoint view Transport requires.
+	bytesOut atomic.Int64
+	msgsOut  atomic.Int64
 }
+
+// Comm implements Transport over the in-process world.
+var _ Transport = (*Comm)(nil)
 
 // Comm is one rank's handle on the world.
 type Comm struct {
@@ -143,7 +203,16 @@ func (c *Comm) Send(dst, tag int, data []complex128) {
 	c.world.bytesSent.Add(nbytes)
 	c.world.msgsSent.Add(1)
 	box.bytesIn.Add(nbytes)
+	own := c.world.boxes[c.rank]
+	own.bytesOut.Add(nbytes)
+	own.msgsOut.Add(1)
 }
+
+// SentBytes returns the payload bytes this rank has sent.
+func (c *Comm) SentBytes() int64 { return c.world.boxes[c.rank].bytesOut.Load() }
+
+// SentMessages returns the number of messages this rank has sent.
+func (c *Comm) SentMessages() int64 { return c.world.boxes[c.rank].msgsOut.Load() }
 
 // Request represents a pending non-blocking operation.
 type Request struct {
@@ -159,13 +228,13 @@ type Request struct {
 // Isend starts a non-blocking send. With eager semantics the operation
 // completes immediately; the returned request exists for API symmetry
 // with MPI_Isend (the paper's APPP uses isend/irecv pairs).
-func (c *Comm) Isend(dst, tag int, data []complex128) *Request {
+func (c *Comm) Isend(dst, tag int, data []complex128) Pending {
 	c.Send(dst, tag, data)
 	return &Request{comm: c, sent: true, done: true}
 }
 
 // Irecv posts a non-blocking receive. The match is performed at Wait.
-func (c *Comm) Irecv(src, tag int) *Request {
+func (c *Comm) Irecv(src, tag int) Pending {
 	return &Request{comm: c, src: src, tag: tag}
 }
 

@@ -1,0 +1,70 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+)
+
+// ExampleProblem_AppendLocations shows the growable-dataset API the
+// streaming subsystem is built on: a reconstruction problem opened from
+// geometry alone grows in place as newly acquired probe locations and
+// their measurements arrive.
+func ExampleProblem_AppendLocations() {
+	// A complete 3x3 acquisition to play the role of the instrument.
+	pat, err := scan.Raster(scan.RasterConfig{Cols: 3, Rows: 3, StepPix: 5, RadiusPix: 6, MarginPix: 6})
+	if err != nil {
+		panic(err)
+	}
+	acquired, err := solver.Simulate(solver.SimulateConfig{
+		Optics:  physics.PaperOptics(),
+		Pattern: pat,
+		Object:  phantom.RandomObject(pat.ImageW, pat.ImageH, 1, 1),
+		WindowN: 8,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// The live problem starts empty — same geometry, zero locations —
+	// and folds frames in as they arrive, two at a time here.
+	live := &solver.Problem{
+		Pattern: &scan.Pattern{
+			ImageW: pat.ImageW, ImageH: pat.ImageH,
+			StepPix: pat.StepPix, RadiusPix: pat.RadiusPix,
+		},
+		Probe:   acquired.Probe,
+		WindowN: acquired.WindowN,
+		Slices:  acquired.Slices,
+	}
+	for lo := 0; lo < pat.N(); lo += 2 {
+		hi := min(lo+2, pat.N())
+		var locs []scan.Location
+		var meas []*grid.Float2D
+		for i := lo; i < hi; i++ {
+			locs = append(locs, pat.Locations[i])
+			meas = append(meas, acquired.Meas[i])
+		}
+		if err := live.AppendLocations(locs, meas); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("locations:", live.Pattern.N())
+	fmt.Println("valid:", live.Validate() == nil)
+
+	// A frame landing outside the image is rejected up front — nothing
+	// is appended, the dataset stays consistent.
+	bad := scan.Location{X: -100, Y: -100}
+	err = live.AppendLocations([]scan.Location{bad}, []*grid.Float2D{acquired.Meas[0]})
+	fmt.Println("bad frame rejected:", err != nil)
+	fmt.Println("locations after reject:", live.Pattern.N())
+	// Output:
+	// locations: 9
+	// valid: true
+	// bad frame rejected: true
+	// locations after reject: 9
+}

@@ -1,0 +1,523 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"ptychopath/internal/simmpi"
+)
+
+// Client is a worker's endpoint on the grid: one persistent TCP
+// connection to the coordinator hub, reused across sessions. Between
+// sessions the client idles in WaitSetup; during a session it
+// implements simmpi.Transport for exactly one rank, so the parallel
+// engines run over it unmodified.
+//
+// Concurrency contract: one goroutine drives the session (the rank
+// loop); the internal reader goroutine is the only other actor. The
+// blocking operations are not safe for concurrent use with each other —
+// the same contract a simmpi rank has.
+type Client struct {
+	conn    net.Conn
+	name    string
+	id      int
+	timeout time.Duration
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu       sync.Mutex
+	signal   chan struct{} // pulsed on every state change; single waiter
+	inbox    []message
+	setups   []*Setup
+	barriers int     // pending barrier releases
+	reduces  []float64
+	snapAcks []error
+	fatal         error  // connection dead — permanent
+	sessErr       error  // current session aborted — cleared on the next SETUP
+	onCancel      func() // session cancel hook (frameCancel)
+	pendingCancel bool   // a frameCancel arrived before the hook was installed
+
+	rank, size int
+	sentBytes  int64
+	sentMsgs   int64
+}
+
+type message struct {
+	src, tag int
+	data     []complex128
+}
+
+// Client implements simmpi.Transport during a session.
+var _ simmpi.Transport = (*Client)(nil)
+
+// DialOptions configures a worker connection.
+type DialOptions struct {
+	// Name identifies the worker in the hub's registry (hostname-pid by
+	// default).
+	Name string
+	// Timeout bounds every blocking operation between frames; sessions
+	// override it with their Setup.TimeoutMS. 0 selects
+	// simmpi.DefaultTimeout.
+	Timeout time.Duration
+}
+
+// Dial connects to a hub, performs the hello/welcome handshake, and
+// returns the registered client. A hub speaking a different
+// ProtoVersion yields ErrVersionMismatch.
+func Dial(addr string, opts DialOptions) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c, err := newClient(conn, opts)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func newClient(conn net.Conn, opts DialOptions) (*Client, error) {
+	if opts.Timeout <= 0 {
+		opts.Timeout = simmpi.DefaultTimeout
+	}
+	c := &Client{
+		conn:    conn,
+		name:    opts.Name,
+		timeout: opts.Timeout,
+		signal:  make(chan struct{}, 1),
+	}
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	hello := append(uint32le(ProtoVersion), []byte(opts.Name)...)
+	if err := writeFrame(conn, frame{typ: frameHello, dst: hubRank, payload: hello}); err != nil {
+		return nil, fmt.Errorf("transport: handshake send: %w", err)
+	}
+	fr, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: handshake: %w", err)
+	}
+	switch fr.typ {
+	case frameWelcome:
+		if len(fr.payload) < 8 {
+			return nil, fmt.Errorf("%w: short welcome", ErrFrameCorrupt)
+		}
+		if v := le32(fr.payload); v != ProtoVersion {
+			return nil, fmt.Errorf("%w: hub speaks v%d, client v%d", ErrVersionMismatch, v, ProtoVersion)
+		}
+		c.id = int(int32(le32(fr.payload[4:])))
+	case frameError:
+		return nil, decodeError(fr.payload)
+	default:
+		return nil, fmt.Errorf("%w: unexpected handshake frame 0x%02x", ErrFrameCorrupt, fr.typ)
+	}
+	conn.SetDeadline(time.Time{})
+	go c.readLoop()
+	return c, nil
+}
+
+// ID returns the hub-assigned worker id.
+func (c *Client) ID() int { return c.id }
+
+// pulse wakes the (single) waiting goroutine.
+func (c *Client) pulse() {
+	select {
+	case c.signal <- struct{}{}:
+	default:
+	}
+}
+
+// readLoop is the sole frame reader: it classifies incoming frames into
+// the client's queues and wakes the session goroutine.
+func (c *Client) readLoop() {
+	for {
+		fr, err := readFrame(c.conn)
+		if err != nil {
+			c.setFatal(fmt.Errorf("transport: connection lost: %w", err))
+			return
+		}
+		switch fr.typ {
+		case frameSetup:
+			var s Setup
+			if err := decodeGob(fr.payload, &s); err != nil {
+				c.setFatal(err)
+				return
+			}
+			c.mu.Lock()
+			// A SETUP opens a fresh session: everything still queued
+			// belongs to a previous one (per-connection TCP ordering —
+			// the hub never interleaves new-session traffic before the
+			// SETUP), so clear it HERE, not in WaitSetup, where traffic
+			// that raced ahead of the pop would be wiped with it.
+			c.inbox = nil
+			c.barriers = 0
+			c.reduces = nil
+			c.snapAcks = nil
+			c.sessErr = nil
+			c.onCancel = nil
+			c.pendingCancel = false
+			c.setups = append(c.setups, &s)
+			c.mu.Unlock()
+			c.pulse()
+		case frameData:
+			data, err := bytesToComplex(fr.payload)
+			if err != nil {
+				c.setFatal(err)
+				return
+			}
+			c.mu.Lock()
+			c.inbox = append(c.inbox, message{src: int(fr.src), tag: int(fr.tag), data: data})
+			c.mu.Unlock()
+			c.pulse()
+		case frameBarrierOK:
+			c.mu.Lock()
+			c.barriers++
+			c.mu.Unlock()
+			c.pulse()
+		case frameReduceOK:
+			if len(fr.payload) < 8 {
+				c.setFatal(fmt.Errorf("%w: short reduce result", ErrFrameCorrupt))
+				return
+			}
+			c.mu.Lock()
+			c.reduces = append(c.reduces, float64FromLE(fr.payload))
+			c.mu.Unlock()
+			c.pulse()
+		case frameSnapshotOK:
+			var ack error
+			if len(fr.payload) == 0 || fr.payload[0] != 0 {
+				msg := "snapshot rejected"
+				if len(fr.payload) > 1 {
+					msg = string(fr.payload[1:])
+				}
+				ack = fmt.Errorf("transport: coordinator: %s", msg)
+			}
+			c.mu.Lock()
+			c.snapAcks = append(c.snapAcks, ack)
+			c.mu.Unlock()
+			c.pulse()
+		case frameCancel:
+			c.mu.Lock()
+			fn := c.onCancel
+			if fn == nil {
+				// The session goroutine has not installed its hook yet
+				// (the cancel raced the WaitSetup pop); deliver it then.
+				c.pendingCancel = true
+			}
+			c.mu.Unlock()
+			if fn != nil {
+				fn()
+			}
+		case frameError:
+			// Session-level abort: the connection stays healthy, the
+			// current session's blocking operations fail.
+			c.mu.Lock()
+			c.sessErr = decodeError(fr.payload)
+			c.mu.Unlock()
+			c.pulse()
+		default:
+			c.setFatal(fmt.Errorf("%w: unexpected frame 0x%02x", ErrFrameCorrupt, fr.typ))
+			return
+		}
+	}
+}
+
+func (c *Client) setFatal(err error) {
+	c.mu.Lock()
+	if c.fatal == nil {
+		c.fatal = err
+	}
+	c.mu.Unlock()
+	c.pulse()
+}
+
+// failed returns the error that should interrupt a blocking operation,
+// or nil. Caller holds c.mu.
+func (c *Client) failedLocked() error {
+	if c.fatal != nil {
+		return c.fatal
+	}
+	return c.sessErr
+}
+
+// await blocks until ready() reports true (under c.mu) or the deadline,
+// a connection failure, or a session abort intervenes. what describes
+// the wait for the timeout error.
+func (c *Client) await(ready func() bool, what string) error {
+	deadline := time.Now().Add(c.timeout)
+	c.mu.Lock()
+	for {
+		if err := c.failedLocked(); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		if ready() {
+			c.mu.Unlock()
+			return nil
+		}
+		c.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return fmt.Errorf("%w: rank %d %s", simmpi.ErrTimeout, c.rank, what)
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-c.signal:
+			timer.Stop()
+		case <-timer.C:
+			return fmt.Errorf("%w: rank %d %s", simmpi.ErrTimeout, c.rank, what)
+		}
+		c.mu.Lock()
+	}
+}
+
+// WaitSetup blocks until the coordinator opens a session on this
+// connection and returns its Setup. It resets all per-session state
+// (inbox, collectives, a previous session's abort) and installs
+// onCancel as the frameCancel hook. ctx bounds the idle wait; a closed
+// connection returns the underlying error.
+func (c *Client) WaitSetup(ctx context.Context, onCancel func()) (*Setup, error) {
+	stop := context.AfterFunc(ctx, c.pulse)
+	defer stop()
+	var setup *Setup
+	c.mu.Lock()
+	for {
+		if c.fatal != nil {
+			err := c.fatal
+			c.mu.Unlock()
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		if len(c.setups) > 0 {
+			setup = c.setups[0]
+			c.setups = c.setups[1:]
+			break
+		}
+		c.mu.Unlock()
+		<-c.signal
+		c.mu.Lock()
+	}
+	// Per-session queues were already reset when the SETUP frame
+	// arrived (see readLoop); here we only bind the session hooks.
+	c.onCancel = onCancel
+	deliverCancel := c.pendingCancel && onCancel != nil
+	c.pendingCancel = false
+	c.rank = setup.Rank
+	c.size = setup.Size
+	if setup.TimeoutMS > 0 {
+		c.timeout = time.Duration(setup.TimeoutMS) * time.Millisecond
+	}
+	c.mu.Unlock()
+	if deliverCancel {
+		onCancel()
+	}
+	return setup, nil
+}
+
+// send writes one frame, recording a write failure as fatal (it
+// surfaces on the next blocking operation, matching the eager Send
+// contract).
+func (c *Client) send(f frame) {
+	c.wmu.Lock()
+	err := writeFrame(c.conn, f)
+	c.wmu.Unlock()
+	if err != nil {
+		c.setFatal(fmt.Errorf("transport: send: %w", err))
+	}
+}
+
+// Rank returns this endpoint's rank in the current session.
+func (c *Client) Rank() int { return c.rank }
+
+// Size returns the current session's world size.
+func (c *Client) Size() int { return c.size }
+
+// Send transmits data to dst with the given tag (eager: never blocks;
+// a delivery failure surfaces on the next blocking call).
+func (c *Client) Send(dst, tag int, data []complex128) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("transport: send to invalid rank %d (size %d)", dst, c.size))
+	}
+	c.send(frame{typ: frameData, src: int32(c.rank), dst: int32(dst), tag: int32(tag),
+		payload: complexToBytes(data)})
+	c.mu.Lock()
+	c.sentBytes += int64(16 * len(data))
+	c.sentMsgs++
+	c.mu.Unlock()
+}
+
+// Recv blocks until a message with matching (src, tag) arrives — FIFO
+// per pair, src may be simmpi.AnySource — or the deadline fires.
+func (c *Client) Recv(src, tag int) ([]complex128, error) {
+	var data []complex128
+	err := c.await(func() bool {
+		for i, m := range c.inbox {
+			if (src == simmpi.AnySource || m.src == src) && m.tag == tag {
+				data = m.data
+				c.inbox = append(c.inbox[:i], c.inbox[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}, fmt.Sprintf("waiting for src=%d tag=%d", src, tag))
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// request mirrors simmpi.Request for the TCP endpoint.
+type request struct {
+	c        *Client
+	src, tag int
+	done     bool
+	data     []complex128
+	err      error
+}
+
+// Wait completes the request.
+func (r *request) Wait() ([]complex128, error) {
+	if r.done {
+		return r.data, r.err
+	}
+	r.data, r.err = r.c.Recv(r.src, r.tag)
+	r.done = true
+	return r.data, r.err
+}
+
+// Isend starts a non-blocking send (eager: complete immediately).
+func (c *Client) Isend(dst, tag int, data []complex128) simmpi.Pending {
+	c.Send(dst, tag, data)
+	return &request{c: c, done: true}
+}
+
+// Irecv posts a non-blocking receive; the match happens at Wait.
+func (c *Client) Irecv(src, tag int) simmpi.Pending {
+	return &request{c: c, src: src, tag: tag}
+}
+
+// Barrier blocks until every rank of the session has entered it (the
+// hub counts entries and broadcasts the release).
+func (c *Client) Barrier() error {
+	c.send(frame{typ: frameBarrier, src: int32(c.rank), dst: hubRank})
+	return c.await(func() bool {
+		if c.barriers > 0 {
+			c.barriers--
+			return true
+		}
+		return false
+	}, "in barrier")
+}
+
+// AllreduceSum returns the sum of x across all ranks. The hub
+// accumulates contributions in rank order, so the result is bit-for-bit
+// deterministic and identical to the in-process world's.
+func (c *Client) AllreduceSum(x float64) (float64, error) {
+	c.send(frame{typ: frameReduce, src: int32(c.rank), dst: hubRank, payload: float64le(x)})
+	var sum float64
+	err := c.await(func() bool {
+		if len(c.reduces) > 0 {
+			sum = c.reduces[0]
+			c.reduces = c.reduces[1:]
+			return true
+		}
+		return false
+	}, "in allreduce")
+	return sum, err
+}
+
+// SentBytes returns this endpoint's cumulative outgoing payload bytes.
+func (c *Client) SentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sentBytes
+}
+
+// SentMessages returns this endpoint's cumulative outgoing messages.
+func (c *Client) SentMessages() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sentMsgs
+}
+
+// SendIteration reports rank 0's per-iteration progress to the
+// coordinator (fire-and-forget; drives job progress and SSE events).
+func (c *Client) SendIteration(iter int, cost float64) {
+	payload := append(int64le(int64(iter)), float64le(cost)...)
+	c.send(frame{typ: frameIter, src: int32(c.rank), dst: hubRank, payload: payload})
+}
+
+// SendSnapshot ships a stitched object snapshot (opaque OBJCKv1 bytes)
+// to the coordinator and waits for the acknowledgement — the
+// coordinator writes the checkpoint before the run proceeds, mirroring
+// the synchronous OnSnapshot contract of the engines. A rejected
+// snapshot returns the coordinator's error, aborting the run on every
+// rank through the engines' collective verdict.
+func (c *Client) SendSnapshot(iter int, object []byte) error {
+	payload := append(int64le(int64(iter)), object...)
+	c.send(frame{typ: frameSnapshot, src: int32(c.rank), dst: hubRank, payload: payload})
+	var ack error
+	err := c.await(func() bool {
+		if len(c.snapAcks) > 0 {
+			ack = c.snapAcks[0]
+			c.snapAcks = c.snapAcks[1:]
+			return true
+		}
+		return false
+	}, "waiting for snapshot ack")
+	if err != nil {
+		return err
+	}
+	return ack
+}
+
+// SendResult ships this rank's outcome, ending its part of the session.
+// The hub returns the worker to the idle pool on receipt.
+func (c *Client) SendResult(res *RankResult) error {
+	payload, err := encodeGob(res)
+	if err != nil {
+		return err
+	}
+	c.send(frame{typ: frameResult, src: int32(c.rank), dst: hubRank, payload: payload})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fatal
+}
+
+// Err returns the connection's fatal error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fatal
+}
+
+// Close performs the graceful teardown: a goodbye frame, then the
+// connection closes. Safe to call more than once.
+func (c *Client) Close() error {
+	c.wmu.Lock()
+	writeFrame(c.conn, frame{typ: frameGoodbye, dst: hubRank})
+	c.wmu.Unlock()
+	c.setFatal(ErrClosed)
+	return c.conn.Close()
+}
+
+// Little-endian scalar helpers.
+func uint32le(v uint32) []byte { return binary.LittleEndian.AppendUint32(nil, v) }
+func le32(b []byte) uint32     { return binary.LittleEndian.Uint32(b) }
+func int64le(v int64) []byte   { return binary.LittleEndian.AppendUint64(nil, uint64(v)) }
+func int64FromLE(b []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(b))
+}
+func float64le(v float64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, math.Float64bits(v))
+}
+func float64FromLE(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}

@@ -1,0 +1,307 @@
+// Package transport implements simmpi.Transport over TCP: the
+// distributed counterpart of the in-process goroutine world, carrying
+// the same tagged point-to-point messages and collectives between
+// worker PROCESSES so the unmodified reconstruction engines (gradsync,
+// halo) scale past one machine.
+//
+// Topology is a star: every worker holds one persistent connection to a
+// coordinator hub, reused across reconstruction sessions, and the hub
+// routes rank-to-rank frames, counts barrier entries, and computes
+// allreduce sums in rank order (bit-identical to simmpi). The hub side
+// lives in Hub (run by ptychoserve's grid coordinator), the worker side
+// in Client (run by ptychoworker / internal/gridworker).
+//
+// Every frame is length-prefixed and CRC-protected; the byte-level
+// layout is specified in docs/FORMATS.md ("PTGWv1 wire frames").
+// Blocking operations carry deadlines mirroring simmpi.ErrTimeout, so a
+// deadlocked exchange or a vanished peer fails loudly — never hangs.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+)
+
+// ProtoVersion is the wire-protocol generation. A hub refuses a client
+// with any other version during the handshake (ErrVersionMismatch) —
+// mixed deployments fail fast instead of corrupting a run.
+const ProtoVersion = 1
+
+// frameMagic opens every frame on the wire.
+var frameMagic = [4]byte{'P', 'T', 'G', 'W'}
+
+// Frame types.
+const (
+	frameHello      = 0x01 // worker → hub: version + worker name
+	frameWelcome    = 0x02 // hub → worker: version + assigned worker id
+	frameSetup      = 0x03 // hub → worker: gob(Setup) — a session begins
+	frameData       = 0x04 // worker ↔ worker (routed): complex128 payload
+	frameBarrier    = 0x05 // worker → hub: enter barrier
+	frameBarrierOK  = 0x06 // hub → worker: barrier released
+	frameReduce     = 0x07 // worker → hub: float64 contribution
+	frameReduceOK   = 0x08 // hub → worker: float64 rank-ordered sum
+	frameSnapshot   = 0x09 // rank 0 → hub: int64 iter + opaque object bytes
+	frameSnapshotOK = 0x0A // hub → rank 0: uint8 ok + error string
+	frameIter       = 0x0B // rank 0 → hub: int64 iter + float64 cost (no reply)
+	frameResult     = 0x0C // worker → hub: gob(RankResult) — session ends for this rank
+	frameError      = 0x0D // either: uint8 code + message; aborts the session or conn
+	frameCancel     = 0x0E // hub → worker: stop at the next iteration boundary
+	frameGoodbye    = 0x0F // worker → hub: graceful teardown
+)
+
+// Error codes carried by frameError payloads.
+const (
+	codeGeneric  = 0x00
+	codeVersion  = 0x01
+	codePeerLost = 0x02
+	codeAborted  = 0x03
+)
+
+// hubRank is the src/dst pseudo-rank of the coordinator hub in frame
+// headers.
+const hubRank = -1
+
+// maxFramePayload bounds a single frame. The largest legitimate payload
+// is a full extended-tile snapshot; 1 GiB leaves generous headroom
+// while keeping a corrupt length field from committing the reader to an
+// absurd allocation.
+const maxFramePayload = 1 << 30
+
+// handshakeTimeout bounds the hello/welcome exchange.
+const handshakeTimeout = 10 * time.Second
+
+// Typed transport errors. Blocking-operation timeouts additionally wrap
+// simmpi.ErrTimeout so engine-level errors.Is checks behave identically
+// on both transports.
+var (
+	// ErrVersionMismatch is returned by Dial when the hub speaks a
+	// different ProtoVersion.
+	ErrVersionMismatch = errors.New("transport: protocol version mismatch")
+	// ErrFrameCorrupt is returned when a frame fails validation: bad
+	// magic, a CRC that does not match the payload, an over-limit
+	// length, or a stream truncated mid-frame.
+	ErrFrameCorrupt = errors.New("transport: corrupt or truncated frame")
+	// ErrPeerLost is surfaced by blocking operations when another rank
+	// of the session disconnected mid-run — the session cannot
+	// complete.
+	ErrPeerLost = errors.New("transport: peer lost mid-session")
+	// ErrSessionAborted is surfaced when the coordinator abandoned the
+	// session (a rank reported failure, or the coordinator shut down).
+	ErrSessionAborted = errors.New("transport: session aborted by coordinator")
+	// ErrClosed is returned on operations against a closed endpoint.
+	ErrClosed = errors.New("transport: connection closed")
+)
+
+// frame is one decoded wire frame.
+type frame struct {
+	typ      uint8
+	src, dst int32
+	tag      int32
+	payload  []byte
+}
+
+// frameHeaderLen is the byte length of type..length, the CRC-covered
+// fixed header that follows the magic.
+const frameHeaderLen = 1 + 4 + 4 + 4 + 4
+
+// writeFrame encodes and writes one frame:
+//
+//	magic[4] | type[1] | src[4] | dst[4] | tag[4] | len[4] | payload | crc[4]
+//
+// crc is IEEE CRC-32 over type..payload. The caller serializes writes
+// per connection.
+func writeFrame(w io.Writer, f frame) error {
+	if len(f.payload) > maxFramePayload {
+		return fmt.Errorf("%w: payload %d exceeds %d", ErrFrameCorrupt, len(f.payload), maxFramePayload)
+	}
+	buf := make([]byte, 4+frameHeaderLen, 4+frameHeaderLen+len(f.payload)+4)
+	copy(buf, frameMagic[:])
+	buf[4] = f.typ
+	binary.LittleEndian.PutUint32(buf[5:], uint32(f.src))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(f.dst))
+	binary.LittleEndian.PutUint32(buf[13:], uint32(f.tag))
+	binary.LittleEndian.PutUint32(buf[17:], uint32(len(f.payload)))
+	buf = append(buf, f.payload...)
+	crc := crc32.ChecksumIEEE(buf[4:])
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads and validates one frame. Truncation, bad magic, an
+// over-limit length and a CRC mismatch all return ErrFrameCorrupt; a
+// clean EOF between frames returns io.EOF.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [4 + frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return frame{}, io.EOF
+		}
+		return frame{}, fmt.Errorf("%w: truncated header: %v", ErrFrameCorrupt, err)
+	}
+	if [4]byte(hdr[:4]) != frameMagic {
+		return frame{}, fmt.Errorf("%w: bad magic %q", ErrFrameCorrupt, hdr[:4])
+	}
+	f := frame{
+		typ: hdr[4],
+		src: int32(binary.LittleEndian.Uint32(hdr[5:])),
+		dst: int32(binary.LittleEndian.Uint32(hdr[9:])),
+		tag: int32(binary.LittleEndian.Uint32(hdr[13:])),
+	}
+	n := binary.LittleEndian.Uint32(hdr[17:])
+	if n > maxFramePayload {
+		return frame{}, fmt.Errorf("%w: payload length %d exceeds %d", ErrFrameCorrupt, n, maxFramePayload)
+	}
+	payloadAndCRC := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(r, payloadAndCRC); err != nil {
+		return frame{}, fmt.Errorf("%w: truncated payload: %v", ErrFrameCorrupt, err)
+	}
+	crc := crc32.ChecksumIEEE(hdr[4:])
+	crc = crc32.Update(crc, crc32.IEEETable, payloadAndCRC[:n])
+	if got := binary.LittleEndian.Uint32(payloadAndCRC[n:]); got != crc {
+		return frame{}, fmt.Errorf("%w: crc %08x, want %08x", ErrFrameCorrupt, got, crc)
+	}
+	f.payload = payloadAndCRC[:n]
+	return f, nil
+}
+
+// complexToBytes serializes a []complex128 payload as interleaved
+// little-endian float64 pairs — exact (bit-preserving) both ways.
+func complexToBytes(data []complex128) []byte {
+	out := make([]byte, 16*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(out[16*i:], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(out[16*i+8:], math.Float64bits(imag(v)))
+	}
+	return out
+}
+
+func bytesToComplex(b []byte) ([]complex128, error) {
+	if len(b)%16 != 0 {
+		return nil, fmt.Errorf("%w: data payload %d bytes is not a complex128 array", ErrFrameCorrupt, len(b))
+	}
+	out := make([]complex128, len(b)/16)
+	for i := range out {
+		out[i] = complex(
+			math.Float64frombits(binary.LittleEndian.Uint64(b[16*i:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(b[16*i+8:])),
+		)
+	}
+	return out, nil
+}
+
+// errorPayload encodes a frameError payload.
+func errorPayload(code uint8, msg string) []byte {
+	return append([]byte{code}, msg...)
+}
+
+// decodeError maps a frameError payload to a typed error.
+func decodeError(payload []byte) error {
+	code, msg := uint8(codeGeneric), ""
+	if len(payload) > 0 {
+		code, msg = payload[0], string(payload[1:])
+	}
+	switch code {
+	case codeVersion:
+		return fmt.Errorf("%w: %s", ErrVersionMismatch, msg)
+	case codePeerLost:
+		return fmt.Errorf("%w: %s", ErrPeerLost, msg)
+	case codeAborted:
+		return fmt.Errorf("%w: %s", ErrSessionAborted, msg)
+	default:
+		return fmt.Errorf("transport: remote error: %s", msg)
+	}
+}
+
+// Setup is the job description a coordinator sends each worker to open
+// a session: which rank it is, the mesh geometry, the engine
+// parameters, and the serialized dataset and initial object. Problem
+// and Init are opaque byte blobs (PTYCHOv1 and OBJCKv1 respectively —
+// see internal/dataio and docs/FORMATS.md); the transport does not
+// interpret them.
+type Setup struct {
+	// JobID names the coordinator-side job this session executes.
+	JobID string
+	// Rank and Size place this worker in the session's world; the hub
+	// fills them in at StartSession.
+	Rank int
+	Size int
+
+	// Algorithm selects the engine: "gd" (gradsync) or "hve" (halo).
+	Algorithm string
+	// MeshRows, MeshCols and Halo reproduce the coordinator's tile
+	// mesh exactly on every rank.
+	MeshRows, MeshCols int
+	Halo               int
+	HaloWidth          int // hve exchange halo (0 = mesh halo)
+	ExtraRows          int // hve redundant scan rows
+	// StepSize through SnapshotEvery mirror the engine Options of the
+	// in-process run.
+	StepSize           float64
+	Iterations         int
+	RoundsPerIteration int
+	IntraWorkers       int
+	SnapshotEvery      int
+	// TimeoutMS bounds the session's blocking transport operations
+	// (milliseconds; 0 keeps the worker's dial-time default).
+	TimeoutMS int64
+
+	// Problem is the full PTYCHOv1 dataset; every rank derives its own
+	// shard deterministically from the mesh (tile-by-tile location
+	// assignment), so no per-rank slicing happens coordinator-side.
+	Problem []byte
+	// Init is the OBJCKv1 warm-start object on full image bounds.
+	Init []byte
+}
+
+// RankResult is one rank's outcome, shipped worker → hub when its part
+// of the session finishes (successfully or not). Tile is an opaque
+// OBJCKv1 blob of the rank's extended-tile slices.
+type RankResult struct {
+	// Rank identifies the sender within the session.
+	Rank int
+	// Err, when non-empty, reports the rank failed; other fields may be
+	// zero. A failing rank still reports in-band — it never tears down
+	// the connection.
+	Err string
+	// Cancelled marks a collective Ctx-cancellation stop with partial
+	// state in Tile.
+	Cancelled bool
+
+	// CostHistory is the all-reduced global cost per iteration.
+	CostHistory []float64
+	// Locations counts the rank's assigned probe locations (for hve,
+	// including redundant ones; Owned excludes them).
+	Locations, Owned int
+	// MemBytes estimates the rank's resident footprint; ComputeNS and
+	// CommNS split its wall-clock between gradient work and passes.
+	MemBytes          int64
+	ComputeNS, CommNS int64
+	// SentBytes and SentMessages count the rank's outgoing payload
+	// traffic.
+	SentBytes, SentMessages int64
+	// Tile is the rank's extended-tile object as OBJCKv1 bytes.
+	Tile []byte
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encoding %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decoding %T: %w", v, err)
+	}
+	return nil
+}

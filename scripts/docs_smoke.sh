@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# docs_smoke.sh — execute every ```bash block of docs/HTTP_API.md, in
+# order, against a live ptychoserve. This is the CI guarantee that the
+# documentation's curl examples actually work; if an endpoint or a
+# parameter changes without the doc, this script fails.
+#
+# Prerequisites (the CI docs job sets them up): a running ptychoserve
+# on 127.0.0.1:8617 with -grid 127.0.0.1:8619, a ptychoworker with 4
+# ranks attached, and datagen/ptychofeed on PATH alongside jq and curl.
+#
+# Usage: scripts/docs_smoke.sh [doc.md]
+set -euo pipefail
+
+doc=${1:-docs/HTTP_API.md}
+doc=$(realpath "$doc")
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+awk '/^```bash$/{code=1; next} /^```/{code=0} code' "$doc" > "$work/examples.sh"
+lines=$(grep -c . "$work/examples.sh" || true)
+if [ "$lines" -lt 10 ]; then
+    echo "docs_smoke: only $lines example lines extracted from $doc — extraction broken?" >&2
+    exit 1
+fi
+echo "docs_smoke: running $lines example lines from $doc"
+cd "$work"
+bash -euo pipefail examples.sh
+echo "docs_smoke: all examples executed successfully"

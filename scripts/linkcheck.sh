@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# linkcheck.sh — verify that every relative markdown link in the given
+# files points at something that exists in the repository. External
+# (http/https/mailto) links and pure #anchors are skipped; everything
+# else must resolve relative to the file that contains it.
+#
+# Usage: scripts/linkcheck.sh FILE.md [FILE.md ...]
+set -euo pipefail
+
+fail=0
+for f in "$@"; do
+    if [ ! -f "$f" ]; then
+        echo "linkcheck: no such file: $f" >&2
+        fail=1
+        continue
+    fi
+    dir=$(dirname "$f")
+    checked=0
+    while IFS= read -r link; do
+        target=${link%%#*}
+        [ -z "$target" ] && continue # pure anchor
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        esac
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$target" ]; then
+            echo "$f: broken link -> ($link)"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//' || true)
+    echo "linkcheck: $f — $checked relative links checked"
+done
+exit $fail
