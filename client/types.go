@@ -1,0 +1,163 @@
+package client
+
+import "time"
+
+// SubmitRequest is the typed job submission: the JSON schema of the
+// "params" part of a multipart POST /v1/jobs or /v1/jobs/stream body.
+// The server decodes it strictly (unknown fields are bad_params), so a
+// typo cannot silently fall back to a default. Zero values select the
+// server defaults documented per field.
+type SubmitRequest struct {
+	// Algorithm is "serial", "gd" (gradient decomposition) or "hve"
+	// (halo voxel exchange; batch jobs only). Default "serial".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Iterations is the iteration count of a batch job, or the TAIL of
+	// a streaming job (iterations over the complete set after EOF).
+	// Default 20.
+	Iterations int `json:"iterations,omitempty"`
+	// StepSize is the gradient step. Default 0.01.
+	StepSize float64 `json:"step_size,omitempty"`
+	// MeshRows and MeshCols shape the tile mesh of the parallel
+	// algorithms. Default 2x2.
+	MeshRows int `json:"mesh_rows,omitempty"`
+	MeshCols int `json:"mesh_cols,omitempty"`
+	// RoundsPerIteration is the communication frequency of the parallel
+	// algorithms. Default 1.
+	RoundsPerIteration int `json:"rounds_per_iteration,omitempty"`
+	// IntraWorkers is the per-rank goroutine count for gd batch mode.
+	IntraWorkers int `json:"intra_workers,omitempty"`
+	// CheckpointEvery is the iteration period of OBJCKv1 checkpoints
+	// and preview snapshots; 0 selects the server default.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Grid runs the parallel engine across registered grid-worker
+	// processes (requires a server started with a grid coordinator).
+	Grid bool `json:"grid,omitempty"`
+
+	// The fields below apply to streaming submissions only.
+
+	// FoldEvery is the number of iterations between ingest folds while
+	// the stream is open. Default 1.
+	FoldEvery int `json:"fold_every,omitempty"`
+	// MaxIterations, when positive, bounds iterations run before the
+	// stream closes. 0 means unlimited.
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// IngestCapacity bounds the job's frame buffer (appends beyond it
+	// answer 429 ingest_full). 0 selects the server default.
+	IngestCapacity int `json:"ingest_capacity,omitempty"`
+
+	// IdempotencyKey, when non-empty, is sent as the Idempotency-Key
+	// header: resubmitting with the same key returns the job the first
+	// submission created instead of enqueueing a duplicate. When empty,
+	// Submit and SubmitStreaming generate a random key per call so
+	// their own automatic retries are replay-safe. Not part of the
+	// JSON params (it travels as a header).
+	IdempotencyKey string `json:"-"`
+}
+
+// Job state names, as served in Job.State.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Job is a point-in-time job summary — the JSON schema of every job
+// object the /v1 API returns.
+type Job struct {
+	ID        string `json:"id"`
+	State     string `json:"state"`
+	Algorithm string `json:"algorithm"`
+	// Grid marks a job running on the distributed worker grid.
+	Grid bool `json:"grid,omitempty"`
+	// Iter is the completed-iteration count (continuing the original
+	// job's count for resumed jobs).
+	Iter int `json:"iter"`
+	// TotalIters is the planned iteration count of a batch job; 0 for
+	// a streaming job while its stream is open.
+	TotalIters int     `json:"total_iters,omitempty"`
+	Cost       float64 `json:"cost"`
+	// CostHistory is the tail of the per-iteration cost curve (bounded
+	// by the server unless ?history=all was requested).
+	CostHistory    []float64 `json:"cost_history,omitempty"`
+	CheckpointIter int       `json:"checkpoint_iter,omitempty"`
+	Checkpoint     string    `json:"checkpoint,omitempty"`
+	ResumedFrom    string    `json:"resumed_from,omitempty"`
+	Error          string    `json:"error,omitempty"`
+	Created        time.Time `json:"created"`
+	Started        time.Time `json:"started,omitzero"`
+	Finished       time.Time `json:"finished,omitzero"`
+
+	// Streaming progress (omitted for batch jobs).
+	Streaming    bool `json:"streaming,omitempty"`
+	Frames       int  `json:"frames,omitempty"`
+	ActiveFrames int  `json:"active_frames,omitempty"`
+	Folds        int  `json:"folds,omitempty"`
+	EOF          bool `json:"eof,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j *Job) Terminal() bool {
+	return j.State == StateDone || j.State == StateFailed || j.State == StateCancelled
+}
+
+// JobPage is one page of GET /v1/jobs.
+type JobPage struct {
+	Jobs []Job `json:"jobs"`
+	// NextCursor continues the listing when non-empty: pass it as the
+	// cursor of the next request.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// ListOptions selects a page of GET /v1/jobs.
+type ListOptions struct {
+	// Status keeps only jobs in the named state (StateQueued …); empty
+	// keeps all.
+	Status string
+	// Cursor resumes a listing from a previous page's NextCursor.
+	Cursor string
+	// Limit bounds the page size; 0 selects the server default.
+	Limit int
+}
+
+// FrameAck is the acknowledgment of an accepted frame chunk.
+type FrameAck struct {
+	// Accepted is the frame count of this chunk (0 for an 'E' chunk).
+	Accepted int `json:"accepted"`
+	// Total is the running total the job's ingest has accepted.
+	Total int `json:"total"`
+	// EOF reports that the chunk closed the stream.
+	EOF bool `json:"eof,omitempty"`
+}
+
+// Event is one entry of a job's live feed (GET /v1/jobs/{id}/events).
+// Types: "info" (full job summary in Info), "state", "iteration",
+// "frames", "fold", "eof", "snapshot" — see the HTTP API reference.
+type Event struct {
+	Type   string    `json:"type"`
+	Job    string    `json:"job"`
+	State  string    `json:"state,omitempty"`
+	Iter   int       `json:"iter,omitempty"`
+	Cost   float64   `json:"cost,omitempty"`
+	Frames int       `json:"frames,omitempty"`
+	Time   time.Time `json:"time"`
+	// Info carries the initial job summary on "info" events; nil
+	// otherwise.
+	Info *Job `json:"-"`
+}
+
+// GridWorker describes one registered grid worker endpoint.
+type GridWorker struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	Busy bool   `json:"busy"`
+}
+
+// GridStatus is the worker-grid coordinator's state (GET /v1/grid).
+type GridStatus struct {
+	Enabled bool         `json:"enabled"`
+	Addr    string       `json:"addr"`
+	Workers []GridWorker `json:"workers"`
+	Idle    int          `json:"idle"`
+}

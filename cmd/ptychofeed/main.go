@@ -7,6 +7,11 @@
 // subsystem — point it at any dataset and watch previews sharpen
 // while "acquisition" is still underway.
 //
+// ptychofeed speaks the versioned /v1 API exclusively, through the
+// typed SDK in the top-level client package — idempotent submission,
+// typed problem-envelope errors, and Retry-After-honoring backoff all
+// come from the SDK rather than hand-rolled HTTP.
+//
 // Usage:
 //
 //	ptychofeed -file dataset.ptycho [-server http://127.0.0.1:8617]
@@ -21,16 +26,17 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
+	"math"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
+	"ptychopath/client"
 	"ptychopath/internal/dataio"
-	"ptychopath/internal/jobs"
 )
 
 func main() {
@@ -62,6 +68,27 @@ func run(server, file string, chunk int, interval time.Duration, alg string,
 	if chunk <= 0 {
 		return fmt.Errorf("chunk must be positive, got %d", chunk)
 	}
+	req := client.SubmitRequest{
+		Algorithm:       alg,
+		Iterations:      iters,
+		StepSize:        step,
+		FoldEvery:       foldEvery,
+		CheckpointEvery: ckEvery,
+	}
+	if mesh != "" {
+		rows, cols, ok := strings.Cut(strings.ToLower(mesh), "x")
+		if !ok {
+			return fmt.Errorf("mesh %q: want ROWSxCOLS", mesh)
+		}
+		var err error
+		if req.MeshRows, err = strconv.Atoi(rows); err != nil {
+			return fmt.Errorf("mesh %q: %w", mesh, err)
+		}
+		if req.MeshCols, err = strconv.Atoi(cols); err != nil {
+			return fmt.Errorf("mesh %q: %w", mesh, err)
+		}
+	}
+
 	prob, err := dataio.ReadFile(file)
 	if err != nil {
 		return err
@@ -70,124 +97,68 @@ func run(server, file string, chunk int, interval time.Duration, alg string,
 	fmt.Printf("ptychofeed: replaying %s: %d frames in chunks of %d every %v\n",
 		file, len(frames), chunk, interval)
 
+	ctx := context.Background()
+	// A detector pipeline never gives up on backpressure: the frames
+	// exist only once. Effectively unbounded retries (the SDK default
+	// of 8 would abort an acquisition after ~8s of solver lag).
+	c, err := client.New(server,
+		client.WithRetry(math.MaxInt32, 30*time.Second),
+		client.WithRetryNotify(func(err error, delay time.Duration) {
+			fmt.Printf("ptychofeed: server busy (%v), backing off %v\n", err, delay)
+		}))
+	if err != nil {
+		return err
+	}
+
 	// Open the streaming job from the dataset's geometry alone.
 	var opening bytes.Buffer
 	if err := dataio.WriteStreamHeader(&opening, dataio.HeaderFromProblem(prob)); err != nil {
 		return err
 	}
-	u := fmt.Sprintf("%s/jobs/stream?alg=%s&iters=%d", server, alg, iters)
-	if step > 0 {
-		u += fmt.Sprintf("&step=%g", step)
-	}
-	if foldEvery > 0 {
-		u += fmt.Sprintf("&fold-every=%d", foldEvery)
-	}
-	if ckEvery > 0 {
-		u += fmt.Sprintf("&checkpoint-every=%d", ckEvery)
-	}
-	if mesh != "" {
-		u += "&mesh=" + mesh
-	}
-	var info jobs.Info
-	if err := postExpect(u, opening.Bytes(), http.StatusAccepted, &info); err != nil {
+	job, err := c.SubmitStreaming(ctx, req, &opening)
+	if err != nil {
 		return fmt.Errorf("opening stream job: %w", err)
 	}
-	fmt.Printf("ptychofeed: opened %s (%s)\n", info.ID, info.State)
-	jobURL := server + "/jobs/" + info.ID
+	fmt.Printf("ptychofeed: opened %s (%s)\n", job.ID, job.State)
 
-	// Feed the frames, backing off on 429 like a well-behaved detector
-	// pipeline.
+	// Feed the frames. Backoff on a full ingest is the SDK's job — it
+	// retries the same chunk after the server's Retry-After hint
+	// (acceptance is all-or-nothing, so the retry cannot double-feed).
 	for lo := 0; lo < len(frames); lo += chunk {
 		hi := min(lo+chunk, len(frames))
 		var body bytes.Buffer
 		if err := dataio.WriteFrameChunk(&body, prob.WindowN, frames[lo:hi]); err != nil {
 			return err
 		}
-		for {
-			resp, err := http.Post(jobURL+"/frames", "application/octet-stream", bytes.NewReader(body.Bytes()))
-			if err != nil {
-				return err
-			}
-			if resp.StatusCode == http.StatusTooManyRequests {
-				backoff := time.Second
-				if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
-					backoff = time.Duration(ra) * time.Second
-				}
-				resp.Body.Close()
-				fmt.Printf("ptychofeed: ingest full, backing off %v\n", backoff)
-				time.Sleep(backoff)
-				continue
-			}
-			var ack struct {
-				Accepted int `json:"accepted"`
-				Total    int `json:"total"`
-			}
-			err = decodeOrError(resp, http.StatusOK, &ack)
-			if err != nil {
-				return fmt.Errorf("chunk [%d,%d): %w", lo, hi, err)
-			}
-			fmt.Printf("ptychofeed: fed frames [%d,%d) — %d/%d ingested\n", lo, hi, ack.Total, len(frames))
-			break
+		ack, err := c.AppendFrames(ctx, job.ID, body.Bytes())
+		if err != nil {
+			return fmt.Errorf("chunk [%d,%d): %w", lo, hi, err)
 		}
+		fmt.Printf("ptychofeed: fed frames [%d,%d) — %d/%d ingested\n", lo, hi, ack.Total, len(frames))
 		if hi < len(frames) {
 			time.Sleep(interval)
 		}
 	}
 
-	if err := postExpect(jobURL+"/eof", nil, http.StatusOK, nil); err != nil {
+	if _, err := c.CloseStream(ctx, job.ID); err != nil {
 		return fmt.Errorf("closing stream: %w", err)
 	}
 	fmt.Println("ptychofeed: stream closed; job finishing its tail iterations")
+	jobURL := strings.TrimRight(server, "/") + "/v1/jobs/" + job.ID
 	if !wait {
 		fmt.Printf("ptychofeed: follow with  curl -N %s/events\n", jobURL)
 		return nil
 	}
 
-	for {
-		resp, err := http.Get(jobURL)
-		if err != nil {
-			return err
-		}
-		var cur jobs.Info
-		if err := decodeOrError(resp, http.StatusOK, &cur); err != nil {
-			return err
-		}
-		switch cur.State {
-		case "done":
-			fmt.Printf("ptychofeed: %s done — %d iterations, %d folds, %d frames, final cost %.6g\n",
-				cur.ID, cur.Iter, cur.Folds, cur.Frames, cur.Cost)
-			fmt.Printf("ptychofeed: preview at %s/preview.png, object at %s/object\n", jobURL, jobURL)
-			return nil
-		case "failed", "cancelled":
-			return fmt.Errorf("job %s %s: %s", cur.ID, cur.State, cur.Error)
-		}
-		time.Sleep(200 * time.Millisecond)
-	}
-}
-
-// postExpect POSTs body and decodes the JSON response when the status
-// matches.
-func postExpect(url string, body []byte, want int, v any) error {
-	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	final, err := c.Wait(ctx, job.ID)
 	if err != nil {
 		return err
 	}
-	return decodeOrError(resp, want, v)
-}
-
-// decodeOrError consumes resp: on the wanted status it decodes into v
-// (when non-nil); otherwise it surfaces the server's error message.
-func decodeOrError(resp *http.Response, want int, v any) error {
-	defer resp.Body.Close()
-	if resp.StatusCode != want {
-		var e struct {
-			Error string `json:"error"`
-		}
-		json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("status %d: %s", resp.StatusCode, e.Error)
+	if final.State != client.StateDone {
+		return fmt.Errorf("job %s %s: %s", final.ID, final.State, final.Error)
 	}
-	if v == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
+	fmt.Printf("ptychofeed: %s done — %d iterations, %d folds, %d frames, final cost %.6g\n",
+		final.ID, final.Iter, final.Folds, final.Frames, final.Cost)
+	fmt.Printf("ptychofeed: preview at %s/preview.png, object at %s/object\n", jobURL, jobURL)
+	return nil
 }

@@ -9,7 +9,12 @@
 //
 //	ptychoserve [-addr :8617] [-workers 2] [-queue 16]
 //	            [-spool DIR] [-checkpoint-every 5] [-ingest 4096]
-//	            [-grid ADDR]
+//	            [-grid ADDR] [-max-upload BYTES]
+//
+// The public HTTP surface is versioned under /v1 (problem-envelope
+// errors, multipart submission, cursor pagination, idempotent submits);
+// the pre-/v1 routes remain as deprecated aliases for one release. Go
+// programs should use the typed SDK in the top-level client package.
 //
 // With -grid, the server additionally runs the worker-grid coordinator:
 // ptychoworker processes dial ADDR over the CRC-framed TCP transport,
@@ -46,15 +51,17 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Minute, "parallel-engine communication timeout")
 	ingest := flag.Int("ingest", 4096, "default per-job frame buffer for streaming jobs (429 backpressure beyond it)")
 	gridAddr := flag.String("grid", "", "worker-grid coordinator listen address (e.g. :8619); empty disables distributed jobs")
+	maxUpload := flag.Int64("max-upload", httpapi.DefaultMaxUploadBytes,
+		"largest accepted request body in bytes (dataset uploads, frame chunks); beyond it requests answer 413 payload_too_large")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest, *gridAddr); err != nil {
+	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest, *gridAddr, *maxUpload); err != nil {
 		fmt.Fprintln(os.Stderr, "ptychoserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int, gridAddr string) error {
+func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int, gridAddr string, maxUpload int64) error {
 	svc, err := jobs.NewService(jobs.Config{
 		Workers: workers, QueueDepth: queue, SpoolDir: spool,
 		CheckpointEvery: ckEvery, Timeout: timeout, IngestFrames: ingest,
@@ -70,7 +77,20 @@ func run(addr string, workers, queue int, spool string, ckEvery int, timeout tim
 			svc.GridAddr())
 	}
 
-	srv := &http.Server{Addr: addr, Handler: httpapi.New(svc).Handler()}
+	// Slowloris hardening: a client must deliver its headers quickly,
+	// finish any request body within the read window (uploads are bulk
+	// transfers, not trickles — the body bound itself is -max-upload),
+	// and keep-alive connections are reaped when idle. The SSE events
+	// route clears the write deadline per connection — a live feed
+	// legitimately outlives any response window (see httpapi).
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           httpapi.New(svc, httpapi.WithMaxUpload(maxUpload)).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)

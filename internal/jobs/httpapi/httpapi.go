@@ -1,42 +1,51 @@
 // Package httpapi exposes the reconstruction job service (internal/jobs)
 // over HTTP — the transport layer of cmd/ptychoserve.
 //
-// Endpoints:
+// The public surface is versioned under /v1:
 //
-//	POST /jobs?alg=serial|gd|hve&iters=N&step=S&mesh=RxC&rounds=T&workers=W&checkpoint-every=K&grid=0|1
-//	     body: a PTYCHOv1 dataset. Returns 202 with the job summary.
-//	     grid=1 runs the parallel engine across registered ptychoworker
-//	     processes (requires -grid on the server; see GET /grid).
-//	POST /jobs/stream?alg=serial|gd&iters=TAIL&fold-every=F&max-iters=M&ingest=FRAMES&...
-//	     body: a PTYCHSv1 opening (header + probe, no frames). Opens a
-//	     STREAMING job: 202 with the job summary; feed frames next.
-//	GET  /jobs                    list all jobs
-//	GET  /jobs/{id}               one job, with the cost-history tail
+//	POST /v1/jobs                 multipart submit: a "params" JSON part
+//	                              (client.SubmitRequest, strictly decoded)
+//	                              + a "dataset" PTYCHOv1 part. 202 with
+//	                              the job summary. Honors Idempotency-Key.
+//	POST /v1/jobs/stream          multipart submit of a STREAMING job: a
+//	                              "params" part + a "dataset" PTYCHSv1
+//	                              opening (header + probe, no frames).
+//	GET  /v1/jobs                 page of jobs in submit order:
+//	                              ?limit=N&cursor=C&status=S →
+//	                              {"jobs": [...], "next_cursor": "..."}
+//	GET  /v1/jobs/{id}            one job, with the cost-history tail
 //	                              (?history=N entries, ?history=all)
-//	POST /jobs/{id}/frames        body: one PTYCHSv1 chunk ('F' frames, or
-//	                              'E' to close). 200 with {accepted,total};
-//	                              429 + Retry-After when the ingest is full
-//	POST /jobs/{id}/eof           close the stream; the job folds what is
+//	POST /v1/jobs/{id}/frames     body: one PTYCHSv1 chunk ('F' frames,
+//	                              'E' closes). 200 with {accepted,total};
+//	                              429 ingest_full when the buffer is full
+//	POST /v1/jobs/{id}/eof        close the stream; the job folds what is
 //	                              buffered and runs its tail iterations
-//	GET  /jobs/{id}/events        Server-Sent-Events live feed: iteration
-//	                              cost, frames ingested, folds, snapshot
-//	                              (preview-ready) and state transitions
-//	POST /jobs/{id}/cancel        cancel (queued: immediate; running: next iteration boundary)
-//	POST /jobs/{id}/resume        new job warm-started from the last OBJCKv1 checkpoint
-//	GET  /jobs/{id}/preview.png   live grayscale preview of the latest snapshot
-//	                              (?kind=phase|mag, ?slice=N)
-//	GET  /jobs/{id}/object        latest object snapshot as an OBJCKv1 stream
-//	GET  /grid                    worker-grid status: coordinator address and
-//	                              registered ptychoworker endpoints
-//	GET  /metrics                 Prometheus text exposition
-//	GET  /healthz                 liveness
+//	GET  /v1/jobs/{id}/events     Server-Sent-Events live feed
+//	POST /v1/jobs/{id}/cancel     cancel (queued: immediate; running: next
+//	                              iteration boundary)
+//	POST /v1/jobs/{id}/resume     new job warm-started from the last
+//	                              OBJCKv1 checkpoint
+//	GET  /v1/jobs/{id}/preview.png  grayscale preview of the latest
+//	                              snapshot (?kind=phase|mag, ?slice=N)
+//	GET  /v1/jobs/{id}/object     latest snapshot as an OBJCKv1 stream
+//	GET  /v1/grid                 worker-grid status
+//	GET  /metrics                 Prometheus text exposition (unversioned)
+//	GET  /healthz                 liveness (unversioned)
+//
+// Every /v1 error response is an RFC 9457-style problem envelope
+// (application/problem+json, schema client.Problem) carrying a
+// machine-readable "code" — queue_full, ingest_full, not_found,
+// bad_params, payload_too_large, … — and retry_after_ms on
+// backpressure. The typed Go SDK for this surface is the top-level
+// client package.
+//
+// The pre-/v1 routes (POST /jobs with query-string parameters, GET
+// /jobs returning the unpaged array, …) remain mounted as thin aliases
+// for one release; they answer with a Deprecation header pointing at
+// /v1 and will be removed next release.
 //
 // The complete reference with copy-pasteable curl examples (smoke-run
 // by CI) lives in docs/HTTP_API.md.
-//
-// Backpressure: a full job queue (submit) and a full ingest buffer
-// (frames) both answer 429 Too Many Requests with a Retry-After hint —
-// the feeder backs off instead of the service buffering without bound.
 package httpapi
 
 import (
@@ -44,44 +53,97 @@ import (
 	"errors"
 	"fmt"
 	"image/png"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"ptychopath"
+	"ptychopath/client"
 	"ptychopath/internal/dataio"
 	"ptychopath/internal/grid"
 	"ptychopath/internal/jobs"
+	"ptychopath/internal/solver"
 	"ptychopath/internal/stream"
 )
 
-// MaxUploadBytes bounds dataset uploads (PTYCHOv1 bodies, PTYCHSv1
-// openings and frame chunks).
-const MaxUploadBytes = 1 << 30
+// DefaultMaxUploadBytes bounds request bodies (datasets, stream
+// openings, frame chunks) when WithMaxUpload is not given.
+const DefaultMaxUploadBytes = 1 << 30
+
+// Pagination bounds of GET /v1/jobs.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// legacyDeprecation is the Deprecation header (RFC 9745) served on the
+// pre-/v1 alias routes: the @unix-time this API generation was
+// deprecated in favor of /v1.
+const legacyDeprecation = "@1785110400" // 2026-07-27
 
 // Server adapts a jobs.Service to HTTP.
 type Server struct {
-	svc *jobs.Service
+	svc       *jobs.Service
+	maxUpload int64
+}
+
+// Option configures the server.
+type Option func(*Server)
+
+// WithMaxUpload bounds request bodies at n bytes; beyond it requests
+// answer 413 payload_too_large instead of buffering without limit.
+func WithMaxUpload(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxUpload = n
+		}
+	}
 }
 
 // New wraps a service.
-func New(svc *jobs.Service) *Server { return &Server{svc: svc} }
+func New(svc *jobs.Service, opts ...Option) *Server {
+	s := &Server{svc: svc, maxUpload: DefaultMaxUploadBytes}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
 
-// Handler returns the route mux.
+// Handler returns the route mux: the /v1 surface, the deprecated
+// unversioned aliases, and the unversioned infrastructure endpoints.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.handleSubmit)
-	mux.HandleFunc("POST /jobs/stream", s.handleSubmitStream)
-	mux.HandleFunc("GET /jobs", s.handleList)
-	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
-	mux.HandleFunc("POST /jobs/{id}/frames", s.handleFrames)
-	mux.HandleFunc("POST /jobs/{id}/eof", s.handleEOF)
-	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
-	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
-	mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
-	mux.HandleFunc("GET /jobs/{id}/preview.png", s.handlePreview)
-	mux.HandleFunc("GET /jobs/{id}/object", s.handleObject)
-	mux.HandleFunc("GET /grid", s.handleGrid)
+
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitV1)
+	mux.HandleFunc("POST /v1/jobs/stream", s.handleSubmitStreamV1)
+	mux.HandleFunc("GET /v1/jobs", s.handleListV1)
+
+	// Routes identical across generations: register under /v1 and as a
+	// deprecated alias.
+	shared := map[string]http.HandlerFunc{
+		"GET /jobs/{id}":             s.handleGet,
+		"POST /jobs/{id}/frames":     s.handleFrames,
+		"POST /jobs/{id}/eof":        s.handleEOF,
+		"GET /jobs/{id}/events":      s.handleEvents,
+		"POST /jobs/{id}/cancel":     s.handleCancel,
+		"POST /jobs/{id}/resume":     s.handleResume,
+		"GET /jobs/{id}/preview.png": s.handlePreview,
+		"GET /jobs/{id}/object":      s.handleObject,
+		"GET /grid":                  s.handleGrid,
+	}
+	for pattern, h := range shared {
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(pattern, deprecated(h))
+	}
+	// Legacy submit and list keep their historical request shapes
+	// (query-string parameters, raw dataset body, unpaged array).
+	mux.HandleFunc("POST /jobs", deprecated(s.handleSubmitLegacy))
+	mux.HandleFunc("POST /jobs/stream", deprecated(s.handleSubmitStreamLegacy))
+	mux.HandleFunc("GET /jobs", deprecated(s.handleListLegacy))
+
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -90,58 +152,178 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// deprecated marks a legacy alias response: RFC 9745 Deprecation plus
+// a pointer at the successor surface.
+func deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", legacyDeprecation)
+		w.Header().Set("Link", `</v1>; rel="successor-version"`)
+		h(w, r)
+	}
+}
+
+// httpError carries a status and problem code decided at the call
+// site, wrapping the underlying cause so sentinel checks (and the
+// MaxBytesError probe) still see through it.
 type httpError struct {
 	status int
+	code   string
 	msg    string
+	cause  error
 }
 
 func (e *httpError) Error() string { return e.msg }
+func (e *httpError) Unwrap() error { return e.cause }
 
-// Retry-After hints (seconds) for the two backpressure paths: a full
-// ingest drains at the next iteration boundary (fast); a full job
-// queue needs a whole job to finish.
+// badParams is the constructor for the most common client error.
+func badParams(format string, args ...any) *httpError {
+	err := fmt.Errorf(format, args...)
+	return &httpError{status: http.StatusBadRequest, code: client.CodeBadParams, msg: err.Error(), cause: errors.Unwrap(err)}
+}
+
+// Retry-After hints for the two backpressure paths: a full ingest
+// drains at the next iteration boundary (fast); a full job queue needs
+// a whole job to finish.
 const (
-	retryAfterIngest = "1"
-	retryAfterQueue  = "5"
+	retryAfterIngestMS = 1000
+	retryAfterQueueMS  = 5000
 )
 
-func writeErr(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+var problemTitles = map[string]string{
+	client.CodeBadParams:       "invalid request parameters",
+	client.CodeNotFound:        "no such job",
+	client.CodeQueueFull:       "job queue full",
+	client.CodeIngestFull:      "ingest buffer full",
+	client.CodePayloadTooLarge: "request body too large",
+	client.CodeChunkTooLarge:   "chunk exceeds ingest capacity",
+	client.CodeJobFinished:     "job already finished",
+	client.CodeNotResumable:    "job not resumable",
+	client.CodeNotStreaming:    "not a streaming job",
+	client.CodeStreamClosed:    "stream already closed",
+	client.CodeNoSnapshot:      "no snapshot yet",
+	client.CodeShuttingDown:    "service shutting down",
+	client.CodeInternal:        "internal error",
+}
+
+// problemFor maps an error to its /v1 problem envelope. This is THE
+// status/code table of the API — the table-driven envelope test pins
+// every row.
+func problemFor(err error) client.Problem {
+	status, code := http.StatusInternalServerError, client.CodeInternal
+	var retryMS int64
+	var mbe *http.MaxBytesError
 	var he *httpError
 	switch {
+	case errors.As(err, &mbe):
+		// http.MaxBytesReader tripped (possibly deep inside a decoder):
+		// the body exceeds -max-upload. Reported before the generic
+		// wrapper cases so the cap never masquerades as a decode error.
+		status, code = http.StatusRequestEntityTooLarge, client.CodePayloadTooLarge
 	case errors.As(err, &he):
-		status = he.status
-	case errors.Is(err, jobs.ErrInvalidParams):
-		status = http.StatusBadRequest
+		status, code = he.status, he.code
+	case errors.Is(err, jobs.ErrBadCursor), errors.Is(err, jobs.ErrInvalidParams):
+		status, code = http.StatusBadRequest, client.CodeBadParams
 	case errors.Is(err, jobs.ErrNotFound):
-		status = http.StatusNotFound
+		status, code = http.StatusNotFound, client.CodeNotFound
 	case errors.Is(err, jobs.ErrQueueFull):
 		// Backpressure, not failure: the client should retry the same
 		// submission after the hint.
-		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", retryAfterQueue)
+		status, code = http.StatusTooManyRequests, client.CodeQueueFull
+		retryMS = retryAfterQueueMS
 	case errors.Is(err, stream.ErrIngestFull):
-		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", retryAfterIngest)
+		status, code = http.StatusTooManyRequests, client.CodeIngestFull
+		retryMS = retryAfterIngestMS
 	case errors.Is(err, stream.ErrChunkTooLarge):
 		// Non-retryable: the chunk can NEVER fit. 400 so a compliant
 		// feeder splits it instead of backing off forever.
-		status = http.StatusBadRequest
-	case errors.Is(err, jobs.ErrFinished), errors.Is(err, jobs.ErrNotResumable),
-		errors.Is(err, jobs.ErrNotStreaming), errors.Is(err, stream.ErrStreamClosed):
-		status = http.StatusConflict
+		status, code = http.StatusBadRequest, client.CodeChunkTooLarge
+	case errors.Is(err, jobs.ErrFinished):
+		status, code = http.StatusConflict, client.CodeJobFinished
+	case errors.Is(err, jobs.ErrNotResumable):
+		status, code = http.StatusConflict, client.CodeNotResumable
+	case errors.Is(err, jobs.ErrNotStreaming):
+		status, code = http.StatusConflict, client.CodeNotStreaming
+	case errors.Is(err, stream.ErrStreamClosed):
+		status, code = http.StatusConflict, client.CodeStreamClosed
 	case errors.Is(err, jobs.ErrClosed):
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, client.CodeShuttingDown
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	return client.Problem{
+		Type:         client.ProblemType(code),
+		Title:        problemTitles[code],
+		Status:       status,
+		Code:         code,
+		Detail:       err.Error(),
+		RetryAfterMS: retryMS,
+		LegacyError:  err.Error(),
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	p := problemFor(err)
+	w.Header().Set("Content-Type", "application/problem+json")
+	if p.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt((p.RetryAfterMS+999)/1000, 10))
+	}
+	w.WriteHeader(p.Status)
+	json.NewEncoder(w).Encode(p)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
+}
+
+// wireJob converts the service's job summary to the public wire schema.
+// Everything the API serves funnels through this enumeration, so a
+// field added to jobs.Info cannot reach (or silently miss) the wire
+// without a matching client.Job change — the contract genuinely lives
+// in the client package.
+func wireJob(info jobs.Info) client.Job {
+	return client.Job{
+		ID:             info.ID,
+		State:          info.State,
+		Algorithm:      info.Algorithm,
+		Grid:           info.Grid,
+		Iter:           info.Iter,
+		TotalIters:     info.TotalIters,
+		Cost:           info.Cost,
+		CostHistory:    info.CostHistory,
+		CheckpointIter: info.CheckpointIter,
+		Checkpoint:     info.Checkpoint,
+		ResumedFrom:    info.ResumedFrom,
+		Error:          info.Error,
+		Created:        info.Created,
+		Started:        info.Started,
+		Finished:       info.Finished,
+		Streaming:      info.Streaming,
+		Frames:         info.Frames,
+		ActiveFrames:   info.ActiveFrames,
+		Folds:          info.Folds,
+		EOF:            info.EOF,
+	}
+}
+
+func wireJobs(infos []jobs.Info) []client.Job {
+	out := make([]client.Job, len(infos))
+	for i, info := range infos {
+		out[i] = wireJob(info)
+	}
+	return out
+}
+
+// wireEvent is wireJob for the SSE feed.
+func wireEvent(e jobs.Event) client.Event {
+	return client.Event{
+		Type:   e.Type,
+		Job:    e.Job,
+		State:  e.State,
+		Iter:   e.Iter,
+		Cost:   e.Cost,
+		Frames: e.Frames,
+		Time:   e.Time,
+	}
 }
 
 // queryInt parses an optional integer query parameter.
@@ -152,7 +334,7 @@ func queryInt(r *http.Request, key string, def int) (int, error) {
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return 0, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter %s: %v", key, err)}
+		return 0, badParams("parameter %s: %v", key, err)
 	}
 	return n, nil
 }
@@ -164,10 +346,148 @@ func queryFloat(r *http.Request, key string, def float64) (float64, error) {
 	}
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil {
-		return 0, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter %s: %v", key, err)}
+		return 0, badParams("parameter %s: %v", key, err)
 	}
 	return f, nil
 }
+
+// paramsFromRequest maps the wire-contract SubmitRequest onto the
+// service's Params. Semantic validation (ranges, algorithm names,
+// mesh/grid consistency) stays in jobs — this is a pure rename.
+func paramsFromRequest(req client.SubmitRequest) jobs.Params {
+	return jobs.Params{
+		Algorithm:          req.Algorithm,
+		Iterations:         req.Iterations,
+		StepSize:           req.StepSize,
+		MeshRows:           req.MeshRows,
+		MeshCols:           req.MeshCols,
+		RoundsPerIteration: req.RoundsPerIteration,
+		IntraWorkers:       req.IntraWorkers,
+		CheckpointEvery:    req.CheckpointEvery,
+		Grid:               req.Grid,
+		FoldEvery:          req.FoldEvery,
+		MaxIterations:      req.MaxIterations,
+		IngestCapacity:     req.IngestCapacity,
+	}
+}
+
+// readSubmitParts decodes a /v1 multipart submission: a "params" JSON
+// part (optional — defaults apply) decoded strictly against
+// client.SubmitRequest, and a required "dataset" part handed to
+// decodeDataset as it streams in. Unknown part names are rejected so a
+// misspelled part cannot be silently dropped.
+func (s *Server) readSubmitParts(w http.ResponseWriter, r *http.Request, decodeDataset func(io.Reader) error) (client.SubmitRequest, error) {
+	var req client.SubmitRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxUpload)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		return req, badParams("reading multipart submit body (want a params JSON part and a dataset part): %w", err)
+	}
+	seenDataset := false
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return req, badParams("reading multipart submit body: %w", err)
+		}
+		switch part.FormName() {
+		case "params":
+			dec := json.NewDecoder(part)
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&req); err != nil {
+				return req, badParams("params part does not decode as a SubmitRequest: %w", err)
+			}
+		case "dataset":
+			if err := decodeDataset(part); err != nil {
+				return req, badParams("dataset part: %w", err)
+			}
+			seenDataset = true
+		default:
+			return req, badParams("unknown part %q (want params, dataset)", part.FormName())
+		}
+	}
+	if !seenDataset {
+		return req, badParams("multipart submit body has no dataset part")
+	}
+	return req, nil
+}
+
+// handleSubmitV1 accepts the versioned multipart submission and
+// enqueues a batch job, idempotently when the request carries an
+// Idempotency-Key.
+func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request) {
+	var prob *solver.Problem
+	req, err := s.readSubmitParts(w, r, func(body io.Reader) error {
+		var derr error
+		prob, derr = dataio.Read(body)
+		return derr
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, created, err := s.svc.SubmitWithKey(prob, paramsFromRequest(req), r.Header.Get("Idempotency-Key"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !created {
+		w.Header().Set("Idempotency-Replayed", "true")
+	}
+	writeJSON(w, http.StatusAccepted, wireJob(j.Info(0)))
+}
+
+// handleSubmitStreamV1 opens a streaming job from a multipart body
+// whose dataset part is a PTYCHSv1 opening.
+func (s *Server) handleSubmitStreamV1(w http.ResponseWriter, r *http.Request) {
+	var hdr *dataio.StreamHeader
+	req, err := s.readSubmitParts(w, r, func(body io.Reader) error {
+		var derr error
+		hdr, derr = dataio.ReadStreamHeader(body)
+		return derr
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	j, created, err := s.svc.SubmitStreamingWithKey(hdr, paramsFromRequest(req), r.Header.Get("Idempotency-Key"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if !created {
+		w.Header().Set("Idempotency-Replayed", "true")
+	}
+	writeJSON(w, http.StatusAccepted, wireJob(j.Info(0)))
+}
+
+// handleListV1 serves one page of jobs: deterministic submit-time
+// order, optional status filter, cursor pagination.
+func (s *Server) handleListV1(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", defaultPageLimit)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if limit < 1 || limit > maxPageLimit {
+		writeErr(w, badParams("parameter limit: %d outside [1, %d]", limit, maxPageLimit))
+		return
+	}
+	infos, next, err := s.svc.ListPage(jobs.ListOptions{
+		Status: r.URL.Query().Get("status"),
+		Cursor: r.URL.Query().Get("cursor"),
+		Limit:  limit,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.JobPage{Jobs: wireJobs(infos), NextCursor: next})
+}
+
+// --- legacy (pre-/v1) submission and listing -------------------------
 
 func parseParams(r *http.Request) (jobs.Params, error) {
 	var p jobs.Params
@@ -191,34 +511,34 @@ func parseParams(r *http.Request) (jobs.Params, error) {
 	if g := r.URL.Query().Get("grid"); g != "" {
 		on, err := strconv.ParseBool(g)
 		if err != nil {
-			return p, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter grid: %v", err)}
+			return p, badParams("parameter grid: %v", err)
 		}
 		p.Grid = on
 	}
 	if mesh := r.URL.Query().Get("mesh"); mesh != "" {
 		rows, cols, ok := strings.Cut(strings.ToLower(mesh), "x")
 		if !ok {
-			return p, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter mesh %q: want ROWSxCOLS", mesh)}
+			return p, badParams("parameter mesh %q: want ROWSxCOLS", mesh)
 		}
 		if p.MeshRows, err = strconv.Atoi(rows); err != nil {
-			return p, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter mesh %q: %v", mesh, err)}
+			return p, badParams("parameter mesh %q: %v", mesh, err)
 		}
 		if p.MeshCols, err = strconv.Atoi(cols); err != nil {
-			return p, &httpError{http.StatusBadRequest, fmt.Sprintf("parameter mesh %q: %v", mesh, err)}
+			return p, badParams("parameter mesh %q: %v", mesh, err)
 		}
 	}
 	return p, nil
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSubmitLegacy(w http.ResponseWriter, r *http.Request) {
 	params, err := parseParams(r)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	prob, err := dataio.Read(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
+	prob, err := dataio.Read(http.MaxBytesReader(w, r.Body, s.maxUpload))
 	if err != nil {
-		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("decoding PTYCHOv1 body: %v", err)})
+		writeErr(w, badParams("decoding PTYCHOv1 body: %w", err))
 		return
 	}
 	j, err := s.svc.Submit(prob, params)
@@ -226,14 +546,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, j.Info(0))
+	writeJSON(w, http.StatusAccepted, wireJob(j.Info(0)))
 }
 
-// handleSubmitStream opens a streaming job from a PTYCHSv1 opening
-// (header + probe, no frames): the reconstruction engine starts with
-// an empty active set and folds frames in as POST /jobs/{id}/frames
-// delivers them.
-func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSubmitStreamLegacy(w http.ResponseWriter, r *http.Request) {
 	params, err := parseParams(r)
 	if err != nil {
 		writeErr(w, err)
@@ -251,9 +567,9 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	hdr, err := dataio.ReadStreamHeader(http.MaxBytesReader(w, r.Body, MaxUploadBytes))
+	hdr, err := dataio.ReadStreamHeader(http.MaxBytesReader(w, r.Body, s.maxUpload))
 	if err != nil {
-		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("decoding PTYCHSv1 opening: %v", err)})
+		writeErr(w, badParams("decoding PTYCHSv1 opening: %w", err))
 		return
 	}
 	j, err := s.svc.SubmitStreaming(hdr, params)
@@ -261,12 +577,18 @@ func (s *Server) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, j.Info(0))
+	writeJSON(w, http.StatusAccepted, wireJob(j.Info(0)))
 }
 
+func (s *Server) handleListLegacy(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wireJobs(s.svc.List()))
+}
+
+// --- shared handlers -------------------------------------------------
+
 // handleFrames ingests one PTYCHSv1 chunk. An 'F' chunk appends
-// frames (429 + Retry-After when the bounded ingest is full — retry
-// the same chunk); an 'E' chunk closes the stream like POST eof.
+// frames (429 ingest_full when the bounded ingest is full — retry the
+// same chunk); an 'E' chunk closes the stream like POST eof.
 func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 	j, err := s.job(r)
 	if err != nil {
@@ -278,9 +600,9 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: %s", jobs.ErrNotStreaming, j.ID()))
 		return
 	}
-	frames, eof, err := dataio.ReadChunk(http.MaxBytesReader(w, r.Body, MaxUploadBytes), windowN)
+	frames, eof, err := dataio.ReadChunk(http.MaxBytesReader(w, r.Body, s.maxUpload), windowN)
 	if err != nil {
-		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("decoding chunk: %v", err)})
+		writeErr(w, badParams("decoding chunk: %w", err))
 		return
 	}
 	if eof {
@@ -288,7 +610,7 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"eof": true, "total": j.Info(0).Frames})
+		writeJSON(w, http.StatusOK, client.FrameAck{EOF: true, Total: j.Info(0).Frames})
 		return
 	}
 	total, err := s.svc.AppendFrames(j.ID(), frames)
@@ -296,7 +618,7 @@ func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"accepted": len(frames), "total": total})
+	writeJSON(w, http.StatusOK, client.FrameAck{Accepted: len(frames), Total: total})
 }
 
 func (s *Server) handleEOF(w http.ResponseWriter, r *http.Request) {
@@ -309,12 +631,12 @@ func (s *Server) handleEOF(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.Info(0))
+	writeJSON(w, http.StatusOK, wireJob(j.Info(0)))
 }
 
 // handleEvents streams the job's live feed as Server-Sent Events: an
 // initial "info" event with the full job summary, then one event per
-// iteration, ingest acceptance, fold, snapshot (preview ready) and
+// iteration, ingest acceptance, fold, snapshot (preview-ready) and
 // state transition, until the job reaches a terminal state or the
 // client disconnects. Pair with GET preview.png: refetch the preview
 // whenever a "snapshot" event arrives.
@@ -326,9 +648,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeErr(w, &httpError{http.StatusNotImplemented, "response writer does not support streaming"})
+		writeErr(w, &httpError{status: http.StatusNotImplemented, code: client.CodeInternal,
+			msg: "response writer does not support streaming"})
 		return
 	}
+	// The feed outlives any server-wide write deadline (slowloris
+	// protection sized for request/response exchanges, not for a feed
+	// that legitimately lasts the length of a reconstruction) — exempt
+	// this connection. Errors are advisory: a transport without
+	// deadline support just keeps its defaults.
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Time{})
+	rc.SetReadDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")
@@ -347,7 +678,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	ch, cancel := j.Subscribe(256)
 	defer cancel()
-	if !send("info", j.Info(0)) {
+	if !send("info", wireJob(j.Info(0))) {
 		return
 	}
 	for {
@@ -356,17 +687,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
-			if !send(e.Type, e) {
+			if !send(e.Type, wireEvent(e)) {
 				return
 			}
 		case <-r.Context().Done():
 			return
 		}
 	}
-}
-
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.List())
 }
 
 func (s *Server) job(r *http.Request) (*jobs.Job, error) {
@@ -399,7 +726,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, j.Info(tail))
+	writeJSON(w, http.StatusOK, wireJob(j.Info(tail)))
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -412,7 +739,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.Info(0))
+	writeJSON(w, http.StatusOK, wireJob(j.Info(0)))
 }
 
 func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
@@ -426,7 +753,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, resumed.Info(0))
+	writeJSON(w, http.StatusAccepted, wireJob(resumed.Info(0)))
 }
 
 // handlePreview renders the latest snapshot as a grayscale PNG — the
@@ -439,7 +766,8 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, _ := j.Snapshot()
 	if snap == nil {
-		writeErr(w, &httpError{http.StatusNotFound, "no snapshot yet (before first checkpoint)"})
+		writeErr(w, &httpError{status: http.StatusNotFound, code: client.CodeNoSnapshot,
+			msg: "no snapshot yet (before first checkpoint)"})
 		return
 	}
 	si, err := queryInt(r, "slice", 0)
@@ -448,7 +776,7 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if si < 0 || si >= len(snap) {
-		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("slice %d outside [0,%d)", si, len(snap))})
+		writeErr(w, badParams("slice %d outside [0,%d)", si, len(snap)))
 		return
 	}
 	f := fieldFrom(snap[si])
@@ -458,7 +786,7 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request) {
 	case "mag":
 		img = ptycho.MagnitudeImage(f)
 	default:
-		writeErr(w, &httpError{http.StatusBadRequest, fmt.Sprintf("kind %q: want phase or mag", kind)})
+		writeErr(w, badParams("kind %q: want phase or mag", kind))
 		return
 	}
 	w.Header().Set("Content-Type", "image/png")
@@ -475,7 +803,8 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	}
 	snap, iter := j.Snapshot()
 	if snap == nil {
-		writeErr(w, &httpError{http.StatusNotFound, "no snapshot yet (before first checkpoint)"})
+		writeErr(w, &httpError{status: http.StatusNotFound, code: client.CodeNoSnapshot,
+			msg: "no snapshot yet (before first checkpoint)"})
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -485,7 +814,7 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 
 // handleGrid reports the worker-grid coordinator's state: whether a
 // grid is configured, its listen address, and every registered worker
-// endpoint (submit grid jobs with ?grid=1 when enough are idle).
+// endpoint (submit grid jobs with "grid": true when enough are idle).
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	workers := s.svc.GridWorkers()
 	idle := 0
@@ -494,14 +823,15 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 			idle++
 		}
 	}
-	if workers == nil {
-		workers = []jobs.GridWorkerInfo{}
+	gw := make([]client.GridWorker, len(workers))
+	for i, wk := range workers {
+		gw[i] = client.GridWorker{ID: wk.ID, Name: wk.Name, Busy: wk.Busy}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"enabled": s.svc.GridEnabled(),
-		"addr":    s.svc.GridAddr(),
-		"workers": workers,
-		"idle":    idle,
+	writeJSON(w, http.StatusOK, client.GridStatus{
+		Enabled: s.svc.GridEnabled(),
+		Addr:    s.svc.GridAddr(),
+		Workers: gw,
+		Idle:    idle,
 	})
 }
 

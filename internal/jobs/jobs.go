@@ -234,6 +234,9 @@ var (
 	// ErrNotStreaming is returned by AppendFrames and CloseStream on a
 	// batch job — only Streaming jobs accept frames.
 	ErrNotStreaming = errors.New("jobs: not a streaming job")
+	// ErrBadCursor is returned by ListPage for a cursor that no page
+	// ever handed out — client error, same class as ErrInvalidParams.
+	ErrBadCursor = errors.New("jobs: invalid list cursor")
 )
 
 // Job is one reconstruction tracked by the service. All accessors are

@@ -10,6 +10,7 @@ import (
 type counters struct {
 	submitted   atomic.Int64
 	rejected    atomic.Int64
+	replayed    atomic.Int64
 	completed   atomic.Int64
 	failed      atomic.Int64
 	cancelled   atomic.Int64
@@ -30,6 +31,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	ms := []metric{
 		{"ptychoserve_jobs_submitted_total", "Jobs accepted into the queue.", "counter", s.met.submitted.Load()},
 		{"ptychoserve_jobs_rejected_total", "Submissions rejected because the queue was full.", "counter", s.met.rejected.Load()},
+		{"ptychoserve_jobs_replayed_total", "Idempotent submissions answered with an existing job.", "counter", s.met.replayed.Load()},
 		{"ptychoserve_jobs_completed_total", "Jobs that ran all iterations.", "counter", s.met.completed.Load()},
 		{"ptychoserve_jobs_failed_total", "Jobs that ended with an error.", "counter", s.met.failed.Load()},
 		{"ptychoserve_jobs_cancelled_total", "Jobs cancelled while queued or running.", "counter", s.met.cancelled.Load()},

@@ -100,7 +100,8 @@ type Service struct {
 	notify *sync.Cond // signals workers: queue non-empty or closing
 	queue  []*Job     // bounded FIFO; cancelled entries are removed in place
 	jobs   map[string]*Job
-	order  []string // submission order, for List
+	order  []string        // submission order, for List/ListPage
+	idem   map[string]*Job // Idempotency-Key → the job it created
 	nextID int
 	closed bool
 }
@@ -114,6 +115,7 @@ func NewService(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:  cfg,
 		jobs: make(map[string]*Job),
+		idem: make(map[string]*Job),
 	}
 	if cfg.GridAddr != "" {
 		hub, err := transport.Listen(cfg.GridAddr)
@@ -178,26 +180,39 @@ func (s *Service) Config() Config { return s.cfg }
 // Submit validates the job and enqueues it, returning ErrQueueFull when
 // the bounded FIFO has no room.
 func (s *Service) Submit(prob *solver.Problem, p Params) (*Job, error) {
-	return s.submit(prob, p, "")
+	j, _, err := s.SubmitWithKey(prob, p, "")
+	return j, err
 }
 
-func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom string) (*Job, error) {
+// SubmitWithKey is Submit with an idempotency key: when key is
+// non-empty and a previous submission with the same key succeeded, the
+// original job is returned with created == false and nothing is
+// enqueued — a client that retries a submission after a lost response
+// cannot double-enqueue the work. The key is claimed only by a
+// successful enqueue: a submission rejected with ErrQueueFull leaves
+// the key free, so the retry the 429 asks for can succeed. The first
+// job wins; parameters of replayed submissions are not compared.
+func (s *Service) SubmitWithKey(prob *solver.Problem, p Params, key string) (*Job, bool, error) {
+	return s.submit(prob, p, "", key)
+}
+
+func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom, key string) (*Job, bool, error) {
 	p.setDefaults(s.cfg)
 	if err := prob.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: invalid problem: %v", ErrInvalidParams, err)
+		return nil, false, fmt.Errorf("%w: invalid problem: %v", ErrInvalidParams, err)
 	}
 	if err := p.validate(prob); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if p.Grid && s.grid == nil {
-		return nil, ErrNoGrid
+		return nil, false, ErrNoGrid
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return s.enqueue(&Job{
 		prob: prob, params: p, ctx: ctx, cancel: cancel,
 		state: Queued, iter: p.StartIter, resumedFrom: resumedFrom,
 		created: time.Now(),
-	})
+	}, key)
 }
 
 // SubmitStreaming opens a Streaming job from geometry and probe
@@ -208,9 +223,16 @@ func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom string) (*J
 // worker; frames appended while it is still queued are buffered (up to
 // the ingest bound) and folded as soon as it starts.
 func (s *Service) SubmitStreaming(hdr *dataio.StreamHeader, p Params) (*Job, error) {
+	j, _, err := s.SubmitStreamingWithKey(hdr, p, "")
+	return j, err
+}
+
+// SubmitStreamingWithKey is SubmitStreaming with an idempotency key —
+// the same replay contract as SubmitWithKey.
+func (s *Service) SubmitStreamingWithKey(hdr *dataio.StreamHeader, p Params, key string) (*Job, bool, error) {
 	p.setDefaults(s.cfg)
 	if err := p.validateStreaming(hdr); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	capacity := p.IngestCapacity
 	if capacity == 0 {
@@ -221,32 +243,46 @@ func (s *Service) SubmitStreaming(hdr *dataio.StreamHeader, p Params) (*Job, err
 		params: p, ctx: ctx, cancel: cancel,
 		streaming: true, hdr: hdr, ingest: stream.NewIngest(capacity),
 		state: Queued, created: time.Now(),
-	})
+	}, key)
 }
 
-// enqueue registers a constructed job with the bounded FIFO.
-func (s *Service) enqueue(j *Job) (*Job, error) {
+// enqueue registers a constructed job with the bounded FIFO. The
+// idempotency check and the capacity check share one critical section,
+// so two racing submissions with the same key resolve to exactly one
+// job: the loser observes the winner's registration and returns it.
+func (s *Service) enqueue(j *Job, key string) (*Job, bool, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		j.cancel()
-		return nil, ErrClosed
+		return nil, false, ErrClosed
+	}
+	if key != "" {
+		if prev, ok := s.idem[key]; ok {
+			s.mu.Unlock()
+			j.cancel()
+			s.met.replayed.Add(1)
+			return prev, false, nil
+		}
 	}
 	if len(s.queue) >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		j.cancel()
 		s.met.rejected.Add(1)
-		return nil, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+		return nil, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
 	}
 	s.nextID++
 	j.id = fmt.Sprintf("job-%04d", s.nextID)
 	s.queue = append(s.queue, j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	if key != "" {
+		s.idem[key] = j
+	}
 	s.notify.Signal()
 	s.mu.Unlock()
 	s.met.submitted.Add(1)
-	return j, nil
+	return j, true, nil
 }
 
 // AppendFrames pushes a chunk of acquired frames into a streaming
@@ -317,6 +353,76 @@ func (s *Service) Get(id string) (*Job, bool) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	return j, ok
+}
+
+// ListOptions selects a page of the job registry.
+type ListOptions struct {
+	// Status keeps only jobs in the named lifecycle state ("queued",
+	// "running", "done", "failed", "cancelled"); empty keeps all.
+	Status string
+	// Cursor resumes a listing: the ID of the last job of the previous
+	// page (its NextCursor). Empty starts from the oldest job.
+	Cursor string
+	// Limit bounds the page size; 0 or negative means no bound.
+	Limit int
+}
+
+// ListPage returns one page of job summaries in deterministic
+// submit-time order (the order Submit assigned IDs), optionally
+// filtered by state. The second return is the cursor of the next page:
+// empty when the listing is exhausted. An unknown cursor returns
+// ErrBadCursor — cursors are job IDs handed out by a previous page, and
+// jobs are never deleted, so a valid cursor cannot go stale (a cursor
+// at the end of the registry yields an empty page, not an error).
+func (s *Service) ListPage(opts ListOptions) ([]Info, string, error) {
+	if opts.Status != "" {
+		switch opts.Status {
+		case Queued.String(), Running.String(), Done.String(), Failed.String(), Cancelled.String():
+		default:
+			return nil, "", fmt.Errorf("%w: unknown status %q", ErrInvalidParams, opts.Status)
+		}
+	}
+	s.mu.Lock()
+	start := 0
+	if opts.Cursor != "" {
+		if _, ok := s.jobs[opts.Cursor]; !ok {
+			s.mu.Unlock()
+			return nil, "", fmt.Errorf("%w: %q", ErrBadCursor, opts.Cursor)
+		}
+		for i, id := range s.order {
+			if id == opts.Cursor {
+				start = i + 1
+				break
+			}
+		}
+	}
+	tail := make([]*Job, len(s.order)-start)
+	for i, id := range s.order[start:] {
+		tail[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+
+	// Filter and bound outside the service lock: Info takes each job's
+	// own lock, and states are read point-in-time (a job may leave the
+	// filtered state between selection and serialization — the page is
+	// a snapshot, not a transaction).
+	page := make([]Info, 0, min(len(tail), max(opts.Limit, 0)))
+	next := ""
+	for _, j := range tail {
+		info := j.Info(0)
+		if opts.Status != "" && info.State != opts.Status {
+			continue
+		}
+		if opts.Limit > 0 && len(page) == opts.Limit {
+			// One more match exists beyond the bound: point the cursor
+			// at the last delivered job so the next page continues
+			// there instead of ending on a guaranteed-empty page.
+			next = page[len(page)-1].ID
+			break
+		}
+		page = append(page, info)
+	}
+	return page, next, nil
 }
 
 // List returns a summary of every job in submission order.
@@ -416,7 +522,8 @@ func (s *Service) Resume(id string) (*Job, error) {
 	p.InitialObject = slices
 	p.StartIter = completed
 	p.Iterations = total - completed
-	return s.submit(prob, p, id)
+	j, _, err := s.submit(prob, p, id, "")
+	return j, err
 }
 
 // run executes one job on a pool worker.

@@ -1,0 +1,212 @@
+// Command clientprobe drives a LIVE ptychoserve through the typed Go
+// SDK (the top-level client package) — the non-curl half of the docs
+// smoke: scripts/docs_smoke.sh runs it after the HTTP_API.md examples,
+// so CI proves the SDK against the same server the documentation was
+// just executed against.
+//
+// It synthesizes a tiny dataset in memory, then exercises: health
+// check, idempotent submit (same key twice → same job), Wait, cost
+// history, PNG preview, OBJCKv1 object download, cursor pagination via
+// the auto-paginating iterator, and a full streaming round trip
+// (open → SSE events → frame chunks → EOF → done).
+//
+// Usage: go run ./scripts/clientprobe [-server http://127.0.0.1:8617]
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"image/png"
+	"io"
+	"os"
+	"time"
+
+	"ptychopath/client"
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8617", "ptychoserve base URL")
+	flag.Parse()
+	if err := run(*server); err != nil {
+		fmt.Fprintln(os.Stderr, "clientprobe: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("clientprobe: OK — SDK drove submit/idempotency/wait/history/preview/object/pagination/streaming against", *server)
+}
+
+func run(server string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	c, err := client.New(server)
+	if err != nil {
+		return err
+	}
+	if err := c.Healthz(ctx); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+
+	// A tiny in-memory dataset: no files, no datagen dependency.
+	pat, err := scan.Raster(scan.RasterConfig{Cols: 4, Rows: 4, StepPix: 5, RadiusPix: 6, MarginPix: 8})
+	if err != nil {
+		return err
+	}
+	prob, err := solver.Simulate(solver.SimulateConfig{
+		Optics:  physics.PaperOptics(),
+		Pattern: pat,
+		Object:  phantom.RandomObject(pat.ImageW, pat.ImageH, 1, 1),
+		WindowN: 16,
+		Seed:    1,
+	})
+	if err != nil {
+		return err
+	}
+	var dataset bytes.Buffer
+	if err := dataio.Write(&dataset, prob); err != nil {
+		return err
+	}
+
+	// Idempotent submit: the same key twice must yield the same job.
+	var kb [8]byte
+	rand.Read(kb[:])
+	req := client.SubmitRequest{
+		Algorithm: "serial", Iterations: 5, CheckpointEvery: 2,
+		IdempotencyKey: "clientprobe-" + hex.EncodeToString(kb[:]),
+	}
+	job, err := c.Submit(ctx, req, bytes.NewReader(dataset.Bytes()))
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	replay, err := c.Submit(ctx, req, bytes.NewReader(dataset.Bytes()))
+	if err != nil {
+		return fmt.Errorf("idempotent resubmit: %w", err)
+	}
+	if replay.ID != job.ID {
+		return fmt.Errorf("idempotency broken: %s then %s for one key", job.ID, replay.ID)
+	}
+
+	final, err := c.Wait(ctx, job.ID)
+	if err != nil {
+		return fmt.Errorf("wait: %w", err)
+	}
+	if final.State != client.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
+	}
+	hist, err := c.History(ctx, job.ID, -1)
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	if len(hist) != 5 {
+		return fmt.Errorf("history has %d entries, want 5", len(hist))
+	}
+	raw, err := c.PreviewPNG(ctx, job.ID, client.PreviewOptions{Kind: "phase"})
+	if err != nil {
+		return fmt.Errorf("preview: %w", err)
+	}
+	if _, err := png.Decode(bytes.NewReader(raw)); err != nil {
+		return fmt.Errorf("preview is not a PNG: %w", err)
+	}
+	body, iters, err := c.Object(ctx, job.ID)
+	if err != nil {
+		return fmt.Errorf("object: %w", err)
+	}
+	obj, err := dataio.ReadObject(body)
+	body.Close()
+	if err != nil {
+		return fmt.Errorf("object decode: %w", err)
+	}
+	if iters != 5 || len(obj) != prob.Slices {
+		return fmt.Errorf("object: %d iterations, %d slices", iters, len(obj))
+	}
+
+	// Pagination: the iterator must walk every page and find our job.
+	found := false
+	count := 0
+	for j, err := range c.Jobs(ctx, client.ListOptions{Limit: 2}) {
+		if err != nil {
+			return fmt.Errorf("pagination: %w", err)
+		}
+		count++
+		if j.ID == job.ID {
+			found = true
+		}
+		if count > 10000 {
+			return fmt.Errorf("pagination does not terminate")
+		}
+	}
+	if !found {
+		return fmt.Errorf("paginated listing (%d jobs) never yielded %s", count, job.ID)
+	}
+
+	// Streaming round trip, with the SSE feed decoded concurrently.
+	var opening bytes.Buffer
+	if err := dataio.WriteStreamHeader(&opening, dataio.HeaderFromProblem(prob)); err != nil {
+		return err
+	}
+	sjob, err := c.SubmitStreaming(ctx, client.SubmitRequest{
+		Algorithm: "serial", Iterations: 3, CheckpointEvery: 1,
+	}, &opening)
+	if err != nil {
+		return fmt.Errorf("submit streaming: %w", err)
+	}
+	es, err := c.Events(ctx, sjob.ID)
+	if err != nil {
+		return fmt.Errorf("events: %w", err)
+	}
+	defer es.Close()
+	evErr := make(chan error, 1)
+	go func() {
+		states := 0
+		for {
+			e, err := es.Next()
+			if err == io.EOF {
+				if states == 0 {
+					evErr <- fmt.Errorf("feed closed without a state event")
+				} else {
+					evErr <- nil
+				}
+				return
+			}
+			if err != nil {
+				evErr <- err
+				return
+			}
+			if e.Type == "state" {
+				states++
+			}
+		}
+	}()
+	frames := dataio.FramesFromProblem(prob)
+	half := len(frames) / 2
+	for _, span := range [][2]int{{0, half}, {half, len(frames)}} {
+		var chunk bytes.Buffer
+		if err := dataio.WriteFrameChunk(&chunk, prob.WindowN, frames[span[0]:span[1]]); err != nil {
+			return err
+		}
+		if _, err := c.AppendFrames(ctx, sjob.ID, chunk.Bytes()); err != nil {
+			return fmt.Errorf("frames [%d,%d): %w", span[0], span[1], err)
+		}
+	}
+	if _, err := c.CloseStream(ctx, sjob.ID); err != nil {
+		return fmt.Errorf("eof: %w", err)
+	}
+	sfinal, err := c.Wait(ctx, sjob.ID)
+	if err != nil {
+		return fmt.Errorf("wait streaming: %w", err)
+	}
+	if sfinal.State != client.StateDone || sfinal.Frames != len(frames) {
+		return fmt.Errorf("streaming job: %+v", sfinal)
+	}
+	if err := <-evErr; err != nil {
+		return fmt.Errorf("event feed: %w", err)
+	}
+	return nil
+}

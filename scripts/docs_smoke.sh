@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # docs_smoke.sh — execute every ```bash block of docs/HTTP_API.md, in
-# order, against a live ptychoserve. This is the CI guarantee that the
-# documentation's curl examples actually work; if an endpoint or a
-# parameter changes without the doc, this script fails.
+# order, against a live ptychoserve, then drive the same server through
+# the typed Go SDK (scripts/clientprobe). This is the CI guarantee that
+# both halves of the public contract actually work: if an endpoint, a
+# parameter or an SDK method changes without the doc/client, this
+# script fails.
 #
 # Prerequisites (the CI docs job sets them up): a running ptychoserve
 # on 127.0.0.1:8617 with -grid 127.0.0.1:8619, a ptychoworker with 4
-# ranks attached, and datagen/ptychofeed on PATH alongside jq and curl.
+# ranks attached, datagen/ptychofeed on PATH alongside jq and curl, and
+# a Go toolchain for the SDK probe.
 #
 # Usage: scripts/docs_smoke.sh [doc.md]
 set -euo pipefail
 
+repo=$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)
 doc=${1:-docs/HTTP_API.md}
 doc=$(realpath "$doc")
 work=$(mktemp -d)
@@ -23,6 +27,9 @@ if [ "$lines" -lt 10 ]; then
     exit 1
 fi
 echo "docs_smoke: running $lines example lines from $doc"
-cd "$work"
-bash -euo pipefail examples.sh
+(cd "$work" && bash -euo pipefail examples.sh)
 echo "docs_smoke: all examples executed successfully"
+
+echo "docs_smoke: driving the live server through the client SDK"
+(cd "$repo" && go run ./scripts/clientprobe -server http://127.0.0.1:8617)
+echo "docs_smoke: SDK probe passed"
