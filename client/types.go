@@ -84,7 +84,13 @@ type Job struct {
 	CheckpointIter int       `json:"checkpoint_iter,omitempty"`
 	Checkpoint     string    `json:"checkpoint,omitempty"`
 	ResumedFrom    string    `json:"resumed_from,omitempty"`
-	Error          string    `json:"error,omitempty"`
+	// RecoveredFrom marks a job revived by server crash recovery and
+	// says where its work restarted: "checkpoint@k" (warm start from
+	// the OBJCKv1 checkpoint at iteration k), "scratch" (no checkpoint
+	// existed yet), or "stream" (refolded from the spooled frame
+	// journal). Empty for jobs that never crossed a restart.
+	RecoveredFrom string `json:"recovered_from,omitempty"`
+	Error         string `json:"error,omitempty"`
 	Created        time.Time `json:"created"`
 	Started        time.Time `json:"started,omitzero"`
 	Finished       time.Time `json:"finished,omitzero"`

@@ -9,7 +9,18 @@
 //
 //	ptychoserve [-addr :8617] [-workers 2] [-queue 16]
 //	            [-spool DIR] [-checkpoint-every 5] [-ingest 4096]
-//	            [-grid ADDR] [-max-upload BYTES]
+//	            [-grid ADDR] [-max-upload BYTES] [-state-dir DIR]
+//
+// With -state-dir, job state is durable: every lifecycle transition is
+// append-logged to DIR/jobs.wal (PTYWALv1, periodically compacted into
+// DIR/jobs.snap), datasets and stream frames are spooled beside it, and
+// a restarted server replays the log — history, pagination and
+// idempotency keys come back, and jobs that were queued or running at
+// crash time re-enter the queue under their original IDs, warm-started
+// from their last OBJCKv1 checkpoint (look for "recovered_from" on the
+// job object). Without the flag nothing survives the process, as
+// before. Unless -spool is set, checkpoints then default to
+// DIR/checkpoints so they survive restarts too.
 //
 // The public HTTP surface is versioned under /v1 (problem-envelope
 // errors, multipart submission, cursor pagination, idempotent submits);
@@ -34,12 +45,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
 	"ptychopath/internal/jobs"
 	"ptychopath/internal/jobs/httpapi"
+	"ptychopath/internal/jobs/store"
 )
 
 func main() {
@@ -53,25 +66,53 @@ func main() {
 	gridAddr := flag.String("grid", "", "worker-grid coordinator listen address (e.g. :8619); empty disables distributed jobs")
 	maxUpload := flag.Int64("max-upload", httpapi.DefaultMaxUploadBytes,
 		"largest accepted request body in bytes (dataset uploads, frame chunks); beyond it requests answer 413 payload_too_large")
+	stateDir := flag.String("state-dir", "",
+		"durable job-state directory (WAL + snapshot + dataset spools); restarts recover interrupted jobs. Empty keeps state in memory")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest, *gridAddr, *maxUpload); err != nil {
+	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest, *gridAddr, *maxUpload, *stateDir); err != nil {
 		fmt.Fprintln(os.Stderr, "ptychoserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int, gridAddr string, maxUpload int64) error {
+func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int, gridAddr string, maxUpload int64, stateDir string) error {
+	var st store.Store
+	if stateDir != "" {
+		wal, err := store.OpenWAL(store.WALConfig{Dir: stateDir})
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		st = wal
+		if spool == "" {
+			// Checkpoints must survive restarts too, or recovery has
+			// nothing to warm-start from.
+			spool = filepath.Join(stateDir, "checkpoints")
+		}
+	}
 	svc, err := jobs.NewService(jobs.Config{
 		Workers: workers, QueueDepth: queue, SpoolDir: spool,
 		CheckpointEvery: ckEvery, Timeout: timeout, IngestFrames: ingest,
-		GridAddr: gridAddr,
+		GridAddr: gridAddr, Store: st,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("ptychoserve: %d workers, queue depth %d, spool %s\n",
 		svc.Config().Workers, svc.Config().QueueDepth, svc.Config().SpoolDir)
+	if stateDir != "" {
+		recovered, restored, unrecoverable, records, torn := svc.RecoveryStats()
+		fmt.Printf("ptychoserve: durable state in %s (replayed %d records", stateDir, records)
+		if torn > 0 {
+			fmt.Printf(", dropped %d torn", torn)
+		}
+		fmt.Printf("): %d jobs re-enqueued, %d restored as history", recovered, restored)
+		if unrecoverable > 0 {
+			fmt.Printf(", %d unrecoverable", unrecoverable)
+		}
+		fmt.Println()
+	}
 	if svc.GridEnabled() {
 		fmt.Printf("ptychoserve: grid coordinator on %s (connect ptychoworker processes, submit with ?grid=1)\n",
 			svc.GridAddr())

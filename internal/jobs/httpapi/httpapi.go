@@ -293,6 +293,7 @@ func wireJob(info jobs.Info) client.Job {
 		CheckpointIter: info.CheckpointIter,
 		Checkpoint:     info.Checkpoint,
 		ResumedFrom:    info.ResumedFrom,
+		RecoveredFrom:  info.RecoveredFrom,
 		Error:          info.Error,
 		Created:        info.Created,
 		Started:        info.Started,
@@ -802,6 +803,16 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap, iter := j.Snapshot()
+	if snap == nil {
+		// A job restored from the WAL after a restart has no in-memory
+		// snapshot, but its OBJCKv1 checkpoint file survived — serve
+		// that, so /object keeps working across crashes.
+		if path, ck := j.CheckpointPath(); path != "" {
+			if slices, err := dataio.ReadObjectFile(path); err == nil {
+				snap, iter = slices, ck
+			}
+		}
+	}
 	if snap == nil {
 		writeErr(w, &httpError{status: http.StatusNotFound, code: client.CodeNoSnapshot,
 			msg: "no snapshot yet (before first checkpoint)"})

@@ -265,6 +265,10 @@ type Job struct {
 	checkpointPath string
 	checkpointIter int
 	resumedFrom    string
+	recoveredFrom  string // how crash recovery revived this job ("checkpoint@k", "scratch", "stream")
+	datasetPath    string // durable spool of the dataset; lets Resume reload a released problem
+	recFrames      int    // frame count restored from the WAL for a terminal streaming job
+	recEOF         bool   // EOF flag restored from the WAL (ingest is gone for terminal jobs)
 	err            error
 	created        time.Time
 	started        time.Time
@@ -352,7 +356,13 @@ type Info struct {
 	CheckpointIter int       `json:"checkpoint_iter,omitempty"`
 	Checkpoint     string    `json:"checkpoint,omitempty"`
 	ResumedFrom    string    `json:"resumed_from,omitempty"`
-	Error          string    `json:"error,omitempty"`
+	// RecoveredFrom marks a job revived by crash recovery and says
+	// where its work restarted: "checkpoint@k" (warm start from the
+	// OBJCKv1 checkpoint at iteration k), "scratch" (no checkpoint had
+	// been written), or "stream" (refolded from the spooled frame
+	// journal).
+	RecoveredFrom string `json:"recovered_from,omitempty"`
+	Error         string `json:"error,omitempty"`
 	Created        time.Time `json:"created"`
 	Started        time.Time `json:"started,omitzero"`
 	Finished       time.Time `json:"finished,omitzero"`
@@ -386,16 +396,24 @@ func (j *Job) Info(historyTail int) Info {
 		CheckpointIter: j.checkpointIter,
 		Checkpoint:     j.checkpointPath,
 		ResumedFrom:    j.resumedFrom,
+		RecoveredFrom:  j.recoveredFrom,
 		Created:        j.created,
 		Started:        j.started,
 		Finished:       j.finished,
 	}
 	if j.streaming {
 		info.Streaming = true
-		info.Frames = j.ingest.Total()
+		if j.ingest != nil {
+			info.Frames = j.ingest.Total()
+			info.EOF = j.ingest.EOF()
+		} else {
+			// Terminal job restored from the WAL: its ingest is gone,
+			// the log remembers what it accepted.
+			info.Frames = j.recFrames
+			info.EOF = j.recEOF
+		}
 		info.ActiveFrames = j.activeFrames
 		info.Folds = j.folds
-		info.EOF = j.ingest.EOF()
 	} else {
 		info.TotalIters = j.params.StartIter + j.params.Iterations
 	}

@@ -19,6 +19,12 @@ type counters struct {
 	running     atomic.Int64
 	frames      atomic.Int64
 	folds       atomic.Int64
+
+	// Durability counters (non-zero only with a durable Config.Store).
+	recovered   atomic.Int64 // interrupted jobs re-enqueued at startup
+	restored    atomic.Int64 // terminal jobs restored as history at startup
+	unrecovered atomic.Int64 // jobs whose payloads could not be reloaded
+	walErrors   atomic.Int64 // store write failures (degraded durability)
 }
 
 // WriteMetrics emits the service's counters and gauges in Prometheus
@@ -42,6 +48,21 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"ptychoserve_jobs_running", "Jobs currently executing on the worker pool.", "gauge", s.met.running.Load()},
 		{"ptychoserve_queue_depth", "Jobs waiting for a worker.", "gauge", int64(s.QueueDepth())},
 		{"ptychoserve_workers", "Size of the worker pool.", "gauge", int64(s.cfg.Workers)},
+	}
+	if s.store.Durable() {
+		st := s.store.Stats()
+		ms = append(ms,
+			metric{"ptychoserve_jobs_recovered_total", "Interrupted jobs re-enqueued by crash recovery at startup.", "counter", s.met.recovered.Load()},
+			metric{"ptychoserve_jobs_restored_total", "Terminal jobs restored as history by crash recovery at startup.", "counter", s.met.restored.Load()},
+			metric{"ptychoserve_jobs_unrecoverable_total", "Jobs whose spooled payloads could not be reloaded at startup.", "counter", s.met.unrecovered.Load()},
+			metric{"ptychoserve_wal_replay_records", "WAL and snapshot records applied by startup recovery.", "gauge", int64(s.replayRecords)},
+			metric{"ptychoserve_wal_replay_torn", "Torn WAL tail records dropped by startup recovery.", "gauge", int64(s.replayTorn)},
+			metric{"ptychoserve_wal_errors_total", "Store write failures (durability degraded, service continued).", "counter", s.met.walErrors.Load()},
+			metric{"ptychoserve_wal_records_total", "WAL records appended by this process.", "counter", st.Records},
+			metric{"ptychoserve_wal_syncs_total", "Explicit WAL fsyncs by this process.", "counter", st.Syncs},
+			metric{"ptychoserve_wal_compactions_total", "Snapshot compactions performed by this process.", "counter", st.Compactions},
+			metric{"ptychoserve_wal_bytes", "Current byte size of the WAL tail.", "gauge", st.WALBytes},
+		)
 	}
 	if s.grid != nil {
 		workers := s.grid.Workers()

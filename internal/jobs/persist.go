@@ -1,0 +1,367 @@
+package jobs
+
+// Store glue: how the service writes its lifecycle into a
+// store.Store and how NewService replays a store.Recovery back into a
+// live registry. Everything here is a no-op when the service runs on
+// the in-memory store (store.Mem), so a service without -state-dir
+// behaves exactly as before durability existed.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ptychopath/internal/jobs/store"
+	"ptychopath/internal/stream"
+
+	"encoding/json"
+)
+
+// persistParams is the JSON shape of jobs.Params in WAL submit records
+// — everything except InitialObject, which is spooled as an OBJCKv1
+// file and referenced by path.
+type persistParams struct {
+	Algorithm          string  `json:"algorithm"`
+	Iterations         int     `json:"iterations"`
+	StepSize           float64 `json:"step_size"`
+	MeshRows           int     `json:"mesh_rows,omitempty"`
+	MeshCols           int     `json:"mesh_cols,omitempty"`
+	RoundsPerIteration int     `json:"rounds_per_iteration,omitempty"`
+	IntraWorkers       int     `json:"intra_workers,omitempty"`
+	CheckpointEvery    int     `json:"checkpoint_every,omitempty"`
+	StartIter          int     `json:"start_iter,omitempty"`
+	Grid               bool    `json:"grid,omitempty"`
+	FoldEvery          int     `json:"fold_every,omitempty"`
+	MaxIterations      int     `json:"max_iterations,omitempty"`
+	IngestCapacity     int     `json:"ingest_capacity,omitempty"`
+}
+
+func marshalParams(p Params) json.RawMessage {
+	b, err := json.Marshal(persistParams{
+		Algorithm: p.Algorithm, Iterations: p.Iterations, StepSize: p.StepSize,
+		MeshRows: p.MeshRows, MeshCols: p.MeshCols,
+		RoundsPerIteration: p.RoundsPerIteration, IntraWorkers: p.IntraWorkers,
+		CheckpointEvery: p.CheckpointEvery, StartIter: p.StartIter, Grid: p.Grid,
+		FoldEvery: p.FoldEvery, MaxIterations: p.MaxIterations, IngestCapacity: p.IngestCapacity,
+	})
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+func unmarshalParams(raw json.RawMessage) (Params, error) {
+	if len(raw) == 0 {
+		return Params{}, errors.New("no parameters recorded")
+	}
+	var pp persistParams
+	if err := json.Unmarshal(raw, &pp); err != nil {
+		return Params{}, err
+	}
+	return Params{
+		Algorithm: pp.Algorithm, Iterations: pp.Iterations, StepSize: pp.StepSize,
+		MeshRows: pp.MeshRows, MeshCols: pp.MeshCols,
+		RoundsPerIteration: pp.RoundsPerIteration, IntraWorkers: pp.IntraWorkers,
+		CheckpointEvery: pp.CheckpointEvery, StartIter: pp.StartIter, Grid: pp.Grid,
+		FoldEvery: pp.FoldEvery, MaxIterations: pp.MaxIterations, IngestCapacity: pp.IngestCapacity,
+	}, nil
+}
+
+func stateFromString(s string) (State, bool) {
+	for _, st := range []State{Queued, Running, Done, Failed, Cancelled} {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return Queued, false
+}
+
+// idNumber parses the numeric suffix of a service-assigned job ID
+// ("job-0042" → 42), -1 for foreign IDs.
+func idNumber(id string) int {
+	if i := strings.LastIndexByte(id, '-'); i >= 0 {
+		if n, err := strconv.Atoi(id[i+1:]); err == nil {
+			return n
+		}
+	}
+	return -1
+}
+
+// persistSubmit makes an accepted submission durable: the dataset (or
+// stream opening) is spooled first, then the submit record — synced —
+// references it, so the WAL never points at a payload that is not
+// fully on disk. Runs after enqueue (the ID is assigned there); the
+// merge on replay tolerates a worker's start record landing first.
+func (s *Service) persistSubmit(j *Job, key string) error {
+	if !s.store.Durable() {
+		return nil
+	}
+	j.mu.Lock()
+	prob := j.prob
+	init := j.params.InitialObject
+	p := j.params
+	rec := store.SubmitRecord{
+		ID: j.id, Streaming: j.streaming, Key: key,
+		ResumedFrom: j.resumedFrom, RecoveredFrom: j.recoveredFrom,
+		Created: j.created,
+	}
+	j.mu.Unlock()
+	p.InitialObject = nil
+	rec.Params = marshalParams(p)
+
+	var err error
+	if j.streaming {
+		rec.Dataset, err = s.store.SpoolStreamOpen(j.id, j.hdr)
+	} else {
+		rec.Dataset, err = s.store.SpoolDataset(j.id, prob)
+		if err == nil && init != nil {
+			rec.InitObject, err = s.store.SpoolInitObject(j.id, init)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.datasetPath = rec.Dataset
+	j.mu.Unlock()
+	return s.store.LogSubmit(rec)
+}
+
+// Worker-side logging is best effort: a store hiccup mid-run costs
+// durability of that transition (recovery redoes more work), never the
+// reconstruction itself. Failures are counted for /metrics.
+
+func (s *Service) logStart(j *Job) {
+	if !s.store.Durable() {
+		return
+	}
+	j.mu.Lock()
+	started := j.started
+	j.mu.Unlock()
+	if err := s.store.LogStart(j.id, started); err != nil {
+		s.met.walErrors.Add(1)
+	}
+}
+
+func (s *Service) logIteration(j *Job, completed int, cost float64) {
+	if !s.store.Durable() {
+		return
+	}
+	if err := s.store.LogIteration(j.id, completed, cost); err != nil {
+		s.met.walErrors.Add(1)
+	}
+}
+
+func (s *Service) logCheckpoint(j *Job, path string, completed int) {
+	if !s.store.Durable() {
+		return
+	}
+	if err := s.store.LogCheckpoint(j.id, path, completed); err != nil {
+		s.met.walErrors.Add(1)
+	}
+}
+
+func (s *Service) logFinish(j *Job, state State, err error) {
+	if !s.store.Durable() {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	if lerr := s.store.LogFinish(j.id, state.String(), msg, time.Now()); lerr != nil {
+		s.met.walErrors.Add(1)
+	}
+}
+
+// recoverJobs replays a store.Recovery into the registry before the
+// worker pool starts: terminal jobs come back as history, interrupted
+// jobs re-enter the queue UNDER THEIR ORIGINAL IDs — a client polling
+// job-0007 across the crash keeps polling job-0007 — warm-started from
+// their last checkpoint (batch) or refolded from their spooled frames
+// (streaming). Runs single-threaded from NewService; no locks needed.
+func (s *Service) recoverJobs(rec *store.Recovery) {
+	s.replayRecords = rec.Records
+	s.replayTorn = rec.Torn
+	for i := range rec.Jobs {
+		jr := &rec.Jobs[i]
+		if n := idNumber(jr.ID); n > s.nextID {
+			s.nextID = n
+		}
+		j := s.recoverJob(jr)
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if j.state == Queued {
+			s.queue = append(s.queue, j)
+		}
+	}
+	for key, id := range rec.Keys {
+		if j, ok := s.jobs[id]; ok {
+			s.idem[key] = j
+		}
+	}
+}
+
+// RecoveryStats reports what startup recovery did: interrupted jobs
+// re-enqueued, terminal jobs restored as history, jobs whose payloads
+// could not be reloaded, and the WAL records replayed / torn records
+// dropped doing it.
+func (s *Service) RecoveryStats() (recovered, restored, unrecoverable int64, records, torn int) {
+	return s.met.recovered.Load(), s.met.restored.Load(), s.met.unrecovered.Load(),
+		s.replayRecords, s.replayTorn
+}
+
+// recoverJob rebuilds one job from its merged WAL record.
+func (s *Service) recoverJob(jr *store.JobRecord) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id: jr.ID, ctx: ctx, cancel: cancel,
+		streaming: jr.Streaming, resumedFrom: jr.ResumedFrom,
+		datasetPath: jr.Dataset, created: jr.Created,
+	}
+	params, perr := unmarshalParams(jr.Params)
+	j.params = params
+
+	state, ok := stateFromString(jr.State)
+	if !ok || perr != nil {
+		err := perr
+		if err == nil {
+			err = fmt.Errorf("unknown state %q", jr.State)
+		}
+		return s.unrecoverable(j, err)
+	}
+
+	if state.Terminal() {
+		// History: restore verbatim. The worker pool never sees it.
+		j.state = state
+		j.iter = jr.Iter
+		j.cost = jr.Cost
+		j.costHistory = jr.CostHistory
+		j.checkpointPath = jr.CheckpointPath
+		j.checkpointIter = jr.CheckpointIter
+		j.recoveredFrom = jr.RecoveredFrom
+		j.recFrames = jr.Frames
+		j.recEOF = jr.EOF
+		j.started = jr.Started
+		j.finished = jr.Finished
+		if jr.Error != "" {
+			j.err = errors.New(jr.Error)
+		}
+		cancel()
+		s.met.restored.Add(1)
+		return j
+	}
+
+	// Interrupted (queued or running at crash time): re-enqueue.
+	if jr.Streaming {
+		hdr, frames, eof, err := s.store.LoadStream(jr.Dataset)
+		if err != nil {
+			return s.unrecoverable(j, fmt.Errorf("replaying stream spool: %w", err))
+		}
+		capacity := params.IngestCapacity
+		if capacity == 0 {
+			capacity = s.cfg.IngestFrames
+		}
+		if capacity < len(frames) {
+			capacity = len(frames)
+		}
+		ingest := stream.NewIngest(capacity)
+		if len(frames) > 0 {
+			if _, err := ingest.Append(frames); err != nil {
+				return s.unrecoverable(j, fmt.Errorf("restoring %d spooled frames: %w", len(frames), err))
+			}
+		}
+		if eof {
+			ingest.CloseEOF()
+		}
+		j.hdr = hdr
+		j.ingest = ingest
+		j.recoveredFrom = "stream"
+	} else {
+		total := params.StartIter + params.Iterations
+		if jr.CheckpointPath != "" && jr.CheckpointIter >= total {
+			// The final checkpoint landed; only the terminal record was
+			// lost. Nothing to re-run — restore as Done.
+			j.state = Done
+			j.iter = jr.CheckpointIter
+			j.cost = jr.Cost
+			j.costHistory = jr.CostHistory
+			j.checkpointPath = jr.CheckpointPath
+			j.checkpointIter = jr.CheckpointIter
+			j.recoveredFrom = fmt.Sprintf("checkpoint@%d", jr.CheckpointIter)
+			j.started = jr.Started
+			j.finished = jr.Started // best available bound; the true instant died with the process
+			cancel()
+			s.met.restored.Add(1)
+			return j
+		}
+		prob, err := s.store.LoadDataset(jr.Dataset)
+		if err != nil {
+			return s.unrecoverable(j, fmt.Errorf("reloading dataset: %w", err))
+		}
+		j.prob = prob
+		if jr.CheckpointPath != "" {
+			slices, err := s.store.LoadObject(jr.CheckpointPath)
+			if err != nil {
+				return s.unrecoverable(j, fmt.Errorf("reloading checkpoint: %w", err))
+			}
+			j.params.InitialObject = slices
+			j.params.StartIter = jr.CheckpointIter
+			j.params.Iterations = total - jr.CheckpointIter
+			j.iter = jr.CheckpointIter
+			j.cost = jr.Cost
+			j.checkpointPath = jr.CheckpointPath
+			j.checkpointIter = jr.CheckpointIter
+			j.recoveredFrom = fmt.Sprintf("checkpoint@%d", jr.CheckpointIter)
+		} else {
+			if jr.InitObject != "" {
+				slices, err := s.store.LoadObject(jr.InitObject)
+				if err != nil {
+					return s.unrecoverable(j, fmt.Errorf("reloading warm-start object: %w", err))
+				}
+				j.params.InitialObject = slices
+			}
+			j.iter = j.params.StartIter
+			j.recoveredFrom = "scratch"
+		}
+	}
+	if j.params.Grid && s.grid == nil {
+		// The grid coordinator did not come back with us; the parallel
+		// algorithms run identically on in-process goroutines.
+		j.params.Grid = false
+	}
+	j.state = Queued
+	s.met.recovered.Add(1)
+
+	// Re-log the submission with the recovery-adjusted parameters so a
+	// SECOND crash recovers from the same point, not the original one.
+	rec := store.SubmitRecord{
+		ID: j.id, Params: marshalParams(paramsNoInit(j.params)), Streaming: j.streaming,
+		Key: jr.Key, ResumedFrom: j.resumedFrom, RecoveredFrom: j.recoveredFrom,
+		Dataset: jr.Dataset, InitObject: jr.InitObject, Created: j.created,
+	}
+	if err := s.store.LogSubmit(rec); err != nil {
+		s.met.walErrors.Add(1)
+	}
+	return j
+}
+
+func paramsNoInit(p Params) Params {
+	p.InitialObject = nil
+	return p
+}
+
+// unrecoverable parks a job whose payloads could not be reloaded as
+// Failed history: the loss is visible (state, error, /metrics counter)
+// instead of silent.
+func (s *Service) unrecoverable(j *Job, err error) *Job {
+	j.state = Failed
+	j.err = fmt.Errorf("jobs: unrecoverable after restart: %w", err)
+	j.finished = time.Now()
+	j.cancel()
+	s.met.unrecovered.Add(1)
+	return j
+}

@@ -14,6 +14,7 @@ import (
 	"ptychopath/internal/gradsync"
 	"ptychopath/internal/grid"
 	"ptychopath/internal/halo"
+	"ptychopath/internal/jobs/store"
 	"ptychopath/internal/phantom"
 	"ptychopath/internal/solver"
 	"ptychopath/internal/stream"
@@ -47,6 +48,14 @@ type Config struct {
 	// across processes (see grid.go and internal/transport). Empty
 	// disables the grid.
 	GridAddr string
+	// Store is the durability layer: job transitions are logged to it
+	// and NewService replays its Recovery into the registry (interrupted
+	// jobs re-enqueue under their original IDs, warm-started from their
+	// last checkpoint). Nil selects store.Mem — the historical in-memory
+	// behavior, nothing survives the process. The service syncs the
+	// store on Shutdown/Close but does not close it; the creator owns
+	// its lifetime.
+	Store store.Store
 }
 
 func (c *Config) setDefaults() error {
@@ -91,10 +100,14 @@ func (c *Config) setDefaults() error {
 
 // Service owns the queue, the worker pool and the job registry.
 type Service struct {
-	cfg  Config
-	wg   sync.WaitGroup
-	met  counters
-	grid *transport.Hub // worker-grid coordinator; nil without GridAddr
+	cfg   Config
+	wg    sync.WaitGroup
+	met   counters
+	grid  *transport.Hub // worker-grid coordinator; nil without GridAddr
+	store store.Store
+
+	// WAL replay statistics, set once during NewService recovery.
+	replayRecords, replayTorn int
 
 	mu     sync.Mutex
 	notify *sync.Cond // signals workers: queue non-empty or closing
@@ -106,16 +119,21 @@ type Service struct {
 	closed bool
 }
 
-// NewService validates the config, creates the spool directory and
-// starts the worker pool.
+// NewService validates the config, creates the spool directory,
+// replays the store's recovery (see Config.Store) and starts the
+// worker pool.
 func NewService(cfg Config) (*Service, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
 	s := &Service{
-		cfg:  cfg,
-		jobs: make(map[string]*Job),
-		idem: make(map[string]*Job),
+		cfg:   cfg,
+		store: cfg.Store,
+		jobs:  make(map[string]*Job),
+		idem:  make(map[string]*Job),
+	}
+	if s.store == nil {
+		s.store = store.Mem{}
 	}
 	if cfg.GridAddr != "" {
 		hub, err := transport.Listen(cfg.GridAddr)
@@ -124,6 +142,13 @@ func NewService(cfg Config) (*Service, error) {
 		}
 		s.grid = hub
 	}
+	// Recovery runs before the first worker starts: the queue must be
+	// fully rebuilt before anything can pop from it.
+	rec, err := s.store.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("jobs: recovering job state: %w", err)
+	}
+	s.recoverJobs(rec)
 	s.notify = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -172,6 +197,9 @@ func (s *Service) Close() {
 	if s.grid != nil {
 		s.grid.Close()
 	}
+	if err := s.store.Sync(); err != nil {
+		s.met.walErrors.Add(1)
+	}
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -208,11 +236,27 @@ func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom, key string
 		return nil, false, ErrNoGrid
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return s.enqueue(&Job{
+	j, created, err := s.enqueue(&Job{
 		prob: prob, params: p, ctx: ctx, cancel: cancel,
 		state: Queued, iter: p.StartIter, resumedFrom: resumedFrom,
 		created: time.Now(),
 	}, key)
+	if err != nil || !created {
+		return j, created, err
+	}
+	if perr := s.persistSubmit(j, key); perr != nil {
+		return nil, false, s.failPersist(j, perr)
+	}
+	return j, created, nil
+}
+
+// failPersist unwinds a submission whose durability write failed: the
+// job is cancelled (it must not run work the WAL never heard of) and
+// the submitter gets the store error instead of an acknowledgment.
+func (s *Service) failPersist(j *Job, err error) error {
+	s.met.walErrors.Add(1)
+	s.Cancel(j.id)
+	return fmt.Errorf("jobs: persisting submission: %w", err)
 }
 
 // SubmitStreaming opens a Streaming job from geometry and probe
@@ -239,11 +283,18 @@ func (s *Service) SubmitStreamingWithKey(hdr *dataio.StreamHeader, p Params, key
 		capacity = s.cfg.IngestFrames
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return s.enqueue(&Job{
+	j, created, err := s.enqueue(&Job{
 		params: p, ctx: ctx, cancel: cancel,
 		streaming: true, hdr: hdr, ingest: stream.NewIngest(capacity),
 		state: Queued, created: time.Now(),
 	}, key)
+	if err != nil || !created {
+		return j, created, err
+	}
+	if perr := s.persistSubmit(j, key); perr != nil {
+		return nil, false, s.failPersist(j, perr)
+	}
+	return j, created, nil
 }
 
 // enqueue registers a constructed job with the bounded FIFO. The
@@ -299,6 +350,10 @@ func (s *Service) AppendFrames(id string, frames []dataio.Frame) (int, error) {
 	if !j.streaming {
 		return 0, fmt.Errorf("%w: %s", ErrNotStreaming, id)
 	}
+	if j.hdr == nil {
+		// A terminal job restored from the WAL: its stream is long gone.
+		return j.recFrames, fmt.Errorf("%w: %s is %s", ErrFinished, id, j.State())
+	}
 	if len(frames) == 0 {
 		return j.ingest.Total(), nil
 	}
@@ -323,6 +378,22 @@ func (s *Service) AppendFrames(id string, frames []dataio.Frame) (int, error) {
 	if err != nil {
 		return total, err
 	}
+	// Durability before acknowledgment: a chunk the producer sees
+	// accepted must survive a crash, so the spool append + WAL record
+	// happen before we return the new total. On a spool failure the
+	// producer gets the error (no acknowledgment) — the frames are in
+	// this process's ingest but have no durability, and a producer that
+	// retries may duplicate them; the alternative, acking bytes the
+	// disk never saw, silently breaks recovery.
+	if s.store.Durable() {
+		if serr := s.store.SpoolFrames(j.id, j.hdr.WindowN, frames); serr != nil {
+			s.met.walErrors.Add(1)
+			return total, fmt.Errorf("jobs: persisting frames: %w", serr)
+		}
+		if serr := s.store.LogFrames(j.id, total); serr != nil {
+			s.met.walErrors.Add(1)
+		}
+	}
 	s.met.frames.Add(int64(len(frames)))
 	j.recordFrames(total)
 	return total, nil
@@ -343,6 +414,16 @@ func (s *Service) CloseStream(id string) error {
 		return fmt.Errorf("%w: %s is %s", ErrFinished, id, j.State())
 	}
 	j.ingest.CloseEOF()
+	if s.store.Durable() {
+		// Best effort, after the in-memory close (CloseStream is
+		// idempotent; a duplicate EOF chunk in the spool is harmless —
+		// replay stops at the first).
+		if err := s.store.SpoolStreamEOF(id); err != nil {
+			s.met.walErrors.Add(1)
+		} else if err := s.store.LogEOF(id); err != nil {
+			s.met.walErrors.Add(1)
+		}
+	}
 	j.recordEOF()
 	return nil
 }
@@ -471,6 +552,9 @@ func (s *Service) Cancel(id string) error {
 		j.mu.Unlock()
 		s.mu.Unlock()
 		j.cancel()
+		// No worker will ever see this job; the terminal record is
+		// written here or nowhere.
+		s.logFinish(j, Cancelled, nil)
 		return nil
 	case Running:
 		j.mu.Unlock()
@@ -504,9 +588,19 @@ func (s *Service) Resume(id string) (*Job, error) {
 	completed := old.checkpointIter
 	p := old.params
 	prob := old.prob
+	datasetPath := old.datasetPath
 	old.mu.Unlock()
 	if state != Cancelled && state != Failed {
 		return nil, fmt.Errorf("%w: %s is %s (want cancelled or failed)", ErrNotResumable, id, state)
+	}
+	if prob == nil && datasetPath != "" {
+		// The in-memory dataset was released (or never survived a
+		// restart) but the store spooled it at submission — reload.
+		var err error
+		prob, err = s.store.LoadDataset(datasetPath)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: reloading dataset for %s: %w", id, err)
+		}
 	}
 	if path == "" || prob == nil {
 		return nil, fmt.Errorf("%w: %s has no checkpoint", ErrNotResumable, id)
@@ -515,7 +609,7 @@ func (s *Service) Resume(id string) (*Job, error) {
 	if completed >= total {
 		return nil, fmt.Errorf("%w: %s already completed %d of %d iterations", ErrNotResumable, id, completed, total)
 	}
-	slices, err := dataio.ReadObjectFile(path)
+	slices, err := s.store.LoadObject(path)
 	if err != nil {
 		return nil, fmt.Errorf("jobs: reading checkpoint for %s: %w", id, err)
 	}
@@ -531,6 +625,7 @@ func (s *Service) run(j *Job) {
 	if !j.markRunning() {
 		return // cancelled while queued
 	}
+	s.logStart(j)
 	s.met.running.Add(1)
 	slices, err := s.execute(j)
 	s.met.running.Add(-1)
@@ -544,10 +639,12 @@ func (s *Service) run(j *Job) {
 		if ckErr := s.snapshot(j, j.completedIters(), slices); ckErr != nil {
 			s.met.failed.Add(1)
 			j.finish(Failed, ckErr)
+			s.logFinish(j, Failed, ckErr)
 			return
 		}
 		s.met.completed.Add(1)
 		j.finish(Done, nil)
+		s.logFinish(j, Done, nil)
 	case errors.Is(err, context.Canceled):
 		// Cancelled at an iteration boundary: persist the partial
 		// object so the job can resume exactly where it stopped.
@@ -555,11 +652,13 @@ func (s *Service) run(j *Job) {
 			if ckErr := s.snapshot(j, j.completedIters(), slices); ckErr != nil {
 				s.met.failed.Add(1)
 				j.finish(Failed, ckErr)
+				s.logFinish(j, Failed, ckErr)
 				return
 			}
 		}
 		s.met.cancelled.Add(1)
 		j.finish(Cancelled, nil)
+		s.logFinish(j, Cancelled, nil)
 	default:
 		// Engines that fail with partial progress (e.g. a streaming
 		// job exhausting stream.ErrIterationBudget on a stalled feed)
@@ -570,6 +669,7 @@ func (s *Service) run(j *Job) {
 		}
 		s.met.failed.Add(1)
 		j.finish(Failed, err)
+		s.logFinish(j, Failed, err)
 	}
 }
 
@@ -596,6 +696,7 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 	}
 	onIter := func(iter int, cost float64) {
 		j.recordIteration(p.StartIter+iter+1, cost)
+		s.logIteration(j, p.StartIter+iter+1, cost)
 		s.met.iterations.Add(1)
 	}
 	onSnap := func(iter int, slices []*grid.Complex2D) error {
@@ -674,6 +775,7 @@ func (s *Service) executeStream(j *Job) ([]*grid.Complex2D, error) {
 		Ctx:                j.ctx,
 		OnIteration: func(iter int, cost float64) {
 			j.recordIteration(iter+1, cost)
+			s.logIteration(j, iter+1, cost)
 			s.met.iterations.Add(1)
 		},
 		OnFold: func(_, _, active int) {
@@ -715,19 +817,27 @@ func (s *Service) Shutdown() {
 	if s.grid != nil {
 		s.grid.Close()
 	}
+	// Flush the WAL tail: a SIGTERM drain must leave nothing unsynced,
+	// so the next start replays the registry with zero recovery work.
+	if err := s.store.Sync(); err != nil {
+		s.met.walErrors.Add(1)
+	}
 }
 
 // snapshot publishes a preview copy of the object and writes the
-// job's OBJCKv1 checkpoint atomically (tmp + rename).
+// job's OBJCKv1 checkpoint atomically (tmp + sync + rename), then logs
+// the checkpoint to the store — the durable anchor recovery warm-starts
+// from.
 func (s *Service) snapshot(j *Job, completed int, slices []*grid.Complex2D) error {
 	cp := cloneSlices(slices)
 	j.setSnapshot(cp, completed)
 	path := filepath.Join(s.cfg.SpoolDir, j.id+".objck")
-	if err := dataio.WriteObjectFileAtomic(path, cp); err != nil {
+	if err := s.store.WriteCheckpoint(path, cp); err != nil {
 		return err
 	}
 	j.setCheckpoint(path, completed)
 	s.met.checkpoints.Add(1)
+	s.logCheckpoint(j, path, completed)
 	return nil
 }
 

@@ -1,0 +1,308 @@
+// Package faultfs is the filesystem seam of the durable job store — and
+// its crash harness. Everything internal/jobs/store writes goes through
+// the FS interface (open, write, sync, rename, truncate), so a test can
+// swap the real filesystem for a Fault wrapper that kills the "process"
+// at byte N, tears a write in half, or fails fsync — and then reopen the
+// directory with a clean FS to prove that recovery is exact, not merely
+// plausible.
+//
+// The model is a hard kill (SIGKILL / power loss at the filesystem
+// layer): once the injector trips, EVERY subsequent operation on the
+// wrapped FS fails with ErrKilled and nothing further reaches the
+// directory. A write in flight when the byte budget runs out persists
+// only its first remaining-budget bytes — the torn-record case a real
+// crash produces. The directory contents at that instant are exactly
+// what a restarted process would find.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sync"
+)
+
+// FS is the filesystem surface the job store needs. The production
+// implementation is OS; tests wrap any FS in a Fault.
+type FS interface {
+	// Create opens a new (truncated) file for writing.
+	Create(name string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name; missing files are not an error.
+	Remove(name string) error
+	// Truncate cuts name to size bytes.
+	Truncate(name string, size int64) error
+	// MkdirAll creates the directory path (and parents).
+	MkdirAll(path string) error
+	// Size returns the byte size of name.
+	Size(name string) (int64, error)
+}
+
+// File is one open file on an FS.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+}
+
+// OS is the production FS: a thin veneer over package os.
+type OS struct{}
+
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_APPEND|os.O_RDWR, 0o644)
+}
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OS) Remove(name string) error {
+	err := os.Remove(name)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (OS) Size(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Injection errors.
+var (
+	// ErrKilled is returned by every operation after the injector
+	// tripped — the moral equivalent of the process being SIGKILLed.
+	ErrKilled = errors.New("faultfs: killed")
+	// ErrSyncFailed is returned by File.Sync while sync failure is
+	// armed — a full disk or a dying device at the worst moment.
+	ErrSyncFailed = errors.New("faultfs: sync failed")
+)
+
+// Fault wraps an FS with crash and fault injection. Arm it with
+// KillAfterBytes / Kill / FailSync; all methods are safe for concurrent
+// use (the store writes from multiple goroutines).
+type Fault struct {
+	inner FS
+
+	mu       sync.Mutex
+	budget   int64 // bytes that may still be written; -1 = unlimited
+	killed   bool
+	failSync bool
+
+	bytesWritten int64
+	syncs        int64
+}
+
+// Wrap returns a Fault around inner with no fault armed.
+func Wrap(inner FS) *Fault {
+	return &Fault{inner: inner, budget: -1}
+}
+
+// KillAfterBytes arms the kill switch n written bytes from now: the
+// write that crosses the budget persists only its first in-budget bytes
+// (a torn write), fails with ErrKilled, and every later operation fails
+// too. KillAfterBytes(0) kills on the next write.
+func (f *Fault) KillAfterBytes(n int64) {
+	f.mu.Lock()
+	f.budget = n
+	f.mu.Unlock()
+}
+
+// Kill trips the switch immediately: all subsequent operations fail
+// with ErrKilled. Use it to freeze a directory at an arbitrary moment
+// while the service is live.
+func (f *Fault) Kill() {
+	f.mu.Lock()
+	f.killed = true
+	f.mu.Unlock()
+}
+
+// Killed reports whether the switch has tripped.
+func (f *Fault) Killed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.killed
+}
+
+// FailSync arms (or disarms) fsync failure: File.Sync returns
+// ErrSyncFailed while armed. Writes still succeed — the data is in the
+// page cache but has no durability guarantee, exactly the state a real
+// fsync failure leaves behind.
+func (f *Fault) FailSync(on bool) {
+	f.mu.Lock()
+	f.failSync = on
+	f.mu.Unlock()
+}
+
+// BytesWritten returns the total bytes written through the wrapper.
+func (f *Fault) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytesWritten
+}
+
+// Syncs returns the number of successful Sync calls.
+func (f *Fault) Syncs() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.syncs
+}
+
+// check returns ErrKilled once the switch has tripped.
+func (f *Fault) check() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.killed {
+		return ErrKilled
+	}
+	return nil
+}
+
+func (f *Fault) Create(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *Fault) OpenAppend(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *Fault) Open(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *Fault) Rename(oldname, newname string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *Fault) Remove(name string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *Fault) Truncate(name string, size int64) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(name, size)
+}
+
+func (f *Fault) MkdirAll(path string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path)
+}
+
+func (f *Fault) Size(name string) (int64, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	return f.inner.Size(name)
+}
+
+// faultFile applies the wrapper's state to one open file.
+type faultFile struct {
+	fs    *Fault
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.check(); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+// Write spends the byte budget. When the budget runs out mid-write the
+// in-budget prefix reaches the inner file — the torn write — and the
+// kill switch trips.
+func (f *faultFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	if f.fs.killed {
+		f.fs.mu.Unlock()
+		return 0, ErrKilled
+	}
+	n := int64(len(p))
+	torn := false
+	if f.fs.budget >= 0 {
+		if f.fs.budget < n {
+			n = f.fs.budget
+			torn = true
+			f.fs.killed = true
+		}
+		f.fs.budget -= n
+	}
+	f.fs.bytesWritten += n
+	f.fs.mu.Unlock()
+
+	written, err := f.inner.Write(p[:n])
+	if err != nil {
+		return written, err
+	}
+	if torn {
+		return written, ErrKilled
+	}
+	return written, nil
+}
+
+func (f *faultFile) Sync() error {
+	f.fs.mu.Lock()
+	if f.fs.killed {
+		f.fs.mu.Unlock()
+		return ErrKilled
+	}
+	if f.fs.failSync {
+		f.fs.mu.Unlock()
+		return ErrSyncFailed
+	}
+	f.fs.syncs++
+	f.fs.mu.Unlock()
+	return f.inner.Sync()
+}
+
+// Close passes through even after a kill: the store's cleanup paths
+// must be able to release OS handles of a frozen directory.
+func (f *faultFile) Close() error { return f.inner.Close() }

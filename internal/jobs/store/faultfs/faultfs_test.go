@@ -1,0 +1,174 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSRoundtrip exercises the production FS end to end: append, sync,
+// read, rename, truncate, size.
+func TestOSRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	path := filepath.Join(dir, "a.log")
+
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := fs.Size(path); err != nil || n != 11 {
+		t.Fatalf("size = %d, %v; want 11", n, err)
+	}
+	if err := fs.Truncate(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(dir, "b.log")
+	if err := fs.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(moved)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("after truncate+rename: %q, %v; want \"hello\"", data, err)
+	}
+	if err := fs.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(moved); err != nil {
+		t.Fatalf("removing a missing file should be a no-op, got %v", err)
+	}
+}
+
+// TestKillAfterBytesTearsTheCrossingWrite proves the core crash
+// semantics: the write that crosses the byte budget persists exactly its
+// in-budget prefix, then everything fails with ErrKilled.
+func TestKillAfterBytesTearsTheCrossingWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS{})
+	path := filepath.Join(dir, "wal")
+
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	fs.KillAfterBytes(4) // next write may only land 4 bytes
+
+	n, err := f.Write([]byte("ABCDEFGH"))
+	if !errors.Is(err, ErrKilled) {
+		t.Fatalf("crossing write: err = %v, want ErrKilled", err)
+	}
+	if n != 4 {
+		t.Fatalf("crossing write persisted %d bytes, want 4", n)
+	}
+	if _, err := f.Write([]byte("more")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill write: err = %v, want ErrKilled", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill sync: err = %v, want ErrKilled", err)
+	}
+	if _, err := fs.Create(filepath.Join(dir, "new")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill create: err = %v, want ErrKilled", err)
+	}
+	if err := fs.Rename(path, path+"x"); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill rename: err = %v, want ErrKilled", err)
+	}
+	f.Close() // close still works: handles must be releasable
+
+	// The "disk" holds the pre-kill bytes plus the torn prefix.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "0123456789ABCD" {
+		t.Fatalf("disk state %q, want \"0123456789ABCD\"", data)
+	}
+}
+
+// TestKillFreezesTheDirectory: Kill() with no budget stops everything
+// at once.
+func TestKillFreezesTheDirectory(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS{})
+	f, err := fs.OpenAppend(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	fs.Kill()
+	if !fs.Killed() {
+		t.Fatal("Killed() = false after Kill()")
+	}
+	if _, err := f.Write([]byte("lost")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("err = %v, want ErrKilled", err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "wal"))
+	if string(data) != "committed" {
+		t.Fatalf("disk state %q, want \"committed\"", data)
+	}
+}
+
+// TestFailSync: writes succeed, Sync reports ErrSyncFailed, and
+// disarming restores normal operation.
+func TestFailSync(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS{})
+	f, err := fs.OpenAppend(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailSync(true)
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write under FailSync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("sync: err = %v, want ErrSyncFailed", err)
+	}
+	fs.FailSync(false)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after disarm: %v", err)
+	}
+	if fs.Syncs() != 1 {
+		t.Fatalf("Syncs() = %d, want 1 (failed sync must not count)", fs.Syncs())
+	}
+}
+
+// TestBudgetAccounting: exact-budget writes succeed and the byte
+// counter tracks what reached the inner FS.
+func TestBudgetAccounting(t *testing.T) {
+	dir := t.TempDir()
+	fs := Wrap(OS{})
+	f, err := fs.OpenAppend(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.KillAfterBytes(5)
+	if n, err := f.Write([]byte("12345")); err != nil || n != 5 {
+		t.Fatalf("exact-budget write: n=%d err=%v, want 5,nil", n, err)
+	}
+	// Budget is now 0: the next write tears at 0 bytes.
+	if n, err := f.Write([]byte("6")); !errors.Is(err, ErrKilled) || n != 0 {
+		t.Fatalf("zero-budget write: n=%d err=%v, want 0,ErrKilled", n, err)
+	}
+	if fs.BytesWritten() != 5 {
+		t.Fatalf("BytesWritten() = %d, want 5", fs.BytesWritten())
+	}
+}

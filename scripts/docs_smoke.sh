@@ -6,10 +6,15 @@
 # parameter or an SDK method changes without the doc/client, this
 # script fails.
 #
+# It finishes with the restart smoke: a second, private ptychoserve is
+# started with -state-dir, SIGKILLed mid-job, restarted on the same
+# directory, and the SDK (scripts/restartprobe) verifies the job came
+# back under its original ID and ran to completion.
+#
 # Prerequisites (the CI docs job sets them up): a running ptychoserve
 # on 127.0.0.1:8617 with -grid 127.0.0.1:8619, a ptychoworker with 4
-# ranks attached, datagen/ptychofeed on PATH alongside jq and curl, and
-# a Go toolchain for the SDK probe.
+# ranks attached, datagen/ptychofeed/ptychoserve on PATH alongside jq
+# and curl, and a Go toolchain for the SDK probes.
 #
 # Usage: scripts/docs_smoke.sh [doc.md]
 set -euo pipefail
@@ -18,7 +23,12 @@ repo=$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)
 doc=${1:-docs/HTTP_API.md}
 doc=$(realpath "$doc")
 work=$(mktemp -d)
-trap 'rm -rf "$work"' EXIT
+restart_pid=""
+cleanup() {
+    [ -n "$restart_pid" ] && kill "$restart_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
 
 awk '/^```bash$/{code=1; next} /^```/{code=0} code' "$doc" > "$work/examples.sh"
 lines=$(grep -c . "$work/examples.sh" || true)
@@ -33,3 +43,32 @@ echo "docs_smoke: all examples executed successfully"
 echo "docs_smoke: driving the live server through the client SDK"
 (cd "$repo" && go run ./scripts/clientprobe -server http://127.0.0.1:8617)
 echo "docs_smoke: SDK probe passed"
+
+# Restart smoke: durable job state survives a SIGKILL. This server is
+# private to the smoke (own port, own -state-dir), so killing it
+# cannot disturb the docs server above.
+echo "docs_smoke: restart smoke — submit, SIGKILL, restart, recover"
+RESTART_URL=http://127.0.0.1:8627
+start_restart_server() {
+    ptychoserve -addr 127.0.0.1:8627 -workers 1 -state-dir "$work/state" \
+        >> "$work/restart-serve.log" 2>&1 &
+    restart_pid=$!
+    for i in $(seq 50); do
+        curl -fs "$RESTART_URL/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    echo "docs_smoke: restart server never came up" >&2
+    cat "$work/restart-serve.log" >&2
+    return 1
+}
+start_restart_server
+JOB=$(cd "$repo" && go run ./scripts/restartprobe -server "$RESTART_URL" -submit -iters 2000)
+echo "docs_smoke: submitted $JOB, killing the server mid-run"
+kill -9 "$restart_pid"
+wait "$restart_pid" 2>/dev/null || true
+start_restart_server
+(cd "$repo" && go run ./scripts/restartprobe -server "$RESTART_URL" -wait "$JOB" -iters 2000)
+kill -TERM "$restart_pid" 2>/dev/null || true
+wait "$restart_pid" 2>/dev/null || true
+restart_pid=""
+echo "docs_smoke: restart smoke passed — $JOB survived the kill"

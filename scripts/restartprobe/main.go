@@ -1,0 +1,114 @@
+// Command restartprobe is the client half of the CI restart smoke
+// (scripts/docs_smoke.sh): it proves over the wire, with the typed
+// SDK, that a job submitted to a `ptychoserve -state-dir` server
+// survives a SIGKILL of that server.
+//
+// Two phases, because the shell between them owns the server process:
+//
+//	restartprobe -server URL -submit -iters N
+//	    synthesizes a dataset in memory, submits an N-iteration job,
+//	    and prints the job ID — the shell then kill -9's the server.
+//	restartprobe -server URL -wait JOB
+//	    against the RESTARTED server: the same job ID must still
+//	    exist, carry a recovered_from marker, finish successfully
+//	    (client.Wait), and serve its final OBJCKv1 object.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ptychopath/client"
+	"ptychopath/internal/dataio"
+	"ptychopath/internal/phantom"
+	"ptychopath/internal/physics"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8627", "ptychoserve base URL")
+	submit := flag.Bool("submit", false, "submit phase: enqueue a job and print its ID")
+	wait := flag.String("wait", "", "wait phase: job ID that must survive the restart")
+	iters := flag.Int("iters", 2000, "iteration count of the submitted job (long enough to be mid-run when the server dies)")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	c, err := client.New(*server)
+	if err == nil {
+		switch {
+		case *submit:
+			err = runSubmit(ctx, c, *iters)
+		case *wait != "":
+			err = runWait(ctx, c, *wait, *iters)
+		default:
+			err = fmt.Errorf("need -submit or -wait JOB")
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "restartprobe: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func runSubmit(ctx context.Context, c *client.Client, iters int) error {
+	pat, err := scan.Raster(scan.RasterConfig{Cols: 4, Rows: 4, StepPix: 5, RadiusPix: 6, MarginPix: 8})
+	if err != nil {
+		return err
+	}
+	obj := phantom.RandomObject(pat.ImageW, pat.ImageH, 1, 1)
+	prob, err := solver.Simulate(solver.SimulateConfig{
+		Optics: physics.PaperOptics(), Pattern: pat, Object: obj, WindowN: 16, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	var ds bytes.Buffer
+	if err := dataio.Write(&ds, prob); err != nil {
+		return err
+	}
+	job, err := c.Submit(ctx, client.SubmitRequest{
+		Algorithm: "serial", Iterations: iters, CheckpointEvery: 50,
+	}, &ds)
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	// The ID is the phase's output: the shell passes it to -wait after
+	// killing and restarting the server.
+	fmt.Println(job.ID)
+	return nil
+}
+
+func runWait(ctx context.Context, c *client.Client, id string, iters int) error {
+	job, err := c.Get(ctx, id)
+	if err != nil {
+		return fmt.Errorf("job %s did not survive the restart: %w", id, err)
+	}
+	if job.RecoveredFrom == "" {
+		return fmt.Errorf("job %s carries no recovered_from marker (state %s) — was the server actually killed mid-run?", id, job.State)
+	}
+	fmt.Printf("restartprobe: %s recovered_from=%s, waiting for completion\n", id, job.RecoveredFrom)
+	job, err = c.Wait(ctx, id)
+	if err != nil {
+		return fmt.Errorf("waiting for recovered job: %w", err)
+	}
+	if job.State != client.StateDone || job.Iter != iters {
+		return fmt.Errorf("recovered job ended %s at iter %d/%d: %s", job.State, job.Iter, iters, job.Error)
+	}
+	rc, _, err := c.Object(ctx, id)
+	if err != nil {
+		return fmt.Errorf("final object after recovery: %w", err)
+	}
+	defer rc.Close()
+	if _, err := dataio.ReadObject(rc); err != nil {
+		return fmt.Errorf("decoding recovered object: %w", err)
+	}
+	fmt.Printf("restartprobe: OK — %s finished %d iterations across a SIGKILL (recovered_from=%s)\n",
+		id, job.Iter, job.RecoveredFrom)
+	return nil
+}
