@@ -247,6 +247,9 @@ func (c *Client) submit(ctx context.Context, path string, req SubmitRequest, dat
 		key = newIdempotencyKey()
 	}
 	h := http.Header{"Idempotency-Key": []string{key}}
+	if req.RequestID != "" {
+		h.Set("X-Request-ID", req.RequestID)
+	}
 	var job Job
 	if err := c.do(ctx, http.MethodPost, path, nil, h, multipartBody(req, data), http.StatusAccepted, &job); err != nil {
 		return nil, err
@@ -300,6 +303,18 @@ func (c *Client) Get(ctx context.Context, id string) (*Job, error) {
 		return nil, err
 	}
 	return &job, nil
+}
+
+// Trace returns the job's span timeline: queue wait, setup,
+// per-iteration compute and communication phases per rank, checkpoint
+// writes. The timeline of a running job is a point-in-time snapshot;
+// open spans have a zero End.
+func (c *Client) Trace(ctx context.Context, id string) (*JobTrace, error) {
+	var tr JobTrace
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/trace", nil, nil, nil, http.StatusOK, &tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
 }
 
 // History returns the job's per-iteration cost curve: the last tail

@@ -52,6 +52,12 @@ type SubmitRequest struct {
 	// their own automatic retries are replay-safe. Not part of the
 	// JSON params (it travels as a header).
 	IdempotencyKey string `json:"-"`
+
+	// RequestID, when non-empty, is sent as the X-Request-ID header and
+	// becomes the job's trace context (Job.RequestID, the span timeline,
+	// the server's log lines). When empty the server assigns one. Like
+	// the idempotency key, it travels as a header, not JSON.
+	RequestID string `json:"-"`
 }
 
 // Job state names, as served in Job.State.
@@ -66,7 +72,10 @@ const (
 // Job is a point-in-time job summary — the JSON schema of every job
 // object the /v1 API returns.
 type Job struct {
-	ID        string `json:"id"`
+	ID string `json:"id"`
+	// RequestID is the job's trace context: the X-Request-ID of the
+	// submission that created it.
+	RequestID string `json:"request_id,omitempty"`
 	State     string `json:"state"`
 	Algorithm string `json:"algorithm"`
 	// Grid marks a job running on the distributed worker grid.
@@ -151,6 +160,29 @@ type Event struct {
 	// Info carries the initial job summary on "info" events; nil
 	// otherwise.
 	Info *Job `json:"-"`
+}
+
+// TraceSpan is one timed phase of a job's span timeline
+// (GET /v1/jobs/{id}/trace). Spans form a tree through Parent
+// (0 = root). Rank -1 marks coordinator spans; Iter -1 marks spans not
+// tied to an iteration.
+type TraceSpan struct {
+	ID     int       `json:"id"`
+	Parent int       `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Rank   int       `json:"rank"`
+	Iter   int       `json:"iter"`
+	Start  time.Time `json:"start"`
+	// End is zero while the span is still open.
+	End time.Time `json:"end,omitzero"`
+	// MS is the span duration in milliseconds (0 while open).
+	MS float64 `json:"ms"`
+}
+
+// JobTrace is a job summary together with its span timeline.
+type JobTrace struct {
+	Job   Job         `json:"job"`
+	Spans []TraceSpan `json:"spans"`
 }
 
 // GridWorker describes one registered grid worker endpoint.

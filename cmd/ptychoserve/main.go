@@ -10,6 +10,16 @@
 //	ptychoserve [-addr :8617] [-workers 2] [-queue 16]
 //	            [-spool DIR] [-checkpoint-every 5] [-ingest 4096]
 //	            [-grid ADDR] [-max-upload BYTES] [-state-dir DIR]
+//	            [-log-format text|json] [-log-level info] [-debug-addr ADDR]
+//
+// Logs are structured (log/slog) on stderr: text for humans by
+// default, -log-format json for machine ingestion. Every request line
+// carries the X-Request-ID, every job line the job ID and its
+// request_id trace context, so one grep follows a submission across the
+// HTTP, job and grid layers. -log-level debug adds per-iteration and
+// per-checkpoint lines. -debug-addr serves net/http/pprof on a
+// SEPARATE listener (keep it on localhost or behind a firewall — it is
+// deliberately not mounted on the public API address).
 //
 // With -state-dir, job state is durable: every lifecycle transition is
 // append-logged to DIR/jobs.wal (PTYWALv1, periodically compacted into
@@ -42,7 +52,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,6 +65,7 @@ import (
 	"ptychopath/internal/jobs"
 	"ptychopath/internal/jobs/httpapi"
 	"ptychopath/internal/jobs/store"
+	"ptychopath/internal/obs"
 )
 
 func main() {
@@ -68,15 +81,24 @@ func main() {
 		"largest accepted request body in bytes (dataset uploads, frame chunks); beyond it requests answer 413 payload_too_large")
 	stateDir := flag.String("state-dir", "",
 		"durable job-state directory (WAL + snapshot + dataset spools); restarts recover interrupted jobs. Empty keeps state in memory")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	debugAddr := flag.String("debug-addr", "",
+		"net/http/pprof listen address (e.g. 127.0.0.1:8620); empty disables the debug server. Do not expose publicly")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest, *gridAddr, *maxUpload, *stateDir); err != nil {
+	log, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ptychoserve:", err)
+		os.Exit(1)
+	}
+	if err := run(log, *addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest, *gridAddr, *maxUpload, *stateDir, *debugAddr); err != nil {
+		log.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int, gridAddr string, maxUpload int64, stateDir string) error {
+func run(log *slog.Logger, addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int, gridAddr string, maxUpload int64, stateDir, debugAddr string) error {
 	var st store.Store
 	if stateDir != "" {
 		wal, err := store.OpenWAL(store.WALConfig{Dir: stateDir})
@@ -94,28 +116,39 @@ func run(addr string, workers, queue int, spool string, ckEvery int, timeout tim
 	svc, err := jobs.NewService(jobs.Config{
 		Workers: workers, QueueDepth: queue, SpoolDir: spool,
 		CheckpointEvery: ckEvery, Timeout: timeout, IngestFrames: ingest,
-		GridAddr: gridAddr, Store: st,
+		GridAddr: gridAddr, Store: st, Logger: log,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ptychoserve: %d workers, queue depth %d, spool %s\n",
-		svc.Config().Workers, svc.Config().QueueDepth, svc.Config().SpoolDir)
+	log.Info("service configured", "workers", svc.Config().Workers,
+		"queue_depth", svc.Config().QueueDepth, "spool", svc.Config().SpoolDir)
 	if stateDir != "" {
 		recovered, restored, unrecoverable, records, torn := svc.RecoveryStats()
-		fmt.Printf("ptychoserve: durable state in %s (replayed %d records", stateDir, records)
-		if torn > 0 {
-			fmt.Printf(", dropped %d torn", torn)
-		}
-		fmt.Printf("): %d jobs re-enqueued, %d restored as history", recovered, restored)
-		if unrecoverable > 0 {
-			fmt.Printf(", %d unrecoverable", unrecoverable)
-		}
-		fmt.Println()
+		log.Info("durable state replayed", "state_dir", stateDir,
+			"records", records, "torn", torn, "re_enqueued", recovered,
+			"restored", restored, "unrecoverable", unrecoverable)
 	}
 	if svc.GridEnabled() {
-		fmt.Printf("ptychoserve: grid coordinator on %s (connect ptychoworker processes, submit with ?grid=1)\n",
-			svc.GridAddr())
+		log.Info("grid coordinator listening", "grid_addr", svc.GridAddr())
+	}
+
+	if debugAddr != "" {
+		// pprof on its own listener so profiling never shares the public
+		// API surface (bind it to localhost). An explicit mux rather than
+		// DefaultServeMux: nothing else can accidentally register here.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Info("debug server listening", "debug_addr", debugAddr)
+			if err := http.ListenAndServe(debugAddr, dmux); err != nil {
+				log.Error("debug server failed", "err", err)
+			}
+		}()
 	}
 
 	// Slowloris hardening: a client must deliver its headers quickly,
@@ -126,7 +159,7 @@ func run(addr string, workers, queue int, spool string, ckEvery int, timeout tim
 	// legitimately outlives any response window (see httpapi).
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           httpapi.New(svc, httpapi.WithMaxUpload(maxUpload)).Handler(),
+		Handler:           httpapi.New(svc, httpapi.WithMaxUpload(maxUpload), httpapi.WithLogger(log)).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 		WriteTimeout:      5 * time.Minute,
@@ -136,7 +169,7 @@ func run(addr string, workers, queue int, spool string, ckEvery int, timeout tim
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("ptychoserve: listening on %s\n", addr)
+		log.Info("listening", "addr", addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -145,7 +178,7 @@ func run(addr string, workers, queue int, spool string, ckEvery int, timeout tim
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Println("ptychoserve: shutting down, cancelling in-flight jobs (checkpoints let them resume)")
+	log.Info("shutting down, cancelling in-flight jobs (checkpoints let them resume)")
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -157,6 +190,6 @@ func run(addr string, workers, queue int, spool string, ckEvery int, timeout tim
 	// pool, exit 0. A restarted server can resume the work from the
 	// spool.
 	svc.Shutdown()
-	fmt.Println("ptychoserve: all jobs checkpointed, bye")
+	log.Info("all jobs checkpointed, bye")
 	return nil
 }

@@ -9,6 +9,12 @@
 //
 //	ptychoworker -connect HOST:PORT [-ranks 1] [-name NAME]
 //	             [-timeout 30s] [-retry]
+//	             [-log-format text|json] [-log-level info]
+//
+// Logs are structured (log/slog) on stderr, same flags and formats as
+// ptychoserve. Session lines include the trace context the coordinator
+// sends in the PTGW SETUP frame, so a job's request ID can be grepped
+// across both processes.
 //
 // A worker stays connected between jobs; Ctrl-C closes its connections
 // immediately (a mid-session stop fails the job over to its last
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"ptychopath/internal/gridworker"
+	"ptychopath/internal/obs"
 )
 
 func main() {
@@ -35,18 +42,27 @@ func main() {
 	name := flag.String("name", "", "worker name in the coordinator registry (default: hostname-pid)")
 	timeout := flag.Duration("timeout", 30*time.Second, "idle transport timeout (sessions use the coordinator's)")
 	retry := flag.Bool("retry", false, "keep reconnecting when the coordinator is unreachable or restarts")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	flag.Parse()
 
+	log, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptychoworker:", err)
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := gridworker.Run(ctx, *connect, gridworker.Options{
+	err = gridworker.Run(ctx, *connect, gridworker.Options{
 		Name: *name, Ranks: *ranks, Timeout: *timeout, Reconnect: *retry,
+		// gridworker's logging seam is printf-shaped; render through the
+		// structured logger so both daemons share format and level flags.
 		Logf: func(format string, args ...any) {
-			fmt.Printf("ptychoworker: "+format+"\n", args...)
+			log.Info(fmt.Sprintf(format, args...))
 		},
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptychoworker:", err)
+		log.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }

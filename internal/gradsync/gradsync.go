@@ -88,6 +88,14 @@ type Options struct {
 	// OnIteration, when non-nil, is invoked on rank 0 with the global
 	// cost after each iteration.
 	OnIteration func(iter int, cost float64)
+	// OnRankStats, when non-nil, is invoked on EVERY rank after each
+	// iteration with that iteration's compute and communication time
+	// deltas in nanoseconds — the per-phase timing feed for span
+	// tracing and elastic scheduling. Unlike OnIteration it fires on
+	// all ranks concurrently (in-process runs share one Options), so
+	// the callback must be safe for concurrent use. It runs outside
+	// the per-location hot loop: once per rank per iteration.
+	OnRankStats func(rank, iter int, computeNS, commNS int64)
 	// IterOffset is added to the iteration index reported to
 	// OnIteration and OnSnapshot. Epoch-based callers — the streaming
 	// engine re-partitions the growing location set and re-runs
@@ -606,6 +614,7 @@ func RunRank(comm simmpi.Transport, prob *solver.Problem, init []*grid.Complex2D
 		MemBytes:  w.memBytes(),
 	}
 	hist := make([]float64, 0, opt.Iterations)
+	var prevComputeNS, prevCommNS int64
 	for iter := 0; iter < opt.Iterations; iter++ {
 		local, err := w.iteration()
 		if err != nil {
@@ -616,6 +625,14 @@ func RunRank(comm simmpi.Transport, prob *solver.Problem, init []*grid.Complex2D
 			return nil, err
 		}
 		hist = append(hist, global)
+		if opt.OnRankStats != nil {
+			// w.computeNS/commNS are cumulative; report this
+			// iteration's delta so the callback sees per-phase time
+			// per iteration, not a running total.
+			opt.OnRankStats(comm.Rank(), opt.IterOffset+iter,
+				w.computeNS-prevComputeNS, w.commNS-prevCommNS)
+			prevComputeNS, prevCommNS = w.computeNS, w.commNS
+		}
 		if comm.Rank() == 0 && opt.OnIteration != nil {
 			opt.OnIteration(opt.IterOffset+iter, global)
 		}

@@ -116,8 +116,13 @@ func serve(ctx context.Context, c *transport.Client, name string, opts Options) 
 			sessCancel()
 			return err
 		}
-		opts.Logf("%s: session %s rank %d/%d (%s %dx%d mesh)",
-			name, setup.JobID, setup.Rank, setup.Size, setup.Algorithm, setup.MeshRows, setup.MeshCols)
+		if setup.Trace != "" {
+			opts.Logf("%s: session %s rank %d/%d (%s %dx%d mesh, trace %s)",
+				name, setup.JobID, setup.Rank, setup.Size, setup.Algorithm, setup.MeshRows, setup.MeshCols, setup.Trace)
+		} else {
+			opts.Logf("%s: session %s rank %d/%d (%s %dx%d mesh)",
+				name, setup.JobID, setup.Rank, setup.Size, setup.Algorithm, setup.MeshRows, setup.MeshCols)
+		}
 		res := runSession(sctx, c, setup)
 		sessCancel()
 		if err := c.SendResult(res); err != nil {
@@ -157,6 +162,12 @@ func runSession(ctx context.Context, c *transport.Client, setup *transport.Setup
 	// snapshot send is synchronous — the checkpoint is durable before
 	// the run proceeds, exactly like the in-process OnSnapshot contract.
 	onIter := func(iter int, cost float64) { c.SendIteration(iter, cost) }
+	// Timing plumbing: every rank additionally reports its
+	// per-iteration compute/comm split (extended ITER frames), which
+	// the coordinator folds into the job's span trace.
+	onStats := func(_, iter int, computeNS, commNS int64) {
+		c.SendIterStats(iter, computeNS, commNS)
+	}
 	onSnap := func(iter int, slices []*grid.Complex2D) error {
 		var buf bytes.Buffer
 		if err := dataio.WriteObject(&buf, slices); err != nil {
@@ -173,7 +184,8 @@ func runSession(ctx context.Context, c *transport.Client, setup *transport.Setup
 			RoundsPerIteration: setup.RoundsPerIteration,
 			IntraWorkers:       setup.IntraWorkers,
 			Timeout:            timeout,
-			OnIteration:        onIter, Ctx: ctx,
+			OnIteration:        onIter,
+			OnRankStats:        onStats, Ctx: ctx,
 			SnapshotEvery: setup.SnapshotEvery, OnSnapshot: onSnap,
 		})
 		if err != nil {

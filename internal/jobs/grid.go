@@ -98,6 +98,7 @@ func (s *Service) executeGrid(j *Job) ([]*grid.Complex2D, error) {
 			IntraWorkers:       p.IntraWorkers,
 			SnapshotEvery:      p.CheckpointEvery,
 			TimeoutMS:          s.cfg.Timeout.Milliseconds(),
+			Trace:              p.RequestID,
 			Problem:            probBuf.Bytes(), Init: initBuf.Bytes(),
 		}
 	}
@@ -107,10 +108,15 @@ func (s *Service) executeGrid(j *Job) ([]*grid.Complex2D, error) {
 	// goroutines.
 	var snapMu sync.Mutex
 	var lastSnap []*grid.Complex2D
+	j.beginIterations()
 	sess, err := s.grid.StartSession(setups, transport.SessionCallbacks{
 		OnIteration: func(iter int, cost float64) {
-			j.recordIteration(p.StartIter+iter+1, cost)
+			s.hist.iteration.Observe(j.recordIteration(p.StartIter+iter+1, cost))
+			s.logIteration(j, p.StartIter+iter+1, cost)
 			s.met.iterations.Add(1)
+		},
+		OnRankTiming: func(rank, iter int, computeNS, commNS int64) {
+			j.recordRankTiming(rank, p.StartIter+iter+1, computeNS, commNS)
 		},
 		OnSnapshot: func(iter int, object []byte) error {
 			slices, err := dataio.ReadObject(bytes.NewReader(object))

@@ -28,6 +28,10 @@
 //	GET  /v1/jobs/{id}/preview.png  grayscale preview of the latest
 //	                              snapshot (?kind=phase|mag, ?slice=N)
 //	GET  /v1/jobs/{id}/object     latest snapshot as an OBJCKv1 stream
+//	GET  /v1/jobs/{id}/trace      span timeline of the job (queue wait,
+//	                              setup, per-iteration compute/comm per
+//	                              rank, checkpoints); ?format=chrome
+//	                              exports Chrome trace-event JSON
 //	GET  /v1/grid                 worker-grid status
 //	GET  /metrics                 Prometheus text exposition (unversioned)
 //	GET  /healthz                 liveness (unversioned)
@@ -38,6 +42,12 @@
 // bad_params, payload_too_large, … — and retry_after_ms on
 // backpressure. The typed Go SDK for this surface is the top-level
 // client package.
+//
+// Every response carries an X-Request-ID header — the client's own, if
+// it sent a well-formed one, otherwise server-assigned. A submission's
+// request ID becomes the job's trace context: it labels the job's span
+// timeline, its structured log lines, and the PTGW SETUP frame sent to
+// grid workers (see obs.go).
 //
 // The pre-/v1 routes (POST /jobs with query-string parameters, GET
 // /jobs returning the unpaged array, …) remain mounted as thin aliases
@@ -54,6 +64,7 @@ import (
 	"fmt"
 	"image/png"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -64,6 +75,7 @@ import (
 	"ptychopath/internal/dataio"
 	"ptychopath/internal/grid"
 	"ptychopath/internal/jobs"
+	"ptychopath/internal/obs"
 	"ptychopath/internal/solver"
 	"ptychopath/internal/stream"
 )
@@ -87,6 +99,11 @@ const legacyDeprecation = "@1785110400" // 2026-07-27
 type Server struct {
 	svc       *jobs.Service
 	maxUpload int64
+	log       *slog.Logger
+	// httpDur is the request-latency histogram, labeled by matched
+	// route pattern and response status. Written by handleMetrics after
+	// the service's own metric families.
+	httpDur *obs.HistogramVec
 }
 
 // Option configures the server.
@@ -102,9 +119,26 @@ func WithMaxUpload(n int64) Option {
 	}
 }
 
+// WithLogger routes the per-request log lines (method, route, status,
+// duration, request ID) to l. Requests are not logged by default.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) {
+		if l != nil {
+			s.log = l
+		}
+	}
+}
+
 // New wraps a service.
 func New(svc *jobs.Service, opts ...Option) *Server {
-	s := &Server{svc: svc, maxUpload: DefaultMaxUploadBytes}
+	s := &Server{
+		svc:       svc,
+		maxUpload: DefaultMaxUploadBytes,
+		log:       obs.Discard(),
+		httpDur: obs.NewHistogramVec("ptychoserve_http_request_duration_seconds",
+			"HTTP request duration by route pattern and status.",
+			[]string{"route", "status"}, obs.DefBuckets),
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -119,6 +153,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitV1)
 	mux.HandleFunc("POST /v1/jobs/stream", s.handleSubmitStreamV1)
 	mux.HandleFunc("GET /v1/jobs", s.handleListV1)
+	// /v1-only (no legacy alias): the span timeline did not exist
+	// before the versioned surface.
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 
 	// Routes identical across generations: register under /v1 and as a
 	// deprecated alias.
@@ -149,7 +186,7 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	return s.observe(mux)
 }
 
 // deprecated marks a legacy alias response: RFC 9745 Deprecation plus
@@ -283,6 +320,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 func wireJob(info jobs.Info) client.Job {
 	return client.Job{
 		ID:             info.ID,
+		RequestID:      info.RequestID,
 		State:          info.State,
 		Algorithm:      info.Algorithm,
 		Grid:           info.Grid,
@@ -429,7 +467,9 @@ func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	j, created, err := s.svc.SubmitWithKey(prob, paramsFromRequest(req), r.Header.Get("Idempotency-Key"))
+	p := paramsFromRequest(req)
+	p.RequestID = requestIDFrom(r.Context())
+	j, created, err := s.svc.SubmitWithKey(prob, p, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -453,7 +493,9 @@ func (s *Server) handleSubmitStreamV1(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	j, created, err := s.svc.SubmitStreamingWithKey(hdr, paramsFromRequest(req), r.Header.Get("Idempotency-Key"))
+	p := paramsFromRequest(req)
+	p.RequestID = requestIDFrom(r.Context())
+	j, created, err := s.svc.SubmitStreamingWithKey(hdr, p, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -542,6 +584,7 @@ func (s *Server) handleSubmitLegacy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badParams("decoding PTYCHOv1 body: %w", err))
 		return
 	}
+	params.RequestID = requestIDFrom(r.Context())
 	j, err := s.svc.Submit(prob, params)
 	if err != nil {
 		writeErr(w, err)
@@ -573,6 +616,7 @@ func (s *Server) handleSubmitStreamLegacy(w http.ResponseWriter, r *http.Request
 		writeErr(w, badParams("decoding PTYCHSv1 opening: %w", err))
 		return
 	}
+	params.RequestID = requestIDFrom(r.Context())
 	j, err := s.svc.SubmitStreaming(hdr, params)
 	if err != nil {
 		writeErr(w, err)
@@ -849,6 +893,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.svc.WriteMetrics(w)
+	s.httpDur.Write(w)
 }
 
 func fieldFrom(a *grid.Complex2D) ptycho.Field {

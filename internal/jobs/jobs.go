@@ -24,6 +24,7 @@ import (
 
 	"ptychopath/internal/dataio"
 	"ptychopath/internal/grid"
+	"ptychopath/internal/obs"
 	"ptychopath/internal/solver"
 	"ptychopath/internal/stream"
 )
@@ -113,6 +114,13 @@ type Params struct {
 	// returns stream.ErrIngestFull (HTTP 429). 0 selects the service
 	// default.
 	IngestCapacity int
+
+	// RequestID is the trace context of the submission: the
+	// X-Request-ID the HTTP layer generated or propagated. It is
+	// assigned server-side (never decoded from a client's params
+	// JSON), tags the job's spans and log lines, and travels to grid
+	// workers in the session SETUP.
+	RequestID string
 }
 
 func (p *Params) setDefaults(cfg Config) {
@@ -255,7 +263,16 @@ type Job struct {
 	hdr       *dataio.StreamHeader
 	ingest    *stream.Ingest
 
+	// Span trace: tr collects the job's timeline (it has its own
+	// lock), rootSpan is the all-enclosing "job" span, and
+	// lastBoundary (under mu) is where the next coordinator phase
+	// span starts — phases tile [created, finished] exactly, so the
+	// trace always reconciles with the job's wall clock.
+	tr       *obs.Trace
+	rootSpan int
+
 	mu             sync.Mutex
+	lastBoundary   time.Time
 	state          State
 	iter           int // completed iterations, including StartIter
 	cost           float64
@@ -293,6 +310,14 @@ func (j *Job) WindowN() int {
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// Trace returns the job's span trace (nil-safe to use either way) and
+// RequestID its trace context.
+func (j *Job) Trace() *obs.Trace { return j.tr }
+
+// RequestID returns the X-Request-ID the job was submitted under (""
+// for jobs submitted without one, e.g. direct API use in tests).
+func (j *Job) RequestID() string { return j.params.RequestID }
 
 // Problem returns the dataset the job reconstructs; nil once the job
 // is Done (the dataset is released — see finish).
@@ -362,8 +387,11 @@ type Info struct {
 	// been written), or "stream" (refolded from the spooled frame
 	// journal).
 	RecoveredFrom string `json:"recovered_from,omitempty"`
-	Error         string `json:"error,omitempty"`
-	Created        time.Time `json:"created"`
+	// RequestID is the job's trace context (the X-Request-ID of its
+	// submission); empty when it was submitted without one.
+	RequestID string    `json:"request_id,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
 	Started        time.Time `json:"started,omitzero"`
 	Finished       time.Time `json:"finished,omitzero"`
 
@@ -397,6 +425,7 @@ func (j *Job) Info(historyTail int) Info {
 		Checkpoint:     j.checkpointPath,
 		ResumedFrom:    j.resumedFrom,
 		RecoveredFrom:  j.recoveredFrom,
+		RequestID:      j.params.RequestID,
 		Created:        j.created,
 		Started:        j.started,
 		Finished:       j.finished,
@@ -431,7 +460,8 @@ func (j *Job) Info(historyTail int) Info {
 }
 
 // markRunning transitions Queued→Running; false means the job was
-// cancelled while still queued and must be skipped.
+// cancelled while still queued and must be skipped. The wait in the
+// FIFO becomes the trace's queue-wait span.
 func (j *Job) markRunning() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -440,18 +470,71 @@ func (j *Job) markRunning() bool {
 	}
 	j.state = Running
 	j.started = time.Now()
+	j.lastBoundary = j.started
+	j.tr.Record("queue-wait", j.rootSpan, obs.RankCoordinator, obs.IterNone,
+		j.created, j.started.Sub(j.created))
 	j.publishLocked(Event{Type: "state", State: Running.String()})
 	return true
 }
 
-// recordIteration publishes progress from the engine's OnIteration.
-func (j *Job) recordIteration(completed int, cost float64) {
+// queueWait returns how long the job sat in the FIFO (0 before it
+// started).
+func (j *Job) queueWait() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() {
+		return 0
+	}
+	return j.started.Sub(j.created)
+}
+
+// beginIterations closes the setup phase — everything between
+// Queued→Running and the engine's first iteration: dataset reload,
+// mesh construction, grid session encode/dispatch. The next boundary
+// span starts here.
+func (j *Job) beginIterations() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now()
+	if !j.lastBoundary.IsZero() {
+		j.tr.Record("setup", j.rootSpan, obs.RankCoordinator, obs.IterNone,
+			j.lastBoundary, now.Sub(j.lastBoundary))
+	}
+	j.lastBoundary = now
+}
+
+// recordIteration publishes progress from the engine's OnIteration and
+// records the iteration's coordinator span, returning its duration
+// (0 when no boundary was established) so the caller can feed the
+// iteration-latency histogram without re-deriving it.
+func (j *Job) recordIteration(completed int, cost float64) time.Duration {
 	j.mu.Lock()
 	j.iter = completed
 	j.cost = cost
 	j.costHistory = append(j.costHistory, cost)
+	var d time.Duration
+	now := time.Now()
+	if !j.lastBoundary.IsZero() {
+		d = now.Sub(j.lastBoundary)
+		j.tr.Record("iteration", j.rootSpan, obs.RankCoordinator, completed, j.lastBoundary, d)
+	}
+	j.lastBoundary = now
 	j.publishLocked(Event{Type: "iteration", Iter: completed, Cost: cost})
 	j.mu.Unlock()
+	return d
+}
+
+// recordRankTiming lands one worker rank's per-iteration compute/comm
+// split in the job timeline. Only durations travel over the wire —
+// worker clocks are never compared to the coordinator's — so the two
+// spans are anchored backwards from the arrival time: comm ends now,
+// compute precedes it.
+func (j *Job) recordRankTiming(rank, iter int, computeNS, commNS int64) {
+	end := time.Now()
+	commStart := end.Add(-time.Duration(commNS))
+	j.tr.Record("compute", j.rootSpan, rank, iter,
+		commStart.Add(-time.Duration(computeNS)), time.Duration(computeNS))
+	j.tr.Record("comm", j.rootSpan, rank, iter, commStart, time.Duration(commNS))
 }
 
 // recordFold publishes streaming-fold progress from the engine's
@@ -487,12 +570,15 @@ func (j *Job) setSnapshot(slices []*grid.Complex2D, completed int) {
 	j.mu.Unlock()
 }
 
-// setCheckpoint records a durable OBJCKv1 file.
-func (j *Job) setCheckpoint(path string, completed int) {
+// setCheckpoint records a durable OBJCKv1 file and returns the path it
+// supersedes ("" for the first checkpoint).
+func (j *Job) setCheckpoint(path string, completed int) string {
 	j.mu.Lock()
+	prev := j.checkpointPath
 	j.checkpointPath = path
 	j.checkpointIter = completed
 	j.mu.Unlock()
+	return prev
 }
 
 // finish transitions to a terminal state and releases memory the
@@ -511,6 +597,16 @@ func (j *Job) finishLocked(state State, err error) {
 	j.state = state
 	j.err = err
 	j.finished = time.Now()
+	if !j.lastBoundary.IsZero() {
+		// Final coordinator phase: stitch/assembly and the terminal
+		// checkpoint after the last iteration boundary. Together with
+		// queue-wait, setup and the iteration spans this tiles
+		// [created, finished] completely.
+		j.tr.Record("finalize", j.rootSpan, obs.RankCoordinator, obs.IterNone,
+			j.lastBoundary, j.finished.Sub(j.lastBoundary))
+		j.lastBoundary = time.Time{}
+	}
+	j.tr.EndAt(j.rootSpan, j.finished)
 	j.params.InitialObject = nil
 	if state == Done || j.checkpointPath == "" {
 		j.prob = nil

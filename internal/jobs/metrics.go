@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"ptychopath/internal/obs"
 )
 
 // counters aggregates service activity for the /metrics endpoint.
@@ -25,6 +27,32 @@ type counters struct {
 	restored    atomic.Int64 // terminal jobs restored as history at startup
 	unrecovered atomic.Int64 // jobs whose payloads could not be reloaded
 	walErrors   atomic.Int64 // store write failures (degraded durability)
+}
+
+// histograms holds the service-side latency distributions. Each is a
+// lock-free fixed-bucket obs.Histogram; observations happen on the hot
+// path (iteration boundaries, WAL fsyncs), scrapes walk the buckets.
+type histograms struct {
+	queueWait  *obs.Histogram // submission → pool-worker pickup
+	iteration  *obs.Histogram // one engine iteration, boundary to boundary
+	checkpoint *obs.Histogram // OBJCKv1 checkpoint write (tmp+sync+rename)
+	walFsync   *obs.Histogram // store fsync, fed via SetSyncObserver
+	ingest     *obs.Histogram // streaming AppendFrames: buffer + spool + WAL
+}
+
+func newHistograms() histograms {
+	return histograms{
+		queueWait: obs.NewHistogram("ptychoserve_job_queue_wait_seconds",
+			"Time jobs spend queued before a pool worker picks them up.", obs.DefBuckets),
+		iteration: obs.NewHistogram("ptychoserve_iteration_duration_seconds",
+			"Duration of one reconstruction iteration, boundary to boundary.", obs.DefBuckets),
+		checkpoint: obs.NewHistogram("ptychoserve_checkpoint_write_seconds",
+			"OBJCKv1 checkpoint write latency (tmp + sync + rename).", obs.DefBuckets),
+		walFsync: obs.NewHistogram("ptychoserve_wal_fsync_seconds",
+			"WAL fsync latency as observed by the job store.", obs.DefBuckets),
+		ingest: obs.NewHistogram("ptychoserve_ingest_append_seconds",
+			"Streaming frame-chunk append latency (buffer + spool + WAL).", obs.DefBuckets),
+	}
 }
 
 // WriteMetrics emits the service's counters and gauges in Prometheus
@@ -84,6 +112,12 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 			m.name, m.help, m.name, m.typ, m.name, m.value); err != nil {
 			return err
 		}
+	}
+	for _, h := range []*obs.Histogram{
+		s.hist.queueWait, s.hist.iteration, s.hist.checkpoint,
+		s.hist.walFsync, s.hist.ingest,
+	} {
+		h.Write(w)
 	}
 	return nil
 }

@@ -132,9 +132,13 @@ func (s *Service) persistSubmit(j *Job, key string) error {
 
 // Worker-side logging is best effort: a store hiccup mid-run costs
 // durability of that transition (recovery redoes more work), never the
-// reconstruction itself. Failures are counted for /metrics.
+// reconstruction itself. Failures are counted for /metrics. These
+// helpers double as the structured-log points for the job lifecycle:
+// they run at every transition site, durable store or not.
 
 func (s *Service) logStart(j *Job) {
+	s.log.Info("job started", "job_id", j.id, "request_id", j.RequestID(),
+		"queue_wait", j.queueWait())
 	if !s.store.Durable() {
 		return
 	}
@@ -147,6 +151,8 @@ func (s *Service) logStart(j *Job) {
 }
 
 func (s *Service) logIteration(j *Job, completed int, cost float64) {
+	s.log.Debug("iteration", "job_id", j.id, "request_id", j.RequestID(),
+		"iter", completed, "cost", cost)
 	if !s.store.Durable() {
 		return
 	}
@@ -155,22 +161,36 @@ func (s *Service) logIteration(j *Job, completed int, cost float64) {
 	}
 }
 
-func (s *Service) logCheckpoint(j *Job, path string, completed int) {
+// logCheckpoint reports whether the record landed (always true for
+// non-durable stores — with no recovery, a superseded checkpoint file
+// is removable regardless).
+func (s *Service) logCheckpoint(j *Job, path string, completed int) bool {
+	s.log.Debug("checkpoint written", "job_id", j.id, "request_id", j.RequestID(),
+		"iter", completed, "path", path)
 	if !s.store.Durable() {
-		return
+		return true
 	}
 	if err := s.store.LogCheckpoint(j.id, path, completed); err != nil {
 		s.met.walErrors.Add(1)
+		return false
 	}
+	return true
 }
 
 func (s *Service) logFinish(j *Job, state State, err error) {
-	if !s.store.Durable() {
-		return
-	}
 	msg := ""
 	if err != nil {
 		msg = err.Error()
+	}
+	if err != nil {
+		s.log.Info("job finished", "job_id", j.id, "request_id", j.RequestID(),
+			"state", state.String(), "error", msg)
+	} else {
+		s.log.Info("job finished", "job_id", j.id, "request_id", j.RequestID(),
+			"state", state.String())
+	}
+	if !s.store.Durable() {
+		return
 	}
 	if lerr := s.store.LogFinish(j.id, state.String(), msg, time.Now()); lerr != nil {
 		s.met.walErrors.Add(1)
@@ -334,6 +354,9 @@ func (s *Service) recoverJob(jr *store.JobRecord) *Job {
 		j.params.Grid = false
 	}
 	j.state = Queued
+	// Re-enqueued jobs get a fresh trace: the pre-crash spans died with
+	// the process, but the re-run is observable like any submission.
+	newTracedJob(j)
 	s.met.recovered.Add(1)
 
 	// Re-log the submission with the recovery-adjusted parameters so a

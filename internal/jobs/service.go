@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"ptychopath/internal/grid"
 	"ptychopath/internal/halo"
 	"ptychopath/internal/jobs/store"
+	"ptychopath/internal/obs"
 	"ptychopath/internal/phantom"
 	"ptychopath/internal/solver"
 	"ptychopath/internal/stream"
@@ -30,8 +32,9 @@ type Config struct {
 	// QueueDepth bounds the FIFO of jobs waiting for a worker; Submit
 	// returns ErrQueueFull beyond it. Default 16.
 	QueueDepth int
-	// SpoolDir receives OBJCKv1 checkpoint files (<jobid>.objck). When
-	// empty a fresh temporary directory is created.
+	// SpoolDir receives OBJCKv1 checkpoint files (<jobid>-i<iter>.objck;
+	// superseded checkpoints are removed once the successor is logged).
+	// When empty a fresh temporary directory is created.
 	SpoolDir string
 	// CheckpointEvery is the default iteration period for checkpoints
 	// and preview snapshots when a job does not set its own. Default 5.
@@ -56,6 +59,10 @@ type Config struct {
 	// store on Shutdown/Close but does not close it; the creator owns
 	// its lifetime.
 	Store store.Store
+	// Logger receives the service's structured log lines (job
+	// lifecycle at Info, per-iteration and checkpoint detail at
+	// Debug), each tagged with job_id and request_id. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) setDefaults() error {
@@ -103,6 +110,8 @@ type Service struct {
 	cfg   Config
 	wg    sync.WaitGroup
 	met   counters
+	hist  histograms
+	log   *slog.Logger
 	grid  *transport.Hub // worker-grid coordinator; nil without GridAddr
 	store store.Store
 
@@ -128,12 +137,22 @@ func NewService(cfg Config) (*Service, error) {
 	}
 	s := &Service{
 		cfg:   cfg,
+		hist:  newHistograms(),
+		log:   cfg.Logger,
 		store: cfg.Store,
 		jobs:  make(map[string]*Job),
 		idem:  make(map[string]*Job),
 	}
+	if s.log == nil {
+		s.log = obs.Discard()
+	}
 	if s.store == nil {
 		s.store = store.Mem{}
+	}
+	// When the store can report fsync latency (the WAL does), feed it
+	// into the histogram; stores without the hook stay silent.
+	if o, ok := s.store.(interface{ SetSyncObserver(func(time.Duration)) }); ok {
+		o.SetSyncObserver(s.hist.walFsync.Observe)
 	}
 	if cfg.GridAddr != "" {
 		hub, err := transport.Listen(cfg.GridAddr)
@@ -149,6 +168,10 @@ func NewService(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("jobs: recovering job state: %w", err)
 	}
 	s.recoverJobs(rec)
+	if s.store.Durable() {
+		s.log.Info("recovery complete",
+			"records", rec.Records, "torn", rec.Torn, "jobs", len(rec.Jobs))
+	}
 	s.notify = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -236,18 +259,28 @@ func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom, key string
 		return nil, false, ErrNoGrid
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j, created, err := s.enqueue(&Job{
+	j, created, err := s.enqueue(newTracedJob(&Job{
 		prob: prob, params: p, ctx: ctx, cancel: cancel,
 		state: Queued, iter: p.StartIter, resumedFrom: resumedFrom,
 		created: time.Now(),
-	}, key)
+	}), key)
 	if err != nil || !created {
 		return j, created, err
 	}
 	if perr := s.persistSubmit(j, key); perr != nil {
 		return nil, false, s.failPersist(j, perr)
 	}
+	s.log.Info("job submitted", "job_id", j.id, "request_id", p.RequestID,
+		"algorithm", p.Algorithm, "grid", p.Grid, "iterations", p.Iterations)
 	return j, created, nil
+}
+
+// newTracedJob attaches the span trace to a constructed job: the root
+// "job" span opens at submission and closes at the terminal state.
+func newTracedJob(j *Job) *Job {
+	j.tr = obs.NewTrace(j.params.RequestID)
+	j.rootSpan = j.tr.BeginAt("job", 0, obs.RankCoordinator, obs.IterNone, j.created)
+	return j
 }
 
 // failPersist unwinds a submission whose durability write failed: the
@@ -283,17 +316,19 @@ func (s *Service) SubmitStreamingWithKey(hdr *dataio.StreamHeader, p Params, key
 		capacity = s.cfg.IngestFrames
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j, created, err := s.enqueue(&Job{
+	j, created, err := s.enqueue(newTracedJob(&Job{
 		params: p, ctx: ctx, cancel: cancel,
 		streaming: true, hdr: hdr, ingest: stream.NewIngest(capacity),
 		state: Queued, created: time.Now(),
-	}, key)
+	}), key)
 	if err != nil || !created {
 		return j, created, err
 	}
 	if perr := s.persistSubmit(j, key); perr != nil {
 		return nil, false, s.failPersist(j, perr)
 	}
+	s.log.Info("job submitted", "job_id", j.id, "request_id", p.RequestID,
+		"algorithm", p.Algorithm, "streaming", true)
 	return j, created, nil
 }
 
@@ -374,6 +409,10 @@ func (s *Service) AppendFrames(id string, frames []dataio.Frame) (int, error) {
 	if j.State().Terminal() {
 		return j.ingest.Total(), fmt.Errorf("%w: %s is %s", ErrFinished, id, j.State())
 	}
+	// Latency of the accept path — buffer append plus (durable stores)
+	// the spool write and WAL record that gate the acknowledgment.
+	start := time.Now()
+	defer func() { s.hist.ingest.Observe(time.Since(start)) }()
 	total, err := j.ingest.Append(frames)
 	if err != nil {
 		return total, err
@@ -625,6 +664,7 @@ func (s *Service) run(j *Job) {
 	if !j.markRunning() {
 		return // cancelled while queued
 	}
+	s.hist.queueWait.Observe(j.queueWait())
 	s.logStart(j)
 	s.met.running.Add(1)
 	slices, err := s.execute(j)
@@ -695,7 +735,7 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 		init = phantom.Vacuum(prob.ImageBounds(), prob.Slices).Slices
 	}
 	onIter := func(iter int, cost float64) {
-		j.recordIteration(p.StartIter+iter+1, cost)
+		s.hist.iteration.Observe(j.recordIteration(p.StartIter+iter+1, cost))
 		s.logIteration(j, p.StartIter+iter+1, cost)
 		s.met.iterations.Add(1)
 	}
@@ -704,6 +744,7 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 	}
 	switch p.Algorithm {
 	case "serial":
+		j.beginIterations()
 		r, err := solver.Reconstruct(prob, init, solver.Options{
 			StepSize: p.StepSize, Iterations: p.Iterations, Mode: solver.Batch,
 			OnIteration: onIter, Ctx: j.ctx,
@@ -719,13 +760,18 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 		if err != nil {
 			return nil, err
 		}
+		j.beginIterations()
 		r, err := gradsync.Reconstruct(prob, init, gradsync.Options{
 			Mesh: mesh, Mode: gradsync.ModeBatch,
 			StepSize: p.StepSize, Iterations: p.Iterations,
 			RoundsPerIteration: p.RoundsPerIteration,
 			IntraWorkers:       p.IntraWorkers,
 			Timeout:            s.cfg.Timeout,
-			OnIteration:        onIter, Ctx: j.ctx,
+			OnIteration:        onIter,
+			OnRankStats: func(rank, iter int, computeNS, commNS int64) {
+				j.recordRankTiming(rank, p.StartIter+iter+1, computeNS, commNS)
+			},
+			Ctx:           j.ctx,
 			SnapshotEvery: p.CheckpointEvery, OnSnapshot: onSnap,
 		})
 		if r == nil {
@@ -738,6 +784,7 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 		if err != nil {
 			return nil, err
 		}
+		j.beginIterations()
 		r, err := halo.Reconstruct(prob, init, halo.Options{
 			Mesh: mesh, HaloWidth: mesh.Halo, ExtraRows: 1,
 			StepSize: p.StepSize, Iterations: p.Iterations,
@@ -761,6 +808,7 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 // /metrics and SSE events behave the same for both job kinds.
 func (s *Service) executeStream(j *Job) ([]*grid.Complex2D, error) {
 	p := j.params
+	j.beginIterations()
 	res, err := stream.Run(j.hdr, j.ingest, stream.Options{
 		Algorithm:          p.Algorithm,
 		StepSize:           p.StepSize,
@@ -774,13 +822,16 @@ func (s *Service) executeStream(j *Job) ([]*grid.Complex2D, error) {
 		Timeout:            s.cfg.Timeout,
 		Ctx:                j.ctx,
 		OnIteration: func(iter int, cost float64) {
-			j.recordIteration(iter+1, cost)
+			s.hist.iteration.Observe(j.recordIteration(iter+1, cost))
 			s.logIteration(j, iter+1, cost)
 			s.met.iterations.Add(1)
 		},
 		OnFold: func(_, _, active int) {
 			j.recordFold(active)
 			s.met.folds.Add(1)
+		},
+		OnFoldTimed: func(iter, _, _ int, start time.Time, d time.Duration) {
+			j.tr.Record("fold", j.rootSpan, obs.RankCoordinator, iter, start, d)
 		},
 		SnapshotEvery: p.CheckpointEvery,
 		OnSnapshot: func(iter int, slices []*grid.Complex2D) error {
@@ -828,16 +879,32 @@ func (s *Service) Shutdown() {
 // job's OBJCKv1 checkpoint atomically (tmp + sync + rename), then logs
 // the checkpoint to the store — the durable anchor recovery warm-starts
 // from.
+//
+// Each checkpoint gets its own file (job-0001-i8.objck): a checkpoint
+// record in the log always names a file whose content is exactly the
+// object at that iteration, no matter where a crash lands. Overwriting
+// one shared path — the pre-observability behavior — had a window
+// between the rename and the log append where the file was already
+// ahead of the last record, and recovery warm-started from mislabeled
+// bytes. The superseded file is removed only after the new record is
+// in the log, so the log never points at a missing file.
 func (s *Service) snapshot(j *Job, completed int, slices []*grid.Complex2D) error {
 	cp := cloneSlices(slices)
 	j.setSnapshot(cp, completed)
-	path := filepath.Join(s.cfg.SpoolDir, j.id+".objck")
-	if err := s.store.WriteCheckpoint(path, cp); err != nil {
+	path := filepath.Join(s.cfg.SpoolDir, fmt.Sprintf("%s-i%d.objck", j.id, completed))
+	start := time.Now()
+	err := s.store.WriteCheckpoint(path, cp)
+	d := time.Since(start)
+	s.hist.checkpoint.Observe(d)
+	j.tr.Record("checkpoint", j.rootSpan, obs.RankCoordinator, completed, start, d)
+	if err != nil {
 		return err
 	}
-	j.setCheckpoint(path, completed)
+	logged := s.logCheckpoint(j, path, completed)
 	s.met.checkpoints.Add(1)
-	s.logCheckpoint(j, path, completed)
+	if prev := j.setCheckpoint(path, completed); logged && prev != "" && prev != path {
+		s.store.RemoveObject(prev) // best effort; a stray file is harmless
+	}
 	return nil
 }
 
@@ -846,4 +913,16 @@ func (s *Service) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queue)
+}
+
+// Trace returns a job's summary together with its recorded span
+// timeline (point-in-time copy; a running job keeps appending). Jobs
+// restored as terminal history after a restart have no spans — the
+// timeline died with the process that recorded it.
+func (s *Service) Trace(id string) (Info, []obs.Span, error) {
+	j, ok := s.Get(id)
+	if !ok {
+		return Info{}, nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j.Info(0), j.Trace().Spans(), nil
 }

@@ -20,6 +20,7 @@ package store
 
 import (
 	"encoding/json"
+	"os"
 	"time"
 
 	"ptychopath/internal/dataio"
@@ -94,6 +95,10 @@ type Store interface {
 	// WriteCheckpoint writes an OBJCKv1 checkpoint atomically (tmp +
 	// sync + rename) at path.
 	WriteCheckpoint(path string, slices []*grid.Complex2D) error
+	// RemoveObject deletes a superseded checkpoint file. The service
+	// calls it only after the record naming the SUCCESSOR file is in
+	// the log, so the log never points at a removed file.
+	RemoveObject(path string) error
 
 	// Sync flushes any buffered log tail to stable storage — the
 	// service calls it from Shutdown so a SIGTERM drain leaves nothing
@@ -216,6 +221,8 @@ func (Mem) LoadStream(string) (*dataio.StreamHeader, []dataio.Frame, bool, error
 func (Mem) WriteCheckpoint(path string, slices []*grid.Complex2D) error {
 	return dataio.WriteObjectFileAtomic(path, slices)
 }
+
+func (Mem) RemoveObject(path string) error { return os.Remove(path) }
 
 func (Mem) Sync() error  { return nil }
 func (Mem) Stats() Stats { return Stats{} }

@@ -443,6 +443,10 @@ type WAL struct {
 	closed    bool
 
 	records, syncs, compactions, walBytes int64
+
+	// syncObs, when set, receives the wall-clock duration of each log
+	// fsync (see SetSyncObserver).
+	syncObs func(time.Duration)
 }
 
 var _ Store = (*WAL)(nil)
@@ -573,10 +577,9 @@ func (w *WAL) append(kind byte, rec *walRecord, sync bool) error {
 	w.records++
 	w.state.apply(kind, rec)
 	if sync {
-		if err := w.file.Sync(); err != nil {
+		if err := w.syncLocked(); err != nil {
 			return fmt.Errorf("store: syncing WAL: %w", err)
 		}
-		w.syncs++
 	}
 	w.sinceComp++
 	if w.sinceComp >= w.compEvery {
@@ -830,6 +833,10 @@ func (w *WAL) WriteCheckpoint(path string, slices []*grid.Complex2D) error {
 	})
 }
 
+// RemoveObject deletes a superseded checkpoint file through the
+// filesystem seam (so fault injection sees the removal too).
+func (w *WAL) RemoveObject(path string) error { return w.fs.Remove(path) }
+
 func (w *WAL) writeFileAtomic(path string, fill func(faultfs.File) error) error {
 	tmp := path + ".tmp"
 	f, err := w.fs.Create(tmp)
@@ -864,11 +871,34 @@ func (w *WAL) Sync() error {
 	if w.closed {
 		return nil
 	}
-	if err := w.file.Sync(); err != nil {
+	if err := w.syncLocked(); err != nil {
 		return fmt.Errorf("store: syncing WAL: %w", err)
 	}
-	w.syncs++
 	return nil
+}
+
+// syncLocked fsyncs the log and reports the latency to the observer.
+// Callers hold w.mu.
+func (w *WAL) syncLocked() error {
+	start := time.Now()
+	if err := w.file.Sync(); err != nil {
+		return err
+	}
+	w.syncs++
+	if w.syncObs != nil {
+		w.syncObs(time.Since(start))
+	}
+	return nil
+}
+
+// SetSyncObserver installs a callback that receives the duration of
+// every subsequent log fsync — the jobs service feeds it into its
+// WAL-latency histogram. Call before the store sees concurrent use;
+// nil removes the observer.
+func (w *WAL) SetSyncObserver(fn func(time.Duration)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncObs = fn
 }
 
 func (w *WAL) Stats() Stats {

@@ -1,0 +1,176 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"ptychopath/internal/obs"
+)
+
+// collectSpans indexes a timeline by span name.
+func collectSpans(spans []obs.Span) map[string][]obs.Span {
+	byName := map[string][]obs.Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+	return byName
+}
+
+// sumDur sums the durations of the named coordinator phase spans.
+func sumDur(byName map[string][]obs.Span, name string) time.Duration {
+	var total time.Duration
+	for _, sp := range byName[name] {
+		total += sp.Duration()
+	}
+	return total
+}
+
+// TestGridJobTrace is the observability acceptance test: a gd job on a
+// 2-rank loopback grid must come back with a complete span timeline —
+// queue wait, setup, one coordinator span per iteration, compute AND
+// comm spans from BOTH worker ranks, checkpoint writes — and the
+// coordinator phases must tile the job's wall clock: their sum
+// reconciles with finished-created within 10%.
+func TestGridJobTrace(t *testing.T) {
+	const iters = 6
+	prob := tinyProblem(t)
+	s := newTestService(t, Config{
+		Workers: 1, QueueDepth: 4, CheckpointEvery: 3,
+		Timeout: 30 * time.Second, GridAddr: "127.0.0.1:0",
+	})
+	startGridWorkers(t, s, 2)
+
+	j, err := s.Submit(prob, Params{
+		Algorithm: "gd", Iterations: iters, StepSize: 0.02,
+		MeshRows: 1, MeshCols: 2, Grid: true,
+		RequestID: "trace-acceptance-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "grid job done", func() bool { return j.State() == Done })
+	info := j.Info(0)
+	if info.Error != "" {
+		t.Fatalf("grid job error: %s", info.Error)
+	}
+	if info.RequestID != "trace-acceptance-1" {
+		t.Fatalf("Info.RequestID %q, want the submitted request ID", info.RequestID)
+	}
+
+	svcInfo, spans, err := s.Trace(j.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svcInfo.ID != j.ID() {
+		t.Fatalf("Service.Trace returned job %q, want %q", svcInfo.ID, j.ID())
+	}
+	if got := j.Trace().ID(); got != "trace-acceptance-1" {
+		t.Fatalf("trace ID %q, want the request ID", got)
+	}
+	byName := collectSpans(spans)
+
+	// The coordinator timeline: root + the four tiling phases.
+	if n := len(byName["job"]); n != 1 {
+		t.Fatalf("%d root job spans, want 1", n)
+	}
+	root := byName["job"][0]
+	if root.End.IsZero() {
+		t.Fatal("root job span still open after the job finished")
+	}
+	for _, name := range []string{"queue-wait", "setup", "finalize"} {
+		if n := len(byName[name]); n != 1 {
+			t.Fatalf("%d %q spans, want 1 (timeline: %v)", n, name, names(spans))
+		}
+	}
+	if n := len(byName["iteration"]); n != iters {
+		t.Fatalf("%d iteration spans, want %d", n, iters)
+	}
+	// CheckpointEvery=3 over 6 iterations: periodic checkpoints at 3
+	// and 6, plus the final flush on completion.
+	if n := len(byName["checkpoint"]); n != 3 {
+		t.Fatalf("%d checkpoint spans, want 3", n)
+	}
+	for _, sp := range byName["checkpoint"] {
+		if sp.Rank != obs.RankCoordinator {
+			t.Fatalf("checkpoint span on rank %d, want coordinator", sp.Rank)
+		}
+	}
+	if last := byName["checkpoint"][len(byName["checkpoint"])-1]; last.Iter != iters {
+		t.Fatalf("last checkpoint span at iter %d, want %d", last.Iter, iters)
+	}
+
+	// Both worker ranks must have reported per-iteration phase timings
+	// over the wire: one compute and one comm span per rank per
+	// iteration, anchored inside the job's wall clock.
+	for _, name := range []string{"compute", "comm"} {
+		perRank := map[int]int{}
+		for _, sp := range byName[name] {
+			perRank[sp.Rank]++
+			if sp.Duration() < 0 {
+				t.Fatalf("%s span on rank %d has negative duration", name, sp.Rank)
+			}
+		}
+		for rank := 0; rank < 2; rank++ {
+			if perRank[rank] != iters {
+				t.Fatalf("rank %d has %d %q spans, want %d (per-rank counts: %v)",
+					rank, perRank[rank], name, iters, perRank)
+			}
+		}
+	}
+
+	// Wall-clock reconciliation: queue-wait + setup + iterations +
+	// finalize tile [created, finished] by construction, so their sum
+	// must land within 10% of the job's own wall clock. (compute/comm/
+	// checkpoint overlap the iteration spans and stay out of the sum.)
+	wall := info.Finished.Sub(info.Created)
+	phases := sumDur(byName, "queue-wait") + sumDur(byName, "setup") +
+		sumDur(byName, "iteration") + sumDur(byName, "finalize")
+	if wall <= 0 {
+		t.Fatalf("non-positive wall clock %v", wall)
+	}
+	diff := wall - phases
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.10*float64(wall) {
+		t.Fatalf("span sum %v does not reconcile with wall clock %v (off by %v, >10%%)",
+			phases, wall, diff)
+	}
+}
+
+func names(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// TestLocalJobTrace: the serial path records the same tiling timeline
+// (no rank spans — there are no workers), so the trace endpoint is
+// useful for every job, not only grid runs.
+func TestLocalJobTrace(t *testing.T) {
+	prob := tinyProblem(t)
+	s := newTestService(t, Config{Workers: 1, QueueDepth: 4, CheckpointEvery: 2})
+	j, err := s.Submit(prob, Params{Algorithm: "serial", Iterations: 4, RequestID: "local-trace"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job done", func() bool { return j.State() == Done })
+
+	_, spans, err := s.Trace(j.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := collectSpans(spans)
+	if n := len(byName["iteration"]); n != 4 {
+		t.Fatalf("%d iteration spans, want 4", n)
+	}
+	if len(byName["queue-wait"]) != 1 || len(byName["setup"]) != 1 || len(byName["finalize"]) != 1 {
+		t.Fatalf("incomplete coordinator timeline: %v", names(spans))
+	}
+	// Periodic checkpoints at 2 and 4, plus the final flush.
+	if n := len(byName["checkpoint"]); n != 3 {
+		t.Fatalf("%d checkpoint spans, want 3", n)
+	}
+}

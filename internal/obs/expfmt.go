@@ -1,0 +1,392 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition strictly validates a Prometheus text-exposition scrape
+// body (the full output of /metrics). It is deliberately pickier than
+// a scraper: a Prometheus server tolerates quite a lot of sloppiness
+// by treating odd input as untyped samples, which means a malformed
+// metric ships silently and only fails when someone tries to query
+// it. This linter fails CI instead. It enforces:
+//
+//   - every line is empty, a HELP/TYPE comment, or a sample
+//   - metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and label names
+//     match [a-zA-Z_][a-zA-Z0-9_]*; label values use valid escapes
+//   - at most one HELP and one TYPE per family; TYPE precedes the
+//     family's first sample; every sample belongs to a declared family
+//   - counter samples end in _total
+//   - histogram families expose only _bucket/_sum/_count series; per
+//     label set, le bounds strictly ascend, cumulative bucket counts
+//     never decrease, the +Inf bucket exists and equals _count
+//   - sample values parse as floats; no duplicate series
+func LintExposition(data []byte) error {
+	type histSeries struct {
+		buckets []struct {
+			le  float64
+			cum float64
+		}
+		sawInf   bool
+		infCount float64
+		count    float64
+		sawCount bool
+		sawSum   bool
+	}
+	type family struct {
+		typ     string
+		help    bool
+		typLine int
+	}
+	families := map[string]*family{}
+	hists := map[string]map[string]*histSeries{} // family -> labelset key
+	seen := map[string]bool{}                    // duplicate-series detection
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind == "" { // plain comment, legal, ignored
+				continue
+			}
+			f := families[name]
+			if f == nil {
+				f = &family{}
+				families[name] = f
+			}
+			switch kind {
+			case "HELP":
+				if f.help {
+					return fmt.Errorf("line %d: second HELP for %s", lineNo, name)
+				}
+				f.help = true
+			case "TYPE":
+				if f.typ != "" {
+					return fmt.Errorf("line %d: second TYPE for %s", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, rest, name)
+				}
+				f.typ = rest
+				f.typLine = lineNo
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		serKey := name + "{" + canonicalLabels(labels) + "}"
+		if seen[serKey] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, serKey)
+		}
+		seen[serKey] = true
+
+		// Resolve the family: the sample name itself, or for histogram
+		// series the name with the _bucket/_sum/_count suffix stripped.
+		famName, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name {
+				if f := families[base]; f != nil && f.typ == "histogram" {
+					famName, suffix = base, sfx
+				}
+				break
+			}
+		}
+		f := families[famName]
+		if f == nil || f.typ == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE declaration", lineNo, name)
+		}
+		switch f.typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				return fmt.Errorf("line %d: counter sample %s does not end in _total", lineNo, name)
+			}
+			if value < 0 {
+				return fmt.Errorf("line %d: counter %s is negative (%g)", lineNo, name, value)
+			}
+		case "histogram":
+			if suffix == "" {
+				return fmt.Errorf("line %d: histogram family %s has stray sample %s (want _bucket/_sum/_count)", lineNo, famName, name)
+			}
+			key := canonicalLabelsExcept(labels, "le")
+			byKey := hists[famName]
+			if byKey == nil {
+				byKey = map[string]*histSeries{}
+				hists[famName] = byKey
+			}
+			hs := byKey[key]
+			if hs == nil {
+				hs = &histSeries{}
+				byKey[key] = hs
+			}
+			switch suffix {
+			case "_bucket":
+				leRaw, ok := labelValue(labels, "le")
+				if !ok {
+					return fmt.Errorf("line %d: %s without le label", lineNo, name)
+				}
+				if leRaw == "+Inf" {
+					hs.sawInf = true
+					hs.infCount = value
+					break
+				}
+				le, err := strconv.ParseFloat(leRaw, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: unparseable le=%q: %v", lineNo, leRaw, err)
+				}
+				if hs.sawInf {
+					return fmt.Errorf("line %d: %s bucket le=%q after +Inf", lineNo, name, leRaw)
+				}
+				if n := len(hs.buckets); n > 0 {
+					if le <= hs.buckets[n-1].le {
+						return fmt.Errorf("line %d: %s le bounds not ascending (%g after %g)", lineNo, name, le, hs.buckets[n-1].le)
+					}
+					if value < hs.buckets[n-1].cum {
+						return fmt.Errorf("line %d: %s{%s} cumulative count decreases (%g after %g)", lineNo, name, key, value, hs.buckets[n-1].cum)
+					}
+				}
+				hs.buckets = append(hs.buckets, struct{ le, cum float64 }{le, value})
+			case "_sum":
+				hs.sawSum = true
+			case "_count":
+				hs.sawCount = true
+				hs.count = value
+			}
+		}
+	}
+
+	for fam, byKey := range hists {
+		for key, hs := range byKey {
+			where := fam
+			if key != "" {
+				where = fam + "{" + key + "}"
+			}
+			if !hs.sawInf {
+				return fmt.Errorf("histogram %s: missing +Inf bucket", where)
+			}
+			if !hs.sawSum || !hs.sawCount {
+				return fmt.Errorf("histogram %s: missing _sum or _count", where)
+			}
+			if n := len(hs.buckets); n > 0 && hs.infCount < hs.buckets[n-1].cum {
+				return fmt.Errorf("histogram %s: +Inf bucket (%g) below last finite bucket (%g)", where, hs.infCount, hs.buckets[n-1].cum)
+			}
+			if hs.infCount != hs.count {
+				return fmt.Errorf("histogram %s: +Inf bucket (%g) != _count (%g)", where, hs.infCount, hs.count)
+			}
+		}
+	}
+	return nil
+}
+
+// parseComment splits a # line into ("HELP"|"TYPE", name, rest) or
+// ("", "", "") for a plain comment.
+func parseComment(line string) (kind, name, rest string, err error) {
+	body := strings.TrimPrefix(line, "#")
+	body = strings.TrimPrefix(body, " ")
+	var tag string
+	switch {
+	case strings.HasPrefix(body, "HELP "):
+		tag = "HELP"
+	case strings.HasPrefix(body, "TYPE "):
+		tag = "TYPE"
+	default:
+		return "", "", "", nil
+	}
+	body = strings.TrimPrefix(body, tag+" ")
+	sp := strings.IndexByte(body, ' ')
+	if sp < 0 {
+		if tag == "HELP" {
+			// HELP with empty text is legal.
+			name, body = body, ""
+		} else {
+			return "", "", "", fmt.Errorf("malformed %s comment", tag)
+		}
+	} else {
+		name, body = body[:sp], body[sp+1:]
+	}
+	if !validMetricName(name) {
+		return "", "", "", fmt.Errorf("%s for invalid metric name %q", tag, name)
+	}
+	return tag, name, body, nil
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name at %q", line)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var consumed int
+		labels, consumed, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("sample %s: %w", name, err)
+		}
+		rest = rest[consumed:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %s: want `value [timestamp]`, got %q", name, rest)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %s: unparseable value %q", name, fields[0])
+	}
+	if math.IsNaN(value) {
+		// NaN is format-legal; keep it flowing (comparisons above
+		// use < which is false for NaN, so it cannot fail bucket
+		// monotonicity spuriously).
+		_ = value
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("sample %s: unparseable timestamp %q", name, fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses a `{k="v",...}` block, returning the pairs and
+// the number of bytes consumed including both braces.
+func parseLabels(s string) ([][2]string, int, error) {
+	var labels [][2]string
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, i + 1, nil
+		}
+		start := i
+		for i < len(s) && isLabelNameChar(s[i], i == start) {
+			i++
+		}
+		lname := s[start:i]
+		if lname == "" || !validLabelName(lname) {
+			return nil, 0, fmt.Errorf("invalid label name at %q", s[start:])
+		}
+		if i >= len(s) || s[i] != '=' {
+			return nil, 0, fmt.Errorf("label %s: missing =", lname)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return nil, 0, fmt.Errorf("label %s: unquoted value", lname)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, 0, fmt.Errorf("label %s: unterminated value", lname)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, 0, fmt.Errorf("label %s: dangling escape", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, 0, fmt.Errorf("label %s: invalid escape \\%c", lname, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, [2]string{lname, val.String()})
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isLabelNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isLabelNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+func labelValue(labels [][2]string, name string) (string, bool) {
+	for _, kv := range labels {
+		if kv[0] == name {
+			return kv[1], true
+		}
+	}
+	return "", false
+}
+
+func canonicalLabels(labels [][2]string) string {
+	return canonicalLabelsExcept(labels, "")
+}
+
+func canonicalLabelsExcept(labels [][2]string, drop string) string {
+	parts := make([]string, 0, len(labels))
+	for _, kv := range labels {
+		if kv[0] == drop {
+			continue
+		}
+		parts = append(parts, kv[0]+"="+strconv.Quote(kv[1]))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintExpositionAcceptsWellFormed(t *testing.T) {
+	good := `# HELP ptychoserve_jobs_submitted_total Jobs accepted.
+# TYPE ptychoserve_jobs_submitted_total counter
+ptychoserve_jobs_submitted_total 42
+
+# HELP ptychoserve_queue_depth Queued jobs.
+# TYPE ptychoserve_queue_depth gauge
+ptychoserve_queue_depth 3
+# TYPE hist_seconds histogram
+hist_seconds_bucket{le="0.1"} 1
+hist_seconds_bucket{le="1"} 2
+hist_seconds_bucket{le="+Inf"} 2
+hist_seconds_sum 0.35
+hist_seconds_count 2
+# TYPE labeled_seconds histogram
+labeled_seconds_bucket{route="/v1/jobs",le="0.1"} 5
+labeled_seconds_bucket{route="/v1/jobs",le="+Inf"} 5
+labeled_seconds_sum{route="/v1/jobs"} 0.2
+labeled_seconds_count{route="/v1/jobs"} 5
+`
+	if err := LintExposition([]byte(good)); err != nil {
+		t.Fatalf("well-formed exposition rejected: %v", err)
+	}
+}
+
+func TestLintExpositionRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"no TYPE", "orphan_metric 1\n", "no preceding TYPE"},
+		{"bad name", "# TYPE 9bad counter\n", "invalid metric name"},
+		{"bad type", "# TYPE m flavor\n", "unknown TYPE"},
+		{"double TYPE", "# TYPE m gauge\n# TYPE m gauge\nm 1\n", "second TYPE"},
+		{"double HELP", "# HELP m a\n# HELP m b\n# TYPE m gauge\nm 1\n", "second HELP"},
+		{"counter suffix", "# TYPE m counter\nm 1\n", "does not end in _total"},
+		{"negative counter", "# TYPE m_total counter\nm_total -1\n", "negative"},
+		{"bad value", "# TYPE m gauge\nm abc\n", "unparseable value"},
+		{"duplicate series", "# TYPE m gauge\nm{a=\"1\"} 1\nm{a=\"1\"} 2\n", "duplicate series"},
+		{"bad label name", "# TYPE m gauge\nm{9x=\"1\"} 1\n", "invalid label name"},
+		{"unquoted label", "# TYPE m gauge\nm{a=1} 1\n", "unquoted value"},
+		{"bad escape", "# TYPE m gauge\nm{a=\"\\t\"} 1\n", "invalid escape"},
+		{"unterminated label", "# TYPE m gauge\nm{a=\"x\n", "unterminated"},
+		{
+			"bucket order",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+			"not ascending",
+		},
+		{
+			"bucket monotonicity",
+			"# TYPE h histogram\nh_bucket{le=\"0.5\"} 5\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"cumulative count decreases",
+		},
+		{
+			"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"missing +Inf",
+		},
+		{
+			"+Inf vs count",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"!= _count",
+		},
+		{
+			"stray histogram sample",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\nh 1\n",
+			"stray sample",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"missing _sum",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LintExposition([]byte(tc.body))
+			if err == nil {
+				t.Fatalf("accepted malformed exposition:\n%s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLintExpositionHistogramPerLabelSet(t *testing.T) {
+	// Monotonicity is tracked per label set: two routes interleaved
+	// must not be compared against each other.
+	body := `# TYPE h histogram
+h_bucket{route="a",le="0.1"} 10
+h_bucket{route="b",le="0.1"} 1
+h_bucket{route="a",le="+Inf"} 10
+h_bucket{route="b",le="+Inf"} 1
+h_sum{route="a"} 1
+h_count{route="a"} 10
+h_sum{route="b"} 0.1
+h_count{route="b"} 1
+`
+	if err := LintExposition([]byte(body)); err != nil {
+		t.Fatalf("per-labelset tracking broken: %v", err)
+	}
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets is the default latency bucket ladder, in seconds:
+// 100µs to 10s, roughly 2.5x per step. It spans everything the server
+// times — a WAL fsync on a fast disk sits in the first buckets, a
+// multi-second grid iteration in the last.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram in the Prometheus
+// exposition format. Observe is lock-free (one atomic add per bucket
+// hit plus one for the sum) and allocation-free, so it can sit on the
+// iteration hot path. A nil *Histogram is a valid no-op receiver.
+//
+// The sample count is derived from the bucket counts at write time
+// rather than kept as a separate atomic, so the exposed +Inf bucket
+// always equals _count even under concurrent observation.
+type Histogram struct {
+	name   string
+	help   string
+	bounds []float64 // ascending upper bounds; implicit +Inf after
+	counts []atomic.Int64
+	sumNS  atomic.Int64
+}
+
+// NewHistogram returns a histogram named name (a full Prometheus
+// metric name, e.g. "ptychoserve_wal_fsync_seconds") with the given
+// ascending upper bounds in seconds. Panics on unsorted bounds — the
+// bucket ladder is compile-time configuration, not runtime input.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	h := &Histogram{name: name, help: help}
+	h.bounds = append([]float64(nil), bounds...)
+	h.counts = make([]atomic.Int64, len(bounds)+1) // last = +Inf
+	return h
+}
+
+// Observe records one latency sample. Safe for concurrent use;
+// no-ops on a nil receiver.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(d.Nanoseconds())
+}
+
+// Count returns the total number of samples observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Write emits the histogram family — HELP, TYPE, cumulative
+// _bucket{le=...} series, _sum and _count — in the Prometheus text
+// exposition format.
+func (h *Histogram) Write(w io.Writer) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	h.writeSeries(w, "")
+}
+
+// writeSeries writes the bucket/sum/count samples with extraLabels
+// (either "" or `name="value",...` without braces) spliced in front
+// of le. Shared by Histogram.Write and HistogramVec.Write.
+func (h *Histogram) writeSeries(w io.Writer, extraLabels string) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", h.name, extraLabels, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.name, extraLabels, cum)
+	sum := float64(h.sumNS.Load()) / 1e9
+	if extraLabels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", h.name, strconv.FormatFloat(sum, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+	} else {
+		braced := "{" + strings.TrimSuffix(extraLabels, ",") + "}"
+		fmt.Fprintf(w, "%s_sum%s %s\n", h.name, braced, strconv.FormatFloat(sum, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_count%s %d\n", h.name, braced, cum)
+	}
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// HistogramVec is a labeled family of Histograms — one child per
+// distinct label-value combination, created on first observation.
+// Observe takes a read lock on the fast path (child exists) and is
+// allocation-free after warm-up for a bounded label set like
+// route x status. A nil *HistogramVec is a valid no-op receiver.
+type HistogramVec struct {
+	name   string
+	help   string
+	labels []string
+	bounds []float64
+
+	mu       sync.RWMutex
+	children map[string]*Histogram // key: joined escaped label values
+	keys     []string              // insertion-ordered for deterministic Write
+}
+
+// NewHistogramVec returns a histogram family partitioned by the given
+// label names.
+func NewHistogramVec(name, help string, labels []string, bounds []float64) *HistogramVec {
+	return &HistogramVec{
+		name: name, help: help,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: map[string]*Histogram{},
+	}
+}
+
+// Observe records one sample against the child identified by values
+// (which must match the label names positionally). No-ops on a nil
+// receiver or a label-count mismatch.
+func (v *HistogramVec) Observe(d time.Duration, values ...string) {
+	if v == nil || len(values) != len(v.labels) {
+		return
+	}
+	key := labelKey(v.labels, values)
+	v.mu.RLock()
+	h := v.children[key]
+	v.mu.RUnlock()
+	if h == nil {
+		v.mu.Lock()
+		h = v.children[key]
+		if h == nil {
+			h = NewHistogram(v.name, v.help, v.bounds)
+			v.children[key] = h
+			v.keys = append(v.keys, key)
+		}
+		v.mu.Unlock()
+	}
+	h.Observe(d)
+}
+
+// labelKey renders the label pairs as `k1="v1",k2="v2",` — already in
+// exposition form (trailing comma so "le" appends cleanly), reused
+// verbatim at write time.
+func labelKey(labels, values []string) string {
+	var b strings.Builder
+	for i, l := range labels {
+		b.WriteString(l)
+		b.WriteString("=\"")
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteString("\",")
+	}
+	return b.String()
+}
+
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Write emits the whole family — one HELP/TYPE header, then every
+// child's series in sorted label order (deterministic output for
+// tests and diffing). Writes nothing when no child exists yet:
+// Prometheus treats an absent family as "no data", which is truthful.
+func (v *HistogramVec) Write(w io.Writer) {
+	if v == nil {
+		return
+	}
+	v.mu.RLock()
+	keys := append([]string(nil), v.keys...)
+	children := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		children[i] = v.children[k]
+	}
+	v.mu.RUnlock()
+	if len(keys) == 0 {
+		return
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	for _, i := range order {
+		children[i].writeSeries(w, keys[i])
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds a *slog.Logger from the standard CLI flag values:
+// format is "text" or "json", level is "debug", "info", "warn" or
+// "error". Both ptychoserve and ptychoworker parse their -log-format
+// and -log-level flags through this, so the two daemons cannot drift
+// on accepted values.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+	}
+}
+
+// Discard returns a logger that drops everything — the default for
+// library code when no logger is injected, so call sites never
+// nil-check.
+func Discard() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}

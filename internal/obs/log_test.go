@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormatsAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", "info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("hello", "job_id", "job-0001")
+	line := strings.TrimSpace(buf.String())
+	if strings.Contains(line, "hidden") {
+		t.Fatal("debug line leaked at info level")
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("json format produced non-JSON %q: %v", line, err)
+	}
+	if rec["job_id"] != "job-0001" {
+		t.Fatalf("attr lost: %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("visible")
+	if !strings.Contains(buf.String(), "visible") {
+		t.Fatal("debug level did not enable debug lines")
+	}
+
+	// Defaults: empty strings select text/info.
+	if _, err := NewLogger(&buf, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLogger(&buf, "xml", "info"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := NewLogger(&buf, "text", "loud"); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	Discard().Info("dropped") // must not panic, writes nowhere
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("req-1")
+	if got := tr.ID(); got != "req-1" {
+		t.Fatalf("ID = %q", got)
+	}
+	root := tr.Begin("job", 0, RankCoordinator, IterNone)
+	if root != 1 {
+		t.Fatalf("first span ID = %d, want 1", root)
+	}
+	child := tr.Begin("iteration", root, RankCoordinator, 3)
+	tr.End(child)
+	tr.End(root)
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[1].Parent != root || spans[1].Iter != 3 {
+		t.Fatalf("child span = %+v", spans[1])
+	}
+	for _, s := range spans {
+		if s.End.IsZero() || s.End.Before(s.Start) {
+			t.Fatalf("span %d not closed sanely: %+v", s.ID, s)
+		}
+	}
+}
+
+func TestTraceRecordAnchorsDuration(t *testing.T) {
+	tr := NewTrace("")
+	start := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	id := tr.Record("compute", 0, 1, 7, start, 250*time.Millisecond)
+	s := tr.Spans()[id-1]
+	if s.Duration() != 250*time.Millisecond {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+	if !s.Start.Equal(start) || !s.End.Equal(start.Add(250*time.Millisecond)) {
+		t.Fatalf("span not anchored: %+v", s)
+	}
+}
+
+func TestTraceEndIdempotentAndBoundsChecked(t *testing.T) {
+	tr := NewTrace("")
+	id := tr.Begin("x", 0, RankCoordinator, IterNone)
+	tr.End(id)
+	end := tr.Spans()[0].End
+	time.Sleep(time.Millisecond)
+	tr.End(id) // second End must not move the close time
+	if !tr.Spans()[0].End.Equal(end) {
+		t.Fatal("End moved an already-closed span")
+	}
+	tr.End(0)   // nil-trace sentinel
+	tr.End(999) // unknown ID
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	if id := tr.Begin("x", 0, 0, 0); id != 0 {
+		t.Fatalf("nil Begin = %d", id)
+	}
+	tr.End(1)
+	if tr.Record("x", 0, 0, 0, time.Now(), time.Second) != 0 {
+		t.Fatal("nil Record")
+	}
+	if tr.Spans() != nil || tr.Len() != 0 || tr.ID() != "" {
+		t.Fatal("nil accessors")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := tr.Begin("compute", 0, rank, i)
+				tr.End(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := NewTrace("req")
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	tr.Record("queue-wait", 0, RankCoordinator, IterNone, base, 10*time.Millisecond)
+	tr.Record("compute", 0, 1, 2, base.Add(10*time.Millisecond), 5*time.Millisecond)
+	tr.Begin("open", 0, RankCoordinator, IterNone) // open spans are skipped
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, "job-0001", tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome export is not a JSON array: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2 (open span must be skipped)", len(events))
+	}
+	if events[0]["ph"] != "X" || events[0]["ts"].(float64) != 0 {
+		t.Fatalf("first event: %+v", events[0])
+	}
+	if events[1]["ts"].(float64) != 10000 || events[1]["dur"].(float64) != 5000 {
+		t.Fatalf("second event not in relative microseconds: %+v", events[1])
+	}
+	if events[1]["tid"].(float64) != 2 { // rank 1 -> tid 2, coordinator 0
+		t.Fatalf("tid = %v", events[1]["tid"])
+	}
+}
+
+func TestHistogramObserveAndWrite(t *testing.T) {
+	h := NewHistogram("test_seconds", "a test histogram", []float64{0.01, 0.1, 1})
+	h.Observe(5 * time.Millisecond)   // bucket 0.01
+	h.Observe(50 * time.Millisecond)  // bucket 0.1
+	h.Observe(500 * time.Millisecond) // bucket 1
+	h.Observe(5 * time.Second)        // +Inf
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	var buf bytes.Buffer
+	h.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.01"} 1`,
+		`test_seconds_bucket{le="0.1"} 2`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		"test_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("own exposition fails lint: %v", err)
+	}
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if nilH.Count() != 0 {
+		t.Fatal("nil Count")
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	// le is an inclusive upper bound: a sample exactly on a bound
+	// lands in that bucket.
+	h := NewHistogram("b_seconds", "bounds", []float64{0.5})
+	h.Observe(500 * time.Millisecond)
+	var buf bytes.Buffer
+	h.Write(&buf)
+	if !strings.Contains(buf.String(), `b_seconds_bucket{le="0.5"} 1`) {
+		t.Fatalf("boundary sample fell through:\n%s", buf.String())
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec("http_seconds", "request latency", []string{"route", "status"}, []float64{0.1, 1})
+	v.Observe(50*time.Millisecond, "/v1/jobs", "200")
+	v.Observe(2*time.Second, "/v1/jobs", "200")
+	v.Observe(10*time.Millisecond, "/v1/jobs/{id}", "404")
+	v.Observe(time.Second, "bad") // label-count mismatch: dropped
+
+	var buf bytes.Buffer
+	v.Write(&buf)
+	out := buf.String()
+	if strings.Count(out, "# TYPE http_seconds histogram") != 1 {
+		t.Fatalf("want exactly one TYPE line:\n%s", out)
+	}
+	for _, want := range []string{
+		`http_seconds_bucket{route="/v1/jobs",status="200",le="+Inf"} 2`,
+		`http_seconds_count{route="/v1/jobs",status="200"} 2`,
+		`http_seconds_bucket{route="/v1/jobs/{id}",status="404",le="0.1"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("vec exposition fails lint: %v", err)
+	}
+
+	var empty bytes.Buffer
+	NewHistogramVec("e", "empty", []string{"l"}, DefBuckets).Write(&empty)
+	if empty.Len() != 0 {
+		t.Fatalf("empty vec wrote %q", empty.String())
+	}
+}
+
+func TestHistogramVecEscaping(t *testing.T) {
+	v := NewHistogramVec("esc_seconds", "escapes", []string{"p"}, []float64{1})
+	v.Observe(time.Millisecond, `a"b\c`+"\n")
+	var buf bytes.Buffer
+	v.Write(&buf)
+	if !strings.Contains(buf.String(), `p="a\"b\\c\n"`) {
+		t.Fatalf("label value not escaped:\n%s", buf.String())
+	}
+	if err := LintExposition(buf.Bytes()); err != nil {
+		t.Fatalf("escaped exposition fails lint: %v", err)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("c_seconds", "concurrent", DefBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramObserveAllocationFree(t *testing.T) {
+	h := NewHistogram("a_seconds", "allocs", DefBuckets)
+	allocs := testing.AllocsPerRun(100, func() { h.Observe(3 * time.Millisecond) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestNewHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bounds did not panic")
+		}
+	}()
+	NewHistogram("x", "x", []float64{1, 0.5})
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates named phase durations — the flat, aggregate
+// counterpart to Trace, used by the CLI tools to report where time
+// went (compute, communication, assembly) without per-event spans.
+// Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	phases map[string]time.Duration
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{phases: map[string]time.Duration{}}
+}
+
+// Add accumulates d into the named phase.
+func (r *Recorder) Add(phase string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.phases[phase]; !ok {
+		r.order = append(r.order, phase)
+	}
+	r.phases[phase] += d
+}
+
+// Time runs fn and accumulates its wall-clock duration into phase.
+func (r *Recorder) Time(phase string, fn func()) {
+	start := time.Now()
+	fn()
+	r.Add(phase, time.Since(start))
+}
+
+// Get returns the accumulated duration of a phase (0 when absent).
+func (r *Recorder) Get(phase string) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phases[phase]
+}
+
+// Total returns the sum over all phases.
+func (r *Recorder) Total() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t time.Duration
+	for _, d := range r.phases {
+		t += d
+	}
+	return t
+}
+
+// Phases returns phase names in first-use order.
+func (r *Recorder) Phases() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Report writes an aligned phase summary, longest first.
+func (r *Recorder) Report(w io.Writer, title string) {
+	r.mu.Lock()
+	type kv struct {
+		name string
+		d    time.Duration
+	}
+	rows := make([]kv, 0, len(r.phases))
+	for n, d := range r.phases {
+		rows = append(rows, kv{n, d})
+	}
+	r.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+	fmt.Fprintf(w, "%s\n", title)
+	total := r.Total()
+	for _, row := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(row.d) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-24s %12s  %5.1f%%\n", row.name, row.d.Round(time.Microsecond), pct)
+	}
+	fmt.Fprintf(w, "  %-24s %12s\n", "total", total.Round(time.Microsecond))
+}

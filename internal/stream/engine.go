@@ -58,6 +58,9 @@ type Options struct {
 	// iteration count completed so far, the number of frames folded,
 	// and the new active-set size.
 	OnFold func(iter, added, active int)
+	// OnFoldTimed additionally reports when the fold started and how
+	// long it took (the AppendLocations work); nil skips the timing.
+	OnFoldTimed func(iter, added, active int, start time.Time, d time.Duration)
 	// SnapshotEvery, with OnSnapshot, emits periodic object snapshots
 	// exactly like the batch engines (0-based iteration index; live
 	// buffers for the serial engine — copy to retain). The cadence is
@@ -347,6 +350,7 @@ func Run(hdr *dataio.StreamHeader, in *Ingest, opt Options) (*Result, error) {
 		if len(frames) == 0 {
 			return nil
 		}
+		start := time.Now()
 		locs := make([]scan.Location, len(frames))
 		meas := make([]*grid.Float2D, len(frames))
 		for i, f := range frames {
@@ -358,6 +362,9 @@ func Run(hdr *dataio.StreamHeader, in *Ingest, opt Options) (*Result, error) {
 		rec.folds++
 		if opt.OnFold != nil {
 			opt.OnFold(rec.done, len(frames), prob.Pattern.N())
+		}
+		if opt.OnFoldTimed != nil {
+			opt.OnFoldTimed(rec.done, len(frames), prob.Pattern.N(), start, time.Since(start))
 		}
 		return nil
 	}

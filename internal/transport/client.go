@@ -454,6 +454,17 @@ func (c *Client) SendIteration(iter int, cost float64) {
 	c.send(frame{typ: frameIter, src: int32(c.rank), dst: hubRank, payload: payload})
 }
 
+// SendIterStats reports this rank's compute/communication time split
+// for one iteration (fire-and-forget; feeds the coordinator's span
+// trace). Every rank sends one per iteration; the hub discriminates
+// the 24-byte stats payload from the 16-byte progress payload by
+// length.
+func (c *Client) SendIterStats(iter int, computeNS, commNS int64) {
+	payload := append(int64le(int64(iter)), int64le(computeNS)...)
+	payload = append(payload, int64le(commNS)...)
+	c.send(frame{typ: frameIter, src: int32(c.rank), dst: hubRank, payload: payload})
+}
+
 // SendSnapshot ships a stitched object snapshot (opaque OBJCKv1 bytes)
 // to the coordinator and waits for the acknowledgement — the
 // coordinator writes the checkpoint before the run proceeds, mirroring

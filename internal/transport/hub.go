@@ -231,9 +231,13 @@ func (h *Hub) IdleWorkers() int {
 // SessionCallbacks receive a session's relayed progress on hub-side
 // goroutines. OnSnapshot blocks rank 0 until it returns (synchronous
 // checkpointing); a non-nil error aborts the run on every rank.
+// OnRankTiming receives every rank's per-iteration compute/comm time
+// split (the v2 extended ITER frames) and may be called concurrently
+// for different ranks.
 type SessionCallbacks struct {
-	OnIteration func(iter int, cost float64)
-	OnSnapshot  func(iter int, object []byte) error
+	OnIteration  func(iter int, cost float64)
+	OnSnapshot   func(iter int, object []byte) error
+	OnRankTiming func(rank, iter int, computeNS, commNS int64)
 }
 
 // ErrNoWorkers is returned by StartSession when fewer idle workers are
@@ -492,8 +496,19 @@ func (s *Session) handle(w *hubConn, fr frame) {
 			s.hub.drop(w, err)
 		}
 	case frameIter:
-		if len(fr.payload) >= 16 && s.cb.OnIteration != nil {
-			s.cb.OnIteration(int(int64FromLE(fr.payload)), float64FromLE(fr.payload[8:]))
+		switch {
+		case len(fr.payload) >= 24:
+			// Extended stats payload: any rank's per-iteration
+			// compute/comm split.
+			if s.cb.OnRankTiming != nil {
+				s.cb.OnRankTiming(int(fr.src), int(int64FromLE(fr.payload)),
+					int64FromLE(fr.payload[8:]), int64FromLE(fr.payload[16:]))
+			}
+		case len(fr.payload) >= 16:
+			// Progress payload: rank 0's iteration index and cost.
+			if s.cb.OnIteration != nil {
+				s.cb.OnIteration(int(int64FromLE(fr.payload)), float64FromLE(fr.payload[8:]))
+			}
 		}
 	case frameResult:
 		var res RankResult

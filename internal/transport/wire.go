@@ -12,7 +12,7 @@
 // in Client (run by ptychoworker / internal/gridworker).
 //
 // Every frame is length-prefixed and CRC-protected; the byte-level
-// layout is specified in docs/FORMATS.md ("PTGWv1 wire frames").
+// layout is specified in docs/FORMATS.md ("PTGW wire frames").
 // Blocking operations carry deadlines mirroring simmpi.ErrTimeout, so a
 // deadlocked exchange or a vanished peer fails loudly — never hangs.
 package transport
@@ -32,7 +32,12 @@ import (
 // ProtoVersion is the wire-protocol generation. A hub refuses a client
 // with any other version during the handshake (ErrVersionMismatch) —
 // mixed deployments fail fast instead of corrupting a run.
-const ProtoVersion = 1
+//
+// v2 extended ITER: every rank (not just rank 0) reports per-iteration
+// compute/comm timings in a 24-byte ITER payload, and SETUP carries a
+// trace-context string. A v1 hub would misread the 24-byte stats
+// payload as a progress report, hence the bump.
+const ProtoVersion = 2
 
 // frameMagic opens every frame on the wire.
 var frameMagic = [4]byte{'P', 'T', 'G', 'W'}
@@ -49,7 +54,7 @@ const (
 	frameReduceOK   = 0x08 // hub → worker: float64 rank-ordered sum
 	frameSnapshot   = 0x09 // rank 0 → hub: int64 iter + opaque object bytes
 	frameSnapshotOK = 0x0A // hub → rank 0: uint8 ok + error string
-	frameIter       = 0x0B // rank 0 → hub: int64 iter + float64 cost (no reply)
+	frameIter       = 0x0B // worker → hub, no reply: 16 B = rank 0 progress (int64 iter + float64 cost); 24 B = any rank's timings (int64 iter + int64 computeNS + int64 commNS)
 	frameResult     = 0x0C // worker → hub: gob(RankResult) — session ends for this rank
 	frameError      = 0x0D // either: uint8 code + message; aborts the session or conn
 	frameCancel     = 0x0E // hub → worker: stop at the next iteration boundary
@@ -252,6 +257,11 @@ type Setup struct {
 	// TimeoutMS bounds the session's blocking transport operations
 	// (milliseconds; 0 keeps the worker's dial-time default).
 	TimeoutMS int64
+	// Trace is the coordinator's trace context (the job's request ID):
+	// workers tag their logs with it so one grep follows a request
+	// from HTTP accept through every rank. Empty disables nothing —
+	// timings are always reported.
+	Trace string
 
 	// Problem is the full PTYCHOv1 dataset; every rank derives its own
 	// shard deterministically from the mesh (tile-by-tile location

@@ -5,10 +5,12 @@
 // just executed against.
 //
 // It synthesizes a tiny dataset in memory, then exercises: health
-// check, idempotent submit (same key twice → same job), Wait, cost
-// history, PNG preview, OBJCKv1 object download, cursor pagination via
-// the auto-paginating iterator, and a full streaming round trip
-// (open → SSE events → frame chunks → EOF → done).
+// check, idempotent submit (same key twice → same job), Wait, the span
+// timeline (request-ID propagation, per-rank compute spans, Chrome
+// export), the /metrics exposition (strict lint + histogram movement),
+// cost history, PNG preview, OBJCKv1 object download, cursor
+// pagination via the auto-paginating iterator, and a full streaming
+// round trip (open → SSE events → frame chunks → EOF → done).
 //
 // Usage: go run ./scripts/clientprobe [-server http://127.0.0.1:8617]
 package main
@@ -22,11 +24,14 @@ import (
 	"fmt"
 	"image/png"
 	"io"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"ptychopath/client"
 	"ptychopath/internal/dataio"
+	"ptychopath/internal/obs"
 	"ptychopath/internal/phantom"
 	"ptychopath/internal/physics"
 	"ptychopath/internal/scan"
@@ -40,7 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "clientprobe: FAIL:", err)
 		os.Exit(1)
 	}
-	fmt.Println("clientprobe: OK — SDK drove submit/idempotency/wait/history/preview/object/pagination/streaming against", *server)
+	fmt.Println("clientprobe: OK — SDK drove submit/idempotency/wait/trace/metrics/history/preview/object/pagination/streaming against", *server)
 }
 
 func run(server string) error {
@@ -75,11 +80,16 @@ func run(server string) error {
 	}
 
 	// Idempotent submit: the same key twice must yield the same job.
+	// A gd job so the span timeline carries per-rank compute/comm
+	// phases, and an explicit request ID so trace-context propagation
+	// is probed end to end.
 	var kb [8]byte
 	rand.Read(kb[:])
 	req := client.SubmitRequest{
-		Algorithm: "serial", Iterations: 5, CheckpointEvery: 2,
+		Algorithm: "gd", Iterations: 5, CheckpointEvery: 2,
+		MeshRows: 1, MeshCols: 2,
 		IdempotencyKey: "clientprobe-" + hex.EncodeToString(kb[:]),
+		RequestID:      "clientprobe-trace-" + hex.EncodeToString(kb[:4]),
 	}
 	job, err := c.Submit(ctx, req, bytes.NewReader(dataset.Bytes()))
 	if err != nil {
@@ -100,6 +110,57 @@ func run(server string) error {
 	if final.State != client.StateDone {
 		return fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
 	}
+	// The span timeline: the submitted request ID is the trace context,
+	// the gd run contributes per-rank compute spans with real durations.
+	tr, err := c.Trace(ctx, job.ID)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if tr.Job.RequestID != req.RequestID {
+		return fmt.Errorf("trace request_id %q, want %q", tr.Job.RequestID, req.RequestID)
+	}
+	iterSpans, computeSpans := 0, 0
+	for _, sp := range tr.Spans {
+		switch sp.Name {
+		case "iteration":
+			iterSpans++
+		case "compute":
+			if sp.MS > 0 {
+				computeSpans++
+			}
+		}
+	}
+	if iterSpans != 5 {
+		return fmt.Errorf("trace has %d iteration spans, want 5", iterSpans)
+	}
+	if computeSpans == 0 {
+		return fmt.Errorf("trace has no compute span with a positive duration")
+	}
+
+	// The /metrics scrape: strictly lintable, and the job above must
+	// have moved the latency histograms.
+	resp, err := http.Get(server + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := obs.LintExposition(scrape); err != nil {
+		return fmt.Errorf("metrics exposition lint: %w", err)
+	}
+	for _, family := range []string{
+		"ptychoserve_iteration_duration_seconds_count",
+		"ptychoserve_job_queue_wait_seconds_count",
+		"ptychoserve_http_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(string(scrape), family) {
+			return fmt.Errorf("metrics scrape missing %s", family)
+		}
+	}
+
 	hist, err := c.History(ctx, job.ID, -1)
 	if err != nil {
 		return fmt.Errorf("history: %w", err)

@@ -44,6 +44,20 @@ echo "docs_smoke: driving the live server through the client SDK"
 (cd "$repo" && go run ./scripts/clientprobe -server http://127.0.0.1:8617)
 echo "docs_smoke: SDK probe passed"
 
+# pprof smoke: when the server was started with -debug-addr (the CI
+# docs job uses 127.0.0.1:8620), a 1-second CPU profile must come back
+# non-empty. Skipped when no debug server is listening, so the script
+# still works against a plain server.
+if curl -fs --max-time 2 "http://127.0.0.1:8620/debug/pprof/" >/dev/null 2>&1; then
+    echo "docs_smoke: pprof smoke — pulling a 1s CPU profile"
+    curl -fs --max-time 30 -o "$work/cpu.pprof" \
+        "http://127.0.0.1:8620/debug/pprof/profile?seconds=1"
+    [ -s "$work/cpu.pprof" ] || { echo "docs_smoke: empty CPU profile" >&2; exit 1; }
+    echo "docs_smoke: pprof smoke passed ($(wc -c < "$work/cpu.pprof") bytes)"
+else
+    echo "docs_smoke: no debug server on :8620, skipping pprof smoke"
+fi
+
 # Restart smoke: durable job state survives a SIGKILL. This server is
 # private to the smoke (own port, own -state-dir), so killing it
 # cannot disturb the docs server above.
