@@ -465,6 +465,28 @@ func (c *Client) Grid(ctx context.Context) (*GridStatus, error) {
 	return &gs, nil
 }
 
+// Status returns the server's fleet-health rollup: queue and pool
+// state, per-state job counts, grid worker liveness, WAL counters and
+// prediction accuracy.
+func (c *Client) Status(ctx context.Context) (*Status, error) {
+	var st Status
+	if err := c.do(ctx, http.MethodGet, "/v1/status", nil, nil, nil, http.StatusOK, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Debug returns the job's debug bundle: summary with complete cost
+// history, submitted parameters, span timeline and the flight
+// recorder's recent events.
+func (c *Client) Debug(ctx context.Context, id string) (*DebugBundle, error) {
+	var db DebugBundle
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id)+"/debug", nil, nil, nil, http.StatusOK, &db); err != nil {
+		return nil, err
+	}
+	return &db, nil
+}
+
 // Healthz checks liveness (GET /healthz — unversioned infrastructure).
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil, nil, http.StatusOK, nil)

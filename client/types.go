@@ -110,6 +110,41 @@ type Job struct {
 	ActiveFrames int  `json:"active_frames,omitempty"`
 	Folds        int  `json:"folds,omitempty"`
 	EOF          bool `json:"eof,omitempty"`
+
+	// Prediction is the runtime forecast made at job setup from the
+	// dataset geometry and the server's calibrated throughput; nil for
+	// streaming jobs (open-ended acquisition defies prediction).
+	Prediction *Prediction `json:"prediction,omitempty"`
+	// ActualSeconds is the measured wall-clock runtime, set when the job
+	// finishes.
+	ActualSeconds float64 `json:"actual_seconds,omitempty"`
+	// PredictionErrorRatio is actual over predicted runtime (1.0 =
+	// perfect forecast); 0 until the job finishes or when no prediction
+	// was made.
+	PredictionErrorRatio float64 `json:"prediction_error_ratio,omitempty"`
+	// StragglerRanks lists ranks the imbalance tracker flagged as
+	// persistently slow (grid/parallel jobs only).
+	StragglerRanks []int `json:"straggler_ranks,omitempty"`
+	// ImbalanceRatio is the mean max-over-mean per-rank compute ratio
+	// across iterations (1.0 = perfectly balanced; 0 when untracked).
+	ImbalanceRatio float64 `json:"imbalance_ratio,omitempty"`
+}
+
+// Prediction is a pre-run runtime forecast derived from the
+// performance model (job geometry × machine calibration).
+type Prediction struct {
+	// Seconds is the predicted total runtime.
+	Seconds float64 `json:"seconds"`
+	// ComputeSeconds, WaitSeconds and CommSeconds break the prediction
+	// into phases.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	WaitSeconds    float64 `json:"wait_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+	// Source is "model" (static calibration) or "calibrated" (live
+	// throughput estimate from previously observed iterations).
+	Source string `json:"source"`
+	// Ranks is the parallel width the prediction assumed.
+	Ranks int `json:"ranks"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -190,6 +225,16 @@ type GridWorker struct {
 	ID   int    `json:"id"`
 	Name string `json:"name"`
 	Busy bool   `json:"busy"`
+	// LastSeen is the time of the worker's most recent frame on the
+	// coordinator hub — the liveness signal.
+	LastSeen time.Time `json:"last_seen,omitzero"`
+	// BytesIn/BytesOut/Messages are cumulative transport totals for this
+	// endpoint as counted by the hub.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	Messages int64 `json:"messages"`
+	// Sessions counts the distributed sessions this endpoint has served.
+	Sessions int64 `json:"sessions"`
 }
 
 // GridStatus is the worker-grid coordinator's state (GET /v1/grid).
@@ -198,4 +243,85 @@ type GridStatus struct {
 	Addr    string       `json:"addr"`
 	Workers []GridWorker `json:"workers"`
 	Idle    int          `json:"idle"`
+}
+
+// Status is the fleet-health rollup (GET /v1/status): queue and pool
+// state, grid liveness, WAL counters and prediction accuracy in one
+// scrape-friendly JSON object.
+type Status struct {
+	Time          time.Time `json:"time"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Workers       int       `json:"workers"`
+	WorkersIdle   int       `json:"workers_idle"`
+	QueueDepth    int       `json:"queue_depth"`
+	// Jobs counts jobs by state name ("queued", "running", …); every
+	// state is present, zero when empty.
+	Jobs map[string]int `json:"jobs"`
+	// Grid is nil when the server runs without a worker grid.
+	Grid *GridSummary `json:"grid,omitempty"`
+	// WAL is nil when the server runs without a durable store.
+	WAL        *WALSummary       `json:"wal,omitempty"`
+	Prediction PredictionSummary `json:"prediction"`
+}
+
+// GridSummary is the grid block of Status.
+type GridSummary struct {
+	Addr        string       `json:"addr"`
+	Workers     []GridWorker `json:"workers"`
+	Busy        int          `json:"busy"`
+	Sessions    int64        `json:"sessions_total"`
+	BytesRouted int64        `json:"bytes_routed_total"`
+}
+
+// WALSummary is the durability block of Status.
+type WALSummary struct {
+	Records       int64 `json:"records_total"`
+	Syncs         int64 `json:"syncs_total"`
+	Compactions   int64 `json:"compactions_total"`
+	Bytes         int64 `json:"bytes"`
+	Errors        int64 `json:"errors_total"`
+	ReplayRecords int   `json:"replay_records"`
+	ReplayTorn    int   `json:"replay_torn"`
+}
+
+// PredictionSummary aggregates runtime-forecast accuracy across
+// finished jobs.
+type PredictionSummary struct {
+	// Jobs is how many finished jobs were scored against a prediction.
+	Jobs int `json:"jobs"`
+	// MeanAbsErrorPct is the mean absolute prediction error in percent
+	// (|ratio−1|·100 averaged over scored jobs).
+	MeanAbsErrorPct float64 `json:"mean_abs_error_pct"`
+	// LastErrorRatio is the most recent actual/predicted ratio.
+	LastErrorRatio float64 `json:"last_error_ratio,omitempty"`
+	// CalibratedFlops is the live per-rank throughput estimate feeding
+	// new predictions; 0 until the first iteration is observed.
+	CalibratedFlops float64 `json:"calibrated_flops,omitempty"`
+	// CalibrationIters is how many iteration observations back the
+	// estimate.
+	CalibrationIters int `json:"calibration_iters,omitempty"`
+}
+
+// FlightEvent is one entry of a job's flight recorder: a bounded ring
+// of recent structured events (state changes, iterations, checkpoints,
+// errors, straggler flags) kept per job for post-mortem debugging.
+type FlightEvent struct {
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	State  string    `json:"state,omitempty"`
+	Iter   int       `json:"iter,omitempty"`
+	Cost   float64   `json:"cost,omitempty"`
+	Frames int       `json:"frames,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// DebugBundle is the one-stop failure dossier of a job
+// (GET /v1/jobs/{id}/debug): summary with full cost history, the
+// parameters as submitted, the span timeline and the flight-recorder
+// tail.
+type DebugBundle struct {
+	Job    Job           `json:"job"`
+	Params SubmitRequest `json:"params"`
+	Spans  []TraceSpan   `json:"spans"`
+	Events []FlightEvent `json:"events"`
 }

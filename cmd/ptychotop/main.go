@@ -1,0 +1,226 @@
+// Command ptychotop is a live terminal dashboard for a running
+// ptychoserve: fleet health at a glance, refreshed in place — the "top"
+// of the reconstruction service.
+//
+// Usage:
+//
+//	ptychotop [-server http://127.0.0.1:8617] [-interval 2s] [-once]
+//
+// Each refresh polls GET /v1/status and the job list through the typed
+// client SDK and renders: uptime, pool and queue state, per-state job
+// counts, prediction accuracy (how well the performance model forecasts
+// runtimes, and the live throughput calibration), the grid workers with
+// last-seen liveness and transport totals, WAL durability counters, and
+// the most recent jobs with predicted-vs-actual runtime and flagged
+// straggler ranks.
+//
+// -once prints a single snapshot without clearing the screen and exits
+// with status 0 — the scriptable form (CI smoke-runs it; use it in
+// cron/health checks). Without it, the dashboard redraws every
+// -interval using ANSI clear codes until interrupted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"ptychopath/client"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8617", "base URL of the ptychoserve to watch")
+	interval := flag.Duration("interval", 2*time.Second, "refresh period")
+	once := flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+	flag.Parse()
+
+	c, err := client.New(*server)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptychotop:", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *once {
+		if err := render(ctx, c, os.Stdout, *server); err != nil {
+			fmt.Fprintln(os.Stderr, "ptychotop:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		var b strings.Builder
+		if err := render(ctx, c, &b, *server); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			b.Reset()
+			fmt.Fprintf(&b, "ptychotop: %v (retrying every %s)\n", err, *interval)
+		}
+		// Clear + home, then the fresh frame in one write to avoid flicker.
+		fmt.Fprint(os.Stdout, "\x1b[2J\x1b[H"+b.String())
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			fmt.Fprintln(os.Stdout)
+			return
+		}
+	}
+}
+
+// render writes one dashboard frame from a fresh status + job-list poll.
+func render(ctx context.Context, c *client.Client, w interface{ Write([]byte) (int, error) }, server string) error {
+	pctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	st, err := c.Status(pctx)
+	if err != nil {
+		return err
+	}
+	page, err := c.List(pctx, client.ListOptions{Limit: 100})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "ptychotop — %s — %s up %s\n\n",
+		server, st.Time.Local().Format("15:04:05"), fmtDur(time.Duration(st.UptimeSeconds*float64(time.Second))))
+	fmt.Fprintf(w, "pool    %d workers (%d idle)   queue %d waiting\n",
+		st.Workers, st.WorkersIdle, st.QueueDepth)
+	fmt.Fprintf(w, "jobs    %s\n", jobCounts(st.Jobs))
+	if st.Prediction.Jobs > 0 {
+		fmt.Fprintf(w, "predict %d scored, mean abs error %.1f%%, last ratio %.2f",
+			st.Prediction.Jobs, st.Prediction.MeanAbsErrorPct, st.Prediction.LastErrorRatio)
+	} else {
+		fmt.Fprint(w, "predict no finished jobs scored yet")
+	}
+	if st.Prediction.CalibrationIters > 0 {
+		fmt.Fprintf(w, "   calibration %.3g flops/rank over %d iters", st.Prediction.CalibratedFlops, st.Prediction.CalibrationIters)
+	}
+	fmt.Fprintln(w)
+	if st.WAL != nil {
+		fmt.Fprintf(w, "wal     %d records, %d syncs, %d compactions, %d bytes, %d errors\n",
+			st.WAL.Records, st.WAL.Syncs, st.WAL.Compactions, st.WAL.Bytes, st.WAL.Errors)
+	}
+
+	if st.Grid != nil {
+		fmt.Fprintf(w, "\ngrid %s — %d workers (%d busy), %d sessions, %s routed\n",
+			st.Grid.Addr, len(st.Grid.Workers), st.Grid.Busy, st.Grid.Sessions, fmtBytes(st.Grid.BytesRouted))
+		fmt.Fprintf(w, "  %-4s %-24s %-5s %-10s %10s %10s %9s %5s\n",
+			"ID", "NAME", "BUSY", "LAST SEEN", "IN", "OUT", "MSGS", "SESS")
+		for _, wk := range st.Grid.Workers {
+			fmt.Fprintf(w, "  %-4d %-24s %-5v %-10s %10s %10s %9d %5d\n",
+				wk.ID, trunc(wk.Name, 24), wk.Busy, sinceShort(wk.LastSeen),
+				fmtBytes(wk.BytesIn), fmtBytes(wk.BytesOut), wk.Messages, wk.Sessions)
+		}
+	}
+
+	jobs := page.Jobs
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].Created.After(jobs[j].Created) })
+	if len(jobs) > 10 {
+		jobs = jobs[:10]
+	}
+	fmt.Fprintf(w, "\n  %-14s %-9s %-6s %9s %12s %12s %7s %s\n",
+		"JOB", "STATE", "ALG", "ITER", "PREDICTED", "ACTUAL", "RATIO", "NOTES")
+	for _, j := range jobs {
+		iter := fmt.Sprintf("%d", j.Iter)
+		if j.TotalIters > 0 {
+			iter = fmt.Sprintf("%d/%d", j.Iter, j.TotalIters)
+		}
+		pred, actual, ratio := "-", "-", "-"
+		if j.Prediction != nil {
+			pred = fmtSecs(j.Prediction.Seconds)
+		}
+		if j.ActualSeconds > 0 {
+			actual = fmtSecs(j.ActualSeconds)
+		}
+		if j.PredictionErrorRatio > 0 {
+			ratio = fmt.Sprintf("%.2f", j.PredictionErrorRatio)
+		}
+		var notes []string
+		if len(j.StragglerRanks) > 0 {
+			notes = append(notes, fmt.Sprintf("stragglers %v", j.StragglerRanks))
+		}
+		if j.ImbalanceRatio > 1 {
+			notes = append(notes, fmt.Sprintf("imbalance %.2f", j.ImbalanceRatio))
+		}
+		if j.RecoveredFrom != "" {
+			notes = append(notes, "recovered "+j.RecoveredFrom)
+		}
+		if j.Error != "" {
+			notes = append(notes, trunc(j.Error, 40))
+		}
+		fmt.Fprintf(w, "  %-14s %-9s %-6s %9s %12s %12s %7s %s\n",
+			trunc(j.ID, 14), j.State, j.Algorithm, iter, pred, actual, ratio, strings.Join(notes, "; "))
+	}
+	return nil
+}
+
+// jobCounts renders the per-state counts in lifecycle order.
+func jobCounts(counts map[string]int) string {
+	var b strings.Builder
+	for _, state := range []string{
+		client.StateQueued, client.StateRunning, client.StateDone,
+		client.StateFailed, client.StateCancelled,
+	} {
+		if b.Len() > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%d %s", counts[state], state)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	case d >= time.Minute:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	}
+}
+
+func fmtSecs(s float64) string {
+	if s < 10 {
+		return fmt.Sprintf("%.2fs", s)
+	}
+	return fmtDur(time.Duration(s * float64(time.Second)))
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// sinceShort renders worker liveness as an age ("3s", "2m11s"); "never"
+// for the zero time.
+func sinceShort(t time.Time) string {
+	if t.IsZero() {
+		return "never"
+	}
+	return fmtDur(time.Since(t).Truncate(time.Second))
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

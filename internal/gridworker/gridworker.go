@@ -43,6 +43,13 @@ type Options struct {
 	Reconnect bool
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
+	// StatsDelay, when non-nil, injects a synchronous delay into the
+	// rank's per-iteration stats path: the worker sleeps the returned
+	// duration inside the engine loop and reports it as extra compute
+	// time. A fault-injection hook for exercising the coordinator's
+	// straggler detection against a genuinely slowed rank; production
+	// workers leave it nil.
+	StatsDelay func(rank, iter int) time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -123,7 +130,7 @@ func serve(ctx context.Context, c *transport.Client, name string, opts Options) 
 			opts.Logf("%s: session %s rank %d/%d (%s %dx%d mesh)",
 				name, setup.JobID, setup.Rank, setup.Size, setup.Algorithm, setup.MeshRows, setup.MeshCols)
 		}
-		res := runSession(sctx, c, setup)
+		res := runSession(sctx, c, setup, opts)
 		sessCancel()
 		if err := c.SendResult(res); err != nil {
 			return err
@@ -139,7 +146,7 @@ func serve(ctx context.Context, c *transport.Client, name string, opts Options) 
 // runSession executes one rank of one session; engine failures are
 // reported in-band through RankResult.Err, never by tearing the
 // connection down.
-func runSession(ctx context.Context, c *transport.Client, setup *transport.Setup) *transport.RankResult {
+func runSession(ctx context.Context, c *transport.Client, setup *transport.Setup, opts Options) *transport.RankResult {
 	fail := func(err error) *transport.RankResult {
 		return &transport.RankResult{Rank: setup.Rank, Err: err.Error()}
 	}
@@ -165,7 +172,15 @@ func runSession(ctx context.Context, c *transport.Client, setup *transport.Setup
 	// Timing plumbing: every rank additionally reports its
 	// per-iteration compute/comm split (extended ITER frames), which
 	// the coordinator folds into the job's span trace.
-	onStats := func(_, iter int, computeNS, commNS int64) {
+	onStats := func(rank, iter int, computeNS, commNS int64) {
+		if opts.StatsDelay != nil {
+			if d := opts.StatsDelay(rank, iter); d > 0 {
+				// Synchronous: the engine loop stalls here, so the rank
+				// is genuinely slower, not just reported slower.
+				time.Sleep(d)
+				computeNS += int64(d)
+			}
+		}
 		c.SendIterStats(iter, computeNS, commNS)
 	}
 	onSnap := func(iter int, slices []*grid.Complex2D) error {

@@ -1,6 +1,10 @@
 package jobs
 
-import "time"
+import (
+	"time"
+
+	"ptychopath/internal/obs/flight"
+)
 
 // Event is one entry of a job's live feed — what the SSE endpoint
 // (GET /jobs/{id}/events) streams to a beamline GUI so it can follow a
@@ -64,13 +68,20 @@ func (j *Job) Subscribe(buffer int) (<-chan Event, func()) {
 }
 
 // publishLocked fans an event out to every subscriber without
-// blocking. Callers hold j.mu.
+// blocking, and lands it in the job's flight recorder — the recorder
+// keeps the tail of the feed even when nobody is subscribed, which is
+// exactly the post-mortem case GET /v1/jobs/{id}/debug serves. Callers
+// hold j.mu.
 func (j *Job) publishLocked(e Event) {
+	e.Job = j.id
+	e.Time = time.Now()
+	j.rec.Record(flight.Event{
+		Time: e.Time, Kind: e.Type, State: e.State,
+		Iter: e.Iter, Cost: e.Cost, Frames: e.Frames,
+	})
 	if len(j.subs) == 0 {
 		return
 	}
-	e.Job = j.id
-	e.Time = time.Now()
 	for _, ch := range j.subs {
 		select {
 		case ch <- e:

@@ -111,12 +111,12 @@ func (s *Service) executeGrid(j *Job) ([]*grid.Complex2D, error) {
 	j.beginIterations()
 	sess, err := s.grid.StartSession(setups, transport.SessionCallbacks{
 		OnIteration: func(iter int, cost float64) {
-			s.hist.iteration.Observe(j.recordIteration(p.StartIter+iter+1, cost))
+			s.observeIteration(j, j.recordIteration(p.StartIter+iter+1, cost))
 			s.logIteration(j, p.StartIter+iter+1, cost)
 			s.met.iterations.Add(1)
 		},
 		OnRankTiming: func(rank, iter int, computeNS, commNS int64) {
-			j.recordRankTiming(rank, p.StartIter+iter+1, computeNS, commNS)
+			s.recordRankStats(j, rank, p.StartIter+iter+1, computeNS, commNS)
 		},
 		OnSnapshot: func(iter int, object []byte) error {
 			slices, err := dataio.ReadObject(bytes.NewReader(object))

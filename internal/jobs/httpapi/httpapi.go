@@ -32,7 +32,14 @@
 //	                              setup, per-iteration compute/comm per
 //	                              rank, checkpoints); ?format=chrome
 //	                              exports Chrome trace-event JSON
-//	GET  /v1/grid                 worker-grid status
+//	GET  /v1/jobs/{id}/debug      failure dossier: summary with full cost
+//	                              history, submitted params, span timeline
+//	                              and the flight recorder's recent events
+//	GET  /v1/grid                 worker-grid status, with per-worker
+//	                              liveness (last_seen) and transport totals
+//	GET  /v1/status               fleet-health rollup: queue/pool state,
+//	                              per-state job counts, grid, WAL counters,
+//	                              prediction accuracy
 //	GET  /metrics                 Prometheus text exposition (unversioned)
 //	GET  /healthz                 liveness (unversioned)
 //
@@ -153,9 +160,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitV1)
 	mux.HandleFunc("POST /v1/jobs/stream", s.handleSubmitStreamV1)
 	mux.HandleFunc("GET /v1/jobs", s.handleListV1)
-	// /v1-only (no legacy alias): the span timeline did not exist
-	// before the versioned surface.
+	// /v1-only (no legacy alias): the span timeline, debug bundle and
+	// status rollup did not exist before the versioned surface.
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/debug", s.handleDebug)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
 
 	// Routes identical across generations: register under /v1 and as a
 	// deprecated alias.
@@ -341,6 +350,26 @@ func wireJob(info jobs.Info) client.Job {
 		ActiveFrames:   info.ActiveFrames,
 		Folds:          info.Folds,
 		EOF:            info.EOF,
+
+		Prediction:           wirePrediction(info.Prediction),
+		ActualSeconds:        info.ActualSeconds,
+		PredictionErrorRatio: info.PredictionErrorRatio,
+		StragglerRanks:       info.StragglerRanks,
+		ImbalanceRatio:       info.ImbalanceRatio,
+	}
+}
+
+func wirePrediction(p *jobs.Prediction) *client.Prediction {
+	if p == nil {
+		return nil
+	}
+	return &client.Prediction{
+		Seconds:        p.Seconds,
+		ComputeSeconds: p.ComputeSeconds,
+		WaitSeconds:    p.WaitSeconds,
+		CommSeconds:    p.CommSeconds,
+		Source:         p.Source,
+		Ranks:          p.Ranks,
 	}
 }
 
@@ -878,16 +907,114 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 			idle++
 		}
 	}
-	gw := make([]client.GridWorker, len(workers))
-	for i, wk := range workers {
-		gw[i] = client.GridWorker{ID: wk.ID, Name: wk.Name, Busy: wk.Busy}
-	}
 	writeJSON(w, http.StatusOK, client.GridStatus{
 		Enabled: s.svc.GridEnabled(),
 		Addr:    s.svc.GridAddr(),
-		Workers: gw,
+		Workers: wireGridWorkers(workers),
 		Idle:    idle,
 	})
+}
+
+func wireGridWorkers(workers []jobs.GridWorkerInfo) []client.GridWorker {
+	gw := make([]client.GridWorker, len(workers))
+	for i, wk := range workers {
+		gw[i] = client.GridWorker{
+			ID: wk.ID, Name: wk.Name, Busy: wk.Busy,
+			LastSeen: wk.LastSeen,
+			BytesIn:  wk.BytesIn, BytesOut: wk.BytesOut,
+			Messages: wk.Messages, Sessions: wk.Sessions,
+		}
+	}
+	return gw
+}
+
+// handleStatus serves the fleet-health rollup: one JSON object a
+// dashboard (cmd/ptychotop) or a probe polls instead of stitching
+// /metrics, /v1/grid and the job list together.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.svc.Status()
+	out := client.Status{
+		Time:          st.Time,
+		UptimeSeconds: st.UptimeSeconds,
+		Workers:       st.Workers,
+		WorkersIdle:   st.WorkersIdle,
+		QueueDepth:    st.QueueDepth,
+		Jobs:          st.Jobs,
+		Prediction: client.PredictionSummary{
+			Jobs:             st.Prediction.Jobs,
+			MeanAbsErrorPct:  st.Prediction.MeanAbsErrorPct,
+			LastErrorRatio:   st.Prediction.LastErrorRatio,
+			CalibratedFlops:  st.Prediction.CalibratedFlops,
+			CalibrationIters: st.Prediction.CalibrationIters,
+		},
+	}
+	if st.Grid != nil {
+		out.Grid = &client.GridSummary{
+			Addr:        st.Grid.Addr,
+			Workers:     wireGridWorkers(st.Grid.Workers),
+			Busy:        st.Grid.Busy,
+			Sessions:    st.Grid.Sessions,
+			BytesRouted: st.Grid.BytesRouted,
+		}
+	}
+	if st.WAL != nil {
+		out.WAL = &client.WALSummary{
+			Records:       st.WAL.Records,
+			Syncs:         st.WAL.Syncs,
+			Compactions:   st.WAL.Compactions,
+			Bytes:         st.WAL.Bytes,
+			Errors:        st.WAL.Errors,
+			ReplayRecords: st.WAL.ReplayRecords,
+			ReplayTorn:    st.WAL.ReplayTorn,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDebug serves a job's failure dossier in one response: the
+// summary with its COMPLETE cost history, the parameters as submitted,
+// the span timeline, and the flight recorder's recent events — what an
+// operator attaches to a bug report instead of four separate captures.
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	events := j.FlightEvents()
+	fe := make([]client.FlightEvent, len(events))
+	for i, e := range events {
+		fe[i] = client.FlightEvent{
+			Time: e.Time, Kind: e.Kind, State: e.State,
+			Iter: e.Iter, Cost: e.Cost, Frames: e.Frames, Detail: e.Detail,
+		}
+	}
+	writeJSON(w, http.StatusOK, client.DebugBundle{
+		Job:    wireJob(j.Info(-1)),
+		Params: requestFromParams(j.Params()),
+		Spans:  wireSpans(j.Trace().Spans()),
+		Events: fe,
+	})
+}
+
+// requestFromParams is paramsFromRequest in reverse: the job's
+// effective parameters rendered back onto the wire-contract shape for
+// the debug bundle.
+func requestFromParams(p jobs.Params) client.SubmitRequest {
+	return client.SubmitRequest{
+		Algorithm:          p.Algorithm,
+		Iterations:         p.Iterations,
+		StepSize:           p.StepSize,
+		MeshRows:           p.MeshRows,
+		MeshCols:           p.MeshCols,
+		RoundsPerIteration: p.RoundsPerIteration,
+		IntraWorkers:       p.IntraWorkers,
+		CheckpointEvery:    p.CheckpointEvery,
+		Grid:               p.Grid,
+		FoldEvery:          p.FoldEvery,
+		MaxIterations:      p.MaxIterations,
+		IngestCapacity:     p.IngestCapacity,
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

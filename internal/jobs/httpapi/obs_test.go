@@ -315,6 +315,10 @@ func TestMetricsExpositionLint(t *testing.T) {
 		"ptychoserve_job_queue_wait_seconds_count 1",
 		"ptychoserve_iteration_duration_seconds_count 2",
 		"ptychoserve_checkpoint_write_seconds_count",
+		"ptychoserve_workers_idle 2",
+		"ptychoserve_queue_depth 0",
+		"ptychoserve_job_runtime_prediction_error_ratio_count 1",
+		"ptychoserve_job_rank_imbalance_ratio_count 0",
 	} {
 		if !strings.Contains(string(scrape), want) {
 			t.Fatalf("scrape missing %q\n--- scrape ---\n%s", want, scrape)

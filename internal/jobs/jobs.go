@@ -25,6 +25,7 @@ import (
 	"ptychopath/internal/dataio"
 	"ptychopath/internal/grid"
 	"ptychopath/internal/obs"
+	"ptychopath/internal/obs/flight"
 	"ptychopath/internal/solver"
 	"ptychopath/internal/stream"
 )
@@ -271,6 +272,16 @@ type Job struct {
 	tr       *obs.Trace
 	rootSpan int
 
+	// Analysis-layer state (see analysis.go). rec is the per-job flight
+	// recorder (attached with the trace, nil-safe). pred, flopsPerIter,
+	// predRanks and tracker are armed before the job is enqueued and
+	// immutable afterwards; the post-run verdicts live under mu below.
+	rec          *flight.Recorder
+	pred         *Prediction
+	flopsPerIter float64
+	predRanks    int
+	tracker      *rankTracker
+
 	mu             sync.Mutex
 	lastBoundary   time.Time
 	state          State
@@ -286,6 +297,10 @@ type Job struct {
 	datasetPath    string // durable spool of the dataset; lets Resume reload a released problem
 	recFrames      int    // frame count restored from the WAL for a terminal streaming job
 	recEOF         bool   // EOF flag restored from the WAL (ingest is gone for terminal jobs)
+	actualSeconds  float64 // wall-clock runtime measured by analyze
+	predErrRatio   float64 // actual / predicted runtime
+	imbalance      float64 // mean per-iteration max/mean rank compute ratio
+	stragglers     []int   // ranks persistently slower than the mean
 	err            error
 	created        time.Time
 	started        time.Time
@@ -395,6 +410,18 @@ type Info struct {
 	Started        time.Time `json:"started,omitzero"`
 	Finished       time.Time `json:"finished,omitzero"`
 
+	// Analysis (see analysis.go). Prediction is the perfmodel runtime
+	// estimate made at submission (nil for streaming jobs and empty
+	// datasets); ActualSeconds and PredictionErrorRatio land when the
+	// job finishes. StragglerRanks lists ranks persistently slower than
+	// the per-iteration mean; ImbalanceRatio is the mean max/mean
+	// per-rank compute ratio across complete iteration rows.
+	Prediction           *Prediction `json:"prediction,omitempty"`
+	ActualSeconds        float64     `json:"actual_seconds,omitempty"`
+	PredictionErrorRatio float64     `json:"prediction_error_ratio,omitempty"`
+	StragglerRanks       []int       `json:"straggler_ranks,omitempty"`
+	ImbalanceRatio       float64     `json:"imbalance_ratio,omitempty"`
+
 	// Streaming progress (omitted for batch jobs): frames accepted by
 	// the ingest, frames folded into the active set, fold (epoch)
 	// count, and whether the producer has closed the stream.
@@ -429,6 +456,13 @@ func (j *Job) Info(historyTail int) Info {
 		Created:        j.created,
 		Started:        j.started,
 		Finished:       j.finished,
+		Prediction:     j.pred,
+		ActualSeconds:  j.actualSeconds,
+		PredictionErrorRatio: j.predErrRatio,
+		ImbalanceRatio: j.imbalance,
+	}
+	if len(j.stragglers) > 0 {
+		info.StragglerRanks = append([]int(nil), j.stragglers...)
 	}
 	if j.streaming {
 		info.Streaming = true
@@ -578,6 +612,7 @@ func (j *Job) setCheckpoint(path string, completed int) string {
 	j.checkpointPath = path
 	j.checkpointIter = completed
 	j.mu.Unlock()
+	j.rec.Record(flight.Event{Kind: "checkpoint", Iter: completed, Detail: path})
 	return prev
 }
 
@@ -610,6 +645,9 @@ func (j *Job) finishLocked(state State, err error) {
 	j.params.InitialObject = nil
 	if state == Done || j.checkpointPath == "" {
 		j.prob = nil
+	}
+	if err != nil {
+		j.rec.Record(flight.Event{Kind: "error", State: state.String(), Detail: err.Error()})
 	}
 	j.publishLocked(Event{Type: "state", State: state.String()})
 	j.closeSubsLocked()

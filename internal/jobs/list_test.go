@@ -8,18 +8,26 @@ import (
 
 // submitN enqueues n jobs against a service whose single worker is
 // never started draining them (Workers: 1 with a long first job), so
-// the registry order is fully deterministic for pagination tests.
+// the registry order and the job states are fully deterministic for
+// pagination tests: the first job pins the worker, the rest stay
+// queued. The blocker is cancelled on cleanup so Close does not wait
+// it out.
 func submitN(t *testing.T, s *Service, n int) []string {
 	t.Helper()
 	prob := tinyProblem(t)
 	ids := make([]string, n)
 	for i := range ids {
-		j, err := s.Submit(prob, Params{Algorithm: "serial", Iterations: 1})
+		iters := 1
+		if i == 0 {
+			iters = 1000000
+		}
+		j, err := s.Submit(prob, Params{Algorithm: "serial", Iterations: iters})
 		if err != nil {
 			t.Fatal(err)
 		}
 		ids[i] = j.ID()
 	}
+	t.Cleanup(func() { s.Cancel(ids[0]) })
 	return ids
 }
 

@@ -38,6 +38,11 @@ type histograms struct {
 	checkpoint *obs.Histogram // OBJCKv1 checkpoint write (tmp+sync+rename)
 	walFsync   *obs.Histogram // store fsync, fed via SetSyncObserver
 	ingest     *obs.Histogram // streaming AppendFrames: buffer + spool + WAL
+
+	// Ratio-valued distributions (dimensionless; observations are
+	// encoded on the seconds axis via ratioDuration, bounds are ratios).
+	predictionErr *obs.Histogram // actual/predicted runtime at completion
+	imbalance     *obs.Histogram // per-iteration max/mean rank compute
 }
 
 func newHistograms() histograms {
@@ -52,6 +57,12 @@ func newHistograms() histograms {
 			"WAL fsync latency as observed by the job store.", obs.DefBuckets),
 		ingest: obs.NewHistogram("ptychoserve_ingest_append_seconds",
 			"Streaming frame-chunk append latency (buffer + spool + WAL).", obs.DefBuckets),
+		predictionErr: obs.NewHistogram("ptychoserve_job_runtime_prediction_error_ratio",
+			"Actual over predicted job runtime at completion (1.0 = perfect prediction).",
+			[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 5, 10, 100}),
+		imbalance: obs.NewHistogram("ptychoserve_job_rank_imbalance_ratio",
+			"Max over mean per-rank compute time within one iteration (1.0 = perfectly balanced).",
+			[]float64{1, 1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10}),
 	}
 }
 
@@ -76,6 +87,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"ptychoserve_jobs_running", "Jobs currently executing on the worker pool.", "gauge", s.met.running.Load()},
 		{"ptychoserve_queue_depth", "Jobs waiting for a worker.", "gauge", int64(s.QueueDepth())},
 		{"ptychoserve_workers", "Size of the worker pool.", "gauge", int64(s.cfg.Workers)},
+		{"ptychoserve_workers_idle", "Pool workers not currently executing a job.", "gauge", idleWorkers(int64(s.cfg.Workers), s.met.running.Load())},
 	}
 	if s.store.Durable() {
 		st := s.store.Stats()
@@ -103,6 +115,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		ms = append(ms,
 			metric{"ptychoserve_grid_workers", "Grid worker endpoints registered with the coordinator.", "gauge", int64(len(workers))},
 			metric{"ptychoserve_grid_workers_busy", "Grid worker endpoints currently in a session.", "gauge", int64(busy)},
+			metric{"ptychoserve_grid_workers_idle", "Grid worker endpoints registered but not in a session.", "gauge", int64(len(workers) - busy)},
 			metric{"ptychoserve_grid_sessions_total", "Distributed sessions started on the grid.", "counter", s.grid.SessionsStarted()},
 			metric{"ptychoserve_grid_bytes_routed_total", "Rank-to-rank payload bytes routed by the coordinator hub.", "counter", s.grid.BytesRouted()},
 		)
@@ -116,8 +129,18 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	for _, h := range []*obs.Histogram{
 		s.hist.queueWait, s.hist.iteration, s.hist.checkpoint,
 		s.hist.walFsync, s.hist.ingest,
+		s.hist.predictionErr, s.hist.imbalance,
 	} {
 		h.Write(w)
 	}
 	return nil
+}
+
+// idleWorkers clamps pool idleness at zero (running can briefly exceed
+// the pool size around worker handoff observation).
+func idleWorkers(workers, running int64) int64 {
+	if running >= workers {
+		return 0
+	}
+	return workers - running
 }

@@ -355,8 +355,10 @@ func (s *Service) recoverJob(jr *store.JobRecord) *Job {
 	}
 	j.state = Queued
 	// Re-enqueued jobs get a fresh trace: the pre-crash spans died with
-	// the process, but the re-run is observable like any submission.
+	// the process, but the re-run is observable like any submission —
+	// including a fresh runtime prediction for the remaining work.
 	newTracedJob(j)
+	s.attachAnalysis(j)
 	s.met.recovered.Add(1)
 
 	// Re-log the submission with the recovery-adjusted parameters so a

@@ -17,6 +17,7 @@ import (
 	"ptychopath/internal/halo"
 	"ptychopath/internal/jobs/store"
 	"ptychopath/internal/obs"
+	"ptychopath/internal/obs/flight"
 	"ptychopath/internal/phantom"
 	"ptychopath/internal/solver"
 	"ptychopath/internal/stream"
@@ -114,6 +115,12 @@ type Service struct {
 	log   *slog.Logger
 	grid  *transport.Hub // worker-grid coordinator; nil without GridAddr
 	store store.Store
+	start time.Time // service start, for Status uptime
+
+	// Analysis-layer state (see analysis.go): the live throughput EWMA
+	// feeding runtime predictions, and the prediction-error summary.
+	throughput throughputEstimate
+	preds      predStats
 
 	// WAL replay statistics, set once during NewService recovery.
 	replayRecords, replayTorn int
@@ -140,6 +147,7 @@ func NewService(cfg Config) (*Service, error) {
 		hist:  newHistograms(),
 		log:   cfg.Logger,
 		store: cfg.Store,
+		start: time.Now(),
 		jobs:  make(map[string]*Job),
 		idem:  make(map[string]*Job),
 	}
@@ -259,11 +267,13 @@ func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom, key string
 		return nil, false, ErrNoGrid
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j, created, err := s.enqueue(newTracedJob(&Job{
+	nj := newTracedJob(&Job{
 		prob: prob, params: p, ctx: ctx, cancel: cancel,
 		state: Queued, iter: p.StartIter, resumedFrom: resumedFrom,
 		created: time.Now(),
-	}), key)
+	})
+	s.attachAnalysis(nj)
+	j, created, err := s.enqueue(nj, key)
 	if err != nil || !created {
 		return j, created, err
 	}
@@ -275,11 +285,14 @@ func (s *Service) submit(prob *solver.Problem, p Params, resumedFrom, key string
 	return j, created, nil
 }
 
-// newTracedJob attaches the span trace to a constructed job: the root
-// "job" span opens at submission and closes at the terminal state.
+// newTracedJob attaches the span trace and the flight recorder to a
+// constructed job: the root "job" span opens at submission and closes
+// at the terminal state; the recorder keeps the tail of the event feed
+// for the debug bundle.
 func newTracedJob(j *Job) *Job {
 	j.tr = obs.NewTrace(j.params.RequestID)
 	j.rootSpan = j.tr.BeginAt("job", 0, obs.RankCoordinator, obs.IterNone, j.created)
+	j.rec = flight.NewRecorder(0)
 	return j
 }
 
@@ -678,27 +691,23 @@ func (s *Service) run(j *Job) {
 		// previewable like any snapshot.
 		if ckErr := s.snapshot(j, j.completedIters(), slices); ckErr != nil {
 			s.met.failed.Add(1)
-			j.finish(Failed, ckErr)
-			s.logFinish(j, Failed, ckErr)
+			s.finishJob(j, Failed, ckErr)
 			return
 		}
 		s.met.completed.Add(1)
-		j.finish(Done, nil)
-		s.logFinish(j, Done, nil)
+		s.finishJob(j, Done, nil)
 	case errors.Is(err, context.Canceled):
 		// Cancelled at an iteration boundary: persist the partial
 		// object so the job can resume exactly where it stopped.
 		if slices != nil {
 			if ckErr := s.snapshot(j, j.completedIters(), slices); ckErr != nil {
 				s.met.failed.Add(1)
-				j.finish(Failed, ckErr)
-				s.logFinish(j, Failed, ckErr)
+				s.finishJob(j, Failed, ckErr)
 				return
 			}
 		}
 		s.met.cancelled.Add(1)
-		j.finish(Cancelled, nil)
-		s.logFinish(j, Cancelled, nil)
+		s.finishJob(j, Cancelled, nil)
 	default:
 		// Engines that fail with partial progress (e.g. a streaming
 		// job exhausting stream.ErrIterationBudget on a stalled feed)
@@ -708,8 +717,7 @@ func (s *Service) run(j *Job) {
 			s.snapshot(j, j.completedIters(), slices)
 		}
 		s.met.failed.Add(1)
-		j.finish(Failed, err)
-		s.logFinish(j, Failed, err)
+		s.finishJob(j, Failed, err)
 	}
 }
 
@@ -735,7 +743,7 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 		init = phantom.Vacuum(prob.ImageBounds(), prob.Slices).Slices
 	}
 	onIter := func(iter int, cost float64) {
-		s.hist.iteration.Observe(j.recordIteration(p.StartIter+iter+1, cost))
+		s.observeIteration(j, j.recordIteration(p.StartIter+iter+1, cost))
 		s.logIteration(j, p.StartIter+iter+1, cost)
 		s.met.iterations.Add(1)
 	}
@@ -769,7 +777,7 @@ func (s *Service) execute(j *Job) ([]*grid.Complex2D, error) {
 			Timeout:            s.cfg.Timeout,
 			OnIteration:        onIter,
 			OnRankStats: func(rank, iter int, computeNS, commNS int64) {
-				j.recordRankTiming(rank, p.StartIter+iter+1, computeNS, commNS)
+				s.recordRankStats(j, rank, p.StartIter+iter+1, computeNS, commNS)
 			},
 			Ctx:           j.ctx,
 			SnapshotEvery: p.CheckpointEvery, OnSnapshot: onSnap,
@@ -822,7 +830,7 @@ func (s *Service) executeStream(j *Job) ([]*grid.Complex2D, error) {
 		Timeout:            s.cfg.Timeout,
 		Ctx:                j.ctx,
 		OnIteration: func(iter int, cost float64) {
-			s.hist.iteration.Observe(j.recordIteration(iter+1, cost))
+			s.observeIteration(j, j.recordIteration(iter+1, cost))
 			s.logIteration(j, iter+1, cost)
 			s.met.iterations.Add(1)
 		},

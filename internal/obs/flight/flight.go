@@ -1,0 +1,100 @@
+// Package flight is the failure flight recorder: a bounded ring of
+// recent structured events kept per job, cheap enough to run for every
+// job all the time, so that when a job fails the last N things that
+// happened to it — state changes, iterations, folds, checkpoint
+// writes, rank-stats anomalies — are available in one debug bundle
+// without having had logging verbosity turned up in advance.
+//
+// Like the rest of internal/obs it is dependency-free and nil-safe: a
+// nil *Recorder is a valid no-op receiver, so call sites never guard.
+package flight
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one recorded moment. Kind names what happened ("state",
+// "iteration", "snapshot", "fold", "checkpoint", "prediction",
+// "straggler", "error", ...); the remaining fields carry whatever
+// subset applies.
+type Event struct {
+	Time   time.Time `json:"time"`
+	Kind   string    `json:"kind"`
+	State  string    `json:"state,omitempty"`
+	Iter   int       `json:"iter,omitempty"`
+	Cost   float64   `json:"cost,omitempty"`
+	Frames int       `json:"frames,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// DefaultDepth is the ring capacity used when NewRecorder is given a
+// non-positive one: enough to hold the tail of a failing run without
+// ever mattering for memory.
+const DefaultDepth = 128
+
+// Recorder is a fixed-capacity ring of Events. Safe for concurrent
+// use; a nil *Recorder no-ops.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int  // index of the next write
+	full bool // the ring has wrapped at least once
+}
+
+// NewRecorder returns a recorder keeping the last depth events
+// (DefaultDepth when depth <= 0).
+func NewRecorder(depth int) *Recorder {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	return &Recorder{buf: make([]Event, depth)}
+}
+
+// Record appends one event, evicting the oldest when full. A zero
+// Time is stamped with the current time.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events, oldest first (nil on
+// a nil recorder).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Len returns how many events are currently held.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}

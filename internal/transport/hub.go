@@ -38,6 +38,16 @@ type hubConn struct {
 
 	wmu sync.Mutex // serializes frame writes
 
+	// Per-connection liveness and traffic counters, surfaced via
+	// Workers() for the fleet-health endpoints. lastSeen is unix nanos
+	// of the most recent frame read from the worker (registration time
+	// until the first frame arrives).
+	lastSeen atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	msgs     atomic.Int64
+	sessCnt  atomic.Int64
+
 	mu   sync.Mutex
 	sess *Session // nil while idle
 	rank int
@@ -148,6 +158,7 @@ func (h *Hub) serveConn(conn net.Conn) {
 	h.workers[w.id] = w
 	h.mu.Unlock()
 	conn.SetDeadline(time.Time{})
+	w.lastSeen.Store(time.Now().UnixNano())
 
 	for {
 		fr, err := readFrame(conn)
@@ -155,6 +166,9 @@ func (h *Hub) serveConn(conn net.Conn) {
 			h.drop(w, err)
 			return
 		}
+		w.lastSeen.Store(time.Now().UnixNano())
+		w.msgs.Add(1)
+		w.bytesIn.Add(int64(len(fr.payload)))
 		if fr.typ == frameGoodbye {
 			h.drop(w, nil)
 			return
@@ -192,14 +206,27 @@ func (h *Hub) drop(w *hubConn, err error) {
 func (w *hubConn) write(f frame) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
+	w.bytesOut.Add(int64(len(f.payload)))
 	return writeFrame(w.conn, f)
 }
 
-// WorkerInfo describes one registered worker for status endpoints.
+// WorkerInfo describes one registered worker for status endpoints:
+// identity, lease state, last-seen liveness, and the connection's
+// cumulative traffic/session counters.
 type WorkerInfo struct {
 	ID   int    `json:"id"`
 	Name string `json:"name"`
 	Busy bool   `json:"busy"`
+	// LastSeen is when the hub last read a frame from this worker
+	// (its registration time until the first frame).
+	LastSeen time.Time `json:"last_seen"`
+	// BytesIn/BytesOut count frame payload bytes received from / sent
+	// to the worker over the connection's whole life; Messages counts
+	// frames received; Sessions counts session leases.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	Messages int64 `json:"messages"`
+	Sessions int64 `json:"sessions"`
 }
 
 // Workers lists the registered workers, idle and busy, in id order.
@@ -211,7 +238,14 @@ func (h *Hub) Workers() []WorkerInfo {
 		w.mu.Lock()
 		busy := w.sess != nil
 		w.mu.Unlock()
-		out = append(out, WorkerInfo{ID: w.id, Name: w.name, Busy: busy})
+		out = append(out, WorkerInfo{
+			ID: w.id, Name: w.name, Busy: busy,
+			LastSeen: time.Unix(0, w.lastSeen.Load()),
+			BytesIn:  w.bytesIn.Load(),
+			BytesOut: w.bytesOut.Load(),
+			Messages: w.msgs.Load(),
+			Sessions: w.sessCnt.Load(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -317,18 +351,44 @@ func (h *Hub) StartSession(setups []*Setup, cb SessionCallbacks) (*Session, erro
 	}
 
 	h.sessions.Add(1)
+	for _, w := range s.members {
+		w.sessCnt.Add(1)
+	}
+	// Every SETUP goes out under ALL members' write locks. Routing is
+	// already live (the members are leased), so a rank that receives its
+	// SETUP early can have its first halo message routed to a peer
+	// before that peer's own SETUP is written — and the client clears
+	// its queues when a SETUP arrives, wiping the early message and
+	// wedging the session. Holding the write locks parks any routed
+	// frame until every SETUP is on the wire.
+	for _, w := range s.members {
+		w.wmu.Lock()
+	}
+	var setupErr, lostErr error
 	for rank, w := range s.members {
 		setups[rank].Rank = rank
 		setups[rank].Size = size
 		payload, err := encodeGob(setups[rank])
 		if err != nil {
-			s.fail(err)
-			return nil, err
+			setupErr = err
+			break
 		}
-		if err := w.write(frame{typ: frameSetup, src: hubRank, dst: int32(rank), payload: payload}); err != nil {
-			s.fail(fmt.Errorf("%w: worker %d: %v", ErrPeerLost, w.id, err))
-			return s, nil // Wait surfaces the failure
+		w.bytesOut.Add(int64(len(payload)))
+		if err := writeFrame(w.conn, frame{typ: frameSetup, src: hubRank, dst: int32(rank), payload: payload}); err != nil {
+			lostErr = fmt.Errorf("%w: worker %d: %v", ErrPeerLost, w.id, err)
+			break
 		}
+	}
+	for _, w := range s.members {
+		w.wmu.Unlock()
+	}
+	if setupErr != nil {
+		s.fail(setupErr)
+		return nil, setupErr
+	}
+	if lostErr != nil {
+		s.fail(lostErr)
+		return s, nil // Wait surfaces the failure
 	}
 	return s, nil
 }

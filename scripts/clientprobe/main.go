@@ -8,6 +8,8 @@
 // check, idempotent submit (same key twice → same job), Wait, the span
 // timeline (request-ID propagation, per-rank compute spans, Chrome
 // export), the /metrics exposition (strict lint + histogram movement),
+// the fleet-status rollup (predicted-vs-actual scoring, job census),
+// the per-job debug bundle (params, spans, flight-recorder events),
 // cost history, PNG preview, OBJCKv1 object download, cursor
 // pagination via the auto-paginating iterator, and a full streaming
 // round trip (open → SSE events → frame chunks → EOF → done).
@@ -45,7 +47,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "clientprobe: FAIL:", err)
 		os.Exit(1)
 	}
-	fmt.Println("clientprobe: OK — SDK drove submit/idempotency/wait/trace/metrics/history/preview/object/pagination/streaming against", *server)
+	fmt.Println("clientprobe: OK — SDK drove submit/idempotency/wait/trace/metrics/status/debug/history/preview/object/pagination/streaming against", *server)
 }
 
 func run(server string) error {
@@ -159,6 +161,43 @@ func run(server string) error {
 		if !strings.Contains(string(scrape), family) {
 			return fmt.Errorf("metrics scrape missing %s", family)
 		}
+	}
+
+	// The fleet-status rollup: the finished job must have been scored
+	// against its prediction, and the grid the CI docs job attaches must
+	// show live workers.
+	st, err := c.Status(ctx)
+	if err != nil {
+		return fmt.Errorf("status: %w", err)
+	}
+	if st.Prediction.Jobs == 0 || st.Prediction.LastErrorRatio <= 0 {
+		return fmt.Errorf("status: no prediction scored after a finished job: %+v", st.Prediction)
+	}
+	if st.Jobs["done"] == 0 {
+		return fmt.Errorf("status: job census has no done jobs: %v", st.Jobs)
+	}
+	if st.Grid != nil {
+		for _, wk := range st.Grid.Workers {
+			if wk.LastSeen.IsZero() {
+				return fmt.Errorf("status: grid worker %d (%s) has no last_seen", wk.ID, wk.Name)
+			}
+		}
+	}
+
+	// The debug bundle: one fetch carries the summary with full history,
+	// the submitted params, the span timeline and the flight recorder.
+	db, err := c.Debug(ctx, job.ID)
+	if err != nil {
+		return fmt.Errorf("debug: %w", err)
+	}
+	if db.Params.Algorithm != "gd" || db.Params.Iterations != 5 {
+		return fmt.Errorf("debug params %+v do not match the submission", db.Params)
+	}
+	if len(db.Spans) == 0 || len(db.Events) == 0 {
+		return fmt.Errorf("debug bundle empty: %d spans, %d events", len(db.Spans), len(db.Events))
+	}
+	if db.Job.Prediction == nil || db.Job.ActualSeconds <= 0 {
+		return fmt.Errorf("debug job missing predicted-vs-actual: %+v", db.Job)
 	}
 
 	hist, err := c.History(ctx, job.ID, -1)

@@ -44,6 +44,15 @@ echo "docs_smoke: driving the live server through the client SDK"
 (cd "$repo" && go run ./scripts/clientprobe -server http://127.0.0.1:8617)
 echo "docs_smoke: SDK probe passed"
 
+# Dashboard smoke: one ptychotop snapshot against the live server must
+# render the fleet (pool, job census, grid table) and exit 0.
+echo "docs_smoke: ptychotop -once snapshot"
+top_out=$(cd "$repo" && go run ./cmd/ptychotop -once -server http://127.0.0.1:8617)
+echo "$top_out"
+echo "$top_out" | grep -q "pool" || { echo "docs_smoke: ptychotop snapshot missing pool line" >&2; exit 1; }
+echo "$top_out" | grep -q "grid" || { echo "docs_smoke: ptychotop snapshot missing grid table" >&2; exit 1; }
+echo "docs_smoke: ptychotop snapshot passed"
+
 # pprof smoke: when the server was started with -debug-addr (the CI
 # docs job uses 127.0.0.1:8620), a 1-second CPU profile must come back
 # non-empty. Skipped when no debug server is listening, so the script
