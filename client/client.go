@@ -265,7 +265,7 @@ func (c *Client) Submit(ctx context.Context, req SubmitRequest, dataset io.Reade
 	return c.submit(ctx, "/v1/jobs", req, dataset)
 }
 
-// SubmitStreaming opens a streaming job from a PTYCHSv1 opening
+// SubmitStreaming opens a streaming job from a PTYCHS opening
 // (geometry + probe, no frames) read from opening. Feed frames with
 // AppendFrames, then CloseStream; req.Iterations is the tail run after
 // EOF.
@@ -273,7 +273,7 @@ func (c *Client) SubmitStreaming(ctx context.Context, req SubmitRequest, opening
 	return c.submit(ctx, "/v1/jobs/stream", req, opening)
 }
 
-// AppendFrames pushes one PTYCHSv1 chunk ('F' frames, or 'E' to close
+// AppendFrames pushes one PTYCHS chunk ('F' frames, or 'E' to close
 // the stream) to a streaming job. Ingest-full rejections are retried
 // with the server's Retry-After hint (chunk acceptance is
 // all-or-nothing, so the retry is safe); a chunk that can never fit

@@ -10,7 +10,7 @@
 //	        [-info existing.ptycho]
 //
 // With -info, datagen prints a summary of an existing file instead of
-// generating one. With -stream, the output is a PTYCHSv1 stream
+// generating one. With -stream, the output is a PTYCHS stream
 // (opening + CRC-framed chunks of -chunk frames + EOF marker) instead
 // of a PTYCHOv1 batch container — the input format of the streaming
 // endpoints and a ready-made body for POST /jobs/stream (see
@@ -39,7 +39,7 @@ func main() {
 	kind := flag.String("phantom", "pbtio3", "phantom: pbtio3 or random")
 	dose := flag.Float64("dose", 0, "mean electrons per pattern (0 = noise-free)")
 	seed := flag.Int64("seed", 1, "random seed")
-	stream := flag.Bool("stream", false, "write a PTYCHSv1 stream instead of a PTYCHOv1 batch file")
+	stream := flag.Bool("stream", false, "write a PTYCHS stream instead of a PTYCHOv1 batch file")
 	chunk := flag.Int("chunk", 64, "frames per CRC-framed chunk in -stream mode")
 	info := flag.String("info", "", "print a summary of an existing dataset file and exit")
 	flag.Parse()
@@ -118,7 +118,7 @@ func generate(out string, scanN int, overlap float64, slices, window int,
 	}
 	format := "PTYCHOv1"
 	if stream {
-		format = "PTYCHSv1"
+		format = "PTYCHSv2"
 	}
 	fmt.Printf("wrote %s (%s): %d locations, %dx%d image, %d slices, window %d (%.1f MB)\n",
 		out, format, pat.N(), pat.ImageW, pat.ImageH, slices, window,

@@ -22,7 +22,7 @@
 // deliberately not mounted on the public API address).
 //
 // With -state-dir, job state is durable: every lifecycle transition is
-// append-logged to DIR/jobs.wal (PTYWALv1, periodically compacted into
+// append-logged to DIR/jobs.wal (PTYWALv2, periodically compacted into
 // DIR/jobs.snap), datasets and stream frames are spooled beside it, and
 // a restarted server replays the log — history, pagination and
 // idempotency keys come back, and jobs that were queued or running at

@@ -1,0 +1,275 @@
+package dataio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"ptychopath/internal/grid"
+	"ptychopath/internal/scan"
+	"ptychopath/internal/solver"
+	"ptychopath/internal/wire"
+	"ptychopath/internal/wire/wiretest"
+)
+
+// conformanceProblem is a hand-built deterministic dataset — every
+// value is chosen by hand (exact binary fractions, fixed locations) so
+// the golden byte vectors depend only on the wire formats, never on
+// the physics or RNG code paths that solver.Simulate exercises.
+func conformanceProblem() *solver.Problem {
+	const n = 4
+	probe := grid.NewComplex2DSize(n, n)
+	for i := range probe.Data {
+		probe.Data[i] = complex(float64(i)/16, -float64(i)/32)
+	}
+	pat := &scan.Pattern{ImageW: 32, ImageH: 32, StepPix: 5, RadiusPix: 6}
+	var meas []*grid.Float2D
+	for k := 0; k < 3; k++ {
+		pat.Locations = append(pat.Locations, scan.Location{
+			Index: k, X: float64(8 + 5*k), Y: 9, Radius: 6,
+		})
+		m := grid.NewFloat2DSize(n, n)
+		for i := range m.Data {
+			m.Data[i] = float64(k*16+i) / 8
+		}
+		meas = append(meas, m)
+	}
+	return &solver.Problem{Pattern: pat, Meas: meas, Probe: probe, WindowN: n, Slices: 1}
+}
+
+// legacyStreamBytes encodes prob the way the pre-Castagnoli writer
+// did: PTYCHSv1 magic and IEEE chunk CRCs. Built independently of the
+// production encoder so the differential test below actually compares
+// two implementations rather than one with itself.
+func legacyStreamBytes(t testing.TB, prob *solver.Problem, chunkSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteStreamHeader(&buf, HeaderFromProblem(prob)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	copy(out[:8], streamMagicV1[:])
+	frames := FramesFromProblem(prob)
+	for lo := 0; lo < len(frames); lo += chunkSize {
+		hi := lo + chunkSize
+		if hi > len(frames) {
+			hi = len(frames)
+		}
+		var p []byte
+		p = wire.AppendInt64(p, int64(hi-lo))
+		for _, fr := range frames[lo:hi] {
+			p = wire.AppendInt64(p, int64(fr.Loc.Index))
+			p = wire.AppendFloat64(p, fr.Loc.X)
+			p = wire.AppendFloat64(p, fr.Loc.Y)
+			p = wire.AppendFloat64(p, fr.Loc.Radius)
+			p = wire.AppendFloat64s(p, fr.Meas.Data)
+		}
+		out = wire.AppendChunk(out, chunkFrames, p, wire.GenIEEE)
+	}
+	return wire.AppendChunk(out, chunkEOF, nil, wire.GenIEEE)
+}
+
+// TestGoldenDataset pins the PTYCHOv1 batch format to committed bytes
+// and proves decode→re-encode is bit-identical.
+func TestGoldenDataset(t *testing.T) {
+	prob := conformanceProblem()
+	var buf bytes.Buffer
+	if err := Write(&buf, prob); err != nil {
+		t.Fatal(err)
+	}
+	wiretest.Golden(t, "ptycho_v1.golden", buf.Bytes())
+
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := Write(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("PTYCHOv1 decode→re-encode is not bit-identical")
+	}
+}
+
+// TestGoldenObject pins the OBJCKv1 checkpoint format.
+func TestGoldenObject(t *testing.T) {
+	slices := make([]*grid.Complex2D, 2)
+	for s := range slices {
+		c := grid.NewComplex2DSize(6, 6)
+		for i := range c.Data {
+			c.Data[i] = complex(float64(s*64+i)/8, float64(i)/4)
+		}
+		slices[s] = c
+	}
+	var buf bytes.Buffer
+	if err := WriteObject(&buf, slices); err != nil {
+		t.Fatal(err)
+	}
+	wiretest.Golden(t, "objck_v1.golden", buf.Bytes())
+
+	got, err := ReadObject(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := WriteObject(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("OBJCKv1 decode→re-encode is not bit-identical")
+	}
+}
+
+// TestGoldenStream pins the current PTYCHSv2 (Castagnoli) stream
+// encoding and proves replay→re-encode is bit-identical.
+func TestGoldenStream(t *testing.T) {
+	prob := conformanceProblem()
+	var buf bytes.Buffer
+	if err := WriteStream(&buf, prob, 2); err != nil {
+		t.Fatal(err)
+	}
+	wiretest.Golden(t, "ptychs_v2.golden", buf.Bytes())
+
+	got, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := WriteStream(&again, got, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("PTYCHSv2 replay→re-encode is not bit-identical")
+	}
+}
+
+// TestGoldenStreamLegacy pins the old IEEE-framed PTYCHSv1 encoding
+// and runs the differential check: the current reader must replay the
+// legacy bytes to the exact state the current writer would produce —
+// so upgrading the checksum generation changed nothing but the frame.
+func TestGoldenStreamLegacy(t *testing.T) {
+	prob := conformanceProblem()
+	legacy := legacyStreamBytes(t, prob, 2)
+	wiretest.Golden(t, "ptychs_v1_ieee.golden", legacy)
+
+	var current bytes.Buffer
+	if err := WriteStream(&current, prob, 2); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(legacy, current.Bytes()) {
+		t.Fatal("legacy and current streams should differ (magic and CRCs)")
+	}
+
+	replayed, err := ReadStream(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("current reader rejected legacy PTYCHSv1 stream: %v", err)
+	}
+	var reenc bytes.Buffer
+	if err := WriteStream(&reenc, replayed, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc.Bytes(), current.Bytes()) {
+		t.Fatal("legacy replay diverges from a current-generation encode of the same problem")
+	}
+}
+
+// TestDecodeChunkMatchesReadChunk pins the zero-copy decoder to the
+// reader: same frames from the same bytes, same consumed count, and
+// the same truncation taxonomy (io.EOF when empty, ErrUnexpectedEOF
+// when torn, ErrChunkCorrupt on a flipped CRC).
+func TestDecodeChunkMatchesReadChunk(t *testing.T) {
+	prob := conformanceProblem()
+	frames := FramesFromProblem(prob)
+	n := prob.WindowN
+	var buf bytes.Buffer
+	if err := WriteFrameChunk(&buf, n, frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEOFChunk(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	viaReader, eof, err := ReadChunk(bytes.NewReader(raw), n)
+	if err != nil || eof {
+		t.Fatalf("ReadChunk: eof %v, err %v", eof, err)
+	}
+	direct, eof, consumed, err := DecodeChunk(raw, n)
+	if err != nil || eof {
+		t.Fatalf("DecodeChunk: eof %v, err %v", eof, err)
+	}
+	if len(direct) != len(viaReader) {
+		t.Fatalf("DecodeChunk returned %d frames, ReadChunk %d", len(direct), len(viaReader))
+	}
+	for i := range direct {
+		if direct[i].Loc != viaReader[i].Loc || !bytes.Equal(
+			wire.AppendFloat64s(nil, direct[i].Meas.Data),
+			wire.AppendFloat64s(nil, viaReader[i].Meas.Data)) {
+			t.Fatalf("frame %d differs between decoders", i)
+		}
+	}
+	_, eof, tail, err := DecodeChunk(raw[consumed:], n)
+	if err != nil || !eof {
+		t.Fatalf("EOF chunk: eof %v, err %v", eof, err)
+	}
+	if consumed+tail != len(raw) {
+		t.Fatalf("consumed %d+%d of %d bytes", consumed, tail, len(raw))
+	}
+
+	if _, _, _, err := DecodeChunk(nil, n); err != io.EOF {
+		t.Fatalf("empty buffer: %v, want io.EOF", err)
+	}
+	if _, _, _, err := DecodeChunk(raw[:consumed/2], n); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("torn buffer: %v, want ErrUnexpectedEOF", err)
+	}
+	flipped := append([]byte(nil), raw...)
+	flipped[consumed-6] ^= 0x01 // payload byte under the chunk CRC
+	if _, _, _, err := DecodeChunk(flipped, n); !errors.Is(err, ErrChunkCorrupt) {
+		t.Fatalf("flipped payload: %v, want ErrChunkCorrupt", err)
+	}
+}
+
+// TestChunkCodecAllocs is the allocation-budget guard for the stream
+// hot path: a warm ChunkEncoder writes with zero allocations, and a
+// warm ChunkDecoder spends at most the three slices the decoded frames
+// own (budget 8 leaves slack for toolchain drift, per the BENCH gate).
+func TestChunkCodecAllocs(t *testing.T) {
+	prob := conformanceProblem()
+	frames := FramesFromProblem(prob)
+	windowN := prob.WindowN
+
+	enc := new(ChunkEncoder)
+	if err := enc.WriteFrameChunk(io.Discard, windowN, frames); err != nil {
+		t.Fatal(err)
+	}
+	encAllocs := testing.AllocsPerRun(100, func() {
+		if err := enc.WriteFrameChunk(io.Discard, windowN, frames); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encAllocs > 0 {
+		t.Errorf("warm ChunkEncoder.WriteFrameChunk: %.0f allocs/op, budget 0", encAllocs)
+	}
+
+	var chunk bytes.Buffer
+	if err := enc.WriteFrameChunk(&chunk, windowN, frames); err != nil {
+		t.Fatal(err)
+	}
+	raw := chunk.Bytes()
+	dec := new(ChunkDecoder)
+	r := bytes.NewReader(raw)
+	if _, _, err := dec.ReadChunk(r, windowN); err != nil {
+		t.Fatal(err)
+	}
+	decAllocs := testing.AllocsPerRun(100, func() {
+		r.Reset(raw)
+		if _, _, err := dec.ReadChunk(r, windowN); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if decAllocs > 8 {
+		t.Errorf("warm ChunkDecoder.ReadChunk: %.0f allocs/op, budget 8", decAllocs)
+	}
+}

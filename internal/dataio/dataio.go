@@ -15,7 +15,7 @@
 //	meas    numLocations x windowN^2 float64 amplitudes
 //
 // The complete byte-level specification of every format in this
-// package — PTYCHOv1, the OBJCKv1 object checkpoint and the PTYCHSv1
+// package — PTYCHOv1, the OBJCKv1 object checkpoint and the PTYCHS
 // incremental stream — together with the grid transport's PTGW wire
 // frames, lives in docs/FORMATS.md.
 package dataio
@@ -54,7 +54,7 @@ const (
 	maxImageDim  = 1 << 20
 )
 
-// checkDatasetHeader bounds the PTYCHOv1 / PTYCHSv1 geometry fields.
+// checkDatasetHeader bounds the PTYCHOv1 / PTYCHS geometry fields.
 func checkDatasetHeader(windowN, slices, imageW, imageH, numLoc int) error {
 	switch {
 	case windowN <= 0 || windowN > maxWindowN:

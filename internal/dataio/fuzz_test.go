@@ -8,6 +8,7 @@ import (
 	"ptychopath/internal/physics"
 	"ptychopath/internal/scan"
 	"ptychopath/internal/solver"
+	"ptychopath/internal/wire/wiretest"
 )
 
 // FuzzRead hammers the dataset decoder with arbitrary bytes: it must
@@ -162,6 +163,19 @@ func FuzzReadStream(f *testing.F) {
 	kindFlip := append([]byte(nil), valid...)
 	kindFlip[headerEnd] = 'Z'
 	f.Add(kindFlip)
+	// The shared framing-attack corpus, anchored on the first chunk's
+	// length field — the same mutations the transport and WAL fuzzers
+	// rehearse, so a defense added in one decoder is tested in all.
+	for _, m := range wiretest.Mutations(valid, headerEnd+1) {
+		f.Add(m)
+	}
+	// A legacy IEEE-framed stream must replay; with a flipped payload
+	// bit it must be rejected by the old-generation CRC, not accepted.
+	legacy := legacyStreamBytes(f, prob, 2)
+	f.Add(legacy)
+	for _, m := range wiretest.Mutations(legacy, headerEnd+1) {
+		f.Add(m)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		prob, err := ReadStream(bytes.NewReader(data))

@@ -2,21 +2,21 @@ package dataio
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"sync"
 
 	"ptychopath/internal/grid"
 	"ptychopath/internal/scan"
 	"ptychopath/internal/solver"
+	"ptychopath/internal/wire"
 )
 
-// PTYCHSv1 is the incremental companion of PTYCHOv1: a dataset whose
+// PTYCHSv2 is the incremental companion of PTYCHOv1: a dataset whose
 // frames arrive while the acquisition is still running. The header
 // carries only geometry and probe metadata — everything the streaming
 // reconstruction engine needs to open a job before a single
@@ -28,7 +28,7 @@ import (
 //
 // Layout (all integers little-endian):
 //
-//	magic   [8]byte  "PTYCHSv1"
+//	magic   [8]byte  "PTYCHSv2" ("PTYCHSv1" accepted on read)
 //	header  8 x int64: windowN, slices, imageW, imageH, hasProp (0/1),
 //	                   stepPix*1e6, radiusPix*1e6, reserved
 //	probe   2*windowN^2 float64 (re, im interleaved)
@@ -37,15 +37,23 @@ import (
 //	        kind    [1]byte: 'F' (frames) or 'E' (end of stream)
 //	        length  int64: payload byte count
 //	        payload length bytes
-//	        crc     uint32: IEEE CRC-32 of the payload
+//	        crc     uint32: CRC-32 of the payload
 //
 // An 'F' payload is int64 count followed by count frames, each
 // int64 index, float64 x, y, radius, then windowN^2 float64
 // amplitudes. An 'E' payload is empty; it marks a cleanly closed
-// acquisition. Chunks after 'E' are an error. Full byte-level spec
-// with worked offsets: docs/FORMATS.md.
+// acquisition. Chunks after 'E' are an error.
+//
+// Version 2 differs from version 1 only in checksum generation: v2
+// chunks carry Castagnoli CRC-32 (hardware-accelerated), v1 chunks
+// IEEE. The decoder accepts either generation per chunk regardless of
+// the magic, so a v1 spool appended by a v2 writer still replays.
+// Full byte-level spec with worked offsets: docs/FORMATS.md.
 
-var streamMagic = [8]byte{'P', 'T', 'Y', 'C', 'H', 'S', 'v', '1'}
+var (
+	streamMagic   = [8]byte{'P', 'T', 'Y', 'C', 'H', 'S', 'v', '2'}
+	streamMagicV1 = [8]byte{'P', 'T', 'Y', 'C', 'H', 'S', 'v', '1'}
+)
 
 // Chunk kind bytes.
 const (
@@ -61,7 +69,7 @@ const maxChunkFrames = 1 << 20
 // count — the stream was torn or tampered with in transit.
 var ErrChunkCorrupt = errors.New("dataio: stream chunk corrupt")
 
-// StreamHeader is the metadata a PTYCHSv1 stream opens with: the full
+// StreamHeader is the metadata a PTYCHSv2 stream opens with: the full
 // acquisition geometry, but no frames.
 type StreamHeader struct {
 	WindowN int
@@ -170,8 +178,8 @@ func readStreamHeader(br *bufio.Reader) (*StreamHeader, error) {
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("dataio: reading stream magic: %w", err)
 	}
-	if m != streamMagic {
-		return nil, fmt.Errorf("dataio: bad magic %q (not a PTYCHSv1 stream)", m)
+	if m != streamMagic && m != streamMagicV1 {
+		return nil, fmt.Errorf("dataio: bad magic %q (not a PTYCHSv1/v2 stream)", m)
 	}
 	header := make([]int64, 8)
 	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
@@ -202,48 +210,80 @@ func readStreamHeader(br *bufio.Reader) (*StreamHeader, error) {
 // frameBytes is the encoded size of one frame for the given window.
 func frameBytes(windowN int) int { return 8 + 3*8 + 8*windowN*windowN }
 
+// ChunkEncoder owns the scratch buffer a chunk is framed in. One
+// encoder reused across appends writes a whole stream with amortized
+// zero allocations: the chunk is built in place (header, payload,
+// checksum) and handed to w in a single Write call.
+//
+// The zero value is ready to use. Not safe for concurrent use; the
+// package-level WriteFrameChunk pools encoders for callers without a
+// natural place to keep one.
+type ChunkEncoder struct {
+	buf []byte
+}
+
 // WriteFrameChunk appends one CRC-framed chunk of frames to w. Every
 // frame's measurement must be windowN x windowN.
-func WriteFrameChunk(w io.Writer, windowN int, frames []Frame) error {
+func (e *ChunkEncoder) WriteFrameChunk(w io.Writer, windowN int, frames []Frame) error {
 	if len(frames) == 0 {
 		return fmt.Errorf("dataio: empty frame chunk")
 	}
 	if len(frames) > maxChunkFrames {
 		return fmt.Errorf("%w: %d frames in one chunk (max %d)", ErrHeaderBounds, len(frames), maxChunkFrames)
 	}
-	payload := bytes.NewBuffer(make([]byte, 0, 8+len(frames)*frameBytes(windowN)))
-	binary.Write(payload, binary.LittleEndian, int64(len(frames)))
+	need := wire.ChunkOverhead + 8 + len(frames)*frameBytes(windowN)
+	if cap(e.buf) < need {
+		e.buf = make([]byte, 0, need)
+	}
+	buf, start := wire.BeginChunk(e.buf[:0], chunkFrames)
+	buf = wire.AppendInt64(buf, int64(len(frames)))
 	for i, f := range frames {
 		if f.Meas == nil || f.Meas.W() != windowN || f.Meas.H() != windowN {
+			e.buf = buf
 			return fmt.Errorf("dataio: chunk frame %d measurement is not %dx%d", i, windowN, windowN)
 		}
-		binary.Write(payload, binary.LittleEndian, int64(f.Loc.Index))
-		binary.Write(payload, binary.LittleEndian, []float64{f.Loc.X, f.Loc.Y, f.Loc.Radius})
-		binary.Write(payload, binary.LittleEndian, f.Meas.Data)
+		buf = wire.AppendInt64(buf, int64(f.Loc.Index))
+		buf = wire.AppendFloat64(buf, f.Loc.X)
+		buf = wire.AppendFloat64(buf, f.Loc.Y)
+		buf = wire.AppendFloat64(buf, f.Loc.Radius)
+		buf = wire.AppendFloat64s(buf, f.Meas.Data)
 	}
-	return writeChunk(w, chunkFrames, payload.Bytes())
+	buf = wire.EndChunk(buf, start, wire.GenCurrent)
+	e.buf = buf
+	_, err := w.Write(buf)
+	return err
+}
+
+var chunkEncoders = sync.Pool{New: func() any { return new(ChunkEncoder) }}
+
+// WriteFrameChunk appends one CRC-framed chunk of frames to w using a
+// pooled encoder. Every frame's measurement must be windowN x windowN.
+// Callers on a hot path should hold their own ChunkEncoder instead.
+func WriteFrameChunk(w io.Writer, windowN int, frames []Frame) error {
+	e := chunkEncoders.Get().(*ChunkEncoder)
+	defer chunkEncoders.Put(e)
+	return e.WriteFrameChunk(w, windowN, frames)
 }
 
 // WriteEOFChunk appends the end-of-stream marker to w.
 func WriteEOFChunk(w io.Writer) error {
-	return writeChunk(w, chunkEOF, nil)
+	var arr [wire.ChunkOverhead]byte
+	buf := wire.AppendChunk(arr[:0], chunkEOF, nil, wire.GenCurrent)
+	_, err := w.Write(buf)
+	return err
 }
 
-func writeChunk(w io.Writer, kind byte, payload []byte) error {
-	bw := bufio.NewWriter(w)
-	if err := bw.WriteByte(kind); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, int64(len(payload))); err != nil {
-		return err
-	}
-	if _, err := bw.Write(payload); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, crc32.ChecksumIEEE(payload)); err != nil {
-		return err
-	}
-	return bw.Flush()
+// ChunkDecoder owns the payload scratch a chunk is read into. One
+// decoder reused across chunks keeps steady-state decode allocations
+// down to the frames themselves: each chunk's frames share a single
+// backing array sliced per frame, and they OWN that memory — nothing
+// handed out aliases the decoder's scratch, so the ingest ring and
+// Problem.AppendLocations may retain frames indefinitely.
+//
+// The zero value is ready to use. Not safe for concurrent use; the
+// package-level ReadChunk pools decoders.
+type ChunkDecoder struct {
+	scratch []byte
 }
 
 // ReadChunk reads one framed chunk for a stream with the given window
@@ -251,36 +291,38 @@ func writeChunk(w io.Writer, kind byte, payload []byte) error {
 // for an 'E' chunk, and io.EOF when r is exhausted before a chunk
 // starts. CRC or length mismatches return ErrChunkCorrupt; implausible
 // frame counts return ErrHeaderBounds — both before the payload is
-// interpreted.
-func ReadChunk(r io.Reader, windowN int) (frames []Frame, eof bool, err error) {
+// interpreted. Either checksum generation (Castagnoli or legacy IEEE)
+// is accepted per chunk.
+func (d *ChunkDecoder) ReadChunk(r io.Reader, windowN int) (frames []Frame, eof bool, err error) {
 	if windowN <= 0 || windowN > maxWindowN {
 		return nil, false, fmt.Errorf("%w: window %d", ErrHeaderBounds, windowN)
 	}
 	// No buffering here: every read is exact-size, so ReadChunk never
 	// consumes bytes past its own chunk — callers interleave calls on a
 	// shared reader (ReadStream) or hand over an HTTP body.
-	br := r
 	var kind [1]byte
-	if _, err := io.ReadFull(br, kind[:]); err != nil {
+	if _, err := io.ReadFull(r, kind[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, false, io.EOF
 		}
 		return nil, false, fmt.Errorf("dataio: reading chunk kind: %w", err)
 	}
-	var length int64
-	if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+	var lenBuf [8]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, false, fmt.Errorf("dataio: reading chunk length: %w", err)
 	}
+	length := wire.Int64(lenBuf[:])
 	switch kind[0] {
 	case chunkEOF:
 		if length != 0 {
 			return nil, false, fmt.Errorf("%w: EOF chunk with %d payload bytes", ErrChunkCorrupt, length)
 		}
-		var sum uint32
-		if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
 			return nil, false, fmt.Errorf("dataio: reading chunk crc: %w", err)
 		}
-		if sum != crc32.ChecksumIEEE(nil) {
+		// Both generations checksum the empty payload to 0.
+		if sum := wire.Uint32(crcBuf[:]); sum != 0 {
 			return nil, false, fmt.Errorf("%w: EOF chunk crc %08x", ErrChunkCorrupt, sum)
 		}
 		return nil, true, nil
@@ -294,27 +336,22 @@ func ReadChunk(r io.Reader, windowN int) (frames []Frame, eof bool, err error) {
 		if n := (length - 8) / fb; n > maxChunkFrames {
 			return nil, false, fmt.Errorf("%w: %d frames in one chunk (max %d)", ErrHeaderBounds, n, maxChunkFrames)
 		}
-		// Never trust the declared length for the allocation: copy
-		// through a growing buffer so memory tracks the bytes that
-		// ACTUALLY arrive — a 17-byte request declaring a terabyte
-		// chunk fails at EOF having allocated almost nothing.
-		var pbuf bytes.Buffer
-		pbuf.Grow(int(min(length, 1<<20)))
-		if _, err := io.CopyN(&pbuf, br, length); err != nil {
-			if errors.Is(err, io.EOF) {
-				// Bare io.EOF is reserved for "no chunk starts here";
-				// running dry MID-payload is a torn chunk.
-				err = io.ErrUnexpectedEOF
-			}
+		// Never trust the declared length for the allocation:
+		// wire.ReadCapped grows in bounded increments as bytes ACTUALLY
+		// arrive — a 17-byte request declaring a terabyte chunk fails at
+		// EOF having allocated almost nothing.
+		payload, err := wire.ReadCapped(r, d.scratch, length)
+		if err != nil {
 			return nil, false, fmt.Errorf("dataio: reading chunk payload: %w", err)
 		}
-		payload := pbuf.Bytes()
-		var sum uint32
-		if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+		d.scratch = payload
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
 			return nil, false, fmt.Errorf("dataio: reading chunk crc: %w", err)
 		}
-		if sum != crc32.ChecksumIEEE(payload) {
-			return nil, false, fmt.Errorf("%w: crc %08x != %08x", ErrChunkCorrupt, sum, crc32.ChecksumIEEE(payload))
+		sum := wire.Uint32(crcBuf[:])
+		if want, ok := wire.Verify(sum, payload); !ok {
+			return nil, false, fmt.Errorf("%w: crc %08x != %08x", ErrChunkCorrupt, sum, want)
 		}
 		return decodeFramePayload(payload, windowN)
 	default:
@@ -322,25 +359,102 @@ func ReadChunk(r io.Reader, windowN int) (frames []Frame, eof bool, err error) {
 	}
 }
 
+var chunkDecoders = sync.Pool{New: func() any { return new(ChunkDecoder) }}
+
+// ReadChunk reads one framed chunk using a pooled decoder; see
+// ChunkDecoder.ReadChunk. Callers on a hot path should hold their own
+// ChunkDecoder instead.
+func ReadChunk(r io.Reader, windowN int) (frames []Frame, eof bool, err error) {
+	d := chunkDecoders.Get().(*ChunkDecoder)
+	defer chunkDecoders.Put(d)
+	return d.ReadChunk(r, windowN)
+}
+
+// DecodeChunk is the zero-copy sibling of ReadChunk for callers that
+// already hold the encoded bytes in memory (a spool file read whole, a
+// batch buffer): the chunk at the front of buf is validated and
+// decoded in place — no intermediate payload copy — and n reports the
+// bytes consumed so callers can walk a concatenation. Validation, caps
+// and dual-generation CRC acceptance match ReadChunk exactly; an empty
+// buf returns io.EOF and a buffer ending mid-chunk returns
+// io.ErrUnexpectedEOF, mirroring the reader's truncation taxonomy.
+func DecodeChunk(buf []byte, windowN int) (frames []Frame, eof bool, n int, err error) {
+	if windowN <= 0 || windowN > maxWindowN {
+		return nil, false, 0, fmt.Errorf("%w: window %d", ErrHeaderBounds, windowN)
+	}
+	if len(buf) == 0 {
+		return nil, false, 0, io.EOF
+	}
+	if len(buf) < 1+8 {
+		return nil, false, 0, fmt.Errorf("dataio: reading chunk length: %w", io.ErrUnexpectedEOF)
+	}
+	kind, length := buf[0], wire.Int64(buf[1:])
+	switch kind {
+	case chunkEOF:
+		if length != 0 {
+			return nil, false, 0, fmt.Errorf("%w: EOF chunk with %d payload bytes", ErrChunkCorrupt, length)
+		}
+		if len(buf) < wire.ChunkOverhead {
+			return nil, false, 0, fmt.Errorf("dataio: reading chunk crc: %w", io.ErrUnexpectedEOF)
+		}
+		if sum := wire.Uint32(buf[9:]); sum != 0 {
+			return nil, false, 0, fmt.Errorf("%w: EOF chunk crc %08x", ErrChunkCorrupt, sum)
+		}
+		return nil, true, wire.ChunkOverhead, nil
+	case chunkFrames:
+		fb := int64(frameBytes(windowN))
+		if length < 8+fb || (length-8)%fb != 0 {
+			return nil, false, 0, fmt.Errorf("%w: frame chunk length %d not 8+k*%d", ErrChunkCorrupt, length, fb)
+		}
+		if c := (length - 8) / fb; c > maxChunkFrames {
+			return nil, false, 0, fmt.Errorf("%w: %d frames in one chunk (max %d)", ErrHeaderBounds, c, maxChunkFrames)
+		}
+		total := int64(wire.ChunkOverhead) + length
+		if int64(len(buf)) < total {
+			return nil, false, 0, fmt.Errorf("dataio: reading chunk payload: %w", io.ErrUnexpectedEOF)
+		}
+		payload := buf[9 : 9+length]
+		sum := wire.Uint32(buf[9+length:])
+		if want, ok := wire.Verify(sum, payload); !ok {
+			return nil, false, 0, fmt.Errorf("%w: crc %08x != %08x", ErrChunkCorrupt, sum, want)
+		}
+		frames, eof, err = decodeFramePayload(payload, windowN)
+		return frames, eof, int(total), err
+	default:
+		return nil, false, 0, fmt.Errorf("%w: unknown chunk kind %q", ErrChunkCorrupt, kind)
+	}
+}
+
+// decodeFramePayload slices frames out of a verified 'F' payload. All
+// frames of the chunk share one backing array (three allocations per
+// chunk: frames, grids, samples), which they own — the payload buffer
+// itself is the decoder's and is reused for the next chunk.
 func decodeFramePayload(payload []byte, windowN int) ([]Frame, bool, error) {
-	pr := bytes.NewReader(payload)
-	var count int64
-	binary.Read(pr, binary.LittleEndian, &count)
-	if want := int64(len(payload)-8) / int64(frameBytes(windowN)); count != want {
+	fb := frameBytes(windowN)
+	count := wire.Int64(payload)
+	if want := int64(len(payload)-8) / int64(fb); count != want {
 		return nil, false, fmt.Errorf("%w: chunk declares %d frames, payload holds %d", ErrChunkCorrupt, count, want)
 	}
+	nn := windowN * windowN
 	frames := make([]Frame, count)
-	coords := make([]float64, 3)
+	grids := make([]grid.Float2D, count)
+	backing := make([]float64, int(count)*nn)
+	bounds := grid.RectWH(0, 0, windowN, windowN)
+	off := 8
 	for i := range frames {
-		var idx int64
-		binary.Read(pr, binary.LittleEndian, &idx)
-		binary.Read(pr, binary.LittleEndian, coords)
-		m := grid.NewFloat2DSize(windowN, windowN)
-		binary.Read(pr, binary.LittleEndian, m.Data)
+		data := backing[i*nn : (i+1)*nn : (i+1)*nn]
+		wire.Float64s(data, payload[off+32:])
+		grids[i] = grid.Float2D{Bounds: bounds, Data: data}
 		frames[i] = Frame{
-			Loc:  scan.Location{Index: int(idx), X: coords[0], Y: coords[1], Radius: coords[2]},
-			Meas: m,
+			Loc: scan.Location{
+				Index:  int(wire.Int64(payload[off:])),
+				X:      wire.Float64(payload[off+8:]),
+				Y:      wire.Float64(payload[off+16:]),
+				Radius: wire.Float64(payload[off+24:]),
+			},
+			Meas: &grids[i],
 		}
+		off += fb
 	}
 	return frames, false, nil
 }
@@ -356,7 +470,7 @@ func FramesFromProblem(prob *solver.Problem) []Frame {
 	return frames
 }
 
-// WriteStream serializes a complete dataset as a PTYCHSv1 stream:
+// WriteStream serializes a complete dataset as a PTYCHSv2 stream:
 // header, frames in chunks of chunkSize, then the EOF marker. The
 // output replays into a problem identical to prob.
 func WriteStream(w io.Writer, prob *solver.Problem, chunkSize int) error {
@@ -370,16 +484,18 @@ func WriteStream(w io.Writer, prob *solver.Problem, chunkSize int) error {
 		return err
 	}
 	frames := FramesFromProblem(prob)
+	enc := chunkEncoders.Get().(*ChunkEncoder)
+	defer chunkEncoders.Put(enc)
 	for lo := 0; lo < len(frames); lo += chunkSize {
 		hi := min(lo+chunkSize, len(frames))
-		if err := WriteFrameChunk(w, prob.WindowN, frames[lo:hi]); err != nil {
+		if err := enc.WriteFrameChunk(w, prob.WindowN, frames[lo:hi]); err != nil {
 			return err
 		}
 	}
 	return WriteEOFChunk(w)
 }
 
-// ReadStream replays a complete PTYCHSv1 stream from r into a
+// ReadStream replays a complete PTYCHSv1/v2 stream from r into a
 // canonical problem: header, every frame chunk in order, until the EOF
 // marker (or the end of r, for a stream whose acquisition was cut
 // short). This is the bridge back to the batch world — the returned
@@ -391,8 +507,10 @@ func ReadStream(r io.Reader) (*solver.Problem, error) {
 		return nil, err
 	}
 	prob := h.NewProblem()
+	dec := chunkDecoders.Get().(*ChunkDecoder)
+	defer chunkDecoders.Put(dec)
 	for {
-		frames, eof, err := ReadChunk(br, h.WindowN)
+		frames, eof, err := dec.ReadChunk(br, h.WindowN)
 		if errors.Is(err, io.EOF) {
 			break // truncated stream: keep what arrived
 		}
@@ -417,7 +535,7 @@ func ReadStream(r io.Reader) (*solver.Problem, error) {
 	return prob, nil
 }
 
-// ReadStreamFile replays a PTYCHSv1 stream from the named file.
+// ReadStreamFile replays a PTYCHSv1/v2 stream from the named file.
 func ReadStreamFile(path string) (*solver.Problem, error) {
 	f, err := os.Open(path)
 	if err != nil {

@@ -8,14 +8,14 @@
 //	                              + a "dataset" PTYCHOv1 part. 202 with
 //	                              the job summary. Honors Idempotency-Key.
 //	POST /v1/jobs/stream          multipart submit of a STREAMING job: a
-//	                              "params" part + a "dataset" PTYCHSv1
+//	                              "params" part + a "dataset" PTYCHS
 //	                              opening (header + probe, no frames).
 //	GET  /v1/jobs                 page of jobs in submit order:
 //	                              ?limit=N&cursor=C&status=S →
 //	                              {"jobs": [...], "next_cursor": "..."}
 //	GET  /v1/jobs/{id}            one job, with the cost-history tail
 //	                              (?history=N entries, ?history=all)
-//	POST /v1/jobs/{id}/frames     body: one PTYCHSv1 chunk ('F' frames,
+//	POST /v1/jobs/{id}/frames     body: one PTYCHS chunk ('F' frames,
 //	                              'E' closes). 200 with {accepted,total};
 //	                              429 ingest_full when the buffer is full
 //	POST /v1/jobs/{id}/eof        close the stream; the job folds what is
@@ -510,7 +510,7 @@ func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleSubmitStreamV1 opens a streaming job from a multipart body
-// whose dataset part is a PTYCHSv1 opening.
+// whose dataset part is a PTYCHS opening.
 func (s *Server) handleSubmitStreamV1(w http.ResponseWriter, r *http.Request) {
 	var hdr *dataio.StreamHeader
 	req, err := s.readSubmitParts(w, r, func(body io.Reader) error {
@@ -642,7 +642,7 @@ func (s *Server) handleSubmitStreamLegacy(w http.ResponseWriter, r *http.Request
 	}
 	hdr, err := dataio.ReadStreamHeader(http.MaxBytesReader(w, r.Body, s.maxUpload))
 	if err != nil {
-		writeErr(w, badParams("decoding PTYCHSv1 opening: %w", err))
+		writeErr(w, badParams("decoding PTYCHS opening: %w", err))
 		return
 	}
 	params.RequestID = requestIDFrom(r.Context())
@@ -660,7 +660,7 @@ func (s *Server) handleListLegacy(w http.ResponseWriter, r *http.Request) {
 
 // --- shared handlers -------------------------------------------------
 
-// handleFrames ingests one PTYCHSv1 chunk. An 'F' chunk appends
+// handleFrames ingests one PTYCHS chunk. An 'F' chunk appends
 // frames (429 ingest_full when the bounded ingest is full — retry the
 // same chunk); an 'E' chunk closes the stream like POST eof.
 func (s *Server) handleFrames(w http.ResponseWriter, r *http.Request) {

@@ -259,7 +259,7 @@ type Job struct {
 
 	// Streaming-job state (nil/false for batch jobs). The ingest is
 	// the bounded frame buffer producers append to; hdr is the
-	// PTYCHSv1 opening the job was created from.
+	// PTYCHS opening the job was created from.
 	streaming bool
 	hdr       *dataio.StreamHeader
 	ingest    *stream.Ingest

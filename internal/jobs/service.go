@@ -306,7 +306,7 @@ func (s *Service) failPersist(j *Job, err error) error {
 }
 
 // SubmitStreaming opens a Streaming job from geometry and probe
-// metadata only (the PTYCHSv1 opening): the reconstruction starts with
+// metadata only (the PTYCHS opening): the reconstruction starts with
 // an empty active set and grows as producers push frames through
 // AppendFrames. Params.Iterations is the tail — iterations run over
 // the complete set after CloseStream. Like any job it waits for a pool

@@ -1,0 +1,19 @@
+package store
+
+import (
+	"testing"
+)
+
+// BenchmarkRecordAppend measures framing one iteration record into a
+// warm scratch buffer — the per-record cost of WAL.append before the
+// write syscall.
+func BenchmarkRecordAppend(b *testing.B) {
+	payload := []byte(`{"id":"job-0001","iter":1,"cost":0.5,"updated":"2026-08-08T10:00:02Z"}`)
+	buf := appendFrame(nil, recIteration, payload)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = appendFrame(buf[:0], recIteration, payload)
+	}
+}

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ptychopath/internal/wire"
+	"ptychopath/internal/wire/wiretest"
+)
+
+// conformanceRecords is the fixed record sequence behind the WAL
+// golden vectors — a full job lifecycle with hand-written timestamps
+// so the bytes are stable across runs and machines.
+func conformanceRecords() []struct {
+	kind    byte
+	payload string
+} {
+	return []struct {
+		kind    byte
+		payload string
+	}{
+		{recSubmit, `{"id":"job-0001","key":"k","created":"2026-08-08T10:00:00Z"}`},
+		{recStart, `{"id":"job-0001","started":"2026-08-08T10:00:01Z"}`},
+		{recIteration, `{"id":"job-0001","iter":1,"cost":0.5}`},
+		{recCheckpoint, `{"id":"job-0001","path":"/x/job-0001.objck","iter":1}`},
+		{recFinish, `{"id":"job-0001","state":"done","finished":"2026-08-08T10:01:00Z"}`},
+	}
+}
+
+// conformanceWAL encodes the fixture lifecycle under the given magic
+// and checksum generation — GenCurrent reproduces what the production
+// writer emits, GenIEEE what the pre-Castagnoli writer emitted.
+func conformanceWAL(magic [8]byte, g wire.Gen) []byte {
+	buf := append([]byte(nil), magic[:]...)
+	for _, r := range conformanceRecords() {
+		buf = wire.AppendChunk(buf, r.kind, []byte(r.payload), g)
+	}
+	return buf
+}
+
+// TestGoldenWAL pins both WAL encodings to committed bytes, proves the
+// production appendFrame reproduces the current golden, and runs the
+// differential replay: legacy and current logs must recover to deeply
+// equal state.
+func TestGoldenWAL(t *testing.T) {
+	current := conformanceWAL(walMagic, wire.GenCurrent)
+	legacy := conformanceWAL(walMagicV1, wire.GenIEEE)
+	wiretest.Golden(t, "wal_v2_castagnoli.golden", current)
+	wiretest.Golden(t, "wal_v1_ieee.golden", legacy)
+
+	reenc := append([]byte(nil), walMagic[:]...)
+	for _, r := range conformanceRecords() {
+		reenc = appendFrame(reenc, r.kind, []byte(r.payload))
+	}
+	if !bytes.Equal(reenc, current) {
+		t.Fatal("production appendFrame diverges from the golden encoding")
+	}
+
+	recCur, offCur, err := ReplayWAL(bytes.NewReader(current))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recOld, offOld, err := ReplayWAL(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("replaying legacy IEEE-framed WAL: %v", err)
+	}
+	if offCur != int64(len(current)) || offOld != int64(len(legacy)) {
+		t.Fatalf("replay stopped early: %d/%d and %d/%d bytes", offCur, len(current), offOld, len(legacy))
+	}
+	if !reflect.DeepEqual(recCur, recOld) {
+		t.Fatal("legacy and current WALs recover to different state")
+	}
+	if len(recCur.Jobs) != 1 || recCur.Jobs[0].ID != "job-0001" {
+		t.Fatalf("recovered %+v, want the one fixture job", recCur.Jobs)
+	}
+
+	// Mixed-generation log: a v1 file reopened by the current writer
+	// gets Castagnoli records appended after its IEEE ones. Per-record
+	// dual-accept must replay it all.
+	mixed := append([]byte(nil), legacy...)
+	mixed = appendFrame(mixed, recIteration, []byte(`{"id":"job-0001","iter":2,"cost":0.25}`))
+	if _, off, err := ReplayWAL(bytes.NewReader(mixed)); err != nil || off != int64(len(mixed)) {
+		t.Fatalf("mixed-generation replay: offset %d/%d, err %v", off, len(mixed), err)
+	}
+}
+
+// TestRecordAppendAllocs is the allocation-budget guard for the WAL
+// hot path: framing a record into a warm scratch buffer is zero-alloc.
+func TestRecordAppendAllocs(t *testing.T) {
+	payload := []byte(`{"id":"job-0001","iter":1,"cost":0.5}`)
+	buf := appendFrame(nil, recIteration, payload)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = appendFrame(buf[:0], recIteration, payload)
+	})
+	if allocs > 0 {
+		t.Errorf("warm appendFrame: %.0f allocs/op, budget 0", allocs)
+	}
+}

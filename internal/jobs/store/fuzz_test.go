@@ -6,6 +6,9 @@ import (
 	"errors"
 	"io"
 	"testing"
+
+	"ptychopath/internal/wire"
+	"ptychopath/internal/wire/wiretest"
 )
 
 // fuzzWAL builds a small valid log (magic + a few records) for seeding.
@@ -68,6 +71,21 @@ func FuzzReadWAL(f *testing.F) {
 	f.Add(notJSON)
 	// Wrong magic entirely.
 	f.Add([]byte("OBJCKv1\x00payload"))
+	// The shared framing-attack corpus (same mutations the dataio and
+	// transport fuzzers rehearse), anchored on the first record's
+	// length field at offset 9 (magic + kind byte).
+	for _, m := range wiretest.Mutations(valid, 9) {
+		f.Add(m)
+	}
+	// Legacy generation: a v1-magic, IEEE-framed log and its mutations
+	// must replay or fail typed exactly like the current generation.
+	legacy := append([]byte(nil), walMagicV1[:]...)
+	for _, r := range conformanceRecords() {
+		legacy = wire.AppendChunk(legacy, r.kind, []byte(r.payload), wire.GenIEEE)
+	}
+	for _, m := range wiretest.Mutations(legacy, 9) {
+		f.Add(m)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// The raw record decoder: every error must be EOF or a torn

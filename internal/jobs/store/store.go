@@ -9,10 +9,10 @@
 // behaves exactly as before this package existed.
 //
 // WAL (wal.go) append-logs every transition as CRC-32-framed,
-// length-prefixed records (PTYWALv1 — the house framing style of
-// PTYCHSv1 chunks and PTGW wire frames), spools datasets and stream
+// length-prefixed records (PTYWALv2 — the house framing style of
+// PTYCHS chunks and PTGW wire frames), spools datasets and stream
 // frames beside the log, periodically compacts the log into a snapshot
-// (PTYSNPv1) plus tail, and on reopen replays everything back into a
+// (PTYSNPv2) plus tail, and on reopen replays everything back into a
 // Recovery the service re-enqueues interrupted jobs from. All file I/O
 // goes through the faultfs seam, so the crash tests can kill the store
 // at any byte and prove recovery is exact.
@@ -74,7 +74,7 @@ type Store interface {
 	// returns its path ("" when slices is nil or the store is not
 	// durable).
 	SpoolInitObject(id string, slices []*grid.Complex2D) (string, error)
-	// SpoolStreamOpen persists a streaming job's PTYCHSv1 opening and
+	// SpoolStreamOpen persists a streaming job's PTYCHS opening and
 	// returns the spool path frames will be appended to.
 	SpoolStreamOpen(id string, hdr *dataio.StreamHeader) (string, error)
 	// SpoolFrames appends accepted frames to the job's stream spool and
@@ -117,7 +117,7 @@ type SubmitRecord struct {
 	// (the store is deliberately ignorant of the jobs package).
 	Params json.RawMessage `json:"params,omitempty"`
 	// Streaming marks a streaming job; Dataset then points at its
-	// PTYCHSv1 spool instead of a PTYCHOv1 file.
+	// PTYCHS spool instead of a PTYCHOv1 file.
 	Streaming bool `json:"streaming,omitempty"`
 	// Key is the idempotency key claimed by this submission, if any.
 	Key string `json:"key,omitempty"`

@@ -2,12 +2,10 @@ package store
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"path/filepath"
 	"sort"
@@ -20,18 +18,24 @@ import (
 	"ptychopath/internal/grid"
 	"ptychopath/internal/jobs/store/faultfs"
 	"ptychopath/internal/solver"
+	"ptychopath/internal/wire"
 )
 
-// The write-ahead log (PTYWALv1) is a sequence of CRC-32-framed,
-// length-prefixed records in the house framing style of PTYCHSv1
+// The write-ahead log (PTYWALv2) is a sequence of CRC-32-framed,
+// length-prefixed records in the house framing style of PTYCHS
 // chunks and PTGW wire frames:
 //
-//	magic   [8]byte  "PTYWALv1"
+//	magic   [8]byte  "PTYWALv2" ("PTYWALv1" accepted on replay)
 //	records any number of:
 //	        kind    [1]byte (see record kinds below)
 //	        length  int64: payload byte count
 //	        payload length bytes of JSON (walRecord)
-//	        crc     uint32: IEEE CRC-32 of the payload
+//	        crc     uint32: CRC-32 of the payload
+//
+// Version 2 switched the record CRC to the Castagnoli generation
+// (internal/wire); replay accepts either generation per record, so a
+// v1 log — even one this version has since appended v2 records to —
+// recovers exactly as before.
 //
 // Appends are atomic at record granularity: a reader accepts a record
 // only after its CRC verifies, so a crash mid-append leaves a torn
@@ -40,16 +44,19 @@ import (
 // terminal) survive any crash; unsynced ones (per-iteration progress)
 // may be lost, costing only progress counters.
 //
-// Compaction folds the log into a snapshot (PTYSNPv1: the same magic +
-// one 'S' record holding the merged job state as JSON) plus a fresh
-// tail. The snapshot is written tmp + sync + rename, THEN the log is
-// reset, so every crash window replays to the same state: records
-// are absolute (latest-wins per field), making double-apply across the
-// snapshot boundary harmless. Full byte-level spec: docs/FORMATS.md.
+// Compaction folds the log into a snapshot (PTYSNPv2: the same framing
+// under its own magic + one 'S' record holding the merged job state as
+// JSON) plus a fresh tail. The snapshot is written tmp + sync +
+// rename, THEN the log is reset, so every crash window replays to the
+// same state: records are absolute (latest-wins per field), making
+// double-apply across the snapshot boundary harmless. Full byte-level
+// spec: docs/FORMATS.md.
 
 var (
-	walMagic  = [8]byte{'P', 'T', 'Y', 'W', 'A', 'L', 'v', '1'}
-	snapMagic = [8]byte{'P', 'T', 'Y', 'S', 'N', 'P', 'v', '1'}
+	walMagic    = [8]byte{'P', 'T', 'Y', 'W', 'A', 'L', 'v', '2'}
+	walMagicV1  = [8]byte{'P', 'T', 'Y', 'W', 'A', 'L', 'v', '1'}
+	snapMagic   = [8]byte{'P', 'T', 'Y', 'S', 'N', 'P', 'v', '2'}
+	snapMagicV1 = [8]byte{'P', 'T', 'Y', 'S', 'N', 'P', 'v', '1'}
 )
 
 // Record kinds.
@@ -81,7 +88,7 @@ var (
 	// torn tail a crash mid-append leaves behind.
 	ErrTornRecord = errors.New("store: torn WAL record")
 	// ErrNotWAL is returned when a file's magic identifies it as
-	// something other than a PTYWALv1 log (or PTYSNPv1 snapshot) — the
+	// something other than a PTYWAL log (or PTYSNP snapshot, either version) — the
 	// store refuses to guess at foreign files.
 	ErrNotWAL = errors.New("store: not a WAL file")
 )
@@ -285,12 +292,10 @@ func sortedHistory(m map[int]float64) []IterCost {
 
 // --- record framing --------------------------------------------------
 
-// appendFrame encodes one framed record onto buf.
+// appendFrame encodes one framed record onto buf (current checksum
+// generation; zero allocations once buf has capacity).
 func appendFrame(buf []byte, kind byte, payload []byte) []byte {
-	buf = append(buf, kind)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
-	buf = append(buf, payload...)
-	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return wire.AppendChunk(buf, kind, payload, wire.GenCurrent)
 }
 
 // ReadRecord reads one framed record from r. It returns io.EOF when r
@@ -324,21 +329,20 @@ func ReadRecord(r io.Reader) (kind byte, payload []byte, err error) {
 	if length < 0 || length > cap {
 		return 0, nil, fmt.Errorf("%w: length %d outside [0, %d]", ErrTornRecord, length, cap)
 	}
-	// Copy through a growing buffer so memory tracks the bytes that
-	// actually arrive, not what a lying length declares (the dataio
-	// decoders set the precedent).
-	var pbuf bytes.Buffer
-	pbuf.Grow(int(min(length, 1<<16)))
-	if _, err := io.CopyN(&pbuf, r, length); err != nil {
-		return 0, nil, fmt.Errorf("%w: payload truncated: %v", ErrTornRecord, err)
+	// wire.ReadCapped grows as bytes actually arrive, so memory tracks
+	// reality, not what a lying length declares.
+	payload, rerr := wire.ReadCapped(r, nil, length)
+	if rerr != nil {
+		return 0, nil, fmt.Errorf("%w: payload truncated: %v", ErrTornRecord, rerr)
 	}
-	payload = pbuf.Bytes()
-	var sum uint32
-	if err := binary.Read(r, binary.LittleEndian, &sum); err != nil {
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
 		return 0, nil, fmt.Errorf("%w: crc truncated: %v", ErrTornRecord, err)
 	}
-	if sum != crc32.ChecksumIEEE(payload) {
-		return 0, nil, fmt.Errorf("%w: crc %08x != %08x", ErrTornRecord, sum, crc32.ChecksumIEEE(payload))
+	sum := binary.LittleEndian.Uint32(crcBuf[:])
+	// Either checksum generation verifies — v1 logs keep replaying.
+	if want, ok := wire.Verify(sum, payload); !ok {
+		return 0, nil, fmt.Errorf("%w: crc %08x != %08x", ErrTornRecord, sum, want)
 	}
 	return kind, payload, nil
 }
@@ -346,17 +350,17 @@ func ReadRecord(r io.Reader) (kind byte, payload []byte, err error) {
 // frameSize is the on-disk size of a record with the given payload.
 func frameSize(payload int) int64 { return 1 + 8 + int64(payload) + 4 }
 
-// ReplayWAL decodes a complete PTYWALv1 log from r into the recovered
-// state. A torn tail is dropped: the returned Recovery holds everything
-// up to the last intact record, Recovery.Torn counts the drop, and the
-// error is nil — a crash-torn log is an EXPECTED input, not a failure.
-// Only a non-WAL magic returns an error (ErrNotWAL). The second return
-// is the byte offset of the end of the last intact record — the
-// truncation point for reopening the log.
+// ReplayWAL decodes a complete PTYWALv2 (or legacy v1) log from r into
+// the recovered state. A torn tail is dropped: the returned Recovery
+// holds everything up to the last intact record, Recovery.Torn counts
+// the drop, and the error is nil — a crash-torn log is an EXPECTED
+// input, not a failure. Only a non-WAL magic returns an error
+// (ErrNotWAL). The second return is the byte offset of the end of the
+// last intact record — the truncation point for reopening the log.
 func ReplayWAL(r io.Reader) (*Recovery, int64, error) {
 	st := newReplayState()
 	rec := &Recovery{}
-	offset, err := replayInto(r, st, rec, walMagic)
+	offset, err := replayInto(r, st, rec, walMagic, walMagicV1)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -365,9 +369,10 @@ func ReplayWAL(r io.Reader) (*Recovery, int64, error) {
 	return out, offset, nil
 }
 
-// replayInto applies records from r (which must open with magic) to st,
-// counting into rec. Returns the offset past the last intact record.
-func replayInto(r io.Reader, st *replayState, rec *Recovery, magic [8]byte) (int64, error) {
+// replayInto applies records from r (which must open with the current
+// magic or its legacy variant) to st, counting into rec. Returns the
+// offset past the last intact record.
+func replayInto(r io.Reader, st *replayState, rec *Recovery, magic, legacy [8]byte) (int64, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if n, err := io.ReadFull(br, m[:]); err != nil {
@@ -379,7 +384,7 @@ func replayInto(r io.Reader, st *replayState, rec *Recovery, magic [8]byte) (int
 		rec.Torn++
 		return 0, nil
 	}
-	if m != magic {
+	if m != magic && m != legacy {
 		return 0, fmt.Errorf("%w: magic %q", ErrNotWAL, m)
 	}
 	offset := int64(8)
@@ -444,6 +449,10 @@ type WAL struct {
 
 	records, syncs, compactions, walBytes int64
 
+	// scratch is the record-framing buffer reused across appends,
+	// guarded by mu.
+	scratch []byte
+
 	// syncObs, when set, receives the wall-clock duration of each log
 	// fsync (see SetSyncObserver).
 	syncObs func(time.Duration)
@@ -483,7 +492,7 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 
 	// Snapshot first: it is the compacted prefix of the log.
 	if f, err := fs.Open(w.snapPath()); err == nil {
-		_, rerr := replayInto(f, w.state, rec, snapMagic)
+		_, rerr := replayInto(f, w.state, rec, snapMagic, snapMagicV1)
 		f.Close()
 		if rerr != nil {
 			return nil, fmt.Errorf("store: reading snapshot: %w", rerr)
@@ -496,7 +505,7 @@ func OpenWAL(cfg WALConfig) (*WAL, error) {
 	fresh := true
 	if f, err := fs.Open(w.walPath()); err == nil {
 		fresh = false
-		offset, err = replayInto(f, w.state, rec, walMagic)
+		offset, err = replayInto(f, w.state, rec, walMagic, walMagicV1)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("store: replaying WAL: %w", err)
@@ -564,12 +573,13 @@ func (w *WAL) append(kind byte, rec *walRecord, sync bool) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding record: %w", err)
 	}
-	frame := appendFrame(nil, kind, payload)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return errors.New("store: WAL closed")
 	}
+	w.scratch = appendFrame(w.scratch[:0], kind, payload)
+	frame := w.scratch
 	if _, err := w.file.Write(frame); err != nil {
 		return fmt.Errorf("store: appending record: %w", err)
 	}
@@ -699,7 +709,7 @@ func (w *WAL) SpoolInitObject(id string, slices []*grid.Complex2D) (string, erro
 	return path, nil
 }
 
-// SpoolStreamOpen creates the job's frame journal with its PTYCHSv1
+// SpoolStreamOpen creates the job's frame journal with its PTYCHS
 // opening and keeps the handle for appends.
 func (w *WAL) SpoolStreamOpen(id string, hdr *dataio.StreamHeader) (string, error) {
 	path := w.StreamPath(id)

@@ -1,7 +1,7 @@
 // Package stream is the online-reconstruction subsystem: it
 // reconstructs a ptychographic dataset WHILE the acquisition is still
 // producing it. A streaming job opens with geometry and probe metadata
-// only (dataio.StreamHeader — the PTYCHSv1 opening), diffraction
+// only (dataio.StreamHeader — the PTYCHS opening), diffraction
 // frames are appended in chunks as the microscope scans, and the
 // engine folds newly arrived probe locations into the active set at
 // iteration boundaries, refining the object continuously instead of

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ptychopath/internal/simmpi"
+	"ptychopath/internal/wire"
 )
 
 // Client is a worker's endpoint on the grid: one persistent TCP
@@ -27,8 +28,16 @@ type Client struct {
 	name    string
 	id      int
 	timeout time.Duration
+	gen     wire.Gen // checksum generation negotiated at handshake
 
-	wmu sync.Mutex // serializes frame writes
+	// wmu serializes frame writes. Outgoing frames are batched into
+	// wbuf — small collective and progress frames coalesce into one
+	// kernel write — and flushed when the batch passes flushThreshold
+	// or, crucially, before EVERY operation that blocks on a reply
+	// (await, WaitSetup, SendResult, Close): nothing this endpoint
+	// waits on can depend on bytes still sitting in its own buffer.
+	wmu  sync.Mutex
+	wbuf []byte
 
 	mu       sync.Mutex
 	signal   chan struct{} // pulsed on every state change; single waiter
@@ -93,8 +102,10 @@ func newClient(conn net.Conn, opts DialOptions) (*Client, error) {
 		signal:  make(chan struct{}, 1),
 	}
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	// HELLO is always legacy-framed so a hub of any generation can
+	// parse it and refuse with a proper version error.
 	hello := append(uint32le(ProtoVersion), []byte(opts.Name)...)
-	if err := writeFrame(conn, frame{typ: frameHello, dst: hubRank, payload: hello}); err != nil {
+	if err := writeFrameGen(conn, frame{typ: frameHello, dst: hubRank, payload: hello}, wire.GenIEEE); err != nil {
 		return nil, fmt.Errorf("transport: handshake send: %w", err)
 	}
 	fr, err := readFrame(conn)
@@ -106,8 +117,16 @@ func newClient(conn net.Conn, opts DialOptions) (*Client, error) {
 		if len(fr.payload) < 8 {
 			return nil, fmt.Errorf("%w: short welcome", ErrFrameCorrupt)
 		}
-		if v := le32(fr.payload); v != ProtoVersion {
+		v := le32(fr.payload)
+		if v < MinProtoVersion || v > ProtoVersion {
 			return nil, fmt.Errorf("%w: hub speaks v%d, client v%d", ErrVersionMismatch, v, ProtoVersion)
+		}
+		// The hub echoes the negotiated version; v3 connections frame
+		// with the Castagnoli generation from here on.
+		if v >= 3 {
+			c.gen = wire.GenCastagnoli
+		} else {
+			c.gen = wire.GenIEEE
 		}
 		c.id = int(int32(le32(fr.payload[4:])))
 	case frameError:
@@ -134,8 +153,9 @@ func (c *Client) pulse() {
 // readLoop is the sole frame reader: it classifies incoming frames into
 // the client's queues and wakes the session goroutine.
 func (c *Client) readLoop() {
+	rd := frameReader{r: c.conn}
 	for {
-		fr, err := readFrame(c.conn)
+		fr, err := rd.read()
 		if err != nil {
 			c.setFatal(fmt.Errorf("transport: connection lost: %w", err))
 			return
@@ -248,6 +268,7 @@ func (c *Client) failedLocked() error {
 // a connection failure, or a session abort intervenes. what describes
 // the wait for the timeout error.
 func (c *Client) await(ready func() bool, what string) error {
+	c.flush() // whatever we wait on may depend on our batched frames
 	deadline := time.Now().Add(c.timeout)
 	c.mu.Lock()
 	for {
@@ -281,6 +302,7 @@ func (c *Client) await(ready func() bool, what string) error {
 // onCancel as the frameCancel hook. ctx bounds the idle wait; a closed
 // connection returns the underlying error.
 func (c *Client) WaitSetup(ctx context.Context, onCancel func()) (*Setup, error) {
+	c.flush() // a previous session's last frames must not sit batched
 	stop := context.AfterFunc(ctx, c.pulse)
 	defer stop()
 	var setup *Setup
@@ -321,16 +343,47 @@ func (c *Client) WaitSetup(ctx context.Context, onCancel func()) (*Setup, error)
 	return setup, nil
 }
 
-// send writes one frame, recording a write failure as fatal (it
+// flushThreshold bounds the outgoing batch: a frame that pushes the
+// buffer past it is written out immediately, so large DATA payloads
+// go straight to the kernel while small gradient-iteration frames
+// (barrier, reduce, iter stats) coalesce into one write per flush.
+const flushThreshold = 64 << 10
+
+// send queues one frame on the outgoing batch, flushing when it
+// passes flushThreshold. A write failure is recorded as fatal (it
 // surfaces on the next blocking operation, matching the eager Send
 // contract).
 func (c *Client) send(f frame) {
 	c.wmu.Lock()
-	err := writeFrame(c.conn, f)
+	buf, err := appendFrame(c.wbuf, f, c.gen)
+	c.wbuf = buf
+	if err == nil && len(c.wbuf) >= flushThreshold {
+		err = c.flushLocked()
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		c.setFatal(fmt.Errorf("transport: send: %w", err))
 	}
+}
+
+// flush writes out any batched frames. Called before every blocking
+// wait — the deadlock-freedom rule of the batching scheme.
+func (c *Client) flush() {
+	c.wmu.Lock()
+	err := c.flushLocked()
+	c.wmu.Unlock()
+	if err != nil {
+		c.setFatal(fmt.Errorf("transport: send: %w", err))
+	}
+}
+
+func (c *Client) flushLocked() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	_, err := c.conn.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	return err
 }
 
 // Rank returns this endpoint's rank in the current session.
@@ -339,8 +392,10 @@ func (c *Client) Rank() int { return c.rank }
 // Size returns the current session's world size.
 func (c *Client) Size() int { return c.size }
 
-// Send transmits data to dst with the given tag (eager: never blocks;
-// a delivery failure surfaces on the next blocking call).
+// Send transmits data to dst with the given tag (eager: never blocks
+// on the receiver; the frame may ride the outgoing batch until the
+// next flush, and a delivery failure surfaces on the next blocking
+// call).
 func (c *Client) Send(dst, tag int, data []complex128) {
 	if dst < 0 || dst >= c.size {
 		panic(fmt.Sprintf("transport: send to invalid rank %d (size %d)", dst, c.size))
@@ -497,6 +552,7 @@ func (c *Client) SendResult(res *RankResult) error {
 		return err
 	}
 	c.send(frame{typ: frameResult, src: int32(c.rank), dst: hubRank, payload: payload})
+	c.flush() // the hub frees this worker only once the RESULT arrives
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.fatal
@@ -513,7 +569,10 @@ func (c *Client) Err() error {
 // connection closes. Safe to call more than once.
 func (c *Client) Close() error {
 	c.wmu.Lock()
-	writeFrame(c.conn, frame{typ: frameGoodbye, dst: hubRank})
+	if buf, err := appendFrame(c.wbuf, frame{typ: frameGoodbye, dst: hubRank}, c.gen); err == nil {
+		c.wbuf = buf
+	}
+	c.flushLocked()
 	c.wmu.Unlock()
 	c.setFatal(ErrClosed)
 	return c.conn.Close()

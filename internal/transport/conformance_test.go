@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+
+	"ptychopath/internal/wire"
+	"ptychopath/internal/wire/wiretest"
+)
+
+// conformanceFrame is a fixed routed-data frame used for the golden
+// vectors: deterministic header fields and a payload long enough to
+// exercise the CRC over both header and body.
+func conformanceFrame() frame {
+	return frame{
+		typ: frameData, src: 1, dst: 2, tag: 7,
+		payload: []byte("ptychowire golden frame payload 0123456789"),
+	}
+}
+
+// TestGoldenFrame pins the PTGW encoding under both checksum
+// generations, proves re-encode is bit-identical, and runs the
+// differential check: the one reader accepts both generations and
+// decodes them to the same frame.
+func TestGoldenFrame(t *testing.T) {
+	f := conformanceFrame()
+	current, err := appendFrame(nil, f, wire.GenCurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := appendFrame(nil, f, wire.GenIEEE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wiretest.Golden(t, "frame_castagnoli.golden", current)
+	wiretest.Golden(t, "frame_ieee.golden", legacy)
+	if bytes.Equal(current, legacy) {
+		t.Fatal("generations should differ in the trailing CRC")
+	}
+	if !bytes.Equal(current[:len(current)-4], legacy[:len(legacy)-4]) {
+		t.Fatal("generations should differ only in the trailing CRC")
+	}
+
+	for name, raw := range map[string][]byte{"castagnoli": current, "ieee": legacy} {
+		got, err := readFrame(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.typ != f.typ || got.src != f.src || got.dst != f.dst || got.tag != f.tag || !bytes.Equal(got.payload, f.payload) {
+			t.Fatalf("%s: decoded frame differs: %+v", name, got)
+		}
+		reenc, err := appendFrame(nil, got, wire.GenCurrent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reenc, current) {
+			t.Fatalf("%s: re-encode is not bit-identical to the current generation", name)
+		}
+	}
+}
+
+// TestFrameCodecAllocs is the allocation-budget guard for the
+// transport hot path: appending into a warm batch buffer is
+// zero-alloc, and a warm frameReader spends at most the payload slice
+// header it hands back.
+func TestFrameCodecAllocs(t *testing.T) {
+	f := conformanceFrame()
+	buf, err := appendFrame(nil, f, wire.GenCurrent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf...)
+
+	encAllocs := testing.AllocsPerRun(100, func() {
+		buf, err = appendFrame(buf[:0], f, wire.GenCurrent)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if encAllocs > 0 {
+		t.Errorf("warm appendFrame: %.0f allocs/op, budget 0", encAllocs)
+	}
+
+	r := bytes.NewReader(raw)
+	rd := frameReader{r: r}
+	if _, err := rd.read(); err != nil {
+		t.Fatal(err)
+	}
+	decAllocs := testing.AllocsPerRun(100, func() {
+		r.Reset(raw)
+		if _, err := rd.read(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if decAllocs > 2 {
+		t.Errorf("warm frameReader.read: %.0f allocs/op, budget 2", decAllocs)
+	}
+}
+
+// TestHubSpeaksIEEEToV2Worker is the downgrade-compat check: a worker
+// that negotiates protocol v2 must get v2 semantics back — the WELCOME
+// echoes version 2, and every hub frame on that connection carries an
+// IEEE CRC so an old, single-generation reader can verify it.
+func TestHubSpeaksIEEEToV2Worker(t *testing.T) {
+	h := startHub(t)
+	conn, err := net.Dial("tcp", h.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := append(uint32le(MinProtoVersion), []byte("v2-worker")...)
+	if err := writeFrameGen(conn, frame{typ: frameHello, dst: hubRank, payload: hello}, wire.GenIEEE); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read the WELCOME raw so the trailing CRC's generation is visible.
+	var hdr [4 + frameHeaderLen]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[17:])
+	body := make([]byte, int(n)+4)
+	if _, err := io.ReadFull(conn, body); err != nil {
+		t.Fatal(err)
+	}
+	payload, crc := body[:n], binary.LittleEndian.Uint32(body[n:])
+	covered := append(append([]byte(nil), hdr[4:]...), payload...)
+	if hdr[4] != frameWelcome {
+		t.Fatalf("frame type 0x%02x, want frameWelcome", hdr[4])
+	}
+	if got := binary.LittleEndian.Uint32(payload); got != MinProtoVersion {
+		t.Fatalf("WELCOME echoes version %d, want the negotiated %d", got, MinProtoVersion)
+	}
+	if crc != wire.Checksum(wire.GenIEEE, covered) {
+		t.Fatal("hub sent a non-IEEE CRC to a v2 worker")
+	}
+	if crc == wire.Checksum(wire.GenCastagnoli, covered) {
+		t.Fatal("CRC ambiguously matches both generations; fixture needs new bytes")
+	}
+}
+
+// FuzzReadFrame hammers the frame decoder with the shared framing
+// corpus plus PTGW-specific attacks (the length field is a uint32, so
+// the lying lengths are patched separately). Every outcome must be a
+// typed error or a faithful frame — never a panic, never an
+// unbounded allocation.
+func FuzzReadFrame(f *testing.F) {
+	fr := conformanceFrame()
+	current, err := appendFrame(nil, fr, wire.GenCurrent)
+	if err != nil {
+		f.Fatal(err)
+	}
+	legacy, err := appendFrame(nil, fr, wire.GenIEEE)
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Shared corpus: truncations at the structural boundaries around
+	// the length field (offset 17 = magic+type+src+dst+tag), CRC
+	// bit-flips, and 8-byte length lies that also clobber payload.
+	for _, m := range wiretest.Mutations(current, 17) {
+		f.Add(m)
+	}
+	for _, m := range wiretest.Mutations(legacy, 17) {
+		f.Add(m)
+	}
+	// PTGW-specific: the real length field is a uint32.
+	f.Add(wiretest.PatchUint32(current, 17, maxFramePayload+1))
+	f.Add(wiretest.PatchUint32(current, 17, 0xFFFFFFFF))
+	f.Add(wiretest.PatchUint32(current, 17, 3))
+	f.Add([]byte("PTGW"))
+	f.Add([]byte("NOPE then some bytes that are long enough for a header"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := frameReader{r: bytes.NewReader(data)}
+		for {
+			got, err := rd.read()
+			if err != nil {
+				return // typed rejection is fine; panics are not
+			}
+			if len(got.payload) > maxFramePayload {
+				t.Fatalf("read returned %d payload bytes past the cap", len(got.payload))
+			}
+			// A frame the reader accepts must survive re-encode →
+			// re-read unchanged.
+			reenc, err := appendFrame(nil, got, wire.GenCurrent)
+			if err != nil {
+				t.Fatalf("accepted frame fails re-encode: %v", err)
+			}
+			back, err := readFrame(bytes.NewReader(reenc))
+			if err != nil {
+				t.Fatalf("re-encoded frame fails re-read: %v", err)
+			}
+			if back.typ != got.typ || back.src != got.src || back.dst != got.dst || back.tag != got.tag || !bytes.Equal(back.payload, got.payload) {
+				t.Fatal("frame did not survive re-encode round trip")
+			}
+		}
+	})
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ptychopath/internal/wire"
 )
 
 // Hub is the coordinator's side of the grid: it accepts worker
@@ -35,8 +37,10 @@ type hubConn struct {
 	id   int
 	name string
 	conn net.Conn
+	gen  wire.Gen // checksum generation negotiated at handshake
 
-	wmu sync.Mutex // serializes frame writes
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte     // per-connection encode scratch, guarded by wmu
 
 	// Per-connection liveness and traffic counters, surfaced via
 	// Workers() for the fleet-health endpoints. lastSeen is unix nanos
@@ -117,15 +121,18 @@ func (h *Hub) acceptLoop() {
 // for the rest of the connection's life.
 func (h *Hub) serveConn(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(handshakeTimeout))
-	fr, err := readFrame(conn)
+	rd := frameReader{r: conn}
+	fr, err := rd.read()
 	if err != nil || fr.typ != frameHello || len(fr.payload) < 4 {
 		conn.Close()
 		return
 	}
-	if v := le32(fr.payload); v != ProtoVersion {
-		// Version mismatch: tell the client precisely why, then hang up.
-		writeFrame(conn, frame{typ: frameError, src: hubRank,
-			payload: errorPayload(codeVersion, fmt.Sprintf("hub speaks v%d, worker sent v%d", ProtoVersion, v))})
+	v := le32(fr.payload)
+	if v < MinProtoVersion || v > ProtoVersion {
+		// Version mismatch: tell the client precisely why, then hang
+		// up — legacy-framed, so a worker of any generation parses it.
+		writeFrameGen(conn, frame{typ: frameError, src: hubRank,
+			payload: errorPayload(codeVersion, fmt.Sprintf("hub speaks v%d-v%d, worker sent v%d", MinProtoVersion, ProtoVersion, v))}, wire.GenIEEE)
 		conn.Close()
 		return
 	}
@@ -138,13 +145,20 @@ func (h *Hub) serveConn(conn net.Conn) {
 		return
 	}
 	h.nextID++
-	w := &hubConn{id: h.nextID, name: name, conn: conn}
+	// The connection frames with the Castagnoli generation only when
+	// the worker is v3+; a v2 worker's reader knows only IEEE.
+	gen := wire.GenIEEE
+	if v >= 3 {
+		gen = wire.GenCastagnoli
+	}
+	w := &hubConn{id: h.nextID, name: name, conn: conn, gen: gen}
 	h.mu.Unlock()
 
 	// WELCOME must be on the wire before the worker becomes leasable:
 	// registering first would let a concurrent StartSession write its
-	// SETUP ahead of the handshake reply.
-	welcome := append(uint32le(ProtoVersion), uint32le(uint32(w.id))...)
+	// SETUP ahead of the handshake reply. It echoes the negotiated
+	// version — the agreed dialect, not the hub's newest.
+	welcome := append(uint32le(v), uint32le(uint32(w.id))...)
 	if err := w.write(frame{typ: frameWelcome, src: hubRank, payload: welcome}); err != nil {
 		conn.Close()
 		return
@@ -161,7 +175,7 @@ func (h *Hub) serveConn(conn net.Conn) {
 	w.lastSeen.Store(time.Now().UnixNano())
 
 	for {
-		fr, err := readFrame(conn)
+		fr, err := rd.read()
 		if err != nil {
 			h.drop(w, err)
 			return
@@ -207,7 +221,13 @@ func (w *hubConn) write(f frame) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	w.bytesOut.Add(int64(len(f.payload)))
-	return writeFrame(w.conn, f)
+	buf, err := appendFrame(w.wbuf[:0], f, w.gen)
+	w.wbuf = buf
+	if err != nil {
+		return err
+	}
+	_, err = w.conn.Write(buf)
+	return err
 }
 
 // WorkerInfo describes one registered worker for status endpoints:
@@ -374,7 +394,7 @@ func (h *Hub) StartSession(setups []*Setup, cb SessionCallbacks) (*Session, erro
 			break
 		}
 		w.bytesOut.Add(int64(len(payload)))
-		if err := writeFrame(w.conn, frame{typ: frameSetup, src: hubRank, dst: int32(rank), payload: payload}); err != nil {
+		if err := writeFrameGen(w.conn, frame{typ: frameSetup, src: hubRank, dst: int32(rank), payload: payload}, w.gen); err != nil {
 			lostErr = fmt.Errorf("%w: worker %d: %v", ErrPeerLost, w.id, err)
 			break
 		}
@@ -546,7 +566,10 @@ func (s *Session) handle(w *hubConn, fr frame) {
 		}
 		var cbErr error
 		if s.cb.OnSnapshot != nil {
-			cbErr = s.cb.OnSnapshot(int(int64FromLE(fr.payload)), fr.payload[8:])
+			// The payload aliases the connection's read scratch; the
+			// callback gets its own copy so it may outlive this frame.
+			obj := append([]byte(nil), fr.payload[8:]...)
+			cbErr = s.cb.OnSnapshot(int(int64FromLE(fr.payload)), obj)
 		}
 		ack := []byte{0}
 		if cbErr != nil {

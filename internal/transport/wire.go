@@ -23,21 +23,35 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"time"
+
+	"ptychopath/internal/wire"
 )
 
-// ProtoVersion is the wire-protocol generation. A hub refuses a client
-// with any other version during the handshake (ErrVersionMismatch) —
-// mixed deployments fail fast instead of corrupting a run.
+// ProtoVersion is the wire-protocol generation. The handshake
+// negotiates downward: a v3 hub accepts workers back to
+// MinProtoVersion and echoes the agreed version in WELCOME; anything
+// outside the range is refused (ErrVersionMismatch) — mixed
+// deployments fail fast instead of corrupting a run.
 //
 // v2 extended ITER: every rank (not just rank 0) reports per-iteration
 // compute/comm timings in a 24-byte ITER payload, and SETUP carries a
 // trace-context string. A v1 hub would misread the 24-byte stats
 // payload as a progress report, hence the bump.
-const ProtoVersion = 2
+//
+// v3 switched the frame CRC to the Castagnoli generation
+// (internal/wire): both ends of a v3 connection emit hardware-speed
+// CRC-32C. Readers accept either generation per frame, and handshake
+// frames are always legacy-framed so any version can parse the
+// refusal; a v2 worker on a v3 hub simply keeps IEEE framing for its
+// connection. Deploy coordinator-first: a v3 worker needs a v3 hub.
+const ProtoVersion = 3
+
+// MinProtoVersion is the oldest worker generation the hub still
+// accepts.
+const MinProtoVersion = 2
 
 // frameMagic opens every frame on the wire.
 var frameMagic = [4]byte{'P', 'T', 'G', 'W'}
@@ -116,36 +130,65 @@ type frame struct {
 // fixed header that follows the magic.
 const frameHeaderLen = 1 + 4 + 4 + 4 + 4
 
-// writeFrame encodes and writes one frame:
+// appendFrame encodes one frame into dst:
 //
 //	magic[4] | type[1] | src[4] | dst[4] | tag[4] | len[4] | payload | crc[4]
 //
-// crc is IEEE CRC-32 over type..payload. The caller serializes writes
-// per connection.
-func writeFrame(w io.Writer, f frame) error {
+// crc is the generation-g CRC-32 over type..payload. Appending lets a
+// caller batch several frames into one scratch buffer and hand the
+// kernel a single write.
+func appendFrame(dst []byte, f frame, g wire.Gen) ([]byte, error) {
 	if len(f.payload) > maxFramePayload {
-		return fmt.Errorf("%w: payload %d exceeds %d", ErrFrameCorrupt, len(f.payload), maxFramePayload)
+		return dst, fmt.Errorf("%w: payload %d exceeds %d", ErrFrameCorrupt, len(f.payload), maxFramePayload)
 	}
-	buf := make([]byte, 4+frameHeaderLen, 4+frameHeaderLen+len(f.payload)+4)
-	copy(buf, frameMagic[:])
-	buf[4] = f.typ
-	binary.LittleEndian.PutUint32(buf[5:], uint32(f.src))
-	binary.LittleEndian.PutUint32(buf[9:], uint32(f.dst))
-	binary.LittleEndian.PutUint32(buf[13:], uint32(f.tag))
-	binary.LittleEndian.PutUint32(buf[17:], uint32(len(f.payload)))
-	buf = append(buf, f.payload...)
-	crc := crc32.ChecksumIEEE(buf[4:])
-	buf = binary.LittleEndian.AppendUint32(buf, crc)
-	_, err := w.Write(buf)
+	start := len(dst)
+	dst = append(dst, frameMagic[:]...)
+	dst = append(dst, f.typ)
+	dst = wire.AppendUint32(dst, uint32(f.src))
+	dst = wire.AppendUint32(dst, uint32(f.dst))
+	dst = wire.AppendUint32(dst, uint32(f.tag))
+	dst = wire.AppendUint32(dst, uint32(len(f.payload)))
+	dst = append(dst, f.payload...)
+	return wire.AppendUint32(dst, wire.Checksum(g, dst[start+4:])), nil
+}
+
+// writeFrame encodes and writes one current-generation frame. The
+// caller serializes writes per connection. Hot paths batch through
+// appendFrame instead.
+func writeFrame(w io.Writer, f frame) error {
+	return writeFrameGen(w, f, wire.GenCurrent)
+}
+
+// writeFrameGen writes one frame under an explicit checksum
+// generation. Handshake frames (HELLO, and the hub's version-refusal
+// ERROR) pass wire.GenIEEE so a peer of either generation can parse
+// them.
+func writeFrameGen(w io.Writer, f frame, g wire.Gen) error {
+	buf, err := appendFrame(make([]byte, 0, 4+frameHeaderLen+len(f.payload)+4), f, g)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
 	return err
 }
 
-// readFrame reads and validates one frame. Truncation, bad magic, an
+// frameReader decodes frames from one connection, reusing a payload
+// scratch buffer across reads: a returned frame's payload is valid
+// only until the next read, so handlers must copy anything they
+// retain (DATA payloads are copied by bytesToComplex, gob payloads by
+// decoding).
+type frameReader struct {
+	r       io.Reader
+	scratch []byte
+}
+
+// read reads and validates one frame. Truncation, bad magic, an
 // over-limit length and a CRC mismatch all return ErrFrameCorrupt; a
-// clean EOF between frames returns io.EOF.
-func readFrame(r io.Reader) (frame, error) {
+// clean EOF between frames returns io.EOF. Either checksum generation
+// (Castagnoli or legacy IEEE) is accepted per frame.
+func (d *frameReader) read() (frame, error) {
 	var hdr [4 + frameHeaderLen]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return frame{}, io.EOF
 		}
@@ -164,17 +207,30 @@ func readFrame(r io.Reader) (frame, error) {
 	if n > maxFramePayload {
 		return frame{}, fmt.Errorf("%w: payload length %d exceeds %d", ErrFrameCorrupt, n, maxFramePayload)
 	}
-	payloadAndCRC := make([]byte, int(n)+4)
-	if _, err := io.ReadFull(r, payloadAndCRC); err != nil {
+	// Payload and trailing CRC in one capped read: memory tracks the
+	// bytes that actually arrive, so a lying length cannot balloon it.
+	buf, err := wire.ReadCapped(d.r, d.scratch, int64(n)+4)
+	if err != nil {
 		return frame{}, fmt.Errorf("%w: truncated payload: %v", ErrFrameCorrupt, err)
 	}
-	crc := crc32.ChecksumIEEE(hdr[4:])
-	crc = crc32.Update(crc, crc32.IEEETable, payloadAndCRC[:n])
-	if got := binary.LittleEndian.Uint32(payloadAndCRC[n:]); got != crc {
-		return frame{}, fmt.Errorf("%w: crc %08x, want %08x", ErrFrameCorrupt, got, crc)
+	d.scratch = buf
+	payload := buf[:n]
+	got := binary.LittleEndian.Uint32(buf[n:])
+	// The CRC covers type..payload — continue it across the two spans,
+	// current generation first so the happy path is one hardware pass.
+	want := wire.Update(wire.GenCurrent, wire.Checksum(wire.GenCurrent, hdr[4:]), payload)
+	if got != want && got != wire.Update(wire.GenIEEE, wire.Checksum(wire.GenIEEE, hdr[4:]), payload) {
+		return frame{}, fmt.Errorf("%w: crc %08x, want %08x", ErrFrameCorrupt, got, want)
 	}
-	f.payload = payloadAndCRC[:n]
+	f.payload = payload
 	return f, nil
+}
+
+// readFrame reads one frame with a throwaway scratch — handshake and
+// test convenience; connection loops hold a frameReader.
+func readFrame(r io.Reader) (frame, error) {
+	d := frameReader{r: r}
+	return d.read()
 }
 
 // complexToBytes serializes a []complex128 payload as interleaved

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# benchguard.sh — wire-codec benchmark regression gate.
+#
+# Reruns the codec benchmarks and compares every result against the
+# checked-in baseline (BENCH_2026-08-08_wirecodec.json by default):
+#
+#   - throughput: fails if MB/s drops more than BENCHGUARD_TOLERANCE
+#     percent (default 20) below the baseline;
+#   - allocations: fails if allocs/op exceeds the baseline budget at
+#     all — alloc counts are deterministic, so any rise is a real
+#     regression on the zero-alloc fast path.
+#
+# Usage: scripts/benchguard.sh [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE="${1:-BENCH_2026-08-08_wirecodec.json}"
+TOLERANCE="${BENCHGUARD_TOLERANCE:-20}"
+[ -r "$BASE" ] || { echo "benchguard: baseline $BASE not found" >&2; exit 2; }
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+go test ./internal/stream/ ./internal/transport/ ./internal/jobs/store/ \
+  -run xxx -bench 'Chunk|Frame(En|De)code|RecordAppend' \
+  -benchtime 2s -benchmem | tee "$OUT"
+
+awk -v base="$BASE" -v tol="$TOLERANCE" '
+BEGIN {
+    name = ""
+    while ((getline line < base) > 0) {
+        if (match(line, /"Benchmark[A-Za-z0-9]+"/)) {
+            name = substr(line, RSTART + 1, RLENGTH - 2)
+        } else if (name != "" && match(line, /"mb_per_s": *[0-9.]+/)) {
+            split(substr(line, RSTART, RLENGTH), kv, ":")
+            basembs[name] = kv[2] + 0
+        } else if (name != "" && match(line, /"allocs_per_op": *[0-9]+/)) {
+            split(substr(line, RSTART, RLENGTH), kv, ":")
+            basealloc[name] = kv[2] + 0
+        }
+    }
+    close(base)
+    fail = 0
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in basembs)) next
+    seen[name] = 1
+    mbs = -1; alloc = -1
+    for (i = 2; i <= NF; i++) {
+        if ($i == "MB/s") mbs = $(i - 1) + 0
+        if ($i == "allocs/op") alloc = $(i - 1) + 0
+    }
+    floor = basembs[name] * (100 - tol) / 100
+    if (mbs >= 0 && mbs < floor) {
+        printf "benchguard: FAIL %s: %.1f MB/s is >%s%% below baseline %.1f\n", name, mbs, tol, basembs[name]
+        fail = 1
+    } else if (alloc >= 0 && (name in basealloc) && alloc > basealloc[name]) {
+        printf "benchguard: FAIL %s: %d allocs/op exceeds budget %d\n", name, alloc, basealloc[name]
+        fail = 1
+    } else {
+        printf "benchguard: ok   %s: %.1f MB/s (floor %.1f), %d allocs/op (budget %d)\n", name, mbs, floor, alloc, basealloc[name]
+    }
+}
+END {
+    for (n in basembs) {
+        if (!(n in seen)) {
+            printf "benchguard: FAIL %s: present in baseline but missing from bench output\n", n
+            fail = 1
+        }
+    }
+    exit fail
+}' "$OUT"
