@@ -46,6 +46,7 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	notify  func(err error, delay time.Duration)
+	apiKey  string
 }
 
 // Option configures a Client.
@@ -68,6 +69,15 @@ func WithRetry(max int, cap time.Duration) Option {
 // progress logs ("ingest full, backing off 1s").
 func WithRetryNotify(fn func(err error, delay time.Duration)) Option {
 	return func(c *Client) { c.notify = fn }
+}
+
+// WithAPIKey sends key as the X-API-Key header on every request. The
+// key names the caller's tenant: submissions are accounted (and, under
+// a weighted-fair server, scheduled) against that tenant's share and
+// quotas. Without a key the server books everything under the
+// "anonymous" tenant.
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
 }
 
 // New returns a client for the server at baseURL (scheme://host[:port],
@@ -121,6 +131,9 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, head
 		}
 		if ct != "" {
 			req.Header.Set("Content-Type", ct)
+		}
+		if c.apiKey != "" {
+			req.Header.Set("X-API-Key", c.apiKey)
 		}
 		for k, vs := range header {
 			req.Header[k] = vs
@@ -408,6 +421,9 @@ func (c *Client) Object(ctx context.Context, id string) (io.ReadCloser, int, err
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: %w", err)
 	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, 0, fmt.Errorf("client: %w", err)
@@ -444,6 +460,9 @@ func (c *Client) PreviewPNG(ctx context.Context, id string, opts PreviewOptions)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
+	}
+	if c.apiKey != "" {
+		req.Header.Set("X-API-Key", c.apiKey)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

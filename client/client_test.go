@@ -7,6 +7,7 @@ import (
 	"image/png"
 	"io"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"ptychopath/internal/dataio"
 	"ptychopath/internal/jobs"
 	"ptychopath/internal/jobs/httpapi"
+	"ptychopath/internal/jobs/sched"
 	"ptychopath/internal/phantom"
 	"ptychopath/internal/physics"
 	"ptychopath/internal/scan"
@@ -477,4 +479,91 @@ func TestClientIdempotencyKeyExplicit(t *testing.T) {
 	if n := len(svc.List()); n != 1 {
 		t.Fatalf("registry holds %d jobs, want 1", n)
 	}
+}
+
+// TestClientTenancyAndQuotaRetry is the end-to-end multi-tenant path:
+// the API key on the client becomes the tenant on the wire, a tenant
+// at its concurrent-job cap gets a 429 quota_exceeded whose live
+// Retry-After drives the SDK's automatic retry, and the retry lands
+// once the tenant's slot frees.
+func TestClientTenancyAndQuotaRetry(t *testing.T) {
+	ctx := context.Background()
+	prob := testProblem(t)
+	retried := make(chan struct{}, 16)
+	var rejections atomic.Int32
+	c, svc := newClient(t, jobs.Config{
+		Workers: 1, QueueDepth: 8,
+		Sched: sched.Config{
+			Policy:  "wfq",
+			Tenants: map[string]sched.TenantConfig{"alpha": {Weight: 2, MaxActive: 1}},
+		},
+	},
+		client.WithAPIKey("alpha"),
+		client.WithRetry(20, 100*time.Millisecond),
+		client.WithRetryNotify(func(err error, delay time.Duration) {
+			if !errors.Is(err, client.ErrQuotaExceeded) {
+				t.Errorf("retry notify: %v, want ErrQuotaExceeded", err)
+			}
+			var e *client.Error
+			if !errors.As(err, &e) || e.RetryAfter <= 0 {
+				t.Errorf("quota rejection %v carries no live Retry-After", err)
+			}
+			rejections.Add(1)
+			select {
+			case retried <- struct{}{}:
+			default:
+			}
+		}))
+	data := datasetBytes(t, prob)
+
+	blocker, err := c.Submit(ctx, client.SubmitRequest{Algorithm: "serial", Iterations: 1000000}, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The API key rode the submission onto the wire as the tenant.
+	if blocker.Tenant != "alpha" || blocker.Priority != "bulk" {
+		t.Fatalf("submitted job tenant=%q priority=%q, want alpha/bulk", blocker.Tenant, blocker.Priority)
+	}
+
+	// Tenant alpha is at max_active=1: the next submission 429s with
+	// quota_exceeded until the blocker is cancelled.
+	go func() {
+		<-retried
+		c.Cancel(ctx, blocker.ID)
+	}()
+	j, err := c.Submit(ctx, client.SubmitRequest{
+		Algorithm: "serial", Iterations: 2, Priority: "interactive",
+	}, bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("submit through quota backpressure: %v", err)
+	}
+	if rejections.Load() == 0 {
+		t.Error("submission went through without observing quota backpressure")
+	}
+	if j.Priority != "interactive" {
+		t.Errorf("requested priority lost on the wire: %q", j.Priority)
+	}
+
+	// The fairness rollup is on /v1/status for operators and probes.
+	st, err := c.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SchedPolicy != "wfq" {
+		t.Errorf("status sched_policy = %q, want wfq", st.SchedPolicy)
+	}
+	var alpha *client.TenantStatus
+	for i := range st.Tenants {
+		if st.Tenants[i].Name == "alpha" {
+			alpha = &st.Tenants[i]
+		}
+	}
+	if alpha == nil {
+		t.Fatalf("status tenants %+v lack alpha", st.Tenants)
+	}
+	if alpha.Weight != 2 || alpha.MaxActive != 1 || alpha.QuotaRejections < 1 {
+		t.Errorf("alpha rollup %+v, want weight 2, max_active 1, >=1 quota rejection", alpha)
+	}
+	_ = svc
+	c.Cancel(ctx, j.ID)
 }

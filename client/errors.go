@@ -22,6 +22,10 @@ const (
 	// retry the same chunk after RetryAfter (acceptance is
 	// all-or-nothing).
 	CodeIngestFull = "ingest_full"
+	// CodeQuotaExceeded (429): the submission or chunk would exceed the
+	// tenant's configured quota (concurrent jobs, ingest bytes); retry
+	// after RetryAfter, when the tenant's in-flight work has drained.
+	CodeQuotaExceeded = "quota_exceeded"
 	// CodePayloadTooLarge (413): the request body exceeds the server's
 	// upload bound (-max-upload). Not retryable as-is.
 	CodePayloadTooLarge = "payload_too_large"
@@ -108,6 +112,7 @@ var (
 	ErrNotFound        = &Error{Code: CodeNotFound}
 	ErrQueueFull       = &Error{Code: CodeQueueFull}
 	ErrIngestFull      = &Error{Code: CodeIngestFull}
+	ErrQuotaExceeded   = &Error{Code: CodeQuotaExceeded}
 	ErrPayloadTooLarge = &Error{Code: CodePayloadTooLarge}
 	ErrChunkTooLarge   = &Error{Code: CodeChunkTooLarge}
 	ErrJobFinished     = &Error{Code: CodeJobFinished}
@@ -121,13 +126,13 @@ var (
 
 // Retryable reports whether err is a backpressure rejection the server
 // expects the caller to retry verbatim after Error.RetryAfter —
-// queue_full and ingest_full. Client methods retry these automatically
-// up to their retry budget; a Retryable error escaping to the caller
-// means the budget ran out.
+// queue_full, ingest_full and quota_exceeded. Client methods retry
+// these automatically up to their retry budget; a Retryable error
+// escaping to the caller means the budget ran out.
 func Retryable(err error) bool {
 	var e *Error
 	if !errors.As(err, &e) {
 		return false
 	}
-	return e.Code == CodeQueueFull || e.Code == CodeIngestFull
+	return e.Code == CodeQueueFull || e.Code == CodeIngestFull || e.Code == CodeQuotaExceeded
 }

@@ -32,6 +32,12 @@ type SubmitRequest struct {
 	// Grid runs the parallel engine across registered grid-worker
 	// processes (requires a server started with a grid coordinator).
 	Grid bool `json:"grid,omitempty"`
+	// Priority is the scheduling class: "bulk" (default) or
+	// "interactive". Under a weighted-fair server, interactive jobs
+	// dispatch ahead of bulk work and may preempt a running bulk job at
+	// its next iteration boundary (the preempted job checkpoints and
+	// resumes later — no work is lost).
+	Priority string `json:"priority,omitempty"`
 
 	// The fields below apply to streaming submissions only.
 
@@ -99,7 +105,17 @@ type Job struct {
 	// existed yet), or "stream" (refolded from the spooled frame
 	// journal). Empty for jobs that never crossed a restart.
 	RecoveredFrom string `json:"recovered_from,omitempty"`
-	Error         string `json:"error,omitempty"`
+	// Tenant is the tenant the job is accounted to (derived from the
+	// submission's X-API-Key; "anonymous" without one). Priority echoes
+	// the submitted scheduling class. PreemptedCount is how many times
+	// the job was checkpointed and requeued to make room for
+	// interactive work — preemption is lossless, so a non-zero count
+	// plus RecoveredFrom "checkpoint@k" means the job resumed from
+	// iteration k with nothing recomputed.
+	Tenant         string `json:"tenant,omitempty"`
+	Priority       string `json:"priority,omitempty"`
+	PreemptedCount int    `json:"preempted_count,omitempty"`
+	Error          string `json:"error,omitempty"`
 	Created        time.Time `json:"created"`
 	Started        time.Time `json:"started,omitzero"`
 	Finished       time.Time `json:"finished,omitzero"`
@@ -262,6 +278,32 @@ type Status struct {
 	// WAL is nil when the server runs without a durable store.
 	WAL        *WALSummary       `json:"wal,omitempty"`
 	Prediction PredictionSummary `json:"prediction"`
+	// SchedPolicy is the server's queue policy ("fifo" or "wfq");
+	// Tenants is the per-tenant fairness rollup, nil before the first
+	// submission.
+	SchedPolicy string         `json:"sched_policy,omitempty"`
+	Tenants     []TenantStatus `json:"tenants,omitempty"`
+}
+
+// TenantStatus is one tenant's row of the Status fairness rollup.
+type TenantStatus struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+	// Active is the tenant's in-flight (queued + running) jobs;
+	// MaxActive and IngestQuotaBytes echo its configured caps (0 =
+	// unlimited); IngestBytes is its live streaming-buffer footprint.
+	Active           int   `json:"active"`
+	MaxActive        int   `json:"max_active,omitempty"`
+	IngestQuotaBytes int64 `json:"ingest_quota_bytes,omitempty"`
+	IngestBytes      int64 `json:"ingest_bytes,omitempty"`
+	Submitted        int64 `json:"submitted_total"`
+	Preempted        int64 `json:"preempted_total,omitempty"`
+	QuotaRejections  int64 `json:"quota_rejections_total,omitempty"`
+	// CompletedCostSeconds is the tenant's finished wall-clock work;
+	// Share is its fraction of all finished work — under wfq this
+	// converges to the configured weight ratio when tenants contend.
+	CompletedCostSeconds float64 `json:"completed_cost_seconds"`
+	Share                float64 `json:"share,omitempty"`
 }
 
 // GridSummary is the grid block of Status.

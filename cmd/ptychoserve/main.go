@@ -10,7 +10,24 @@
 //	ptychoserve [-addr :8617] [-workers 2] [-queue 16]
 //	            [-spool DIR] [-checkpoint-every 5] [-ingest 4096]
 //	            [-grid ADDR] [-max-upload BYTES] [-state-dir DIR]
+//	            [-sched fifo|wfq] [-tenant NAME:WEIGHT[:MAX[:BYTES]]]...
+//	            [-interactive-reserve N]
 //	            [-log-format text|json] [-log-level info] [-debug-addr ADDR]
+//
+// -sched wfq turns on weighted-fair queueing: jobs are accounted to the
+// tenant named by their X-API-Key header ("anonymous" without one) and
+// dispatched by start-time fair queueing over the tenants' weights,
+// with "interactive"-priority jobs served ahead of "bulk" work — an
+// interactive arrival may preempt a running bulk job at its next
+// iteration boundary (checkpoint + requeue, no work lost). Repeatable
+// -tenant flags declare per-tenant weight and quotas:
+// NAME:WEIGHT[:MAX-ACTIVE[:INGEST-BYTES]], e.g. -tenant alpha:3:4
+// gives tenant alpha weight 3 and at most 4 in-flight jobs. Undeclared
+// tenants get weight 1 and no quotas. -interactive-reserve holds N
+// queue slots that only interactive submissions may use, so bulk
+// floods shed before interactive work does. The default -sched fifo
+// preserves strict arrival order; quotas and per-tenant accounting
+// still apply.
 //
 // Logs are structured (log/slog) on stderr: text for humans by
 // default, -log-format json for machine ingestion. Every request line
@@ -59,11 +76,14 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"ptychopath/internal/jobs"
 	"ptychopath/internal/jobs/httpapi"
+	"ptychopath/internal/jobs/sched"
 	"ptychopath/internal/jobs/store"
 	"ptychopath/internal/obs"
 )
@@ -85,6 +105,17 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	debugAddr := flag.String("debug-addr", "",
 		"net/http/pprof listen address (e.g. 127.0.0.1:8620); empty disables the debug server. Do not expose publicly")
+	schedPolicy := flag.String("sched", "fifo", "queue policy: fifo (arrival order) or wfq (weighted-fair by tenant, interactive priority preempts bulk)")
+	interactiveReserve := flag.Int("interactive-reserve", 0, "queue slots reserved for interactive-priority submissions (bulk sheds first)")
+	tenants := map[string]sched.TenantConfig{}
+	flag.Func("tenant", "tenant config NAME:WEIGHT[:MAX-ACTIVE[:INGEST-BYTES]] (repeatable)", func(v string) error {
+		name, tc, err := parseTenant(v)
+		if err != nil {
+			return err
+		}
+		tenants[name] = tc
+		return nil
+	})
 	flag.Parse()
 
 	log, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
@@ -92,13 +123,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ptychoserve:", err)
 		os.Exit(1)
 	}
-	if err := run(log, *addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest, *gridAddr, *maxUpload, *stateDir, *debugAddr); err != nil {
+	schedCfg := sched.Config{Policy: *schedPolicy, Tenants: tenants, InteractiveReserve: *interactiveReserve}
+	if err := run(log, *addr, *workers, *queue, *spool, *ckEvery, *timeout, *ingest, *gridAddr, *maxUpload, *stateDir, *debugAddr, schedCfg); err != nil {
 		log.Error("exiting", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(log *slog.Logger, addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int, gridAddr string, maxUpload int64, stateDir, debugAddr string) error {
+// parseTenant decodes one -tenant flag value:
+// NAME:WEIGHT[:MAX-ACTIVE[:INGEST-BYTES]].
+func parseTenant(v string) (string, sched.TenantConfig, error) {
+	parts := strings.Split(v, ":")
+	if len(parts) < 2 || len(parts) > 4 || parts[0] == "" {
+		return "", sched.TenantConfig{}, fmt.Errorf("tenant %q: want NAME:WEIGHT[:MAX-ACTIVE[:INGEST-BYTES]]", v)
+	}
+	var tc sched.TenantConfig
+	w, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || w <= 0 {
+		return "", sched.TenantConfig{}, fmt.Errorf("tenant %q: weight %q must be a positive number", v, parts[1])
+	}
+	tc.Weight = w
+	if len(parts) >= 3 {
+		if tc.MaxActive, err = strconv.Atoi(parts[2]); err != nil || tc.MaxActive < 0 {
+			return "", sched.TenantConfig{}, fmt.Errorf("tenant %q: max-active %q must be a non-negative integer", v, parts[2])
+		}
+	}
+	if len(parts) == 4 {
+		if tc.IngestBytes, err = strconv.ParseInt(parts[3], 10, 64); err != nil || tc.IngestBytes < 0 {
+			return "", sched.TenantConfig{}, fmt.Errorf("tenant %q: ingest-bytes %q must be a non-negative integer", v, parts[3])
+		}
+	}
+	return parts[0], tc, nil
+}
+
+func run(log *slog.Logger, addr string, workers, queue int, spool string, ckEvery int, timeout time.Duration, ingest int, gridAddr string, maxUpload int64, stateDir, debugAddr string, schedCfg sched.Config) error {
 	var st store.Store
 	if stateDir != "" {
 		wal, err := store.OpenWAL(store.WALConfig{Dir: stateDir})
@@ -116,13 +174,14 @@ func run(log *slog.Logger, addr string, workers, queue int, spool string, ckEver
 	svc, err := jobs.NewService(jobs.Config{
 		Workers: workers, QueueDepth: queue, SpoolDir: spool,
 		CheckpointEvery: ckEvery, Timeout: timeout, IngestFrames: ingest,
-		GridAddr: gridAddr, Store: st, Logger: log,
+		GridAddr: gridAddr, Store: st, Logger: log, Sched: schedCfg,
 	})
 	if err != nil {
 		return err
 	}
 	log.Info("service configured", "workers", svc.Config().Workers,
-		"queue_depth", svc.Config().QueueDepth, "spool", svc.Config().SpoolDir)
+		"queue_depth", svc.Config().QueueDepth, "spool", svc.Config().SpoolDir,
+		"sched", svc.Config().Sched.Policy, "tenants", len(svc.Config().Sched.Tenants))
 	if stateDir != "" {
 		recovered, restored, unrecoverable, records, torn := svc.RecoveryStats()
 		log.Info("durable state replayed", "state_dir", stateDir,

@@ -110,6 +110,26 @@ func render(ctx context.Context, c *client.Client, w interface{ Write([]byte) (i
 			st.WAL.Records, st.WAL.Syncs, st.WAL.Compactions, st.WAL.Bytes, st.WAL.Errors)
 	}
 
+	if len(st.Tenants) > 0 {
+		fmt.Fprintf(w, "\nsched %s — %d tenants\n", st.SchedPolicy, len(st.Tenants))
+		fmt.Fprintf(w, "  %-16s %6s %6s %8s %9s %7s %7s %6s\n",
+			"TENANT", "WEIGHT", "ACTIVE", "SUBMIT", "PREEMPT", "QUOTA!", "DONE", "SHARE")
+		for _, ten := range st.Tenants {
+			cap := ""
+			if ten.MaxActive > 0 {
+				cap = fmt.Sprintf("/%d", ten.MaxActive)
+			}
+			share := "-"
+			if ten.Share > 0 {
+				share = fmt.Sprintf("%.0f%%", ten.Share*100)
+			}
+			fmt.Fprintf(w, "  %-16s %6.1f %6s %8d %9d %7d %7s %6s\n",
+				trunc(ten.Name, 16), ten.Weight,
+				fmt.Sprintf("%d%s", ten.Active, cap), ten.Submitted,
+				ten.Preempted, ten.QuotaRejections, fmtSecs(ten.CompletedCostSeconds), share)
+		}
+	}
+
 	if st.Grid != nil {
 		fmt.Fprintf(w, "\ngrid %s — %d workers (%d busy), %d sessions, %s routed\n",
 			st.Grid.Addr, len(st.Grid.Workers), st.Grid.Busy, st.Grid.Sessions, fmtBytes(st.Grid.BytesRouted))
@@ -150,6 +170,15 @@ func render(ctx context.Context, c *client.Client, w interface{ Write([]byte) (i
 		}
 		if j.ImbalanceRatio > 1 {
 			notes = append(notes, fmt.Sprintf("imbalance %.2f", j.ImbalanceRatio))
+		}
+		if j.PreemptedCount > 0 {
+			notes = append(notes, fmt.Sprintf("preempted x%d", j.PreemptedCount))
+		}
+		if j.Priority == "interactive" {
+			notes = append(notes, "interactive")
+		}
+		if j.Tenant != "" && j.Tenant != "anonymous" {
+			notes = append(notes, "tenant "+j.Tenant)
 		}
 		if j.RecoveredFrom != "" {
 			notes = append(notes, "recovered "+j.RecoveredFrom)

@@ -362,6 +362,15 @@ func (s *Service) recordRankStats(j *Job, rank, iter int, computeNS, commNS int6
 // the durable/structured finish record.
 func (s *Service) finishJob(j *Job, state State, err error) {
 	s.analyze(j)
+	j.mu.Lock()
+	actual := j.actualSeconds
+	j.mu.Unlock()
+	if state == Done {
+		// Finished wall-clock feeds the fleet runtime EWMA — the
+		// Retry-After fallback for jobs nothing else is known about.
+		s.runtime.observe(actual)
+	}
+	s.releaseTenant(j, actual)
 	j.finish(state, err)
 	s.logFinish(j, state, err)
 }
@@ -440,6 +449,11 @@ type Status struct {
 	// WAL is nil when the service runs on the in-memory store.
 	WAL        *WALSummary       `json:"wal,omitempty"`
 	Prediction PredictionSummary `json:"prediction"`
+	// SchedPolicy is the active queue policy ("fifo" or "wfq");
+	// Tenants is the per-tenant fairness rollup (nil until the first
+	// submission creates a tenant).
+	SchedPolicy string         `json:"sched_policy"`
+	Tenants     []TenantStatus `json:"tenants,omitempty"`
 }
 
 // GridSummary is the worker-fleet block of Status.
@@ -482,7 +496,9 @@ type PredictionSummary struct {
 // error summary, in one JSON-ready document.
 func (s *Service) Status() Status {
 	s.mu.Lock()
-	depth := len(s.queue)
+	depth := s.q.Len()
+	policy := s.q.Policy()
+	tenants := s.tenantStatusLocked()
 	jobs := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
 		jobs = append(jobs, s.jobs[id])
@@ -508,6 +524,8 @@ func (s *Service) Status() Status {
 		WorkersIdle:   idle,
 		QueueDepth:    depth,
 		Jobs:          states,
+		SchedPolicy:   policy,
+		Tenants:       tenants,
 	}
 	if s.grid != nil {
 		workers := s.grid.Workers()

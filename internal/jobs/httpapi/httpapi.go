@@ -227,12 +227,15 @@ func badParams(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, code: client.CodeBadParams, msg: err.Error(), cause: errors.Unwrap(err)}
 }
 
-// Retry-After hints for the two backpressure paths: a full ingest
-// drains at the next iteration boundary (fast); a full job queue needs
-// a whole job to finish.
+// Static Retry-After fallbacks for the backpressure paths, used only
+// when the rejection does not carry a live jobs.Backpressure hint: a
+// full ingest drains at the next iteration boundary (fast); a full job
+// queue needs a whole job to finish; a tenant at quota frees capacity
+// when one of its jobs does.
 const (
 	retryAfterIngestMS = 1000
 	retryAfterQueueMS  = 5000
+	retryAfterQuotaMS  = 1000
 )
 
 var problemTitles = map[string]string{
@@ -240,6 +243,7 @@ var problemTitles = map[string]string{
 	client.CodeNotFound:        "no such job",
 	client.CodeQueueFull:       "job queue full",
 	client.CodeIngestFull:      "ingest buffer full",
+	client.CodeQuotaExceeded:   "tenant quota exceeded",
 	client.CodePayloadTooLarge: "request body too large",
 	client.CodeChunkTooLarge:   "chunk exceeds ingest capacity",
 	client.CodeJobFinished:     "job already finished",
@@ -279,6 +283,9 @@ func problemFor(err error) client.Problem {
 	case errors.Is(err, stream.ErrIngestFull):
 		status, code = http.StatusTooManyRequests, client.CodeIngestFull
 		retryMS = retryAfterIngestMS
+	case errors.Is(err, jobs.ErrQuotaExceeded):
+		status, code = http.StatusTooManyRequests, client.CodeQuotaExceeded
+		retryMS = retryAfterQuotaMS
 	case errors.Is(err, stream.ErrChunkTooLarge):
 		// Non-retryable: the chunk can NEVER fit. 400 so a compliant
 		// feeder splits it instead of backing off forever.
@@ -293,6 +300,14 @@ func problemFor(err error) client.Problem {
 		status, code = http.StatusConflict, client.CodeStreamClosed
 	case errors.Is(err, jobs.ErrClosed):
 		status, code = http.StatusServiceUnavailable, client.CodeShuttingDown
+	}
+	// Honest admission: when the service wrapped the rejection with a
+	// live drain estimate, that overrides the static fallback — the
+	// advertised Retry-After shrinks as the queue drains and grows as
+	// it fills.
+	var bp *jobs.Backpressure
+	if retryMS > 0 && errors.As(err, &bp) && bp.RetryAfter > 0 {
+		retryMS = bp.RetryAfter.Milliseconds()
 	}
 	return client.Problem{
 		Type:         client.ProblemType(code),
@@ -341,6 +356,9 @@ func wireJob(info jobs.Info) client.Job {
 		Checkpoint:     info.Checkpoint,
 		ResumedFrom:    info.ResumedFrom,
 		RecoveredFrom:  info.RecoveredFrom,
+		Tenant:         info.Tenant,
+		Priority:       info.Priority,
+		PreemptedCount: info.PreemptedCount,
 		Error:          info.Error,
 		Created:        info.Created,
 		Started:        info.Started,
@@ -433,6 +451,7 @@ func paramsFromRequest(req client.SubmitRequest) jobs.Params {
 		IntraWorkers:       req.IntraWorkers,
 		CheckpointEvery:    req.CheckpointEvery,
 		Grid:               req.Grid,
+		Priority:           req.Priority,
 		FoldEvery:          req.FoldEvery,
 		MaxIterations:      req.MaxIterations,
 		IngestCapacity:     req.IngestCapacity,
@@ -498,6 +517,7 @@ func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request) {
 	}
 	p := paramsFromRequest(req)
 	p.RequestID = requestIDFrom(r.Context())
+	p.Tenant = tenantFrom(r)
 	j, created, err := s.svc.SubmitWithKey(prob, p, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		writeErr(w, err)
@@ -524,6 +544,7 @@ func (s *Server) handleSubmitStreamV1(w http.ResponseWriter, r *http.Request) {
 	}
 	p := paramsFromRequest(req)
 	p.RequestID = requestIDFrom(r.Context())
+	p.Tenant = tenantFrom(r)
 	j, created, err := s.svc.SubmitStreamingWithKey(hdr, p, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		writeErr(w, err)
@@ -614,6 +635,7 @@ func (s *Server) handleSubmitLegacy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	params.RequestID = requestIDFrom(r.Context())
+	params.Tenant = tenantFrom(r)
 	j, err := s.svc.Submit(prob, params)
 	if err != nil {
 		writeErr(w, err)
@@ -646,6 +668,7 @@ func (s *Server) handleSubmitStreamLegacy(w http.ResponseWriter, r *http.Request
 		return
 	}
 	params.RequestID = requestIDFrom(r.Context())
+	params.Tenant = tenantFrom(r)
 	j, err := s.svc.SubmitStreaming(hdr, params)
 	if err != nil {
 		writeErr(w, err)
@@ -940,6 +963,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		WorkersIdle:   st.WorkersIdle,
 		QueueDepth:    st.QueueDepth,
 		Jobs:          st.Jobs,
+		SchedPolicy:   st.SchedPolicy,
 		Prediction: client.PredictionSummary{
 			Jobs:             st.Prediction.Jobs,
 			MeanAbsErrorPct:  st.Prediction.MeanAbsErrorPct,
@@ -967,6 +991,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			ReplayRecords: st.WAL.ReplayRecords,
 			ReplayTorn:    st.WAL.ReplayTorn,
 		}
+	}
+	for _, ts := range st.Tenants {
+		out.Tenants = append(out.Tenants, client.TenantStatus{
+			Name: ts.Name, Weight: ts.Weight, Active: ts.Active,
+			MaxActive: ts.MaxActive, IngestQuotaBytes: ts.IngestQuotaBytes,
+			IngestBytes: ts.IngestBytes, Submitted: ts.Submitted,
+			Preempted: ts.Preempted, QuotaRejections: ts.QuotaRejections,
+			CompletedCostSeconds: ts.CompletedCostSeconds, Share: ts.Share,
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -1011,6 +1044,7 @@ func requestFromParams(p jobs.Params) client.SubmitRequest {
 		IntraWorkers:       p.IntraWorkers,
 		CheckpointEvery:    p.CheckpointEvery,
 		Grid:               p.Grid,
+		Priority:           p.Priority,
 		FoldEvery:          p.FoldEvery,
 		MaxIterations:      p.MaxIterations,
 		IngestCapacity:     p.IngestCapacity,

@@ -64,6 +64,18 @@ func sanitizeRequestID(id string) string {
 	return id
 }
 
+// apiKeyHeader names the caller's tenant: submissions are accounted
+// (and under wfq, scheduled) against the tenant named by this header.
+const apiKeyHeader = "X-API-Key"
+
+// tenantFrom derives a submission's tenant from its X-API-Key header,
+// under the same sanitation as request IDs — a hostile key cannot
+// inject log lines or metric label values. Empty (or rejected) keys
+// return "", which the service books under its anonymous tenant.
+func tenantFrom(r *http.Request) string {
+	return sanitizeRequestID(r.Header.Get(apiKeyHeader))
+}
+
 // respWriter records the response status for the request log and
 // histogram. Unwrap keeps http.NewResponseController (and its deadline
 // plumbing in the SSE handler) working through the wrapper.

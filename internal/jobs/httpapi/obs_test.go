@@ -319,6 +319,14 @@ func TestMetricsExpositionLint(t *testing.T) {
 		"ptychoserve_queue_depth 0",
 		"ptychoserve_job_runtime_prediction_error_ratio_count 1",
 		"ptychoserve_job_rank_imbalance_ratio_count 0",
+		// Tenant accounting is always on: an unkeyed submission lands on
+		// the anonymous tenant and its bounded-cardinality rows scrape.
+		`ptychoserve_tenant_jobs_submitted_total{tenant="anonymous"} 1`,
+		`ptychoserve_tenant_jobs_active{tenant="anonymous"} 0`,
+		`ptychoserve_tenant_completed_cost_seconds_total{tenant="anonymous"}`,
+		`ptychoserve_tenant_queue_wait_seconds_count{tenant="anonymous"} 1`,
+		"ptychoserve_jobs_preempted_total 0",
+		"ptychoserve_jobs_quota_rejected_total 0",
 	} {
 		if !strings.Contains(string(scrape), want) {
 			t.Fatalf("scrape missing %q\n--- scrape ---\n%s", want, scrape)

@@ -9,9 +9,11 @@ import (
 	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ptychopath/client"
 	"ptychopath/internal/dataio"
@@ -36,7 +38,11 @@ func TestProblemForTable(t *testing.T) {
 		{"bad cursor", fmt.Errorf("wrap: %w", jobs.ErrBadCursor), http.StatusBadRequest, client.CodeBadParams, 0},
 		{"not found", fmt.Errorf("%w: job-9", jobs.ErrNotFound), http.StatusNotFound, client.CodeNotFound, 0},
 		{"queue full", fmt.Errorf("%w (depth 4)", jobs.ErrQueueFull), http.StatusTooManyRequests, client.CodeQueueFull, 5000},
+		{"queue full live hint", &jobs.Backpressure{Err: fmt.Errorf("%w (depth 4)", jobs.ErrQueueFull), RetryAfter: 2300 * time.Millisecond}, http.StatusTooManyRequests, client.CodeQueueFull, 2300},
 		{"ingest full", fmt.Errorf("wrap: %w", stream.ErrIngestFull), http.StatusTooManyRequests, client.CodeIngestFull, 1000},
+		{"ingest full live hint", &jobs.Backpressure{Err: fmt.Errorf("wrap: %w", stream.ErrIngestFull), RetryAfter: 450 * time.Millisecond}, http.StatusTooManyRequests, client.CodeIngestFull, 450},
+		{"quota exceeded", fmt.Errorf("wrap: %w", jobs.ErrQuotaExceeded), http.StatusTooManyRequests, client.CodeQuotaExceeded, 1000},
+		{"quota exceeded live hint", &jobs.Backpressure{Err: fmt.Errorf("wrap: %w", jobs.ErrQuotaExceeded), RetryAfter: 7 * time.Second}, http.StatusTooManyRequests, client.CodeQuotaExceeded, 7000},
 		{"chunk too large", fmt.Errorf("wrap: %w", stream.ErrChunkTooLarge), http.StatusBadRequest, client.CodeChunkTooLarge, 0},
 		{"finished", fmt.Errorf("%w: job-1 is done", jobs.ErrFinished), http.StatusConflict, client.CodeJobFinished, 0},
 		{"not resumable", fmt.Errorf("wrap: %w", jobs.ErrNotResumable), http.StatusConflict, client.CodeNotResumable, 0},
@@ -224,11 +230,15 @@ func TestV1EnvelopeOverTheWire(t *testing.T) {
 		if resp.StatusCode != http.StatusTooManyRequests || p.Code != client.CodeQueueFull {
 			t.Fatalf("got %d/%s", resp.StatusCode, p.Code)
 		}
-		if p.RetryAfterMS != 5000 {
-			t.Fatalf("retry_after_ms = %d, want 5000", p.RetryAfterMS)
+		// The hint is live-derived from queue depth × predicted runtimes
+		// (a million-iteration job is ahead, so it is large); the header
+		// must agree with the envelope to the second, rounded up.
+		if p.RetryAfterMS <= 0 {
+			t.Fatalf("retry_after_ms = %d, want a live positive hint", p.RetryAfterMS)
 		}
-		if resp.Header.Get("Retry-After") != "5" {
-			t.Fatalf("Retry-After header %q, want 5", resp.Header.Get("Retry-After"))
+		wantHeader := strconv.FormatInt((p.RetryAfterMS+999)/1000, 10)
+		if got := resp.Header.Get("Retry-After"); got != wantHeader {
+			t.Fatalf("Retry-After header %q, want %q (retry_after_ms %d)", got, wantHeader, p.RetryAfterMS)
 		}
 	})
 }

@@ -24,6 +24,7 @@ import (
 
 	"ptychopath/internal/dataio"
 	"ptychopath/internal/grid"
+	"ptychopath/internal/jobs/sched"
 	"ptychopath/internal/obs"
 	"ptychopath/internal/obs/flight"
 	"ptychopath/internal/solver"
@@ -122,6 +123,17 @@ type Params struct {
 	// JSON), tags the job's spans and log lines, and travels to grid
 	// workers in the session SETUP.
 	RequestID string
+
+	// Tenant is the fair-share accounting principal of the submission
+	// — the sanitized X-API-Key at the HTTP layer. Like RequestID it
+	// is assigned server-side, never decoded from client params JSON.
+	// Empty means the "anonymous" tenant.
+	Tenant string
+	// Priority is the scheduling class: "bulk" (default) or
+	// "interactive". Under the wfq policy an interactive job
+	// dispatches before any bulk job and may preempt a running bulk
+	// job at its next iteration boundary.
+	Priority string
 }
 
 func (p *Params) setDefaults(cfg Config) {
@@ -145,6 +157,12 @@ func (p *Params) setDefaults(cfg Config) {
 	}
 	if p.CheckpointEvery == 0 {
 		p.CheckpointEvery = cfg.CheckpointEvery
+	}
+	if p.Tenant == "" {
+		p.Tenant = AnonymousTenant
+	}
+	if p.Priority == "" {
+		p.Priority = sched.Bulk.String()
 	}
 }
 
@@ -185,6 +203,9 @@ func (p *Params) validateCommon() error {
 	}
 	if p.CheckpointEvery < 0 {
 		return fmt.Errorf("%w: checkpoint period must be non-negative, got %d", ErrInvalidParams, p.CheckpointEvery)
+	}
+	if _, ok := sched.ParseClass(p.Priority); !ok {
+		return fmt.Errorf("%w: unknown priority %q (want bulk or interactive)", ErrInvalidParams, p.Priority)
 	}
 	return nil
 }
@@ -246,7 +267,16 @@ var (
 	// ErrBadCursor is returned by ListPage for a cursor that no page
 	// ever handed out — client error, same class as ErrInvalidParams.
 	ErrBadCursor = errors.New("jobs: invalid list cursor")
+	// ErrQuotaExceeded is returned by Submit and AppendFrames when the
+	// submission's tenant is at its concurrent-job cap or ingest-byte
+	// quota — same retry contract as ErrQueueFull (HTTP 429), scoped
+	// to one tenant instead of the whole service.
+	ErrQuotaExceeded = errors.New("jobs: tenant quota exceeded")
 )
+
+// AnonymousTenant is the accounting principal of submissions that
+// carry no API key.
+const AnonymousTenant = "anonymous"
 
 // Job is one reconstruction tracked by the service. All accessors are
 // safe for concurrent use.
@@ -282,9 +312,24 @@ type Job struct {
 	predRanks    int
 	tracker      *rankTracker
 
+	// Scheduler bookkeeping guarded by the SERVICE mutex, not j.mu:
+	// these fields change only inside the service's queue/tenant
+	// critical sections (enqueue, preemption requeue, terminal
+	// release), where s.mu is always held.
+	idemKey        string // Idempotency-Key of the original submission, for WAL re-logs
+	seq            uint64 // scheduler sequence number (submission order tie-break)
+	tenantLabel    string // bounded-cardinality metrics label for the tenant
+	tenantReleased bool   // tenant accounting released (terminal reached once)
+	ingestedBytes  int64  // live ingest bytes charged against the tenant quota
+
 	mu             sync.Mutex
 	lastBoundary   time.Time
 	state          State
+	enqueuedAt     time.Time // last entry into the queue (created, or the preemption requeue instant)
+	preempt        bool      // service asked the job to yield at its next iteration boundary
+	userCancel     bool      // Cancel was called while running: terminal beats requeue
+	preemptedCount int       // times the job was preempted and requeued
+	lastIterDur    time.Duration
 	iter           int // completed iterations, including StartIter
 	cost           float64
 	costHistory    []float64
@@ -404,9 +449,18 @@ type Info struct {
 	RecoveredFrom string `json:"recovered_from,omitempty"`
 	// RequestID is the job's trace context (the X-Request-ID of its
 	// submission); empty when it was submitted without one.
-	RequestID string    `json:"request_id,omitempty"`
-	Error     string    `json:"error,omitempty"`
-	Created   time.Time `json:"created"`
+	RequestID string `json:"request_id,omitempty"`
+	// Tenant is the fair-share principal the job is accounted to and
+	// Priority its scheduling class ("bulk" or "interactive").
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
+	// PreemptedCount is how many times an interactive job displaced
+	// this one at an iteration boundary; each preemption is lossless
+	// (the job requeues warm from the boundary checkpoint — see
+	// RecoveredFrom for the checkpoint it restarted from).
+	PreemptedCount int       `json:"preempted_count,omitempty"`
+	Error          string    `json:"error,omitempty"`
+	Created        time.Time `json:"created"`
 	Started        time.Time `json:"started,omitzero"`
 	Finished       time.Time `json:"finished,omitzero"`
 
@@ -453,6 +507,9 @@ func (j *Job) Info(historyTail int) Info {
 		ResumedFrom:    j.resumedFrom,
 		RecoveredFrom:  j.recoveredFrom,
 		RequestID:      j.params.RequestID,
+		Tenant:         j.params.Tenant,
+		Priority:       j.params.Priority,
+		PreemptedCount: j.preemptedCount,
 		Created:        j.created,
 		Started:        j.started,
 		Finished:       j.finished,
@@ -495,7 +552,9 @@ func (j *Job) Info(historyTail int) Info {
 
 // markRunning transitions Queued→Running; false means the job was
 // cancelled while still queued and must be skipped. The wait in the
-// FIFO becomes the trace's queue-wait span.
+// queue becomes the trace's queue-wait span — measured from the LAST
+// enqueue (submission, or the preemption requeue), so a preempted
+// job's second wait is not double-counted from its creation.
 func (j *Job) markRunning() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -505,21 +564,29 @@ func (j *Job) markRunning() bool {
 	j.state = Running
 	j.started = time.Now()
 	j.lastBoundary = j.started
+	from := j.enqueuedAt
+	if from.IsZero() {
+		from = j.created
+	}
 	j.tr.Record("queue-wait", j.rootSpan, obs.RankCoordinator, obs.IterNone,
-		j.created, j.started.Sub(j.created))
+		from, j.started.Sub(from))
 	j.publishLocked(Event{Type: "state", State: Running.String()})
 	return true
 }
 
-// queueWait returns how long the job sat in the FIFO (0 before it
-// started).
+// queueWait returns how long the job sat in the queue before its
+// latest start (0 before it started).
 func (j *Job) queueWait() time.Duration {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.started.IsZero() {
 		return 0
 	}
-	return j.started.Sub(j.created)
+	from := j.enqueuedAt
+	if from.IsZero() {
+		from = j.created
+	}
+	return j.started.Sub(from)
 }
 
 // beginIterations closes the setup phase — everything between
@@ -551,6 +618,7 @@ func (j *Job) recordIteration(completed int, cost float64) time.Duration {
 	if !j.lastBoundary.IsZero() {
 		d = now.Sub(j.lastBoundary)
 		j.tr.Record("iteration", j.rootSpan, obs.RankCoordinator, completed, j.lastBoundary, d)
+		j.lastIterDur = d
 	}
 	j.lastBoundary = now
 	j.publishLocked(Event{Type: "iteration", Iter: completed, Cost: cost})

@@ -3,6 +3,8 @@ package jobs
 import (
 	"fmt"
 	"io"
+	"sort"
+	"strconv"
 	"sync/atomic"
 
 	"ptychopath/internal/obs"
@@ -21,6 +23,10 @@ type counters struct {
 	running     atomic.Int64
 	frames      atomic.Int64
 	folds       atomic.Int64
+
+	// Scheduler counters (non-zero only when tenancy/preemption fire).
+	preempted     atomic.Int64 // bulk jobs checkpointed and requeued for interactive work
+	quotaRejected atomic.Int64 // submissions rejected by per-tenant quotas
 
 	// Durability counters (non-zero only with a durable Config.Store).
 	recovered   atomic.Int64 // interrupted jobs re-enqueued at startup
@@ -43,6 +49,11 @@ type histograms struct {
 	// encoded on the seconds axis via ratioDuration, bounds are ratios).
 	predictionErr *obs.Histogram // actual/predicted runtime at completion
 	imbalance     *obs.Histogram // per-iteration max/mean rank compute
+
+	// Per-tenant queue wait: the fairness signal. Cardinality is
+	// bounded by sched.Config.MaxTenants — tenants beyond the cap share
+	// the "other" label.
+	tenantQueueWait *obs.HistogramVec // queue wait by tenant label
 }
 
 func newHistograms() histograms {
@@ -63,6 +74,9 @@ func newHistograms() histograms {
 		imbalance: obs.NewHistogram("ptychoserve_job_rank_imbalance_ratio",
 			"Max over mean per-rank compute time within one iteration (1.0 = perfectly balanced).",
 			[]float64{1, 1.05, 1.1, 1.25, 1.5, 2, 3, 5, 10}),
+		tenantQueueWait: obs.NewHistogramVec("ptychoserve_tenant_queue_wait_seconds",
+			"Time jobs spend queued before pickup, by tenant (bounded cardinality; overflow tenants share label \"other\").",
+			[]string{"tenant"}, obs.DefBuckets),
 	}
 }
 
@@ -80,6 +94,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		{"ptychoserve_jobs_completed_total", "Jobs that ran all iterations.", "counter", s.met.completed.Load()},
 		{"ptychoserve_jobs_failed_total", "Jobs that ended with an error.", "counter", s.met.failed.Load()},
 		{"ptychoserve_jobs_cancelled_total", "Jobs cancelled while queued or running.", "counter", s.met.cancelled.Load()},
+		{"ptychoserve_jobs_preempted_total", "Bulk jobs checkpointed and requeued to make room for interactive work.", "counter", s.met.preempted.Load()},
+		{"ptychoserve_jobs_quota_rejected_total", "Submissions rejected by per-tenant quotas.", "counter", s.met.quotaRejected.Load()},
 		{"ptychoserve_iterations_total", "Reconstruction iterations completed across all jobs.", "counter", s.met.iterations.Load()},
 		{"ptychoserve_checkpoints_total", "OBJCKv1 checkpoints written.", "counter", s.met.checkpoints.Load()},
 		{"ptychoserve_frames_ingested_total", "Diffraction frames accepted by streaming-job ingests.", "counter", s.met.frames.Load()},
@@ -126,12 +142,97 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 			return err
 		}
 	}
+	if err := s.writeTenantMetrics(w); err != nil {
+		return err
+	}
 	for _, h := range []*obs.Histogram{
 		s.hist.queueWait, s.hist.iteration, s.hist.checkpoint,
 		s.hist.walFsync, s.hist.ingest,
 		s.hist.predictionErr, s.hist.imbalance,
 	} {
 		h.Write(w)
+	}
+	s.hist.tenantQueueWait.Write(w)
+	return nil
+}
+
+// writeTenantMetrics emits the per-tenant accounting families. Series
+// are keyed by metric label, not tenant name: tenants past the
+// sched.Config.MaxTenants cap fold into one "other" series, so a flood
+// of throwaway API keys cannot blow up scrape cardinality.
+func (s *Service) writeTenantMetrics(w io.Writer) error {
+	type row struct {
+		submitted, preempted, quotaRejects int64
+		active                             int
+		ingestBytes                        int64
+		completedSec                       float64
+	}
+	s.mu.Lock()
+	agg := make(map[string]*row, len(s.tenants))
+	for _, ts := range s.tenants {
+		r := agg[ts.metricLabel]
+		if r == nil {
+			r = &row{}
+			agg[ts.metricLabel] = r
+		}
+		r.submitted += ts.submitted
+		r.preempted += ts.preempted
+		r.quotaRejects += ts.quotaRejects
+		r.active += ts.active
+		r.ingestBytes += ts.ingestBytes
+		r.completedSec += ts.completedSec
+	}
+	s.mu.Unlock()
+	if len(agg) == 0 {
+		return nil
+	}
+	labels := make([]string, 0, len(agg))
+	for l := range agg {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	emit := func(name, help, typ string, val func(*row) string) error {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ); err != nil {
+			return err
+		}
+		for _, l := range labels {
+			if _, err := fmt.Fprintf(w, "%s{tenant=%q} %s\n", name, l, val(agg[l])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	steps := []func() error{
+		func() error {
+			return emit("ptychoserve_tenant_jobs_submitted_total", "Jobs admitted, by tenant.", "counter",
+				func(r *row) string { return strconv.FormatInt(r.submitted, 10) })
+		},
+		func() error {
+			return emit("ptychoserve_tenant_jobs_preempted_total", "Preemptions absorbed, by tenant.", "counter",
+				func(r *row) string { return strconv.FormatInt(r.preempted, 10) })
+		},
+		func() error {
+			return emit("ptychoserve_tenant_quota_rejected_total", "Submissions rejected by this tenant's quotas.", "counter",
+				func(r *row) string { return strconv.FormatInt(r.quotaRejects, 10) })
+		},
+		func() error {
+			return emit("ptychoserve_tenant_jobs_active", "Jobs queued or running, by tenant.", "gauge",
+				func(r *row) string { return strconv.Itoa(r.active) })
+		},
+		func() error {
+			return emit("ptychoserve_tenant_ingest_bytes", "Streaming ingest bytes currently held, by tenant.", "gauge",
+				func(r *row) string { return strconv.FormatInt(r.ingestBytes, 10) })
+		},
+		func() error {
+			return emit("ptychoserve_tenant_completed_cost_seconds_total", "Compute seconds delivered to finished work, by tenant.", "counter",
+				func(r *row) string { return strconv.FormatFloat(r.completedSec, 'g', -1, 64) })
+		},
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"ptychopath/internal/jobs/sched"
 	"ptychopath/internal/jobs/store"
 	"ptychopath/internal/stream"
 
@@ -37,15 +38,33 @@ type persistParams struct {
 	FoldEvery          int     `json:"fold_every,omitempty"`
 	MaxIterations      int     `json:"max_iterations,omitempty"`
 	IngestCapacity     int     `json:"ingest_capacity,omitempty"`
+
+	// Scheduler fields (PTYWALv2 addendum, docs/FORMATS.md): both
+	// omitempty, so records written before the sched layer existed
+	// read back cleanly — recovery normalizes the zero values to the
+	// anonymous tenant and the bulk class.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
 }
 
 func marshalParams(p Params) json.RawMessage {
+	// Write the defaults as absent keys: an anonymous bulk submission
+	// serializes byte-identically to a pre-sched record, so enabling
+	// the scheduler does not fork the WAL format for unkeyed traffic.
+	tenant, priority := p.Tenant, p.Priority
+	if tenant == AnonymousTenant {
+		tenant = ""
+	}
+	if priority == sched.Bulk.String() {
+		priority = ""
+	}
 	b, err := json.Marshal(persistParams{
 		Algorithm: p.Algorithm, Iterations: p.Iterations, StepSize: p.StepSize,
 		MeshRows: p.MeshRows, MeshCols: p.MeshCols,
 		RoundsPerIteration: p.RoundsPerIteration, IntraWorkers: p.IntraWorkers,
 		CheckpointEvery: p.CheckpointEvery, StartIter: p.StartIter, Grid: p.Grid,
 		FoldEvery: p.FoldEvery, MaxIterations: p.MaxIterations, IngestCapacity: p.IngestCapacity,
+		Tenant: tenant, Priority: priority,
 	})
 	if err != nil {
 		return nil
@@ -61,12 +80,23 @@ func unmarshalParams(raw json.RawMessage) (Params, error) {
 	if err := json.Unmarshal(raw, &pp); err != nil {
 		return Params{}, err
 	}
+	// Version tolerance: submit records written before the scheduler
+	// existed carry no tenant/priority keys; they recover as the
+	// anonymous tenant's bulk work, exactly how they were scheduled
+	// when written.
+	if pp.Tenant == "" {
+		pp.Tenant = AnonymousTenant
+	}
+	if pp.Priority == "" {
+		pp.Priority = sched.Bulk.String()
+	}
 	return Params{
 		Algorithm: pp.Algorithm, Iterations: pp.Iterations, StepSize: pp.StepSize,
 		MeshRows: pp.MeshRows, MeshCols: pp.MeshCols,
 		RoundsPerIteration: pp.RoundsPerIteration, IntraWorkers: pp.IntraWorkers,
 		CheckpointEvery: pp.CheckpointEvery, StartIter: pp.StartIter, Grid: pp.Grid,
 		FoldEvery: pp.FoldEvery, MaxIterations: pp.MaxIterations, IngestCapacity: pp.IngestCapacity,
+		Tenant: pp.Tenant, Priority: pp.Priority,
 	}, nil
 }
 
@@ -215,7 +245,19 @@ func (s *Service) recoverJobs(rec *store.Recovery) {
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		if j.state == Queued {
-			s.queue = append(s.queue, j)
+			// Through the scheduler, not a raw append: a wfq restart
+			// re-orders the recovered backlog by class and tenant share
+			// exactly like live submissions — an interactive job that
+			// was next in line before the crash is next in line after.
+			// Recovery never RE-checks quotas (the work was already
+			// admitted once; dropping it now would lose accepted jobs),
+			// but it does re-charge the tenant ledger so post-restart
+			// admission sees the true in-flight count.
+			ts := s.tenantLocked(j.params.Tenant)
+			ts.active++
+			j.tenantLabel = ts.metricLabel
+			j.idemKey = jr.Key
+			s.q.Push(s.schedItemLocked(j))
 		}
 	}
 	for key, id := range rec.Keys {
@@ -372,6 +414,28 @@ func (s *Service) recoverJob(jr *store.JobRecord) *Job {
 		s.met.walErrors.Add(1)
 	}
 	return j
+}
+
+// logPreempt re-logs a preempted job's submission with its
+// checkpoint-adjusted parameters (warm start, remaining iterations), so
+// a crash while the job waits in the queue recovers it from the
+// preemption point rather than from scratch. Same idea as the re-log in
+// recoverJob; called from requeuePreempted with the adjusted params
+// already in place.
+func (s *Service) logPreempt(j *Job) {
+	if !s.store.Durable() {
+		return
+	}
+	j.mu.Lock()
+	rec := store.SubmitRecord{
+		ID: j.id, Params: marshalParams(paramsNoInit(j.params)), Streaming: j.streaming,
+		Key: j.idemKey, ResumedFrom: j.resumedFrom, RecoveredFrom: j.recoveredFrom,
+		Dataset: j.datasetPath, Created: j.created,
+	}
+	j.mu.Unlock()
+	if err := s.store.LogSubmit(rec); err != nil {
+		s.met.walErrors.Add(1)
+	}
 }
 
 func paramsNoInit(p Params) Params {

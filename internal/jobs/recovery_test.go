@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"ptychopath/internal/dataio"
+	"ptychopath/internal/jobs/sched"
 	"ptychopath/internal/jobs/store"
 	"ptychopath/internal/jobs/store/faultfs"
 
@@ -416,6 +417,106 @@ func TestShutdownCleanReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	waitFor(t, "post-reopen job done", func() bool { return j2.State() == Done })
+}
+
+// TestRecoveryPreservesTenantAndClass: the WAL submit record carries
+// the scheduling identity, so a crashed queued job re-enqueues as the
+// same tenant's work in the same priority class — an interactive job
+// that was next in line before the crash is next in line after, and
+// the restarted tenant ledger charges the right principal.
+func TestRecoveryPreservesTenantAndClass(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workers: 1, QueueDepth: 8, Sched: sched.Config{Policy: "wfq"}}
+
+	l1 := openLife(t, dir, cfg)
+	prob := tinyProblem(t)
+	blocker, err := l1.svc.SubmitStreaming(dataio.HeaderFromProblem(prob), Params{Algorithm: "serial", Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "blocker running", func() bool { return blocker.State() == Running })
+	// Two queued jobs: a bulk one submitted FIRST, then an interactive
+	// one. WFQ dispatches the interactive lane first; recovery must
+	// preserve that order, not fall back to arrival order.
+	bulk, err := l1.svc.Submit(prob, Params{Algorithm: "serial", Iterations: 4, Tenant: "batchfarm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vip, err := l1.svc.Submit(prob, Params{Algorithm: "serial", Iterations: 4, Tenant: "vip", Priority: "interactive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1.crash()
+
+	l2 := openLife(t, dir, cfg)
+	rvip, ok := l2.svc.Get(vip.ID())
+	if !ok {
+		t.Fatalf("interactive job %s not recovered", vip.ID())
+	}
+	rbulk, ok := l2.svc.Get(bulk.ID())
+	if !ok {
+		t.Fatalf("bulk job %s not recovered", bulk.ID())
+	}
+	vinfo, binfo := rvip.Info(0), rbulk.Info(0)
+	if vinfo.Tenant != "vip" || vinfo.Priority != "interactive" {
+		t.Errorf("recovered interactive job is tenant=%q priority=%q, want vip/interactive",
+			vinfo.Tenant, vinfo.Priority)
+	}
+	if binfo.Tenant != "batchfarm" || binfo.Priority != "bulk" {
+		t.Errorf("recovered bulk job is tenant=%q priority=%q, want batchfarm/bulk",
+			binfo.Tenant, binfo.Priority)
+	}
+	if err := l2.svc.Cancel(blocker.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "recovered jobs done", func() bool {
+		return rvip.State() == Done && rbulk.State() == Done
+	})
+	if !rvip.Info(0).Started.Before(rbulk.Info(0).Started) {
+		t.Errorf("recovered bulk job dispatched before the interactive one — class lost in replay")
+	}
+	// The restarted ledger accounts the recovered work to its tenants.
+	var haveVip, haveBatch bool
+	for _, ten := range l2.svc.Status().Tenants {
+		switch ten.Name {
+		case "vip":
+			haveVip = true
+		case "batchfarm":
+			haveBatch = true
+		}
+	}
+	if !haveVip || !haveBatch {
+		t.Errorf("restarted tenant rollup lacks recovered principals (vip=%v batchfarm=%v)", haveVip, haveBatch)
+	}
+}
+
+// TestParamsVersionTolerance pins the PTYWALv2 addendum both ways:
+// records written before the scheduler existed (no tenant/priority
+// keys) read back as anonymous bulk work, and an anonymous bulk
+// submission still writes those keys as absent — the addendum does not
+// fork the format for unkeyed traffic.
+func TestParamsVersionTolerance(t *testing.T) {
+	old := []byte(`{"algorithm":"serial","iterations":4,"step_size":0.01}`)
+	p, err := unmarshalParams(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tenant != AnonymousTenant || p.Priority != "bulk" {
+		t.Errorf("pre-sched record reads tenant=%q priority=%q, want anonymous/bulk", p.Tenant, p.Priority)
+	}
+
+	raw := marshalParams(Params{Algorithm: "serial", Iterations: 4, Tenant: AnonymousTenant, Priority: "bulk"})
+	if strings.Contains(string(raw), "tenant") || strings.Contains(string(raw), "priority") {
+		t.Errorf("anonymous bulk record carries scheduler keys: %s", raw)
+	}
+	keyed := marshalParams(Params{Algorithm: "serial", Iterations: 4, Tenant: "vip", Priority: "interactive"})
+	rt, err := unmarshalParams(keyed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Tenant != "vip" || rt.Priority != "interactive" {
+		t.Errorf("keyed record round-trips as tenant=%q priority=%q", rt.Tenant, rt.Priority)
+	}
 }
 
 // TestIdempotencyAfterCrash: a claimed idempotency key holds across a

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The scheduler runs under the service mutex on the submit path, so
+// its per-decision overhead is a latency tax on every enqueue and
+// every worker dispatch. These benchmarks pin it (gated in CI by
+// scripts/benchguard.sh against BENCH_2026-08-08_sched_overhead.json).
+
+func benchQueue(b *testing.B, policy string, tenants int) {
+	cfg := Config{Policy: policy, Tenants: map[string]TenantConfig{}}
+	for i := 0; i < tenants; i++ {
+		cfg.Tenants[fmt.Sprintf("tenant-%d", i)] = TenantConfig{Weight: float64(i%4 + 1)}
+	}
+	if err := cfg.SetDefaults(); err != nil {
+		b.Fatal(err)
+	}
+	q, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := make([]string, tenants)
+	ids := make([]string, 256)
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	for i := range ids {
+		ids[i] = fmt.Sprintf("job-%04d", i)
+	}
+	items := make([]Item, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		// One decision = push into a 255-deep backlog + pop: the
+		// steady-state cost of a full queue turning over.
+		it := &items[n%256]
+		*it = Item{ID: ids[n%256], Tenant: names[n%tenants],
+			Class: Class(n % 2), Cost: float64(n%7 + 1), Seq: uint64(n)}
+		q.Push(it)
+		if q.Len() >= 256 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkSchedDecisionFIFO(b *testing.B)         { benchQueue(b, "fifo", 1) }
+func BenchmarkSchedDecisionWFQ2Tenants(b *testing.B)  { benchQueue(b, "wfq", 2) }
+func BenchmarkSchedDecisionWFQ64Tenants(b *testing.B) { benchQueue(b, "wfq", 64) }

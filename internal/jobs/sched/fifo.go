@@ -1,0 +1,36 @@
+package sched
+
+// fifo is the historical policy: strict arrival order, classes and
+// tenants ignored. It reproduces the service's original bounded-slice
+// behavior exactly, so a zero-config service schedules as it always
+// did.
+type fifo struct {
+	items []*Item
+}
+
+func (q *fifo) Push(it *Item) { q.items = append(q.items, it) }
+
+func (q *fifo) Pop() (*Item, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	it := q.items[0]
+	q.items = q.items[1:]
+	return it, true
+}
+
+func (q *fifo) Remove(id string) bool {
+	for i, it := range q.items {
+		if it.ID == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (q *fifo) Len() int { return len(q.items) }
+
+func (q *fifo) Items() []*Item { return append([]*Item(nil), q.items...) }
+
+func (q *fifo) Policy() string { return "fifo" }

@@ -1,0 +1,207 @@
+// Package sched is the scheduling seam of the jobs service: a
+// pluggable ordering policy for the bounded queue between Submit and
+// the worker pool.
+//
+// The service used to hard-code a FIFO slice. Package sched keeps that
+// behavior as the zero-config default (Policy "fifo") and adds a
+// weighted-fair policy ("wfq") for multi-tenant deployments:
+// start-time fair queueing over per-tenant virtual clocks, weighted by
+// configured tenant shares, with the job's predicted runtime (the
+// perfmodel estimate the analysis layer already computes) as its
+// virtual cost, and two strict priority classes — Interactive items
+// always dispatch before Bulk ones.
+//
+// A Queue is a pure ordering policy: it is NOT safe for concurrent use
+// and holds no locks of its own. The jobs service calls it under its
+// own mutex, exactly where the FIFO slice used to live, so admission
+// checks and ordering stay in one critical section.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class is a scheduling priority class.
+type Class int
+
+const (
+	// Bulk is the default class: throughput work that yields to
+	// interactive jobs.
+	Bulk Class = iota
+	// Interactive is the latency-sensitive class: always dispatched
+	// before Bulk, and (under the wfq policy) allowed to preempt a
+	// running Bulk job at its next iteration boundary.
+	Interactive
+)
+
+// String returns the wire name of the class.
+func (c Class) String() string {
+	if c == Interactive {
+		return "interactive"
+	}
+	return "bulk"
+}
+
+// ParseClass maps a wire priority name to its Class. The empty string
+// is Bulk (the default); unknown names return false.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "", "bulk":
+		return Bulk, true
+	case "interactive":
+		return Interactive, true
+	}
+	return Bulk, false
+}
+
+// Item is one queued unit of work. The scheduler never looks inside
+// Payload; the jobs service stores its *Job there.
+type Item struct {
+	// ID identifies the item for Remove.
+	ID string
+	// Tenant keys the fair-share accounting.
+	Tenant string
+	// Class is the item's priority class.
+	Class Class
+	// Cost is the item's virtual cost in (predicted) seconds of work.
+	// Non-positive costs are clamped to a small floor so a missing
+	// prediction cannot make an item infinitely cheap.
+	Cost float64
+	// Seq is a service-assigned monotonic sequence number: the
+	// submission order, used as the deterministic tie-break.
+	Seq uint64
+	// Payload is the scheduled work, opaque to the policy.
+	Payload any
+
+	// start is the virtual start tag the wfq policy assigned at Push.
+	start float64
+}
+
+// Queue is the pluggable ordering policy. Implementations are not
+// thread-safe; the caller serializes access (the jobs service calls
+// every method under its service mutex).
+type Queue interface {
+	// Push adds an item.
+	Push(*Item)
+	// Pop removes and returns the next item to dispatch; false when
+	// empty.
+	Pop() (*Item, bool)
+	// Remove deletes the item with the given ID (cancellation while
+	// queued); false when absent.
+	Remove(id string) bool
+	// Len returns the number of queued items.
+	Len() int
+	// Items returns the queued items in approximate dispatch order —
+	// the order Pop would drain them if nothing else arrived. Used to
+	// derive honest Retry-After estimates; the returned slice is fresh
+	// and the caller may not mutate the items.
+	Items() []*Item
+	// Policy names the active policy ("fifo" or "wfq").
+	Policy() string
+}
+
+// TenantConfig is one tenant's scheduling contract.
+type TenantConfig struct {
+	// Weight is the tenant's fair share relative to other tenants
+	// (wfq policy). Zero means Config.DefaultWeight.
+	Weight float64
+	// MaxActive caps the tenant's in-flight (queued + running) jobs;
+	// submissions beyond it are rejected with a quota error. 0 means
+	// unlimited.
+	MaxActive int
+	// IngestBytes caps the bytes a tenant's live streaming jobs may
+	// hold in their ingest buffers; appends beyond it are rejected
+	// with a quota error. 0 means unlimited.
+	IngestBytes int64
+}
+
+// Config selects and parameterizes the policy.
+type Config struct {
+	// Policy is "fifo" (default) or "wfq".
+	Policy string
+	// DefaultWeight is the share of tenants without an explicit
+	// TenantConfig. Default 1.
+	DefaultWeight float64
+	// Tenants maps tenant names (API keys) to their contracts. Tenants
+	// not listed get DefaultWeight and no caps.
+	Tenants map[string]TenantConfig
+	// InteractiveReserve holds back this many queue slots for
+	// Interactive submissions: Bulk items are rejected queue-full at
+	// depth QueueDepth-InteractiveReserve, Interactive ones at the
+	// full depth — load shedding drops bulk before interactive.
+	// Default 0 (no reservation; single-class behavior unchanged).
+	InteractiveReserve int
+	// MaxTenants bounds the metric label cardinality: the first
+	// MaxTenants distinct tenants get their own per-tenant metric
+	// rows, later ones aggregate under the label "other". Default 64.
+	MaxTenants int
+}
+
+// SetDefaults normalizes the config in place and validates it.
+func (c *Config) SetDefaults() error {
+	if c.Policy == "" {
+		c.Policy = "fifo"
+	}
+	if c.Policy != "fifo" && c.Policy != "wfq" {
+		return fmt.Errorf("sched: unknown policy %q (want fifo or wfq)", c.Policy)
+	}
+	if c.DefaultWeight == 0 {
+		c.DefaultWeight = 1
+	}
+	if c.DefaultWeight < 0 {
+		return fmt.Errorf("sched: default weight must be positive, got %g", c.DefaultWeight)
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 64
+	}
+	if c.MaxTenants < 0 {
+		return fmt.Errorf("sched: max tenants must be positive, got %d", c.MaxTenants)
+	}
+	if c.InteractiveReserve < 0 {
+		return fmt.Errorf("sched: interactive reserve must be non-negative, got %d", c.InteractiveReserve)
+	}
+	for name, tc := range c.Tenants {
+		if tc.Weight < 0 {
+			return fmt.Errorf("sched: tenant %q weight must be non-negative, got %g", name, tc.Weight)
+		}
+		if tc.MaxActive < 0 {
+			return fmt.Errorf("sched: tenant %q max-active must be non-negative, got %d", name, tc.MaxActive)
+		}
+		if tc.IngestBytes < 0 {
+			return fmt.Errorf("sched: tenant %q ingest quota must be non-negative, got %d", name, tc.IngestBytes)
+		}
+	}
+	return nil
+}
+
+// Weight returns the effective share of a tenant.
+func (c *Config) Weight(tenant string) float64 {
+	if tc, ok := c.Tenants[tenant]; ok && tc.Weight > 0 {
+		return tc.Weight
+	}
+	return c.DefaultWeight
+}
+
+// New builds the queue the config selects. The config must already be
+// normalized with SetDefaults.
+func New(cfg Config) (Queue, error) {
+	switch cfg.Policy {
+	case "", "fifo":
+		return &fifo{}, nil
+	case "wfq":
+		return newWFQ(cfg), nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q", cfg.Policy)
+}
+
+// sortByStart orders items by (virtual start, seq) — the wfq dispatch
+// order within one class lane.
+func sortByStart(items []*Item) {
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].start != items[b].start {
+			return items[a].start < items[b].start
+		}
+		return items[a].Seq < items[b].Seq
+	})
+}

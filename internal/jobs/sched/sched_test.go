@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustNew(t *testing.T, cfg Config) Queue {
+	t.Helper()
+	if err := cfg.SetDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func push(q Queue, id, tenant string, class Class, cost float64, seq uint64) {
+	q.Push(&Item{ID: id, Tenant: tenant, Class: class, Cost: cost, Seq: seq})
+}
+
+func drain(t *testing.T, q Queue) []string {
+	t.Helper()
+	var out []string
+	for {
+		it, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, it.ID)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"", Bulk, true}, {"bulk", Bulk, true}, {"interactive", Interactive, true},
+		{"urgent", Bulk, false}, {"BULK", Bulk, false},
+	} {
+		got, ok := ParseClass(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+	if Bulk.String() != "bulk" || Interactive.String() != "interactive" {
+		t.Errorf("class names: %q / %q", Bulk, Interactive)
+	}
+}
+
+func TestFIFOOrderAndRemove(t *testing.T) {
+	q := mustNew(t, Config{})
+	if q.Policy() != "fifo" {
+		t.Fatalf("default policy %q, want fifo", q.Policy())
+	}
+	// FIFO ignores class, tenant and cost — arrival order only.
+	push(q, "a", "t1", Bulk, 9, 1)
+	push(q, "b", "t2", Interactive, 1, 2)
+	push(q, "c", "t1", Bulk, 1, 3)
+	if !q.Remove("b") || q.Remove("b") {
+		t.Fatal("Remove must delete exactly once")
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len %d, want 2", q.Len())
+	}
+	if got := drain(t, q); fmt.Sprint(got) != "[a c]" {
+		t.Fatalf("drain order %v, want [a c]", got)
+	}
+}
+
+func TestWFQInteractiveBeforeBulk(t *testing.T) {
+	q := mustNew(t, Config{Policy: "wfq"})
+	push(q, "b1", "t", Bulk, 1, 1)
+	push(q, "b2", "t", Bulk, 1, 2)
+	push(q, "i1", "t", Interactive, 100, 3)
+	if got := drain(t, q); fmt.Sprint(got) != "[i1 b1 b2]" {
+		t.Fatalf("drain order %v, want interactive first", got)
+	}
+}
+
+func TestWFQWeightedInterleave(t *testing.T) {
+	// Tenant a (weight 3) and tenant b (weight 1) each backlog six
+	// equal-cost jobs; the drain order must give a three slots for
+	// every one of b's.
+	q := mustNew(t, Config{Policy: "wfq", Tenants: map[string]TenantConfig{
+		"a": {Weight: 3}, "b": {Weight: 1},
+	}})
+	seq := uint64(0)
+	for i := 0; i < 6; i++ {
+		seq++
+		push(q, fmt.Sprintf("a%d", i), "a", Bulk, 1, seq)
+	}
+	for i := 0; i < 6; i++ {
+		seq++
+		push(q, fmt.Sprintf("b%d", i), "b", Bulk, 1, seq)
+	}
+	order := drain(t, q)
+	// Prefix shares: after every 4 dispatches the ratio is exactly 3:1.
+	counts := map[byte]int{}
+	for i, id := range order {
+		counts[id[0]]++
+		if n := i + 1; n%4 == 0 && n <= 8 {
+			if counts['a'] != 3*n/4 || counts['b'] != n/4 {
+				t.Fatalf("after %d dispatches: a=%d b=%d (order %v), want 3:1",
+					n, counts['a'], counts['b'], order)
+			}
+		}
+	}
+	if counts['a'] != 6 || counts['b'] != 6 {
+		t.Fatalf("drain lost items: %v", order)
+	}
+}
+
+func TestWFQIdleTenantNotPunished(t *testing.T) {
+	// Tenant a burns through virtual time; a late arrival from idle
+	// tenant b must start at the current clock, not at zero, and not
+	// behind a's entire backlog.
+	q := mustNew(t, Config{Policy: "wfq"})
+	for i := 0; i < 10; i++ {
+		push(q, fmt.Sprintf("a%d", i), "a", Bulk, 1, uint64(i+1))
+	}
+	// Drain half; the lane clock has advanced.
+	for i := 0; i < 5; i++ {
+		q.Pop()
+	}
+	push(q, "b0", "b", Bulk, 1, 11)
+	order := drain(t, q)
+	if order[0] != "b0" && order[1] != "b0" {
+		t.Fatalf("idle tenant's first job dispatched at %v, want near the front", order)
+	}
+}
+
+func TestWFQRemoveDoesNotRefund(t *testing.T) {
+	q := mustNew(t, Config{Policy: "wfq"})
+	push(q, "a0", "a", Bulk, 10, 1)
+	push(q, "b0", "b", Bulk, 1, 2)
+	if !q.Remove("a0") {
+		t.Fatal("remove failed")
+	}
+	// a's next push still pays for the removed a0: its start tag is
+	// a0's finish, so b0 dispatches first.
+	push(q, "a1", "a", Bulk, 1, 3)
+	if got := drain(t, q); fmt.Sprint(got) != "[b0 a1]" {
+		t.Fatalf("drain order %v, want [b0 a1] (no refund for removed work)", got)
+	}
+}
+
+func TestWFQZeroCostClamped(t *testing.T) {
+	q := mustNew(t, Config{Policy: "wfq"})
+	for i := 0; i < 3; i++ {
+		push(q, fmt.Sprintf("z%d", i), "z", Bulk, 0, uint64(i+1))
+	}
+	push(q, "p0", "p", Bulk, 0, 4)
+	// All zero-cost: clamping keeps the tenant clocks moving, so p's
+	// first item beats z's third (start tags 0 vs 2*minCost).
+	order := drain(t, q)
+	if len(order) != 4 {
+		t.Fatalf("drain %v", order)
+	}
+	if order[1] != "p0" && order[0] != "p0" {
+		t.Fatalf("zero-cost items starved tenant p: %v", order)
+	}
+}
+
+func TestItemsApproximatesDispatchOrder(t *testing.T) {
+	for _, policy := range []string{"fifo", "wfq"} {
+		q := mustNew(t, Config{Policy: policy})
+		push(q, "b1", "t1", Bulk, 2, 1)
+		push(q, "i1", "t2", Interactive, 1, 2)
+		push(q, "b2", "t1", Bulk, 2, 3)
+		items := q.Items()
+		if len(items) != 3 || q.Len() != 3 {
+			t.Fatalf("%s: Items() len %d", policy, len(items))
+		}
+		got := make([]string, len(items))
+		for i, it := range items {
+			got[i] = it.ID
+		}
+		want := "[b1 i1 b2]"
+		if policy == "wfq" {
+			want = "[i1 b1 b2]"
+		}
+		if fmt.Sprint(got) != want {
+			t.Fatalf("%s: Items() order %v, want %s", policy, got, want)
+		}
+		// Items must match what Pop actually does.
+		if d := drain(t, q); fmt.Sprint(d) != want {
+			t.Fatalf("%s: drain %v disagrees with Items %v", policy, d, got)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Policy: "lifo"},
+		{DefaultWeight: -1},
+		{InteractiveReserve: -1},
+		{MaxTenants: -2},
+		{Tenants: map[string]TenantConfig{"x": {Weight: -1}}},
+		{Tenants: map[string]TenantConfig{"x": {MaxActive: -1}}},
+		{Tenants: map[string]TenantConfig{"x": {IngestBytes: -1}}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.SetDefaults(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	var cfg Config
+	if err := cfg.SetDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != "fifo" || cfg.DefaultWeight != 1 || cfg.MaxTenants != 64 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if w := cfg.Weight("unknown"); w != 1 {
+		t.Fatalf("unknown tenant weight %g, want default 1", w)
+	}
+}

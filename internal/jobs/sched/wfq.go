@@ -1,0 +1,142 @@
+package sched
+
+import "container/heap"
+
+// minCost floors an item's virtual cost: a job with no runtime
+// prediction (streaming, empty dataset) still advances its tenant's
+// virtual clock, so it cannot submit for free forever.
+const minCost = 1e-3
+
+// wfq is start-time fair queueing over two strict priority lanes.
+//
+// Each lane keeps a virtual clock; each tenant keeps the virtual
+// finish tag of its last accepted item (per lane, so a tenant's bulk
+// backlog cannot push its interactive work into the future). An
+// arriving item is tagged start = max(lane clock, tenant last finish)
+// and finish = start + cost/weight; Pop takes the smallest start tag
+// (submission order breaks ties) and advances the lane clock to it.
+// Backlogged tenants therefore interleave in proportion to their
+// weights — a tenant with weight 3 accrues virtual time a third as
+// fast per second of predicted work as a tenant with weight 1 — while
+// an idle tenant's first submission starts at the current clock
+// instead of being punished for its idle past (the max() is exactly
+// the SFQ idle-tenant rule).
+//
+// The Interactive lane drains strictly before Bulk: fairness applies
+// within a class, priority between classes.
+type wfq struct {
+	cfg   Config
+	seq2i map[string]*Item // id → item, for Remove
+	lanes [2]wfqLane       // indexed by Class
+}
+
+type wfqLane struct {
+	virt       float64            // lane virtual clock
+	lastFinish map[string]float64 // tenant → virtual finish of last push
+	heap       itemHeap
+}
+
+func newWFQ(cfg Config) *wfq {
+	q := &wfq{cfg: cfg, seq2i: map[string]*Item{}}
+	for i := range q.lanes {
+		q.lanes[i].lastFinish = map[string]float64{}
+	}
+	return q
+}
+
+func (q *wfq) Push(it *Item) {
+	lane := &q.lanes[laneIndex(it.Class)]
+	cost := it.Cost
+	if cost <= 0 {
+		cost = minCost
+	}
+	start := lane.virt
+	if lf := lane.lastFinish[it.Tenant]; lf > start {
+		start = lf
+	}
+	it.start = start
+	lane.lastFinish[it.Tenant] = start + cost/q.cfg.Weight(it.Tenant)
+	heap.Push(&lane.heap, it)
+	q.seq2i[it.ID] = it
+}
+
+func (q *wfq) Pop() (*Item, bool) {
+	// Interactive before Bulk, always.
+	for i := len(q.lanes) - 1; i >= 0; i-- {
+		lane := &q.lanes[i]
+		if lane.heap.Len() == 0 {
+			continue
+		}
+		it := heap.Pop(&lane.heap).(*Item)
+		if it.start > lane.virt {
+			lane.virt = it.start
+		}
+		delete(q.seq2i, it.ID)
+		return it, true
+	}
+	return nil, false
+}
+
+// Remove deletes a queued item. The tenant's virtual finish tag is
+// deliberately NOT rolled back: the tag encodes work the tenant asked
+// for, and un-asking must not let it line-jump work it submitted
+// after the removed item.
+func (q *wfq) Remove(id string) bool {
+	it, ok := q.seq2i[id]
+	if !ok {
+		return false
+	}
+	delete(q.seq2i, id)
+	lane := &q.lanes[laneIndex(it.Class)]
+	for i, h := range lane.heap {
+		if h == it {
+			heap.Remove(&lane.heap, i)
+			return true
+		}
+	}
+	return false
+}
+
+func (q *wfq) Len() int { return q.lanes[0].heap.Len() + q.lanes[1].heap.Len() }
+
+func (q *wfq) Items() []*Item {
+	out := make([]*Item, 0, q.Len())
+	for i := len(q.lanes) - 1; i >= 0; i-- {
+		lane := append([]*Item(nil), q.lanes[i].heap...)
+		sortByStart(lane)
+		out = append(out, lane...)
+	}
+	return out
+}
+
+func (q *wfq) Policy() string { return "wfq" }
+
+func laneIndex(c Class) int {
+	if c == Interactive {
+		return 1
+	}
+	return 0
+}
+
+// itemHeap orders by (virtual start, seq).
+type itemHeap []*Item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(a, b int) bool {
+	if h[a].start != h[b].start {
+		return h[a].start < h[b].start
+	}
+	return h[a].Seq < h[b].Seq
+}
+func (h itemHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+
+func (h *itemHeap) Push(x any) { *h = append(*h, x.(*Item)) }
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

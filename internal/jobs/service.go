@@ -15,6 +15,7 @@ import (
 	"ptychopath/internal/gradsync"
 	"ptychopath/internal/grid"
 	"ptychopath/internal/halo"
+	"ptychopath/internal/jobs/sched"
 	"ptychopath/internal/jobs/store"
 	"ptychopath/internal/obs"
 	"ptychopath/internal/obs/flight"
@@ -64,6 +65,11 @@ type Config struct {
 	// lifecycle at Info, per-iteration and checkpoint detail at
 	// Debug), each tagged with job_id and request_id. Nil discards.
 	Logger *slog.Logger
+	// Sched selects the queue ordering policy and the tenant
+	// contracts (see internal/jobs/sched). The zero value is the
+	// historical FIFO with no quotas — existing single-tenant
+	// deployments are untouched.
+	Sched sched.Config
 }
 
 func (c *Config) setDefaults() error {
@@ -103,6 +109,13 @@ func (c *Config) setDefaults() error {
 	} else if err := os.MkdirAll(c.SpoolDir, 0o755); err != nil {
 		return fmt.Errorf("jobs: creating spool dir: %w", err)
 	}
+	if err := c.Sched.SetDefaults(); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if c.Sched.InteractiveReserve >= c.QueueDepth {
+		return fmt.Errorf("jobs: interactive reserve %d must leave bulk room in queue depth %d",
+			c.Sched.InteractiveReserve, c.QueueDepth)
+	}
 	return nil
 }
 
@@ -125,12 +138,20 @@ type Service struct {
 	// WAL replay statistics, set once during NewService recovery.
 	replayRecords, replayTorn int
 
+	// Fleet-wide runtime EWMA: the Retry-After fallback for jobs
+	// without a prediction (see tenancy.go).
+	runtime runtimeEstimate
+
 	mu     sync.Mutex
-	notify *sync.Cond // signals workers: queue non-empty or closing
-	queue  []*Job     // bounded FIFO; cancelled entries are removed in place
+	notify *sync.Cond  // signals workers: queue non-empty or closing
+	q      sched.Queue // bounded queue; ordering policy per Config.Sched
+	seq    uint64      // scheduler sequence — submission-order tie-break
 	jobs   map[string]*Job
-	order  []string        // submission order, for List/ListPage
-	idem   map[string]*Job // Idempotency-Key → the job it created
+	order  []string                // submission order, for List/ListPage
+	idem   map[string]*Job         // Idempotency-Key → the job it created
+	running map[string]*Job        // jobs currently on a worker (preemption victims, retry estimates)
+	tenants map[string]*tenantState // fair-share accounting, keyed by tenant name
+	tenantOrder []string            // first-seen order; bounds the metric registry
 	nextID int
 	closed bool
 }
@@ -142,14 +163,21 @@ func NewService(cfg Config) (*Service, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
+	q, err := sched.New(cfg.Sched)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
 	s := &Service{
-		cfg:   cfg,
-		hist:  newHistograms(),
-		log:   cfg.Logger,
-		store: cfg.Store,
-		start: time.Now(),
-		jobs:  make(map[string]*Job),
-		idem:  make(map[string]*Job),
+		cfg:     cfg,
+		hist:    newHistograms(),
+		log:     cfg.Logger,
+		store:   cfg.Store,
+		start:   time.Now(),
+		q:       q,
+		jobs:    make(map[string]*Job),
+		idem:    make(map[string]*Job),
+		running: make(map[string]*Job),
+		tenants: make(map[string]*tenantState),
 	}
 	if s.log == nil {
 		s.log = obs.Discard()
@@ -198,18 +226,20 @@ func NewService(cfg Config) (*Service, error) {
 }
 
 // pop blocks until a job is queued or the service closes with an empty
-// queue.
+// queue. The popped job is registered as running-designate so retry
+// estimates and preemption see it even before markRunning commits.
 func (s *Service) pop() (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) == 0 && !s.closed {
+	for s.q.Len() == 0 && !s.closed {
 		s.notify.Wait()
 	}
-	if len(s.queue) == 0 {
+	it, ok := s.q.Pop()
+	if !ok {
 		return nil, false
 	}
-	j := s.queue[0]
-	s.queue = s.queue[1:]
+	j := it.Payload.(*Job)
+	s.running[j.id] = j
 	return j, true
 }
 
@@ -345,11 +375,19 @@ func (s *Service) SubmitStreamingWithKey(hdr *dataio.StreamHeader, p Params, key
 	return j, created, nil
 }
 
-// enqueue registers a constructed job with the bounded FIFO. The
-// idempotency check and the capacity check share one critical section,
-// so two racing submissions with the same key resolve to exactly one
-// job: the loser observes the winner's registration and returns it.
+// enqueue registers a constructed job with the bounded queue. The
+// idempotency check, the capacity check and the tenant quota share one
+// critical section, so two racing submissions with the same key
+// resolve to exactly one job: the loser observes the winner's
+// registration and returns it.
+//
+// Load shedding is class-aware: bulk submissions are rejected once the
+// queue reaches QueueDepth-InteractiveReserve, interactive ones only
+// at the full depth — under pressure the service sheds bulk first.
+// Both queue-full and quota rejections carry a live Retry-After
+// derived from the backlog's predicted runtimes (see tenancy.go).
 func (s *Service) enqueue(j *Job, key string) (*Job, bool, error) {
+	class, _ := sched.ParseClass(j.params.Priority)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -364,24 +402,77 @@ func (s *Service) enqueue(j *Job, key string) (*Job, bool, error) {
 			return prev, false, nil
 		}
 	}
-	if len(s.queue) >= s.cfg.QueueDepth {
+	limit := s.cfg.QueueDepth
+	if class == sched.Bulk {
+		limit -= s.cfg.Sched.InteractiveReserve
+	}
+	if s.q.Len() >= limit {
+		err := &Backpressure{
+			Err:        fmt.Errorf("%w (depth %d)", ErrQueueFull, limit),
+			RetryAfter: s.retryAfterLocked(),
+		}
 		s.mu.Unlock()
 		j.cancel()
 		s.met.rejected.Add(1)
-		return nil, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+		return nil, false, err
+	}
+	if err := s.admitLocked(j); err != nil {
+		s.mu.Unlock()
+		j.cancel()
+		return nil, false, err
 	}
 	s.nextID++
 	j.id = fmt.Sprintf("job-%04d", s.nextID)
-	s.queue = append(s.queue, j)
+	j.idemKey = key
+	s.q.Push(s.schedItemLocked(j))
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	if key != "" {
 		s.idem[key] = j
 	}
 	s.notify.Signal()
+	victim := s.preemptLocked(class)
 	s.mu.Unlock()
+	if victim != nil {
+		victim.cancel()
+	}
 	s.met.submitted.Add(1)
 	return j, true, nil
+}
+
+// preemptLocked picks a running bulk job to yield for a just-enqueued
+// interactive one (wfq policy only): when every worker is busy and at
+// least one runs bulk work, the most recently started bulk job is
+// flagged to stop at its next iteration boundary — it checkpoints,
+// requeues warm (see requeuePreempted) and loses no work. Returns the
+// victim whose context the caller must cancel AFTER releasing s.mu.
+// Requires s.mu.
+func (s *Service) preemptLocked(class sched.Class) *Job {
+	if class != sched.Interactive || s.q.Policy() != "wfq" {
+		return nil
+	}
+	if len(s.running) < s.cfg.Workers {
+		return nil // an idle worker will take the interactive job now
+	}
+	var victim *Job
+	var victimStart time.Time
+	for _, j := range s.running {
+		j.mu.Lock()
+		ok := j.state == Running && !j.preempt && !j.userCancel &&
+			!j.streaming && j.params.Priority != sched.Interactive.String()
+		started := j.started
+		j.mu.Unlock()
+		if ok && (victim == nil || started.After(victimStart)) {
+			victim, victimStart = j, started
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	victim.mu.Lock()
+	victim.preempt = true
+	victim.mu.Unlock()
+	return victim
 }
 
 // AppendFrames pushes a chunk of acquired frames into a streaming
@@ -422,12 +513,25 @@ func (s *Service) AppendFrames(id string, frames []dataio.Frame) (int, error) {
 	if j.State().Terminal() {
 		return j.ingest.Total(), fmt.Errorf("%w: %s is %s", ErrFinished, id, j.State())
 	}
+	// Tenant ingest quota: reserve the chunk's resident bytes before
+	// the buffer accepts them; a rejected reservation is a 429 with a
+	// drain-rate Retry-After, same contract as a full buffer.
+	need := int64(len(frames)) * frameBytes(j.hdr.WindowN)
+	if qerr := s.chargeIngest(j, need); qerr != nil {
+		return j.ingest.Total(), qerr
+	}
 	// Latency of the accept path — buffer append plus (durable stores)
 	// the spool write and WAL record that gate the acknowledgment.
 	start := time.Now()
 	defer func() { s.hist.ingest.Observe(time.Since(start)) }()
 	total, err := j.ingest.Append(frames)
 	if err != nil {
+		s.refundIngest(j, need)
+		if errors.Is(err, stream.ErrIngestFull) {
+			// Honest backpressure: how long until a fold drains room,
+			// from the job's own observed iteration cadence.
+			err = &Backpressure{Err: err, RetryAfter: s.ingestRetryHint(j)}
+		}
 		return total, err
 	}
 	// Durability before acknowledgment: a chunk the producer sees
@@ -595,13 +699,9 @@ func (s *Service) Cancel(id string) error {
 		// metric must already reflect it (the CI smoke relies on this).
 		s.met.cancelled.Add(1)
 		j.finishLocked(Cancelled, nil)
-		for i, q := range s.queue {
-			if q == j {
-				s.queue = append(s.queue[:i], s.queue[i+1:]...)
-				break
-			}
-		}
+		s.q.Remove(j.id)
 		j.mu.Unlock()
+		s.releaseTenantLocked(j, 0)
 		s.mu.Unlock()
 		j.cancel()
 		// No worker will ever see this job; the terminal record is
@@ -609,6 +709,9 @@ func (s *Service) Cancel(id string) error {
 		s.logFinish(j, Cancelled, nil)
 		return nil
 	case Running:
+		// An explicit cancel beats a pending preemption: the job must
+		// end Cancelled, not requeue behind the user's back.
+		j.userCancel = true
 		j.mu.Unlock()
 		s.mu.Unlock()
 		j.cancel()
@@ -672,12 +775,17 @@ func (s *Service) Resume(id string) (*Job, error) {
 	return j, err
 }
 
-// run executes one job on a pool worker.
+// run executes one job on a pool worker. pop() registered the job in
+// s.running; every exit either unregisters it (terminal) or hands it
+// back to the queue (preemption requeue does both atomically).
 func (s *Service) run(j *Job) {
 	if !j.markRunning() {
+		s.unregisterRunning(j)
 		return // cancelled while queued
 	}
-	s.hist.queueWait.Observe(j.queueWait())
+	wait := j.queueWait()
+	s.hist.queueWait.Observe(wait)
+	s.hist.tenantQueueWait.Observe(wait, j.tenantLabel)
 	s.logStart(j)
 	s.met.running.Add(1)
 	slices, err := s.execute(j)
@@ -691,23 +799,30 @@ func (s *Service) run(j *Job) {
 		// previewable like any snapshot.
 		if ckErr := s.snapshot(j, j.completedIters(), slices); ckErr != nil {
 			s.met.failed.Add(1)
-			s.finishJob(j, Failed, ckErr)
+			s.finishRun(j, Failed, ckErr)
 			return
 		}
 		s.met.completed.Add(1)
-		s.finishJob(j, Done, nil)
+		s.finishRun(j, Done, nil)
 	case errors.Is(err, context.Canceled):
+		// Preemption and cancellation share the engine's stop path —
+		// the context fires, the engine returns its partial object at
+		// the iteration boundary. A service-initiated preemption
+		// requeues the job warm instead of finishing it.
+		if s.requeuePreempted(j, slices) {
+			return
+		}
 		// Cancelled at an iteration boundary: persist the partial
 		// object so the job can resume exactly where it stopped.
 		if slices != nil {
 			if ckErr := s.snapshot(j, j.completedIters(), slices); ckErr != nil {
 				s.met.failed.Add(1)
-				s.finishJob(j, Failed, ckErr)
+				s.finishRun(j, Failed, ckErr)
 				return
 			}
 		}
 		s.met.cancelled.Add(1)
-		s.finishJob(j, Cancelled, nil)
+		s.finishRun(j, Cancelled, nil)
 	default:
 		// Engines that fail with partial progress (e.g. a streaming
 		// job exhausting stream.ErrIterationBudget on a stalled feed)
@@ -717,8 +832,103 @@ func (s *Service) run(j *Job) {
 			s.snapshot(j, j.completedIters(), slices)
 		}
 		s.met.failed.Add(1)
-		s.finishJob(j, Failed, err)
+		s.finishRun(j, Failed, err)
 	}
+}
+
+// unregisterRunning drops a job from the running set.
+func (s *Service) unregisterRunning(j *Job) {
+	s.mu.Lock()
+	delete(s.running, j.id)
+	s.mu.Unlock()
+}
+
+// finishRun unregisters and finishes a pool-executed job.
+func (s *Service) finishRun(j *Job, state State, err error) {
+	s.unregisterRunning(j)
+	s.finishJob(j, state, err)
+}
+
+// requeuePreempted puts a preempted job back in the queue instead of
+// finishing it: the boundary object becomes a checkpoint AND the
+// warm-start state, the remaining iterations are re-priced, and the
+// job keeps its identity — same ID, same trace, preempted_count
+// incremented, recovered_from naming the checkpoint it will restart
+// from. A client watching the job sees queued→running→queued→running
+// with no lost iterations; the final object is bit-identical to an
+// uninterrupted run because the serial engines are deterministic and
+// the checkpoint holds the exact boundary state.
+//
+// Declines (returns false, normal cancel path proceeds) when the stop
+// was user-initiated, the service is draining, or the job already
+// finished its iterations.
+func (s *Service) requeuePreempted(j *Job, slices []*grid.Complex2D) bool {
+	j.mu.Lock()
+	wants := j.preempt && !j.userCancel
+	j.mu.Unlock()
+	if !wants {
+		return false
+	}
+	completed := j.completedIters()
+	if slices != nil {
+		// The boundary checkpoint: durable anchor for crash recovery
+		// and the exact warm-start state for the re-run. A write
+		// failure falls through to the normal cancel path (which will
+		// retry the checkpoint and fail visibly if the disk is gone).
+		if ckErr := s.snapshot(j, completed, slices); ckErr != nil {
+			return false
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	j.mu.Lock()
+	total := j.params.StartIter + j.params.Iterations
+	if j.state != Running || completed >= total {
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return false
+	}
+	if slices != nil {
+		// j.snapshot is the clone s.snapshot just published; its
+		// arrays are immutable from here on, safe to warm-start from.
+		j.params.InitialObject = j.snapshot
+		j.params.StartIter = completed
+		j.params.Iterations = total - completed
+		j.iter = completed
+		j.recoveredFrom = fmt.Sprintf("checkpoint@%d", completed)
+	}
+	now := time.Now()
+	if !j.lastBoundary.IsZero() {
+		j.tr.Record("preempted", j.rootSpan, obs.RankCoordinator, completed,
+			j.lastBoundary, now.Sub(j.lastBoundary))
+	}
+	j.lastBoundary = time.Time{}
+	j.started = time.Time{}
+	j.enqueuedAt = now
+	j.preempt = false
+	j.preemptedCount++
+	j.state = Queued
+	ctx, cancel := context.WithCancel(context.Background())
+	j.ctx, j.cancel = ctx, cancel
+	j.publishLocked(Event{Type: "state", State: Queued.String()})
+	j.mu.Unlock()
+	delete(s.running, j.id)
+	s.q.Push(s.schedItemLocked(j))
+	ts := s.tenantLocked(j.params.Tenant)
+	ts.preempted++
+	s.notify.Signal()
+	s.mu.Unlock()
+
+	s.met.preempted.Add(1)
+	j.rec.Record(flight.Event{Kind: "preempted", Iter: completed,
+		Detail: fmt.Sprintf("yielded to interactive work at iteration %d", completed)})
+	s.log.Info("job preempted", "job_id", j.id, "request_id", j.RequestID(),
+		"tenant", j.params.Tenant, "iter", completed)
+	s.logPreempt(j)
+	return true
 }
 
 func (j *Job) completedIters() int {
@@ -920,7 +1130,7 @@ func (s *Service) snapshot(j *Job, completed int, slices []*grid.Complex2D) erro
 func (s *Service) QueueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return s.q.Len()
 }
 
 // Trace returns a job's summary together with its recorded span

@@ -400,6 +400,14 @@ func TestWALPrefixReplayProperty(t *testing.T) {
 	if err := w.LogEOF("job-0002"); err != nil {
 		t.Fatal(err)
 	}
+	// A tenant-keyed interactive submission (PTYWALv2 sched addendum):
+	// the params payload is opaque to the store, and every prefix that
+	// contains the record must return it byte-for-byte — scheduling
+	// identity survives any crash cut.
+	schedParams := json.RawMessage(`{"iterations":7,"tenant":"vip","priority":"interactive"}`)
+	if err := w.LogSubmit(SubmitRecord{ID: "job-0003", Key: "key-c", Params: schedParams, Created: time.Now().UTC()}); err != nil {
+		t.Fatal(err)
+	}
 	w.Close()
 
 	data, err := os.ReadFile(filepath.Join(dir, "jobs.wal"))
@@ -431,6 +439,9 @@ func TestWALPrefixReplayProperty(t *testing.T) {
 			}
 			if j.Iter > fj.Iter || j.Frames > fj.Frames {
 				t.Fatalf("prefix %d: job %s ahead of full replay", cut, j.ID)
+			}
+			if j.ID == "job-0003" && !bytes.Equal(j.Params, schedParams) {
+				t.Fatalf("prefix %d: job %s params %s, want the submitted sched payload", cut, j.ID, j.Params)
 			}
 			if len(j.CostHistory) > 0 && j.CostHistory[len(j.CostHistory)-1] != j.Cost && j.Iter > 0 {
 				// History tail tracks latest cost once iterations exist.

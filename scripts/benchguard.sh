@@ -1,27 +1,35 @@
 #!/usr/bin/env bash
-# benchguard.sh — wire-codec benchmark regression gate.
+# benchguard.sh — benchmark regression gate against a checked-in baseline.
 #
-# Reruns the codec benchmarks and compares every result against the
-# checked-in baseline (BENCH_2026-08-08_wirecodec.json by default):
+# Reruns a benchmark suite and compares every result against the named
+# BENCH_*.json baseline (the wire-codec baseline by default):
 #
 #   - throughput: fails if MB/s drops more than BENCHGUARD_TOLERANCE
-#     percent (default 20) below the baseline;
+#     percent (default 20) below the baseline; skipped for baselines
+#     that record mb_per_s 0 (latency benchmarks have no MB/s);
 #   - allocations: fails if allocs/op exceeds the baseline budget at
 #     all — alloc counts are deterministic, so any rise is a real
 #     regression on the zero-alloc fast path.
 #
-# Usage: scripts/benchguard.sh [baseline.json]
+# Usage: scripts/benchguard.sh [baseline.json [packages [bench-regex]]]
+#
+#   scripts/benchguard.sh                 # wire-codec gate (default)
+#   scripts/benchguard.sh BENCH_2026-08-08_sched_overhead.json \
+#     ./internal/jobs/sched/ SchedDecision
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BASE="${1:-BENCH_2026-08-08_wirecodec.json}"
+PKGS="${2:-./internal/stream/ ./internal/transport/ ./internal/jobs/store/}"
+PATTERN="${3:-Chunk|Frame(En|De)code|RecordAppend}"
 TOLERANCE="${BENCHGUARD_TOLERANCE:-20}"
 [ -r "$BASE" ] || { echo "benchguard: baseline $BASE not found" >&2; exit 2; }
 
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
-go test ./internal/stream/ ./internal/transport/ ./internal/jobs/store/ \
-  -run xxx -bench 'Chunk|Frame(En|De)code|RecordAppend' \
+# shellcheck disable=SC2086 # PKGS is a deliberate word-split package list
+go test $PKGS \
+  -run xxx -bench "$PATTERN" \
   -benchtime 2s -benchmem | tee "$OUT"
 
 awk -v base="$BASE" -v tol="$TOLERANCE" '
@@ -30,6 +38,7 @@ BEGIN {
     while ((getline line < base) > 0) {
         if (match(line, /"Benchmark[A-Za-z0-9]+"/)) {
             name = substr(line, RSTART + 1, RLENGTH - 2)
+            known[name] = 1
         } else if (name != "" && match(line, /"mb_per_s": *[0-9.]+/)) {
             split(substr(line, RSTART, RLENGTH), kv, ":")
             basembs[name] = kv[2] + 0
@@ -44,7 +53,7 @@ BEGIN {
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    if (!(name in basembs)) next
+    if (!(name in known)) next
     seen[name] = 1
     mbs = -1; alloc = -1
     for (i = 2; i <= NF; i++) {
@@ -52,18 +61,20 @@ BEGIN {
         if ($i == "allocs/op") alloc = $(i - 1) + 0
     }
     floor = basembs[name] * (100 - tol) / 100
-    if (mbs >= 0 && mbs < floor) {
+    if (mbs >= 0 && basembs[name] > 0 && mbs < floor) {
         printf "benchguard: FAIL %s: %.1f MB/s is >%s%% below baseline %.1f\n", name, mbs, tol, basembs[name]
         fail = 1
     } else if (alloc >= 0 && (name in basealloc) && alloc > basealloc[name]) {
         printf "benchguard: FAIL %s: %d allocs/op exceeds budget %d\n", name, alloc, basealloc[name]
         fail = 1
-    } else {
+    } else if (basembs[name] > 0) {
         printf "benchguard: ok   %s: %.1f MB/s (floor %.1f), %d allocs/op (budget %d)\n", name, mbs, floor, alloc, basealloc[name]
+    } else {
+        printf "benchguard: ok   %s: %d allocs/op (budget %d), no MB/s floor\n", name, alloc, basealloc[name]
     }
 }
 END {
-    for (n in basembs) {
+    for (n in known) {
         if (!(n in seen)) {
             printf "benchguard: FAIL %s: present in baseline but missing from bench output\n", n
             fail = 1

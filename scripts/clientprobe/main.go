@@ -14,6 +14,14 @@
 // pagination via the auto-paginating iterator, and a full streaming
 // round trip (open → SSE events → frame chunks → EOF → done).
 //
+// Against a wfq server with the CI tenant table (-sched wfq -tenant
+// alpha:3:1 -tenant beta:1) it additionally probes the fairness
+// surface through two API keys: the tenant concurrency quota (429
+// quota_exceeded with a live Retry-After) and interactive preemption
+// (preempted_count on the victim, "preempted" span on its trace, the
+// /v1/status tenant rollup). On a FIFO server those probes are
+// skipped.
+//
 // Usage: go run ./scripts/clientprobe [-server http://127.0.0.1:8617]
 package main
 
@@ -22,6 +30,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"image/png"
@@ -307,6 +316,166 @@ func run(server string) error {
 	}
 	if err := <-evErr; err != nil {
 		return fmt.Errorf("event feed: %w", err)
+	}
+
+	// The multi-tenant probes need a wfq server with the CI tenant
+	// table (-sched wfq -tenant alpha:3:1 -tenant beta:1); on a plain
+	// FIFO server they are skipped, not failed.
+	if st.SchedPolicy == "wfq" {
+		if err := probeFairness(ctx, server, dataset.Bytes()); err != nil {
+			return fmt.Errorf("fairness: %w", err)
+		}
+		fmt.Println("clientprobe: wfq fairness probed — tenant quota 429 with live Retry-After, interactive preemption on trace")
+	} else {
+		fmt.Printf("clientprobe: sched policy %q — skipping the wfq fairness probes\n", st.SchedPolicy)
+	}
+	return nil
+}
+
+// probeFairness drives the admission-control and preemption surface
+// through two API keys against a wfq server where tenant alpha has
+// max-active 1: (1) alpha's second in-flight submission must 429 with
+// quota_exceeded and a live Retry-After; (2) an interactive alpha job
+// submitted while bulk beta work holds every worker must displace a
+// victim, visible as preempted_count and a "preempted" span on the
+// victim's trace.
+func probeFairness(ctx context.Context, server string, dataset []byte) error {
+	// Retries off: the probe asserts the 429 itself, not riding it out.
+	alpha, err := client.New(server, client.WithAPIKey("alpha"), client.WithRetry(0, 0))
+	if err != nil {
+		return err
+	}
+	beta, err := client.New(server, client.WithAPIKey("beta"), client.WithRetry(0, 0))
+	if err != nil {
+		return err
+	}
+	st, err := alpha.Status(ctx)
+	if err != nil {
+		return err
+	}
+
+	// Tenant quota: alpha is capped at one in-flight job.
+	blocker, err := alpha.Submit(ctx, client.SubmitRequest{Algorithm: "serial", Iterations: 50_000_000},
+		bytes.NewReader(dataset))
+	if err != nil {
+		return fmt.Errorf("alpha blocker submit: %w", err)
+	}
+	if blocker.Tenant != "alpha" {
+		return fmt.Errorf("submitted job tenant %q, want alpha (X-API-Key lost)", blocker.Tenant)
+	}
+	_, err = alpha.Submit(ctx, client.SubmitRequest{Algorithm: "serial", Iterations: 5},
+		bytes.NewReader(dataset))
+	var apiErr *client.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != client.CodeQuotaExceeded {
+		return fmt.Errorf("alpha over-cap submit: got %v, want 429 quota_exceeded", err)
+	}
+	if apiErr.Status != 429 || apiErr.RetryAfter <= 0 {
+		return fmt.Errorf("quota 429 lacks a live Retry-After: status=%d retry_after=%v",
+			apiErr.Status, apiErr.RetryAfter)
+	}
+	if _, err := alpha.Cancel(ctx, blocker.ID); err != nil {
+		return fmt.Errorf("cancel alpha blocker: %w", err)
+	}
+
+	// Preemption: saturate every worker with bulk beta jobs, then land
+	// an interactive alpha job. It must run ahead of the backlog by
+	// displacing one victim at an iteration boundary.
+	var victims []string
+	for i := 0; i < st.Workers; i++ {
+		vj, err := beta.Submit(ctx, client.SubmitRequest{Algorithm: "serial", Iterations: 50_000_000},
+			bytes.NewReader(dataset))
+		if err != nil {
+			return fmt.Errorf("beta saturation submit %d: %w", i, err)
+		}
+		victims = append(victims, vj.ID)
+	}
+	defer func() {
+		for _, id := range victims {
+			beta.Cancel(ctx, id)
+		}
+	}()
+	for _, id := range victims {
+		for {
+			vj, err := beta.Get(ctx, id)
+			if err != nil {
+				return err
+			}
+			if vj.State == client.StateRunning {
+				break
+			}
+			if vj.Terminal() {
+				return fmt.Errorf("saturation job %s ended %s before the probe", id, vj.State)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+	ij, err := alpha.Submit(ctx, client.SubmitRequest{
+		Algorithm: "serial", Iterations: 3, Priority: "interactive",
+	}, bytes.NewReader(dataset))
+	if err != nil {
+		return fmt.Errorf("interactive submit: %w", err)
+	}
+	if ij.Priority != "interactive" {
+		return fmt.Errorf("interactive class lost on the wire: %q", ij.Priority)
+	}
+	ifinal, err := alpha.Wait(ctx, ij.ID)
+	if err != nil {
+		return fmt.Errorf("wait interactive: %w", err)
+	}
+	if ifinal.State != client.StateDone {
+		return fmt.Errorf("interactive job ended %s: %s", ifinal.State, ifinal.Error)
+	}
+	var victim *client.Job
+	for _, id := range victims {
+		vj, err := beta.Get(ctx, id)
+		if err != nil {
+			return err
+		}
+		if vj.PreemptedCount >= 1 {
+			victim = vj
+			break
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("no saturation job shows preempted_count after the interactive run")
+	}
+	tr, err := beta.Trace(ctx, victim.ID)
+	if err != nil {
+		return fmt.Errorf("victim trace: %w", err)
+	}
+	preemptSpans := 0
+	for _, sp := range tr.Spans {
+		if sp.Name == "preempted" {
+			preemptSpans++
+		}
+	}
+	if preemptSpans == 0 {
+		return fmt.Errorf("victim %s trace has no preempted span", victim.ID)
+	}
+
+	// The fairness rollup reflects what just happened.
+	st, err = alpha.Status(ctx)
+	if err != nil {
+		return err
+	}
+	var sawBeta bool
+	for _, ten := range st.Tenants {
+		if ten.Name == "beta" {
+			sawBeta = true
+			if ten.Preempted < 1 {
+				return fmt.Errorf("beta rollup shows no preemption: %+v", ten)
+			}
+		}
+		if ten.Name == "alpha" && ten.QuotaRejections < 1 {
+			return fmt.Errorf("alpha rollup shows no quota rejection: %+v", ten)
+		}
+	}
+	if !sawBeta {
+		return fmt.Errorf("status tenants lack beta: %+v", st.Tenants)
 	}
 	return nil
 }
